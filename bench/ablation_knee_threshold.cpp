@@ -1,0 +1,54 @@
+// Ablation — the allocation-count threshold (the paper's knee at 8).
+//
+// Sweeps fixed thresholds against the kneedle-detected one and shows how the
+// qualifying-probe population, the emitted prefix set, and precision against
+// ground truth respond. The takeaway the paper relies on: the knee sits in a
+// near-empty band of the allocation distribution, so any threshold in that
+// band selects essentially the same churner population.
+#include "bench_common.h"
+
+#include "atlas/fleet.h"
+#include "dynadetect/pipeline.h"
+#include "internet/world.h"
+
+int main() {
+  using namespace reuse;
+  bench::print_banner("Ablation", "allocation-count (knee) threshold");
+
+  auto config = analysis::bench_scenario_config(bench::kBenchSeed);
+  const inet::World world(config.world);
+  const atlas::AtlasFleet fleet(world, config.fleet);
+
+  auto precision_of = [&](const net::PrefixSet& prefixes) {
+    if (prefixes.size() == 0) return 1.0;
+    std::size_t hits = 0;
+    for (const auto& prefix : prefixes.to_vector()) {
+      hits += world.fast_dynamic_prefixes().contains_prefix(prefix);
+    }
+    return static_cast<double>(hits) / static_cast<double>(prefixes.size());
+  };
+
+  net::AsciiTable table({"threshold", "qualifying probes", "dynamic /24s",
+                         "precision vs fast pools"});
+  const dynadetect::PipelineResult automatic =
+      dynadetect::run_pipeline(fleet.log(), config.pipeline);
+  table.add_row({"kneedle (" + std::to_string(automatic.knee_allocations) + ")",
+                 std::to_string(automatic.probes_daily),
+                 std::to_string(automatic.dynamic_prefixes.size()),
+                 net::percent(precision_of(automatic.dynamic_prefixes))});
+  for (const int threshold : {2, 4, 8, 16, 32, 128, 512, 2048}) {
+    dynadetect::PipelineConfig pipeline_config = config.pipeline;
+    pipeline_config.min_allocations = threshold;
+    const dynadetect::PipelineResult result =
+        dynadetect::run_pipeline(fleet.log(), pipeline_config);
+    table.add_row({std::to_string(threshold),
+                   std::to_string(result.probes_daily),
+                   std::to_string(result.dynamic_prefixes.size()),
+                   net::percent(precision_of(result.dynamic_prefixes))});
+  }
+  std::cout << table.to_string() << '\n'
+            << "Reading: thresholds 2-8 (the paper's band) select nearly the\n"
+               "same probes because the daily-change filter already removes\n"
+               "slow churners; large thresholds start losing real fast pools.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation — why the bt_ping verification step exists (§3.1).
+//
+// Compares the paper's rule (flag an IP only on >= 2 concurrent responders
+// with distinct node_ids and ports) against the naive alternative (flag any
+// IP ever seen with two ports). Stale routing-table entries make the naive
+// rule wrong; ground truth quantifies by how much.
+#include "bench_common.h"
+
+int main() {
+  using namespace reuse;
+  bench::print_banner("Ablation", "ping verification vs naive multi-port");
+
+  const analysis::CachedScenario s = bench::load_bench_scenario();
+
+  std::size_t naive_flagged = 0;
+  std::size_t naive_correct = 0;
+  std::size_t verified_flagged = 0;
+  std::size_t verified_correct = 0;
+  for (const auto& [address, evidence] : s.crawl.evidence) {
+    const bool truly_shared = s.world.is_shared_address(address);
+    if (evidence.ports.size() >= 2) {
+      ++naive_flagged;
+      naive_correct += truly_shared;
+    }
+    if (evidence.is_nated()) {
+      ++verified_flagged;
+      verified_correct += truly_shared;
+    }
+  }
+
+  net::AsciiTable table({"policy", "flagged as NATed", "truly shared",
+                         "precision"});
+  table.add_row({"naive: >= 2 ports ever seen",
+                 net::with_thousands(static_cast<std::int64_t>(naive_flagged)),
+                 net::with_thousands(static_cast<std::int64_t>(naive_correct)),
+                 naive_flagged == 0
+                     ? "n/a"
+                     : net::percent(static_cast<double>(naive_correct) /
+                                    static_cast<double>(naive_flagged))});
+  table.add_row({"paper: >= 2 concurrent responders",
+                 net::with_thousands(static_cast<std::int64_t>(verified_flagged)),
+                 net::with_thousands(static_cast<std::int64_t>(verified_correct)),
+                 verified_flagged == 0
+                     ? "n/a"
+                     : net::percent(static_cast<double>(verified_correct) /
+                                    static_cast<double>(verified_flagged))});
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "Reading: port churn and stale routing-table entries make\n"
+               "multi-port sightings common on single-user IPs; only the\n"
+               "concurrent-response rule achieves the high-precision\n"
+               "detection the paper's measurements rest on. The cost is\n"
+               "recall: verified detections are a strict subset.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation — the /24 expansion choice (§3.2).
+//
+// The paper expands each qualifying probe's addresses to the covering /24,
+// arguing contiguous addresses are administered together. Narrower expansion
+// undercounts the pool; wider expansion swallows unrelated space. Ground
+// truth quantifies the trade-off.
+#include "bench_common.h"
+
+#include "atlas/fleet.h"
+#include "dynadetect/pipeline.h"
+#include "internet/world.h"
+
+int main() {
+  using namespace reuse;
+  bench::print_banner("Ablation", "dynamic-prefix expansion width");
+
+  auto config = analysis::bench_scenario_config(bench::kBenchSeed);
+  const inet::World world(config.world);
+  const atlas::AtlasFleet fleet(world, config.fleet);
+
+  net::AsciiTable table({"expansion", "prefixes", "addresses covered",
+                         "share truly dynamic", "share of pool space found"});
+
+  // Ground truth: total address space of fast pools (the detection target).
+  std::uint64_t pool_space = 0;
+  for (const auto& prefix : world.fast_dynamic_prefixes().to_vector()) {
+    pool_space += prefix.size();
+  }
+
+  for (const int width : {28, 26, 24, 22, 20}) {
+    dynadetect::PipelineConfig pipeline_config = config.pipeline;
+    pipeline_config.expand_prefix_length = width;
+    const dynadetect::PipelineResult result =
+        dynadetect::run_pipeline(fleet.log(), pipeline_config);
+    std::uint64_t covered = 0;
+    std::uint64_t truly_dynamic = 0;
+    for (const auto& prefix : result.dynamic_prefixes.to_vector()) {
+      covered += prefix.size();
+      // Count addresses inside real pool space, chunk by chunk (chunks are
+      // the finer of the prefix itself and /24 alignment, since pool
+      // membership is /24-granular in the world).
+      for (std::uint64_t offset = 0; offset < prefix.size(); offset += 256) {
+        if (world.dynamic_prefixes().contains_address(
+                prefix.address_at(offset))) {
+          truly_dynamic += std::min<std::uint64_t>(256, prefix.size() - offset);
+        }
+      }
+    }
+    table.add_row(
+        {"/" + std::to_string(width),
+         std::to_string(result.dynamic_prefixes.size()),
+         net::with_thousands(static_cast<std::int64_t>(covered)),
+         covered == 0 ? "n/a"
+                      : net::percent(static_cast<double>(truly_dynamic) /
+                                     static_cast<double>(covered)),
+         pool_space == 0
+             ? "n/a"
+             : net::percent(static_cast<double>(
+                                std::min(truly_dynamic, pool_space)) /
+                            static_cast<double>(pool_space))});
+  }
+  std::cout << table.to_string() << '\n'
+            << "Reading: /24 is the widest expansion that stays (nearly)\n"
+               "fully inside true pool space in this world; wider prefixes\n"
+               "start absorbing neighbouring allocations (overcounting),\n"
+               "narrower ones leave most of the pool undetected — the\n"
+               "paper's conservative-coverage argument.\n";
+  return 0;
+}

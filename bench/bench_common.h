@@ -1,0 +1,56 @@
+// Shared scaffolding for the experiment (bench) binaries.
+//
+// Every binary regenerates one table or figure of the paper from the same
+// bench-scale scenario (seed 42). The first binary to run simulates the
+// expensive parts (crawl + blocklist ecosystem, ~2 minutes) and caches them
+// next to the working directory; the rest reload in about a second. Delete
+// reuse_scenario_*.cache to force a fresh simulation.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "analysis/cache.h"
+#include "analysis/impact.h"
+#include "analysis/report.h"
+#include "netbase/chart.h"
+#include "netbase/stats.h"
+#include "netbase/table.h"
+
+namespace bench {
+
+inline constexpr std::uint64_t kBenchSeed = 42;
+
+/// Loads (or simulates and caches) the standard bench scenario.
+/// `with_census` additionally runs the ICMP census baseline (~30 s, only
+/// Figure 6 needs it).
+inline reuse::analysis::CachedScenario load_bench_scenario(
+    bool with_census = false) {
+  auto config = reuse::analysis::bench_scenario_config(kBenchSeed);
+  config.run_census = with_census;
+  std::cerr << "[bench] preparing scenario (seed " << kBenchSeed << ")...\n";
+  auto scenario = reuse::analysis::run_scenario_cached(std::move(config));
+  std::cerr << (scenario.cache_hit
+                    ? "[bench] loaded crawl+ecosystem from cache\n"
+                    : "[bench] simulated fresh and wrote cache\n");
+  return scenario;
+}
+
+inline double mean_of(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double sample : samples) sum += sample;
+  return sum / static_cast<double>(samples.size());
+}
+
+/// Header line every binary prints first.
+inline void print_banner(const std::string& experiment,
+                         const std::string& what) {
+  std::cout << "==========================================================\n"
+            << experiment << " — " << what << "\n"
+            << "(scaled reproduction; compare shapes/ratios, not absolute\n"
+            << " counts — see EXPERIMENTS.md)\n"
+            << "==========================================================\n\n";
+}
+
+}  // namespace bench

@@ -1,0 +1,57 @@
+// Extension — quantifying §6's recommendation.
+//
+// The paper argues operators should greylist reused listings instead of
+// hard-blocking them. This experiment (not a figure in the paper; built on
+// its published mitigation discussion) simulates a week of traffic from the
+// blocklisted address space under three policies and reports the bystander
+// harm each one inflicts versus the abuse each one admits.
+#include "bench_common.h"
+
+#include "analysis/policy_sim.h"
+
+int main() {
+  using namespace reuse;
+  bench::print_banner("Extension (§6)",
+                      "filtering-policy outcomes on blocklisted traffic");
+
+  const analysis::CachedScenario s = bench::load_bench_scenario();
+  const analysis::PolicySimConfig config;
+  const std::vector<analysis::PolicyOutcome> outcomes =
+      analysis::simulate_policies(s.world, s.ecosystem.store,
+                                  s.crawl.nated_set,
+                                  s.pipeline.dynamic_prefixes, config);
+
+  net::AsciiTable table({"policy", "legit sessions", "blocked (harm)",
+                         "delayed", "abuse sessions", "admitted (escape)",
+                         "harm rate", "escape rate"});
+  for (const analysis::PolicyOutcome& outcome : outcomes) {
+    table.add_row(
+        {std::string(to_string(outcome.policy)),
+         net::with_thousands(static_cast<std::int64_t>(outcome.legit_sessions)),
+         net::with_thousands(static_cast<std::int64_t>(outcome.legit_blocked)),
+         net::with_thousands(static_cast<std::int64_t>(outcome.legit_delayed)),
+         net::with_thousands(static_cast<std::int64_t>(outcome.abuse_sessions)),
+         net::with_thousands(static_cast<std::int64_t>(outcome.abuse_admitted)),
+         net::percent(outcome.bystander_harm_rate()),
+         net::percent(outcome.abuse_escape_rate())});
+  }
+  std::cout << table.to_string() << '\n';
+
+  const auto& block = outcomes[1];
+  const auto& greylist = outcomes[2];
+  std::cout << "Reading: hard-blocking punishes every legitimate session from\n"
+               "the blocklisted space ("
+            << net::with_thousands(static_cast<std::int64_t>(block.legit_blocked))
+            << " over the simulated week); greylisting the reused entries\n"
+               "recovers "
+            << net::percent(
+                   block.legit_blocked == 0
+                       ? 0.0
+                       : 1.0 - static_cast<double>(greylist.legit_blocked) /
+                                   static_cast<double>(block.legit_blocked))
+            << " of that harm while still suppressing "
+            << net::percent(1.0 - greylist.abuse_escape_rate())
+            << " of abuse\nsessions — the quantified version of the paper's"
+               " §6 recommendation.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Extension — multi-vantage crawling (§3.1's suggested improvement).
+//
+// The paper rate-limited one crawler to spare its network and suggested
+// distributing the crawl over several vantage points. This experiment crawls
+// identical worlds with 1, 2 and 4 vantages in two regimes: a generous
+// per-vantage budget (showing equal coverage at ~1/K per-network burden) and
+// a binding budget (showing extra vantages buying coverage per day).
+#include "bench_common.h"
+
+#include "crawler/vantage.h"
+#include "dht/network.h"
+#include "internet/world.h"
+#include "simnet/event_queue.h"
+
+int main() {
+  using namespace reuse;
+  bench::print_banner("Extension (§3.1)", "multi-vantage crawl coverage");
+
+  inet::WorldConfig world_config = inet::test_world_config(bench::kBenchSeed);
+  world_config.as_count = 150;
+  const inet::World world(world_config);
+
+  auto run = [&](std::size_t vantages, std::size_t budget_per_second) {
+    sim::EventQueue events;
+    dht::DhtNetworkConfig dht_config;
+    dht_config.seed = bench::kBenchSeed ^ 0xd47;
+    dht::DhtNetwork network(world, events, dht_config);
+    const net::TimeWindow window{net::SimTime(0), net::SimTime(86400)};
+    network.schedule_churn(window);
+
+    crawler::VantageConfig config;
+    config.base.seed = bench::kBenchSeed ^ 0xc4a3;
+    config.base.messages_per_second = budget_per_second;
+    config.vantage_count = vantages;
+    crawler::MultiVantageCrawler crawler(network.transport(), events,
+                                         network.bootstrap_endpoint(), config);
+    crawler.start(window);
+    events.run_until(window.end + net::Duration::minutes(10));
+    return crawler.merged();
+  };
+
+  auto emit = [](net::AsciiTable& table, std::size_t vantages,
+                 const crawler::MergedResults& merged) {
+    const std::uint64_t total_messages =
+        merged.stats.get_nodes_sent + merged.stats.pings_sent;
+    table.add_row(
+        {std::to_string(vantages),
+         net::with_thousands(static_cast<std::int64_t>(merged.evidence.size())),
+         net::with_thousands(static_cast<std::int64_t>(merged.nated.size())),
+         net::with_thousands(
+             static_cast<std::int64_t>(total_messages / vantages)),
+         net::with_thousands(static_cast<std::int64_t>(total_messages))});
+  };
+
+  std::cout << "A. Etiquette regime (generous 100 msg/s per vantage):\n";
+  net::AsciiTable relaxed({"vantages", "IPs discovered", "NATed found",
+                           "msgs/vantage", "total msgs"});
+  for (const std::size_t vantages :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    emit(relaxed, vantages, run(vantages, 100));
+  }
+  std::cout << relaxed.to_string() << '\n';
+
+  std::cout << "B. Rate-bound regime (tight 3 msg/s per vantage):\n";
+  net::AsciiTable tight({"vantages", "IPs discovered", "NATed found",
+                         "msgs/vantage", "total msgs"});
+  for (const std::size_t vantages :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    emit(tight, vantages, run(vantages, 3));
+  }
+  std::cout << tight.to_string() << '\n'
+            << "Reading: (A) when the per-network budget is generous, K\n"
+               "vantages reach the same coverage while each network carries\n"
+               "~1/K of the probe traffic — the paper's burden argument.\n"
+               "(B) when the budget binds (the paper's actual situation,\n"
+               "having been rate-limited by its administrators), extra\n"
+               "vantages buy additional coverage per day. Partitions are\n"
+               "disjoint: no address is ever probed by two vantages.\n";
+  return 0;
+}

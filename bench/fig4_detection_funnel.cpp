@@ -1,0 +1,60 @@
+// Figure 4 — detecting NATed and dynamic addresses: both detection funnels,
+// with each stage joined against the blocklisted address set.
+#include "bench_common.h"
+
+int main() {
+  using namespace reuse;
+  bench::print_banner("Figure 4", "the two detection funnels");
+
+  const analysis::CachedScenario s = bench::load_bench_scenario();
+  const auto& store = s.ecosystem.store;
+
+  // --- NAT side -------------------------------------------------------------
+  std::size_t nated_blocklisted = 0;
+  for (const auto& [address, users] : s.crawl.nated) {
+    nated_blocklisted += store.addresses().contains(address);
+  }
+
+  analysis::PaperComparison nat("NATed addresses (BitTorrent crawl)");
+  nat.row("BitTorrent IPs discovered", "48.7M",
+          net::compact_count(static_cast<double>(s.crawl.evidence.size())));
+  nat.row("NATed IPs (verified concurrent sharing)", "2M",
+          net::compact_count(static_cast<double>(s.crawl.nated.size())));
+  nat.row("NATed + blocklisted IPs", "29.7K",
+          net::compact_count(static_cast<double>(nated_blocklisted)));
+  std::cout << nat.to_string() << '\n';
+
+  // --- Dynamic side ----------------------------------------------------------
+  // Count blocklisted addresses inside each pipeline stage's footprint.
+  auto blocklisted_within = [&](const net::PrefixSet& prefixes) {
+    std::size_t count = 0;
+    for (const net::Ipv4Address address : store.addresses()) {
+      count += prefixes.contains_address(address);
+    }
+    return count;
+  };
+  const std::size_t stage0 = blocklisted_within(s.pipeline.all_probe_prefixes);
+  const std::size_t stage1 =
+      blocklisted_within(s.pipeline.single_as_change_prefixes);
+  const std::size_t stage2 = blocklisted_within(s.pipeline.above_knee_prefixes);
+  const std::size_t stage3 = blocklisted_within(s.pipeline.dynamic_prefixes);
+
+  analysis::PaperComparison dyn("Dynamic addresses (Atlas pipeline)");
+  dyn.row("blocklisted addrs in probe-covered /24s", "53.7K",
+          net::compact_count(static_cast<double>(stage0)));
+  dyn.row("... probes changing addresses in same AS", "34.4K",
+          net::compact_count(static_cast<double>(stage1)));
+  dyn.row("... probes with frequent changes (knee)", "33.1K",
+          net::compact_count(static_cast<double>(stage2)));
+  dyn.row("... probes changing addresses daily", "22.7K",
+          net::compact_count(static_cast<double>(stage3)));
+  std::cout << dyn.to_string() << '\n';
+
+  // Shape check: each stage must shrink the set.
+  std::cout << "funnel monotone: "
+            << ((stage0 >= stage1 && stage1 >= stage2 && stage2 >= stage3)
+                    ? "yes"
+                    : "NO (violated)")
+            << "\n";
+  return 0;
+}

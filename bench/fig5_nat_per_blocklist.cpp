@@ -1,0 +1,73 @@
+// Figure 5 — NATed addresses per blocklist (sorted, log scale).
+#include "bench_common.h"
+
+#include <algorithm>
+
+int main() {
+  using namespace reuse;
+  bench::print_banner("Figure 5", "NATed addresses in blocklists");
+
+  const analysis::CachedScenario s = bench::load_bench_scenario();
+  const analysis::ReuseImpact impact = analysis::compute_reuse_impact(
+      s.ecosystem.store, s.catalogue, s.crawl.nated_set,
+      s.pipeline.dynamic_prefixes);
+
+  // Sorted per-list series (descending), as plotted.
+  std::vector<double> counts;
+  for (const auto& row : impact.per_list) {
+    if (row.nated_addresses > 0) {
+      counts.push_back(static_cast<double>(row.nated_addresses));
+    }
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  net::ChartSeries series{"NATed addresses per list (sorted)", {}, '#'};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    series.points.emplace_back(static_cast<double>(i + 1), counts[i]);
+  }
+  net::ChartOptions options;
+  options.log_y = true;
+  options.x_label = "(#) of blocklists";
+  options.y_label = "log(#) NATed addresses";
+  std::cout << net::render_chart({series}, options) << '\n';
+
+  // Top-10 concentration.
+  const auto top = analysis::top_lists_by(impact, s.catalogue, true, 10);
+  std::size_t top10_listings = 0;
+  for (const auto& row : top) top10_listings += row.listings;
+
+  analysis::PaperComparison report("Figure 5 / §5 statistics");
+  report.row("blocklists with no NATed address", "61 (40%)",
+             std::to_string(impact.lists_total - impact.lists_with_nated) +
+                 " (" +
+                 net::percent(1.0 - impact.fraction_lists_with_nated(), 0) +
+                 ")");
+  report.row("blocklists with >= 1 NATed address", "60%",
+             net::percent(impact.fraction_lists_with_nated(), 0));
+  report.row("NATed listings", "45.1K",
+             net::compact_count(static_cast<double>(impact.nated_listings)));
+  report.row("distinct NATed blocklisted addresses", "29.7K",
+             net::compact_count(
+                 static_cast<double>(impact.nated_blocklisted_addresses)));
+  report.row("avg NATed addresses per affected list", "501",
+             impact.lists_with_nated == 0
+                 ? "0"
+                 : net::fixed(static_cast<double>(impact.nated_listings) /
+                                  static_cast<double>(impact.lists_with_nated),
+                              0));
+  report.row("top-10 lists' share of NATed listings", "65.9%",
+             impact.nated_listings == 0
+                 ? "n/a"
+                 : net::percent(static_cast<double>(top10_listings) /
+                                static_cast<double>(impact.nated_listings)));
+  std::cout << report.to_string() << '\n';
+
+  net::AsciiTable top_table({"rank", "list", "NATed addresses"});
+  for (std::size_t i = 0; i < top.size() && i < 5; ++i) {
+    top_table.add_row({std::to_string(i + 1), top[i].name,
+                       net::with_thousands(static_cast<std::int64_t>(top[i].listings))});
+  }
+  std::cout << "Top lists by NATed addresses (paper: Stopforumspam, Nixspam,"
+               " Alienvault):\n"
+            << top_table.to_string();
+  return 0;
+}

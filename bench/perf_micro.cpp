@@ -1,0 +1,161 @@
+// Microbenchmarks for the performance-sensitive building blocks
+// (google-benchmark). These back the engineering claims in DESIGN.md:
+// longest-prefix match and the DHT routing path are the hot loops when the
+// analysis joins millions of addresses.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "blocklist/catalogue.h"
+#include "blocklist/ecosystem.h"
+#include "dht/node_id.h"
+#include "dht/routing_table.h"
+#include "netbase/interval_set.h"
+#include "netbase/kneedle.h"
+#include "netbase/prefix_trie.h"
+#include "netbase/rng.h"
+#include "netbase/stats.h"
+
+namespace {
+
+using namespace reuse;
+
+void BM_PrefixTrieInsert(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  net::Rng rng(1);
+  std::vector<net::Ipv4Prefix> prefixes;
+  prefixes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    prefixes.emplace_back(net::Ipv4Address(static_cast<std::uint32_t>(rng())),
+                          24);
+  }
+  for (auto _ : state) {
+    net::PrefixTrie<std::uint32_t> trie;
+    for (std::size_t i = 0; i < count; ++i) {
+      trie.insert(prefixes[i], static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(trie.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_PrefixTrieInsert)->Arg(1000)->Arg(100000);
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  net::Rng rng(2);
+  net::PrefixTrie<std::uint32_t> trie;
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    trie.insert(net::Ipv4Prefix(net::Ipv4Address(static_cast<std::uint32_t>(rng())), 24), i);
+  }
+  std::vector<net::Ipv4Address> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.emplace_back(static_cast<std::uint32_t>(rng()));
+  }
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lookup_ptr(probes[index++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+void BM_RoutingTableClosest(benchmark::State& state) {
+  net::Rng rng(3);
+  auto random_id = [&rng] {
+    std::array<std::uint32_t, 5> words{};
+    for (auto& w : words) w = static_cast<std::uint32_t>(rng());
+    return dht::NodeId(words);
+  };
+  dht::RoutingTable table(random_id());
+  for (int i = 0; i < 256; ++i) {
+    table.insert({net::Endpoint{net::Ipv4Address(static_cast<std::uint32_t>(i)), 1},
+                  random_id()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.closest(random_id(), 8));
+  }
+}
+BENCHMARK(BM_RoutingTableClosest);
+
+void BM_NodeIdDerive(benchmark::State& state) {
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dht::NodeId::derive(0x0A000001, nonce++));
+  }
+}
+BENCHMARK(BM_NodeIdDerive);
+
+void BM_IntervalSetInsert(benchmark::State& state) {
+  net::Rng rng(4);
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+  for (int i = 0; i < 4096; ++i) {
+    const auto begin = static_cast<std::int64_t>(rng.uniform(100000));
+    spans.emplace_back(begin, begin + 1 + static_cast<std::int64_t>(rng.uniform(50)));
+  }
+  for (auto _ : state) {
+    net::IntervalSet set;
+    for (const auto& [begin, end] : spans) set.insert(begin, end);
+    benchmark::DoNotOptimize(set.measure());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_IntervalSetInsert);
+
+void BM_Kneedle(benchmark::State& state) {
+  std::vector<double> curve;
+  for (int i = 0; i < 10000; ++i) {
+    curve.push_back(1000.0 / (1.0 + i * 0.01));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::find_knee(curve));
+  }
+}
+BENCHMARK(BM_Kneedle);
+
+void BM_EmpiricalCdfBuild(benchmark::State& state) {
+  net::Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.exponential(9.0));
+  for (auto _ : state) {
+    net::EmpiricalCdf cdf{std::vector<double>(samples)};
+    benchmark::DoNotOptimize(cdf.median());
+  }
+}
+BENCHMARK(BM_EmpiricalCdfBuild);
+
+void BM_RngDistributions(benchmark::State& state) {
+  net::Rng rng(6);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += rng.exponential(2.0) + rng.pareto(2.0, 1.5) +
+            static_cast<double>(rng.poisson(5.0));
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngDistributions);
+
+void BM_EcosystemThroughput(benchmark::State& state) {
+  // Event-processing rate of the blocklist ecosystem (events/second).
+  const auto catalogue = blocklist::build_catalogue(7);
+  net::Rng rng(8);
+  std::vector<inet::AbuseEvent> events;
+  for (int i = 0; i < 50000; ++i) {
+    inet::AbuseEvent event;
+    event.time_seconds = i * 10;
+    event.source = net::Ipv4Address(static_cast<std::uint32_t>(rng.uniform(1 << 20)));
+    event.category = static_cast<inet::AbuseCategory>(rng.uniform(5));
+    events.push_back(event);
+  }
+  blocklist::EcosystemConfig config;
+  config.periods = {{net::SimTime(0), net::SimTime(10 * 86400)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        blocklist::simulate_ecosystem(catalogue, events, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50000);
+}
+BENCHMARK(BM_EcosystemThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Table 1 — summary of survey responses on blocklist usage.
+#include "bench_common.h"
+
+#include "survey/survey.h"
+
+int main() {
+  using namespace reuse;
+  bench::print_banner("Table 1", "operator survey summary");
+
+  const survey::SurveySummary summary =
+      survey::summarize(survey::embedded_survey());
+
+  analysis::PaperComparison report("Table 1 (65 respondents)");
+  report.row("use external blocklists", "85%",
+             net::percent(summary.external_usage_fraction, 0));
+  report.row("maintain internal blocklists", "70%",
+             net::percent(summary.internal_usage_fraction, 0));
+  report.row("paid-for blocklists (avg)", "2",
+             net::fixed(summary.paid_lists_mean, 0));
+  report.row("paid-for blocklists (max)", "39",
+             std::to_string(summary.paid_lists_max));
+  report.row("public blocklists (avg)", "10",
+             net::fixed(summary.public_lists_mean, 0));
+  report.row("public blocklists (max)", "68",
+             std::to_string(summary.public_lists_max));
+  report.row("directly block listed IPs", "59%",
+             net::percent(summary.direct_block_fraction, 0));
+  report.row("feed a threat-intelligence system", "35%",
+             net::percent(summary.threat_intel_fraction, 0));
+  report.row("answered the reuse questions", "34",
+             std::to_string(summary.reuse_question_respondents));
+  report.row("see CGN hurting accuracy", "56%",
+             net::percent(summary.cgn_concern_fraction, 0));
+  report.row("see dynamic addressing hurting accuracy", "76%",
+             net::percent(summary.dynamic_concern_fraction, 0));
+  report.row("use >= 2 list types", "55%",
+             net::percent(summary.multi_type_fraction, 0));
+  std::cout << report.to_string();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Example: the operator-side workflow from §6 of the paper.
+//
+// Runs the full study once, publishes the reused-address list (the paper's
+// released artifact), then audits one blocklist snapshot against it:
+// entries on reused addresses are diverted to a greylist (soft-fail /
+// challenge) instead of the hard block list, so bystanders behind NATs and
+// future leaseholders of dynamic addresses are not punished outright.
+//
+// Usage: blocklist_audit [seed]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/greylist.h"
+#include "analysis/scenario.h"
+#include "blocklist/parse.h"
+#include "netbase/stats.h"
+#include "netbase/table.h"
+
+int main(int argc, char** argv) {
+  using namespace reuse;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  std::cout << "Running detectors (test scale, seed " << seed << ")...\n";
+  const analysis::Scenario scenario =
+      analysis::run_scenario(analysis::test_scenario_config(seed));
+
+  // 1. Build and publish the reused-address list.
+  const auto reused = analysis::build_reused_address_list(
+      scenario.ecosystem.store, scenario.crawl.nated_set,
+      scenario.pipeline.dynamic_prefixes);
+  std::size_t nated = 0;
+  std::size_t dynamic = 0;
+  std::vector<net::Ipv4Address> reused_addresses;
+  for (const auto& entry : reused) {
+    nated += entry.nated;
+    dynamic += entry.dynamic;
+    reused_addresses.push_back(entry.address);
+  }
+  std::cout << "Reused-address list: " << reused.size() << " entries ("
+            << nated << " NATed, " << dynamic << " dynamic)\n";
+  {
+    std::ofstream out("reused_addresses.txt");
+    blocklist::write_list(out, "reused blocklisted addresses (NAT + dynamic)",
+                          reused_addresses);
+    std::cout << "Published to reused_addresses.txt\n\n";
+  }
+
+  // 2. Audit each sizeable blocklist: how much of it would greylist?
+  net::AsciiTable table(
+      {"blocklist", "entries", "to greylist", "share"});
+  std::size_t audited = 0;
+  for (const auto& info : scenario.catalogue) {
+    const auto snapshot = scenario.ecosystem.store.addresses_of(info.id);
+    if (snapshot.size() < 50) continue;  // skip tiny feeds in the demo
+    const analysis::GreylistSplit split =
+        analysis::split_for_greylisting(snapshot, reused);
+    table.add_row({info.name,
+                   net::with_thousands(static_cast<std::int64_t>(snapshot.size())),
+                   net::with_thousands(static_cast<std::int64_t>(split.greylist.size())),
+                   net::percent(static_cast<double>(split.greylist.size()) /
+                                static_cast<double>(snapshot.size()))});
+    if (++audited == 15) break;
+  }
+  std::cout << table.to_string();
+
+  // 3. The affected-user view: how many users would hard-blocking the
+  // reused entries have hit?
+  std::size_t users_protected = 0;
+  for (const auto& [address, users] : scenario.crawl.nated) {
+    if (scenario.ecosystem.store.addresses().contains(address)) {
+      users_protected += users;
+    }
+  }
+  std::cout << "\nLower bound of concurrent users spared by greylisting the "
+               "NATed entries: "
+            << users_protected << "\n";
+  return 0;
+}

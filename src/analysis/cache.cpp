@@ -1,0 +1,199 @@
+#include "analysis/cache.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "blocklist/catalogue.h"
+#include "netbase/serialize.h"
+
+namespace reuse::analysis {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x52455553454341ULL;  // "REUSECA"
+constexpr std::uint32_t kVersion = 3;
+
+void write_crawl(net::BinaryWriter& writer, const CrawlOutput& crawl) {
+  const crawler::CrawlStats& stats = crawl.stats;
+  writer.write(stats.get_nodes_sent);
+  writer.write(stats.get_nodes_responses);
+  writer.write(stats.pings_sent);
+  writer.write(stats.ping_responses);
+  writer.write(stats.endpoints_discovered);
+  writer.write(stats.endpoints_skipped_restricted);
+  writer.write(stats.verification_rounds);
+  writer.write(static_cast<std::uint64_t>(crawl.distinct_node_ids));
+  writer.write(static_cast<std::uint64_t>(crawl.dht_peers));
+  writer.write(static_cast<std::uint64_t>(crawl.dht_addresses));
+
+  writer.write(static_cast<std::uint64_t>(crawl.evidence.size()));
+  for (const auto& [address, evidence] : crawl.evidence) {
+    writer.write(address.value());
+    writer.write(static_cast<std::uint32_t>(evidence.ports.size()));
+    for (const std::uint16_t port : evidence.ports) writer.write(port);
+    writer.write(static_cast<std::uint32_t>(evidence.max_concurrent_users));
+    writer.write(evidence.verification_rounds);
+    writer.write(evidence.first_seen.seconds());
+    writer.write(evidence.last_seen.seconds());
+  }
+}
+
+bool read_crawl(net::BinaryReader& reader, CrawlOutput& crawl) {
+  crawler::CrawlStats& stats = crawl.stats;
+  stats.get_nodes_sent = reader.read<std::uint64_t>();
+  stats.get_nodes_responses = reader.read<std::uint64_t>();
+  stats.pings_sent = reader.read<std::uint64_t>();
+  stats.ping_responses = reader.read<std::uint64_t>();
+  stats.endpoints_discovered = reader.read<std::uint64_t>();
+  stats.endpoints_skipped_restricted = reader.read<std::uint64_t>();
+  stats.verification_rounds = reader.read<std::uint64_t>();
+  crawl.distinct_node_ids = reader.read<std::uint64_t>();
+  crawl.dht_peers = reader.read<std::uint64_t>();
+  crawl.dht_addresses = reader.read<std::uint64_t>();
+
+  const std::uint64_t evidence_count = reader.read_size(1ULL << 32);
+  for (std::uint64_t i = 0; i < evidence_count && reader.ok(); ++i) {
+    const net::Ipv4Address address(reader.read<std::uint32_t>());
+    crawler::IpEvidence evidence;
+    const auto port_count = reader.read<std::uint32_t>();
+    for (std::uint32_t p = 0; p < port_count && reader.ok(); ++p) {
+      evidence.ports.insert(reader.read<std::uint16_t>());
+    }
+    evidence.max_concurrent_users = reader.read<std::uint32_t>();
+    evidence.verification_rounds = reader.read<std::uint32_t>();
+    evidence.first_seen = net::SimTime(reader.read<std::int64_t>());
+    evidence.last_seen = net::SimTime(reader.read<std::int64_t>());
+    if (evidence.is_nated()) {
+      crawl.nated.emplace_back(address, evidence.max_concurrent_users);
+      crawl.nated_set.insert(address);
+    }
+    crawl.evidence.emplace(address, std::move(evidence));
+  }
+  std::sort(crawl.nated.begin(), crawl.nated.end());
+  return reader.ok();
+}
+
+void write_store(net::BinaryWriter& writer,
+                 const blocklist::EcosystemResult& ecosystem) {
+  writer.write(ecosystem.stats.events_seen);
+  writer.write(ecosystem.stats.events_picked_up);
+  writer.write(ecosystem.stats.snapshots_taken);
+  std::uint64_t listings = 0;
+  ecosystem.store.for_each_listing(
+      [&](blocklist::ListId, net::Ipv4Address, const net::IntervalSet&) {
+        ++listings;
+      });
+  writer.write(listings);
+  ecosystem.store.for_each_listing([&](blocklist::ListId list,
+                                       net::Ipv4Address address,
+                                       const net::IntervalSet& intervals) {
+    writer.write(list);
+    writer.write(address.value());
+    writer.write(static_cast<std::uint32_t>(intervals.interval_count()));
+    for (const auto& interval : intervals.intervals()) {
+      writer.write(interval.begin);
+      writer.write(interval.end);
+    }
+  });
+}
+
+bool read_store(net::BinaryReader& reader,
+                blocklist::EcosystemResult& ecosystem) {
+  ecosystem.stats.events_seen = reader.read<std::uint64_t>();
+  ecosystem.stats.events_picked_up = reader.read<std::uint64_t>();
+  ecosystem.stats.snapshots_taken = reader.read<std::uint64_t>();
+  const std::uint64_t listings = reader.read_size(1ULL << 33);
+  for (std::uint64_t i = 0; i < listings && reader.ok(); ++i) {
+    const auto list = reader.read<blocklist::ListId>();
+    const net::Ipv4Address address(reader.read<std::uint32_t>());
+    const auto interval_count = reader.read<std::uint32_t>();
+    for (std::uint32_t k = 0; k < interval_count && reader.ok(); ++k) {
+      const auto begin = reader.read<std::int64_t>();
+      const auto end = reader.read<std::int64_t>();
+      for (std::int64_t day = begin; day < end; ++day) {
+        ecosystem.store.record(list, address, day);
+      }
+    }
+  }
+  return reader.ok();
+}
+
+}  // namespace
+
+bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
+                         const CrawlOutput& crawl,
+                         const blocklist::EcosystemResult& ecosystem) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  net::BinaryWriter writer(os);
+  writer.write(kMagic);
+  writer.write(kVersion);
+  writer.write(kCalibrationVersion);
+  writer.write(config.seed);
+  writer.write(static_cast<std::uint64_t>(config.world.as_count));
+  writer.write(static_cast<std::int64_t>(config.crawl_days));
+  write_crawl(writer, crawl);
+  write_store(writer, ecosystem);
+  return writer.ok();
+}
+
+std::optional<CachedCore> load_scenario_cache(const std::string& path,
+                                              const ScenarioConfig& config) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  net::BinaryReader reader(is);
+  if (reader.read<std::uint64_t>() != kMagic) return std::nullopt;
+  if (reader.read<std::uint32_t>() != kVersion) return std::nullopt;
+  if (reader.read<std::uint32_t>() != kCalibrationVersion) return std::nullopt;
+  if (reader.read<std::uint64_t>() != config.seed) return std::nullopt;
+  if (reader.read<std::uint64_t>() != config.world.as_count) return std::nullopt;
+  if (reader.read<std::int64_t>() != config.crawl_days) return std::nullopt;
+  CachedCore core;
+  if (!read_crawl(reader, core.crawl)) return std::nullopt;
+  if (!read_store(reader, core.ecosystem)) return std::nullopt;
+  return core;
+}
+
+std::string default_cache_path(const ScenarioConfig& config) {
+  return "reuse_scenario_" + std::to_string(config.seed) + "_" +
+         std::to_string(config.world.as_count) + ".cache";
+}
+
+CachedScenario run_scenario_cached(ScenarioConfig config,
+                                   const std::string& path) {
+  config.finalize();
+  const std::string cache_path =
+      path.empty() ? default_cache_path(config) : path;
+
+  if (auto cached = load_scenario_cache(cache_path, config)) {
+    inet::World world(config.world);
+    auto catalogue = blocklist::build_catalogue(config.seed ^ 0xca7aULL);
+    atlas::AtlasFleet fleet(world, config.fleet);
+    auto pipeline = dynadetect::run_pipeline(fleet.log(), config.pipeline);
+    auto census = config.run_census ? census::run_census(world, config.census)
+                                    : census::CensusResult{};
+    return CachedScenario{std::move(config),
+                          std::move(world),
+                          std::move(catalogue),
+                          std::move(cached->ecosystem),
+                          std::move(cached->crawl),
+                          std::move(fleet),
+                          std::move(pipeline),
+                          std::move(census),
+                          /*cache_hit=*/true};
+  }
+
+  Scenario scenario = run_scenario(config);
+  save_scenario_cache(cache_path, scenario.config, scenario.crawl,
+                      scenario.ecosystem);
+  return CachedScenario{std::move(scenario.config),
+                        std::move(scenario.world),
+                        std::move(scenario.catalogue),
+                        std::move(scenario.ecosystem),
+                        std::move(scenario.crawl),
+                        std::move(scenario.fleet),
+                        std::move(scenario.pipeline),
+                        std::move(scenario.census),
+                        /*cache_hit=*/false};
+}
+
+}  // namespace reuse::analysis

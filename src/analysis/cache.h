@@ -1,0 +1,55 @@
+// On-disk cache of the expensive scenario results.
+//
+// The bench suite is one binary per table/figure; without a cache each
+// binary would redo the same multi-minute simulation. The cache stores the
+// two costly products — the crawl output and the blocklist presence store —
+// keyed by the scenario seed and scale; everything else (world, fleet,
+// pipeline, catalogue) is deterministic and cheap to rebuild.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/scenario.h"
+
+namespace reuse::analysis {
+
+/// The cached heavy products of a scenario run.
+struct CachedCore {
+  CrawlOutput crawl;
+  blocklist::EcosystemResult ecosystem;
+};
+
+/// Writes the cache; returns false on I/O failure.
+bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
+                         const CrawlOutput& crawl,
+                         const blocklist::EcosystemResult& ecosystem);
+
+/// Loads the cache if the file exists, parses, and matches `config`'s seed
+/// and world scale; nullopt otherwise.
+[[nodiscard]] std::optional<CachedCore> load_scenario_cache(
+    const std::string& path, const ScenarioConfig& config);
+
+/// A Scenario-equivalent built around the cache: world/catalogue/fleet/
+/// pipeline are recomputed (fast, deterministic); crawl and ecosystem come
+/// from the cache when possible, else are simulated and then cached. The
+/// census is recomputed only when `config.run_census` is set.
+struct CachedScenario {
+  ScenarioConfig config;
+  inet::World world;
+  std::vector<blocklist::BlocklistInfo> catalogue;
+  blocklist::EcosystemResult ecosystem;
+  CrawlOutput crawl;
+  atlas::AtlasFleet fleet;
+  dynadetect::PipelineResult pipeline;
+  census::CensusResult census;
+  bool cache_hit = false;
+};
+
+/// Standard cache location for the bench binaries.
+[[nodiscard]] std::string default_cache_path(const ScenarioConfig& config);
+
+[[nodiscard]] CachedScenario run_scenario_cached(ScenarioConfig config,
+                                                 const std::string& path = {});
+
+}  // namespace reuse::analysis

@@ -1,0 +1,45 @@
+#include "analysis/greylist.h"
+
+#include <algorithm>
+
+namespace reuse::analysis {
+
+std::vector<ReusedAddressEntry> build_reused_address_list(
+    const blocklist::SnapshotStore& store,
+    const std::unordered_set<net::Ipv4Address>& nated,
+    const net::PrefixSet& dynamic_prefixes) {
+  std::vector<ReusedAddressEntry> entries;
+  for (const net::Ipv4Address address : store.addresses()) {
+    ReusedAddressEntry entry;
+    entry.address = address;
+    entry.nated = nated.contains(address);
+    entry.dynamic = dynamic_prefixes.contains_address(address);
+    if (entry.nated || entry.dynamic) entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ReusedAddressEntry& a, const ReusedAddressEntry& b) {
+              return a.address < b.address;
+            });
+  return entries;
+}
+
+GreylistSplit split_for_greylisting(
+    const std::vector<net::Ipv4Address>& snapshot,
+    const std::vector<ReusedAddressEntry>& reused) {
+  std::unordered_set<net::Ipv4Address> reused_set;
+  reused_set.reserve(reused.size());
+  for (const ReusedAddressEntry& entry : reused) {
+    reused_set.insert(entry.address);
+  }
+  GreylistSplit split;
+  for (const net::Ipv4Address address : snapshot) {
+    if (reused_set.contains(address)) {
+      split.greylist.push_back(address);
+    } else {
+      split.block.push_back(address);
+    }
+  }
+  return split;
+}
+
+}  // namespace reuse::analysis

@@ -1,0 +1,43 @@
+// Reused-address list and greylisting support (paper §6).
+//
+// The paper's mitigation: publish the reused addresses so operators can
+// greylist them (delay/soft-fail) instead of hard-blocking, and so
+// maintainers can segregate them. This module assembles that artifact from
+// the detector outputs.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "blocklist/store.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix_trie.h"
+
+namespace reuse::analysis {
+
+/// One entry of the published reused-address list.
+struct ReusedAddressEntry {
+  net::Ipv4Address address;
+  bool nated = false;
+  bool dynamic = false;
+};
+
+/// All blocklisted addresses that are reused, sorted by address. These are
+/// the entries an operator should greylist rather than block.
+[[nodiscard]] std::vector<ReusedAddressEntry> build_reused_address_list(
+    const blocklist::SnapshotStore& store,
+    const std::unordered_set<net::Ipv4Address>& nated,
+    const net::PrefixSet& dynamic_prefixes);
+
+/// Splits one blocklist snapshot into (block, greylist) given the reused
+/// list — the operator-side workflow.
+struct GreylistSplit {
+  std::vector<net::Ipv4Address> block;
+  std::vector<net::Ipv4Address> greylist;
+};
+
+[[nodiscard]] GreylistSplit split_for_greylisting(
+    const std::vector<net::Ipv4Address>& snapshot,
+    const std::vector<ReusedAddressEntry>& reused);
+
+}  // namespace reuse::analysis

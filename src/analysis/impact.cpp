@@ -1,0 +1,194 @@
+#include "analysis/impact.h"
+
+#include <algorithm>
+#include <map>
+
+namespace reuse::analysis {
+
+ReuseImpact compute_reuse_impact(
+    const blocklist::SnapshotStore& store,
+    const std::vector<blocklist::BlocklistInfo>& catalogue,
+    const std::unordered_set<net::Ipv4Address>& nated,
+    const net::PrefixSet& dynamic_prefixes) {
+  ReuseImpact impact;
+  impact.lists_total = catalogue.size();
+  std::unordered_map<blocklist::ListId, ListReuseCounts> per_list;
+  for (const blocklist::BlocklistInfo& info : catalogue) {
+    per_list[info.id].list = info.id;
+  }
+
+  std::unordered_set<net::Ipv4Address> nated_blocklisted;
+  std::unordered_set<net::Ipv4Address> dynamic_blocklisted;
+  store.for_each_listing([&](blocklist::ListId list, net::Ipv4Address address,
+                             const net::IntervalSet&) {
+    ++impact.total_listings;
+    ListReuseCounts& counts = per_list[list];
+    ++counts.total_addresses;
+    if (nated.contains(address)) {
+      ++counts.nated_addresses;
+      ++impact.nated_listings;
+      nated_blocklisted.insert(address);
+    }
+    if (dynamic_prefixes.contains_address(address)) {
+      ++counts.dynamic_addresses;
+      ++impact.dynamic_listings;
+      dynamic_blocklisted.insert(address);
+    }
+  });
+
+  impact.nated_blocklisted_addresses = nated_blocklisted.size();
+  impact.dynamic_blocklisted_addresses = dynamic_blocklisted.size();
+  impact.per_list.reserve(per_list.size());
+  for (auto& [list, counts] : per_list) {
+    if (counts.nated_addresses > 0) ++impact.lists_with_nated;
+    if (counts.dynamic_addresses > 0) ++impact.lists_with_dynamic;
+    impact.per_list.push_back(counts);
+  }
+  std::sort(impact.per_list.begin(), impact.per_list.end(),
+            [](const ListReuseCounts& a, const ListReuseCounts& b) {
+              return a.list < b.list;
+            });
+  return impact;
+}
+
+ListingDurations compute_listing_durations(
+    const blocklist::SnapshotStore& store,
+    const std::unordered_set<net::Ipv4Address>& nated,
+    const net::PrefixSet& dynamic_prefixes) {
+  ListingDurations durations;
+  store.for_each_listing([&](blocklist::ListId, net::Ipv4Address address,
+                             const net::IntervalSet& presence) {
+    const bool is_nated = nated.contains(address);
+    const bool is_dynamic = dynamic_prefixes.contains_address(address);
+    // One sample per contiguous listing spell: days from addition until
+    // removal (a re-listing later counts as a new spell, exactly as daily
+    // snapshots of real lists would show it).
+    for (const net::IntervalSet::Interval& spell : presence.intervals()) {
+      const auto days = static_cast<double>(spell.end - spell.begin);
+      durations.all_days.push_back(days);
+      if (is_nated) durations.nated_days.push_back(days);
+      if (is_dynamic) durations.dynamic_days.push_back(days);
+    }
+  });
+  return durations;
+}
+
+AsCoverage compute_as_coverage(
+    const inet::World& world, const blocklist::SnapshotStore& store,
+    const std::unordered_map<net::Ipv4Address, crawler::IpEvidence>&
+        crawler_discovered,
+    const net::PrefixSet& probe_prefixes) {
+  std::map<inet::Asn, AsCoverageRow> rows;
+  for (const net::Ipv4Address address : store.addresses()) {
+    const inet::Asn asn = world.asn_of(address);
+    AsCoverageRow& row = rows[asn];
+    row.asn = asn;
+    ++row.blocklisted;
+    if (crawler_discovered.contains(address)) ++row.blocklisted_bittorrent;
+    if (probe_prefixes.contains_address(address)) ++row.blocklisted_ripe;
+  }
+  AsCoverage coverage;
+  coverage.rows.reserve(rows.size());
+  for (auto& [asn, row] : rows) coverage.rows.push_back(row);
+  std::sort(coverage.rows.begin(), coverage.rows.end(),
+            [](const AsCoverageRow& a, const AsCoverageRow& b) {
+              return a.blocklisted < b.blocklisted;
+            });
+  coverage.ases_with_blocklisted = coverage.rows.size();
+  for (const AsCoverageRow& row : coverage.rows) {
+    if (row.blocklisted_bittorrent > 0) ++coverage.ases_with_bittorrent;
+    if (row.blocklisted_ripe > 0) ++coverage.ases_with_ripe;
+  }
+  return coverage;
+}
+
+namespace {
+
+std::vector<std::pair<double, double>> cumulative_curve(
+    const std::vector<AsCoverageRow>& rows,
+    std::size_t AsCoverageRow::*field) {
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(rows.size());
+  const double total = rows.empty() ? 1.0 : static_cast<double>(rows.size());
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].*field > 0) ++cumulative;
+    curve.emplace_back(static_cast<double>(i + 1),
+                       static_cast<double>(cumulative) / total);
+  }
+  return curve;
+}
+
+}  // namespace
+
+std::vector<std::pair<double, double>> AsCoverage::curve_blocklisted() const {
+  return cumulative_curve(rows, &AsCoverageRow::blocklisted);
+}
+std::vector<std::pair<double, double>> AsCoverage::curve_bittorrent() const {
+  return cumulative_curve(rows, &AsCoverageRow::blocklisted_bittorrent);
+}
+std::vector<std::pair<double, double>> AsCoverage::curve_ripe() const {
+  return cumulative_curve(rows, &AsCoverageRow::blocklisted_ripe);
+}
+
+net::IntDistribution users_behind_blocklisted_nats(
+    const blocklist::SnapshotStore& store,
+    const std::vector<std::pair<net::Ipv4Address, std::size_t>>& nated) {
+  net::IntDistribution distribution;
+  for (const auto& [address, users] : nated) {
+    if (!store.addresses().contains(address)) continue;
+    distribution.add(static_cast<std::int64_t>(users));
+  }
+  return distribution;
+}
+
+std::vector<ConcentrationRow> top_lists_by(
+    const ReuseImpact& impact,
+    const std::vector<blocklist::BlocklistInfo>& catalogue, bool nated,
+    std::size_t top_n) {
+  std::vector<ConcentrationRow> rows;
+  rows.reserve(impact.per_list.size());
+  for (const ListReuseCounts& counts : impact.per_list) {
+    ConcentrationRow row;
+    row.list = counts.list;
+    row.listings = nated ? counts.nated_addresses : counts.dynamic_addresses;
+    for (const blocklist::BlocklistInfo& info : catalogue) {
+      if (info.id == counts.list) {
+        row.name = info.name;
+        break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ConcentrationRow& a, const ConcentrationRow& b) {
+              return a.listings > b.listings;
+            });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+DetectorValidation validate_nat_detection(
+    const inet::World& world,
+    const std::unordered_set<net::Ipv4Address>& nated) {
+  DetectorValidation validation;
+  validation.detected = nated.size();
+  for (const net::Ipv4Address address : nated) {
+    if (world.is_shared_address(address)) ++validation.true_positives;
+  }
+  return validation;
+}
+
+DetectorValidation validate_dynamic_detection(
+    const inet::World& world, const net::PrefixSet& dynamic_prefixes) {
+  DetectorValidation validation;
+  for (const net::Ipv4Prefix& prefix : dynamic_prefixes.to_vector()) {
+    ++validation.detected;
+    if (world.dynamic_prefixes().contains_prefix(prefix)) {
+      ++validation.true_positives;
+    }
+  }
+  return validation;
+}
+
+}  // namespace reuse::analysis

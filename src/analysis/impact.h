@@ -1,0 +1,144 @@
+// Impact quantification: the joins behind Section 5.
+//
+// Given the blocklist presence store and the two reused-address detectors'
+// outputs, these functions compute every quantity the paper reports: how
+// many lists contain reused addresses, listings per list, how long listings
+// last by class, per-AS coverage, and how many users each NATed listing
+// punishes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "blocklist/store.h"
+#include "blocklist/types.h"
+#include "crawler/crawler.h"
+#include "internet/world.h"
+#include "netbase/prefix_trie.h"
+#include "netbase/stats.h"
+
+namespace reuse::analysis {
+
+/// Classification of one blocklisted address.
+enum class ReuseClass : std::uint8_t { kNone, kNated, kDynamic, kBoth };
+
+/// Per-list reuse exposure.
+struct ListReuseCounts {
+  blocklist::ListId list = 0;
+  std::size_t total_addresses = 0;
+  std::size_t nated_addresses = 0;
+  std::size_t dynamic_addresses = 0;
+};
+
+/// The Section 5 headline aggregates.
+struct ReuseImpact {
+  std::vector<ListReuseCounts> per_list;  ///< every catalogue list
+  std::size_t lists_total = 0;
+  std::size_t lists_with_nated = 0;
+  std::size_t lists_with_dynamic = 0;
+  std::size_t nated_listings = 0;        ///< (list, addr) pairs, addr NATed
+  std::size_t dynamic_listings = 0;
+  std::size_t total_listings = 0;
+  std::size_t nated_blocklisted_addresses = 0;    ///< distinct addrs
+  std::size_t dynamic_blocklisted_addresses = 0;
+
+  [[nodiscard]] double fraction_lists_with_nated() const {
+    return lists_total == 0
+               ? 0.0
+               : static_cast<double>(lists_with_nated) / lists_total;
+  }
+  [[nodiscard]] double fraction_lists_with_dynamic() const {
+    return lists_total == 0
+               ? 0.0
+               : static_cast<double>(lists_with_dynamic) / lists_total;
+  }
+};
+
+/// Joins the store with detector outputs. `nated` comes from the crawler;
+/// `dynamic_prefixes` from the pipeline (already /24-expanded).
+[[nodiscard]] ReuseImpact compute_reuse_impact(
+    const blocklist::SnapshotStore& store,
+    const std::vector<blocklist::BlocklistInfo>& catalogue,
+    const std::unordered_set<net::Ipv4Address>& nated,
+    const net::PrefixSet& dynamic_prefixes);
+
+/// Figure 7 inputs: listing durations (days present) by class. One sample
+/// per (list, address, period-spell).
+struct ListingDurations {
+  std::vector<double> all_days;
+  std::vector<double> nated_days;
+  std::vector<double> dynamic_days;
+};
+
+[[nodiscard]] ListingDurations compute_listing_durations(
+    const blocklist::SnapshotStore& store,
+    const std::unordered_set<net::Ipv4Address>& nated,
+    const net::PrefixSet& dynamic_prefixes);
+
+/// Figure 3 inputs: per-AS counts of blocklisted addresses and their overlap
+/// with the two techniques' observable footprints.
+struct AsCoverageRow {
+  inet::Asn asn = 0;
+  std::size_t blocklisted = 0;
+  std::size_t blocklisted_bittorrent = 0;  ///< also seen by the crawler
+  std::size_t blocklisted_ripe = 0;        ///< inside probe-covered prefixes
+};
+
+struct AsCoverage {
+  std::vector<AsCoverageRow> rows;  ///< ascending by `blocklisted`
+  std::size_t ases_with_blocklisted = 0;
+  std::size_t ases_with_bittorrent = 0;
+  std::size_t ases_with_ripe = 0;
+
+  /// CDF curves as plotted: x = AS rank, y = cumulative fraction (of all
+  /// blocklisted ASes) of ASes up to rank x that carry each footprint.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve_blocklisted() const;
+  [[nodiscard]] std::vector<std::pair<double, double>> curve_bittorrent() const;
+  [[nodiscard]] std::vector<std::pair<double, double>> curve_ripe() const;
+};
+
+[[nodiscard]] AsCoverage compute_as_coverage(
+    const inet::World& world, const blocklist::SnapshotStore& store,
+    const std::unordered_map<net::Ipv4Address, crawler::IpEvidence>&
+        crawler_discovered,
+    const net::PrefixSet& probe_prefixes);
+
+/// Figure 8 inputs: concurrent-user lower bounds for blocklisted NATed
+/// addresses.
+[[nodiscard]] net::IntDistribution users_behind_blocklisted_nats(
+    const blocklist::SnapshotStore& store,
+    const std::vector<std::pair<net::Ipv4Address, std::size_t>>& nated);
+
+/// Top-N lists by listing counts of a class — the concentration numbers
+/// ("top 10 blocklists contribute 65.9% of NATed listings").
+struct ConcentrationRow {
+  blocklist::ListId list = 0;
+  std::string name;
+  std::size_t listings = 0;
+};
+
+[[nodiscard]] std::vector<ConcentrationRow> top_lists_by(
+    const ReuseImpact& impact,
+    const std::vector<blocklist::BlocklistInfo>& catalogue, bool nated,
+    std::size_t top_n);
+
+/// Detector validation against world ground truth.
+struct DetectorValidation {
+  std::size_t detected = 0;
+  std::size_t true_positives = 0;
+  [[nodiscard]] double precision() const {
+    return detected == 0 ? 1.0
+                         : static_cast<double>(true_positives) / detected;
+  }
+};
+
+[[nodiscard]] DetectorValidation validate_nat_detection(
+    const inet::World& world,
+    const std::unordered_set<net::Ipv4Address>& nated);
+[[nodiscard]] DetectorValidation validate_dynamic_detection(
+    const inet::World& world, const net::PrefixSet& dynamic_prefixes);
+
+}  // namespace reuse::analysis

@@ -1,0 +1,22 @@
+#include "analysis/report.h"
+
+namespace reuse::analysis {
+
+PaperComparison::PaperComparison(std::string title)
+    : title_(std::move(title)),
+      table_({"metric", "paper", "measured", "note"}) {}
+
+PaperComparison& PaperComparison::row(std::string metric, std::string paper,
+                                      std::string measured, std::string note) {
+  table_.add_row({std::move(metric), std::move(paper), std::move(measured),
+                  std::move(note)});
+  return *this;
+}
+
+std::string PaperComparison::to_string() const {
+  std::string out = "== " + title_ + " ==\n";
+  out += table_.to_string();
+  return out;
+}
+
+}  // namespace reuse::analysis

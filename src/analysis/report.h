@@ -1,0 +1,28 @@
+// Paper-vs-measured report formatting shared by the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/table.h"
+
+namespace reuse::analysis {
+
+/// Accumulates "metric | paper | measured | note" rows and renders them in a
+/// uniform layout, so every bench binary's output (and EXPERIMENTS.md) reads
+/// the same way.
+class PaperComparison {
+ public:
+  explicit PaperComparison(std::string title);
+
+  PaperComparison& row(std::string metric, std::string paper,
+                       std::string measured, std::string note = "");
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  net::AsciiTable table_;
+};
+
+}  // namespace reuse::analysis

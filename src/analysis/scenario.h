@@ -1,0 +1,89 @@
+// End-to-end scenario runner.
+//
+// Every bench binary reproduces one table or figure from the same measured
+// world: synthetic Internet -> abuse stream -> blocklist ecosystem; DHT ->
+// crawler; Atlas fleet -> dynamic pipeline; ICMP census. Scenario bundles
+// those runs behind one seed + scale knob so each bench stays a thin
+// formatter, and the results are plain value types (no live references to
+// the simulation machinery).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "atlas/fleet.h"
+#include "blocklist/ecosystem.h"
+#include "census/census.h"
+#include "crawler/crawler.h"
+#include "dht/network.h"
+#include "dynadetect/pipeline.h"
+#include "internet/world.h"
+
+namespace reuse::analysis {
+
+/// Bumped whenever generator/ecosystem calibration constants change, so
+/// stale scenario caches are rejected (the cache header records it).
+inline constexpr std::uint32_t kCalibrationVersion = 13;
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  inet::WorldConfig world = inet::bench_world_config();
+  /// Crawl length in simulated days (the real crawl ran for the whole
+  /// 39/44-day collection; shorter crawls underestimate further).
+  int crawl_days = 5;
+  dht::DhtNetworkConfig dht;
+  crawler::CrawlerConfig crawl;
+  /// Restrict the crawler to blocklisted /24s, as the paper did.
+  bool restrict_crawler_to_blocklisted = true;
+  atlas::FleetConfig fleet;
+  dynadetect::PipelineConfig pipeline;
+  blocklist::EcosystemConfig ecosystem;
+  census::CensusConfig census;
+  bool run_census = true;
+
+  /// Wires sub-seeds and paper-default windows from the master seed.
+  void finalize();
+};
+
+/// Small preset for tests; big preset for bench binaries.
+[[nodiscard]] ScenarioConfig test_scenario_config(std::uint64_t seed = 7);
+[[nodiscard]] ScenarioConfig bench_scenario_config(std::uint64_t seed = 42);
+
+/// Crawl outputs copied into plain data (the crawler itself dies with the
+/// event queue).
+struct CrawlOutput {
+  crawler::CrawlStats stats;
+  std::unordered_map<net::Ipv4Address, crawler::IpEvidence> evidence;
+  std::vector<std::pair<net::Ipv4Address, std::size_t>> nated;
+  std::unordered_set<net::Ipv4Address> nated_set;
+  std::size_t distinct_node_ids = 0;
+  std::size_t dht_peers = 0;
+  std::size_t dht_addresses = 0;
+};
+
+struct Scenario {
+  ScenarioConfig config;
+  inet::World world;
+  std::vector<blocklist::BlocklistInfo> catalogue;
+  blocklist::EcosystemResult ecosystem;
+  CrawlOutput crawl;
+  atlas::AtlasFleet fleet;
+  dynadetect::PipelineResult pipeline;
+  census::CensusResult census;
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+  Scenario(Scenario&&) = default;
+
+  explicit Scenario(ScenarioConfig cfg);
+};
+
+/// Convenience: build and run everything.
+[[nodiscard]] inline Scenario run_scenario(ScenarioConfig config) {
+  return Scenario(std::move(config));
+}
+
+}  // namespace reuse::analysis

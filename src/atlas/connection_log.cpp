@@ -1,0 +1,89 @@
+#include "atlas/connection_log.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+namespace reuse::atlas {
+namespace {
+
+template <typename T>
+std::optional<T> parse_number(std::string_view text) {
+  T value{};
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const std::vector<ConnectionRecord>& records) {
+  os << "time,probe_id,address,asn\n";
+  for (const ConnectionRecord& record : records) {
+    os << record.time_seconds << ',' << record.probe_id << ','
+       << record.address.to_string() << ',' << record.asn << '\n';
+  }
+}
+
+std::optional<ConnectionRecord> parse_record(std::string_view line) {
+  ConnectionRecord record;
+  std::size_t field = 0;
+  while (field < 4) {
+    const std::size_t comma = line.find(',');
+    const std::string_view cell =
+        comma == std::string_view::npos ? line : line.substr(0, comma);
+    switch (field) {
+      case 0: {
+        const auto value = parse_number<std::int64_t>(cell);
+        if (!value) return std::nullopt;
+        record.time_seconds = *value;
+        break;
+      }
+      case 1: {
+        const auto value = parse_number<ProbeId>(cell);
+        if (!value) return std::nullopt;
+        record.probe_id = *value;
+        break;
+      }
+      case 2: {
+        const auto address = net::Ipv4Address::parse(cell);
+        if (!address) return std::nullopt;
+        record.address = *address;
+        break;
+      }
+      case 3: {
+        const auto value = parse_number<inet::Asn>(cell);
+        if (!value) return std::nullopt;
+        record.asn = *value;
+        break;
+      }
+    }
+    ++field;
+    if (comma == std::string_view::npos) {
+      line = {};
+      break;
+    }
+    line.remove_prefix(comma + 1);
+  }
+  if (field != 4 || !line.empty()) return std::nullopt;
+  return record;
+}
+
+std::optional<std::vector<ConnectionRecord>> read_csv(std::istream& is) {
+  std::vector<ConnectionRecord> records;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    const auto record = parse_record(line);
+    if (!record) return std::nullopt;
+    records.push_back(*record);
+  }
+  return records;
+}
+
+}  // namespace reuse::atlas

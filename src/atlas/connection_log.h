@@ -1,0 +1,43 @@
+// RIPE-Atlas-style probe connection log records.
+//
+// The dynamic-address pipeline consumes only this schema: which probe was
+// seen with which address (and AS) at what time. Serialisation to/from CSV
+// lets the pipeline run on externally supplied logs as well.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "internet/types.h"
+#include "netbase/ipv4.h"
+
+namespace reuse::atlas {
+
+using ProbeId = std::uint32_t;
+
+struct ConnectionRecord {
+  std::int64_t time_seconds = 0;
+  ProbeId probe_id = 0;
+  net::Ipv4Address address;
+  inet::Asn asn = 0;
+
+  friend bool operator==(const ConnectionRecord&,
+                         const ConnectionRecord&) = default;
+};
+
+/// Writes records as CSV: time,probe_id,address,asn (one header line).
+void write_csv(std::ostream& os, const std::vector<ConnectionRecord>& records);
+
+/// Parses the CSV format written by write_csv. Returns nullopt on malformed
+/// input (wrong column count, bad address, non-numeric fields).
+[[nodiscard]] std::optional<std::vector<ConnectionRecord>> read_csv(
+    std::istream& is);
+
+/// Parses a single CSV data line (exposed for incremental/streaming use).
+[[nodiscard]] std::optional<ConnectionRecord> parse_record(std::string_view line);
+
+}  // namespace reuse::atlas

@@ -1,0 +1,97 @@
+#include "atlas/fleet.h"
+
+#include <algorithm>
+
+#include "internet/lease.h"
+#include "netbase/rng.h"
+
+namespace reuse::atlas {
+
+AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config) {
+  net::Rng rng(config.seed);
+  const auto& users = world.users();
+  if (users.empty()) return;
+
+  truths_.reserve(config.probe_count);
+  for (std::size_t p = 0; p < config.probe_count; ++p) {
+    const auto probe_id = static_cast<ProbeId>(p + 1);
+    ProbeTruth truth;
+    truth.probe_id = probe_id;
+    // Hosts are drawn uniformly from the subscriber population — Atlas
+    // volunteers are ordinary broadband users.
+    truth.host = users[rng.uniform(users.size())].id;
+    const inet::User& host = world.user(truth.host);
+    if (host.attachment == inet::AttachmentKind::kDynamic) {
+      const auto& pool = world.pool(host.pool_index);
+      truth.on_dynamic_pool = true;
+      truth.on_fast_pool = pool.mean_lease_seconds <= 86400.0;
+    }
+    truth.relocated = rng.bernoulli(config.relocate_fraction);
+    if (truth.relocated) {
+      // The probe moves mid-window to a different host; resample until the
+      // new host sits in another AS so the move is observable.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const inet::UserId candidate = users[rng.uniform(users.size())].id;
+        if (world.user(candidate).asn != host.asn) {
+          truth.second_host = candidate;
+          break;
+        }
+      }
+      if (truth.second_host == 0) truth.relocated = false;
+    }
+
+    if (truth.relocated) {
+      const std::int64_t begin = config.window.begin.seconds();
+      const std::int64_t end = config.window.end.seconds();
+      const std::int64_t move_at =
+          begin + static_cast<std::int64_t>(
+                      rng.uniform(static_cast<std::uint64_t>(end - begin)));
+      emit_for_host(probe_id, world, truth.host,
+                    net::TimeWindow{config.window.begin, net::SimTime(move_at)},
+                    config.keepalive);
+      emit_for_host(probe_id, world, truth.second_host,
+                    net::TimeWindow{net::SimTime(move_at), config.window.end},
+                    config.keepalive);
+    } else {
+      emit_for_host(probe_id, world, truth.host, config.window,
+                    config.keepalive);
+    }
+    truths_.push_back(truth);
+  }
+
+  std::sort(log_.begin(), log_.end(),
+            [](const ConnectionRecord& a, const ConnectionRecord& b) {
+              if (a.time_seconds != b.time_seconds) {
+                return a.time_seconds < b.time_seconds;
+              }
+              return a.probe_id < b.probe_id;
+            });
+}
+
+void AtlasFleet::emit_for_host(ProbeId probe, const inet::World& world,
+                               inet::UserId host_id, net::TimeWindow span,
+                               net::Duration keepalive) {
+  if (span.begin >= span.end) return;
+  const inet::User& host = world.user(host_id);
+  auto emit = [&](net::SimTime t, net::Ipv4Address address) {
+    log_.push_back(ConnectionRecord{t.seconds(), probe, address, host.asn});
+  };
+  if (host.attachment == inet::AttachmentKind::kDynamic) {
+    const inet::LeaseTimeline timeline(world.pool(host.pool_index), host.seed,
+                                       span);
+    for (const inet::LeaseSegment& segment : timeline.segments()) {
+      emit(segment.begin, segment.address);
+      // Keepalives within long segments.
+      for (net::SimTime t = segment.begin + keepalive; t < segment.end;
+           t = t + keepalive) {
+        emit(t, segment.address);
+      }
+    }
+  } else {
+    for (net::SimTime t = span.begin; t < span.end; t = t + keepalive) {
+      emit(t, host.fixed_address);
+    }
+  }
+}
+
+}  // namespace reuse::atlas

@@ -1,0 +1,71 @@
+// RIPE-Atlas-style probe fleet simulator.
+//
+// Probes are deployed inside customer premises: each one rides a host user
+// drawn from the World, so its public address follows that user's attachment
+// (fixed for static/NAT lines, rotating for dynamic pools). A fraction of
+// probes relocate mid-study — they reappear behind a host in a different AS,
+// the confounder the paper's pipeline removes with its same-AS filter. The
+// fleet emits the connection log the pipeline consumes: a record at every
+// address change plus a daily keepalive.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "atlas/connection_log.h"
+#include "internet/world.h"
+#include "netbase/sim_time.h"
+
+namespace reuse::atlas {
+
+struct FleetConfig {
+  std::uint64_t seed = 5;
+  std::size_t probe_count = 2000;
+  /// Monitoring window — the paper observes 16 months.
+  net::TimeWindow window{net::SimTime(0), net::SimTime(488 * 86400)};
+  /// Fraction of probes that physically move to a different network during
+  /// the window.
+  double relocate_fraction = 0.13;
+  /// Keepalive cadence (records between address changes).
+  net::Duration keepalive = net::Duration::days(1);
+};
+
+/// Ground-truth facts about one probe, for validating the pipeline.
+struct ProbeTruth {
+  ProbeId probe_id = 0;
+  inet::UserId host = 0;            ///< initial host user
+  inet::UserId second_host = 0;     ///< nonzero when the probe relocated
+  bool on_dynamic_pool = false;     ///< host leases from a pool
+  bool on_fast_pool = false;        ///< ... with mean lease <= 1 day
+  bool relocated = false;
+};
+
+class AtlasFleet {
+ public:
+  AtlasFleet(const inet::World& world, const FleetConfig& config);
+
+  /// All connection records, sorted by (time, probe).
+  [[nodiscard]] const std::vector<ConnectionRecord>& log() const {
+    return log_;
+  }
+
+  [[nodiscard]] const std::vector<ProbeTruth>& truths() const {
+    return truths_;
+  }
+  [[nodiscard]] const ProbeTruth& truth(ProbeId id) const {
+    return truths_.at(id - 1);
+  }
+
+  [[nodiscard]] std::size_t probe_count() const { return truths_.size(); }
+
+ private:
+  void emit_for_host(ProbeId probe, const inet::World& world,
+                     inet::UserId host, net::TimeWindow span,
+                     net::Duration keepalive);
+
+  std::vector<ConnectionRecord> log_;
+  std::vector<ProbeTruth> truths_;
+};
+
+}  // namespace reuse::atlas

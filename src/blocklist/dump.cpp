@@ -1,0 +1,94 @@
+#include "blocklist/dump.h"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "blocklist/parse.h"
+
+namespace reuse::blocklist {
+
+std::optional<DumpStats> write_daily_dumps(
+    const SnapshotStore& store, std::span<const BlocklistInfo> catalogue,
+    const std::filesystem::path& directory) {
+  std::unordered_map<ListId, const BlocklistInfo*> by_id;
+  for (const BlocklistInfo& info : catalogue) by_id[info.id] = &info;
+
+  // Regroup presence intervals into per-(day, list) address vectors.
+  std::map<std::pair<std::int64_t, ListId>, std::vector<net::Ipv4Address>>
+      daily;
+  store.for_each_listing([&](ListId list, net::Ipv4Address address,
+                             const net::IntervalSet& presence) {
+    for (const auto& interval : presence.intervals()) {
+      for (std::int64_t day = interval.begin; day < interval.end; ++day) {
+        daily[{day, list}].push_back(address);
+      }
+    }
+  });
+
+  DumpStats stats;
+  std::error_code ec;
+  for (auto& [key, addresses] : daily) {
+    const auto& [day, list] = key;
+    const auto it = by_id.find(list);
+    if (it == by_id.end()) continue;
+    const std::filesystem::path day_dir = directory / std::to_string(day);
+    std::filesystem::create_directories(day_dir, ec);
+    if (ec) return std::nullopt;
+    std::ofstream os(day_dir / (it->second->name + ".txt"));
+    if (!os) return std::nullopt;
+    std::sort(addresses.begin(), addresses.end());
+    write_list(os, it->second->name + " day " + std::to_string(day), addresses);
+    ++stats.files;
+    stats.entries += addresses.size();
+  }
+  return stats;
+}
+
+std::optional<DumpStats> read_daily_dumps(
+    const std::filesystem::path& directory,
+    std::span<const BlocklistInfo> catalogue, SnapshotStore& store) {
+  std::unordered_map<std::string, ListId> by_name;
+  for (const BlocklistInfo& info : catalogue) by_name[info.name] = info.id;
+
+  DumpStats stats;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) return std::nullopt;
+  for (const auto& day_entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (!day_entry.is_directory()) continue;
+    std::int64_t day = 0;
+    const std::string day_name = day_entry.path().filename().string();
+    auto [ptr, parse_ec] =
+        std::from_chars(day_name.data(), day_name.data() + day_name.size(), day);
+    if (parse_ec != std::errc{} || ptr != day_name.data() + day_name.size()) {
+      continue;  // not a day directory
+    }
+    for (const auto& file_entry :
+         std::filesystem::directory_iterator(day_entry.path(), ec)) {
+      if (!file_entry.is_regular_file() ||
+          file_entry.path().extension() != ".txt") {
+        continue;
+      }
+      const auto it = by_name.find(file_entry.path().stem().string());
+      if (it == by_name.end()) continue;
+      std::ifstream is(file_entry.path());
+      if (!is) return std::nullopt;
+      std::ostringstream buffer;
+      buffer << is.rdbuf();
+      const ParsedList parsed = parse_list_text(buffer.str());
+      stats.skipped_lines += parsed.skipped_lines;
+      for (const net::Ipv4Address address : parsed.addresses) {
+        store.record(it->second, address, day);
+        ++stats.entries;
+      }
+      ++stats.files;
+    }
+  }
+  if (ec) return std::nullopt;
+  return stats;
+}
+
+}  // namespace reuse::blocklist

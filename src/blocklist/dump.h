@@ -1,0 +1,39 @@
+// Daily-dump import/export for the snapshot store.
+//
+// The paper's dataset is a directory of daily blocklist downloads: one text
+// file per (list, day). These helpers write a SnapshotStore out in that
+// layout and rebuild one from it, so the analysis pipeline can run on real
+// collected dumps as well as on the simulator's output.
+//
+// Layout:  <dir>/<day>/<list-name>.txt   (day = integer day index)
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+
+#include "blocklist/store.h"
+#include "blocklist/types.h"
+
+namespace reuse::blocklist {
+
+struct DumpStats {
+  std::size_t files = 0;
+  std::size_t entries = 0;
+  std::size_t skipped_lines = 0;  ///< malformed lines on import
+};
+
+/// Writes one file per (list, day) with the addresses present that day.
+/// Only days with at least one entry produce a file. Returns nullopt on I/O
+/// failure.
+[[nodiscard]] std::optional<DumpStats> write_daily_dumps(
+    const SnapshotStore& store, std::span<const BlocklistInfo> catalogue,
+    const std::filesystem::path& directory);
+
+/// Rebuilds a store from a dump directory; list names are resolved through
+/// the catalogue (files for unknown lists are skipped and counted).
+[[nodiscard]] std::optional<DumpStats> read_daily_dumps(
+    const std::filesystem::path& directory,
+    std::span<const BlocklistInfo> catalogue, SnapshotStore& store);
+
+}  // namespace reuse::blocklist

@@ -1,0 +1,116 @@
+#include "blocklist/ecosystem.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netbase/rng.h"
+
+namespace reuse::blocklist {
+namespace {
+
+/// Live state of one list: address -> expiry time (seconds).
+using LiveMap = std::unordered_map<net::Ipv4Address, std::int64_t>;
+
+/// Retention draw: short auto-expiry or sticky category retention.
+std::int64_t draw_retention(net::Rng& rng, const EcosystemConfig& config,
+                            const BlocklistInfo& info) {
+  const double mean_days =
+      rng.bernoulli(config.short_retention_fraction)
+          ? config.short_retention_mean_days
+          : info.removal_mean_days * config.long_retention_factor;
+  return static_cast<std::int64_t>(rng.exponential(mean_days * 86400.0));
+}
+
+}  // namespace
+
+std::vector<net::TimeWindow> paper_periods() {
+  return {
+      net::TimeWindow{net::SimTime(0), net::SimTime(39 * 86400)},
+      net::TimeWindow{net::SimTime(60 * 86400), net::SimTime(104 * 86400)},
+  };
+}
+
+EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
+                                   std::span<const inet::AbuseEvent> events,
+                                   const EcosystemConfig& config) {
+  EcosystemResult result;
+  net::Rng rng(config.seed);
+
+  // Listening sets per abuse category (reputation lists listen to all), so
+  // each event only touches the lists that could ingest it.
+  std::vector<std::vector<std::size_t>> listeners(inet::kAbuseCategoryCount);
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    for (int c = 0; c < inet::kAbuseCategoryCount; ++c) {
+      if (category_matches(catalogue[i].category,
+                           static_cast<inet::AbuseCategory>(c))) {
+        listeners[static_cast<std::size_t>(c)].push_back(i);
+      }
+    }
+  }
+
+  std::vector<LiveMap> live(catalogue.size());
+
+  // Snapshot days: every whole day inside each period.
+  std::vector<std::int64_t> snapshot_days;
+  for (const net::TimeWindow& period : config.periods) {
+    for (std::int64_t day = period.begin.day(); day < period.end.day(); ++day) {
+      snapshot_days.push_back(day);
+    }
+  }
+  std::sort(snapshot_days.begin(), snapshot_days.end());
+  std::size_t next_snapshot = 0;
+
+  auto take_snapshot = [&](std::int64_t day) {
+    const std::int64_t moment = day * 86400;  // snapshot at 00:00
+    for (std::size_t i = 0; i < catalogue.size(); ++i) {
+      auto& entries = live[i];
+      for (auto it = entries.begin(); it != entries.end();) {
+        if (it->second <= moment) {
+          it = entries.erase(it);
+          continue;
+        }
+        result.store.record(catalogue[i].id, it->first, day);
+        ++it;
+      }
+    }
+    ++result.stats.snapshots_taken;
+  };
+
+  for (const inet::AbuseEvent& event : events) {
+    // Take any snapshots due before this event.
+    while (next_snapshot < snapshot_days.size() &&
+           snapshot_days[next_snapshot] * 86400 <= event.time_seconds) {
+      take_snapshot(snapshot_days[next_snapshot++]);
+    }
+    ++result.stats.events_seen;
+    const auto& interested =
+        listeners[static_cast<std::size_t>(event.category)];
+    for (const std::size_t i : interested) {
+      const BlocklistInfo& info = catalogue[i];
+      const auto existing = live[i].find(event.source);
+      if (existing != live[i].end() &&
+          existing->second > event.time_seconds) {
+        // Already listed: the maintainer is watching this address, so the
+        // event extends the listing with the (much higher) re-observation
+        // rate.
+        if (rng.bernoulli(config.reobservation_extend_rate)) {
+          const std::int64_t retention = draw_retention(rng, config, info);
+          existing->second =
+              std::max(existing->second, event.time_seconds + retention);
+        }
+        continue;
+      }
+      if (!rng.bernoulli(info.pickup_rate)) continue;
+      ++result.stats.events_picked_up;
+      live[i][event.source] =
+          event.time_seconds + draw_retention(rng, config, info);
+    }
+  }
+  // Snapshots after the last event.
+  while (next_snapshot < snapshot_days.size()) {
+    take_snapshot(snapshot_days[next_snapshot++]);
+  }
+  return result;
+}
+
+}  // namespace reuse::blocklist

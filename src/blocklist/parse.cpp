@@ -1,0 +1,58 @@
+#include "blocklist/parse.h"
+
+#include <ostream>
+
+namespace reuse::blocklist {
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+ParsedList parse_list_text(std::string_view text) {
+  ParsedList result;
+  while (!text.empty()) {
+    const std::size_t newline = text.find('\n');
+    std::string_view line =
+        newline == std::string_view::npos ? text : text.substr(0, newline);
+    text = newline == std::string_view::npos ? std::string_view{}
+                                             : text.substr(newline + 1);
+    // Strip inline comments, then whitespace.
+    if (const std::size_t hash = line.find_first_of("#;");
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    if (const auto prefix = net::Ipv4Prefix::parse(line)) {
+      if (prefix->length() == 32) {
+        result.addresses.push_back(prefix->network());
+      } else {
+        result.prefixes.push_back(*prefix);
+      }
+      continue;
+    }
+    ++result.skipped_lines;
+  }
+  return result;
+}
+
+void write_list(std::ostream& os, std::string_view title,
+                const std::vector<net::Ipv4Address>& addresses) {
+  os << "# " << title << "\n# entries: " << addresses.size() << '\n';
+  for (const net::Ipv4Address address : addresses) {
+    os << address.to_string() << '\n';
+  }
+}
+
+}  // namespace reuse::blocklist

@@ -1,0 +1,31 @@
+// Blocklist text-format reading and writing.
+//
+// Real public blocklists are newline-separated IPv4 addresses or CIDR
+// blocks with '#' (or ';') comments. These helpers let the audit tooling
+// consume externally supplied list files and publish our own reused-address
+// list in the same format the paper's artifact uses.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace reuse::blocklist {
+
+struct ParsedList {
+  std::vector<net::Ipv4Address> addresses;
+  std::vector<net::Ipv4Prefix> prefixes;  ///< CIDR entries (length < 32)
+  std::size_t skipped_lines = 0;          ///< comments/blank/garbage
+};
+
+/// Parses one list file's content. Never throws: malformed lines are counted
+/// in `skipped_lines`, matching how operators treat messy feeds.
+[[nodiscard]] ParsedList parse_list_text(std::string_view text);
+
+/// Writes addresses one per line with a comment header.
+void write_list(std::ostream& os, std::string_view title,
+                const std::vector<net::Ipv4Address>& addresses);
+
+}  // namespace reuse::blocklist

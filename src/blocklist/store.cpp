@@ -1,0 +1,51 @@
+#include "blocklist/store.h"
+
+#include <algorithm>
+
+namespace reuse::blocklist {
+
+void SnapshotStore::record(ListId list, net::Ipv4Address address,
+                           std::int64_t day) {
+  presence_[make_key(list, address)].insert(day, day + 1);
+  per_list_[list].insert(address);
+  all_addresses_.insert(address);
+}
+
+const net::IntervalSet* SnapshotStore::presence(ListId list,
+                                                net::Ipv4Address address) const {
+  const auto it = presence_.find(make_key(list, address));
+  return it == presence_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Ipv4Address> SnapshotStore::addresses_of(ListId list) const {
+  const auto it = per_list_.find(list);
+  if (it == per_list_.end()) return {};
+  std::vector<net::Ipv4Address> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t SnapshotStore::address_count_of(ListId list) const {
+  const auto it = per_list_.find(list);
+  return it == per_list_.end() ? 0 : it->second.size();
+}
+
+std::vector<ListId> SnapshotStore::active_lists() const {
+  std::vector<ListId> out;
+  out.reserve(per_list_.size());
+  for (const auto& [list, addresses] : per_list_) {
+    if (!addresses.empty()) out.push_back(list);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+net::PrefixSet SnapshotStore::blocklisted_slash24s() const {
+  net::PrefixSet prefixes;
+  for (const net::Ipv4Address address : all_addresses_) {
+    prefixes.insert(net::Ipv4Prefix::slash24_of(address));
+  }
+  return prefixes;
+}
+
+}  // namespace reuse::blocklist

@@ -1,0 +1,73 @@
+// Presence store: which address was on which blocklist on which day.
+//
+// Everything Section 5 measures comes from this structure: listings (the
+// (list, address) pairs), per-list reused-address counts, and the
+// duration-in-blocklist distributions of Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "blocklist/types.h"
+#include "netbase/interval_set.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix_trie.h"
+
+namespace reuse::blocklist {
+
+class SnapshotStore {
+ public:
+  /// Marks `address` present on `list` for day index `day` (one day long).
+  void record(ListId list, net::Ipv4Address address, std::int64_t day);
+
+  /// Presence intervals (in day units) of one listing, or nullptr.
+  [[nodiscard]] const net::IntervalSet* presence(ListId list,
+                                                 net::Ipv4Address address) const;
+
+  /// Number of distinct (list, address) pairs ever present.
+  [[nodiscard]] std::size_t listing_count() const { return presence_.size(); }
+
+  /// Distinct addresses across all lists.
+  [[nodiscard]] const std::unordered_set<net::Ipv4Address>& addresses() const {
+    return all_addresses_;
+  }
+
+  /// Distinct addresses ever present on one list.
+  [[nodiscard]] std::vector<net::Ipv4Address> addresses_of(ListId list) const;
+  [[nodiscard]] std::size_t address_count_of(ListId list) const;
+
+  /// Lists that ever held at least one entry.
+  [[nodiscard]] std::vector<ListId> active_lists() const;
+
+  /// The covering /24s of every blocklisted address (crawler restriction and
+  /// coverage analysis).
+  [[nodiscard]] net::PrefixSet blocklisted_slash24s() const;
+
+  /// Visits every listing: fn(ListId, Ipv4Address, const IntervalSet&).
+  template <typename Fn>
+  void for_each_listing(Fn&& fn) const {
+    for (const auto& [key, intervals] : presence_) {
+      fn(list_of(key), address_of(key), intervals);
+    }
+  }
+
+ private:
+  using Key = std::uint64_t;
+  static constexpr Key make_key(ListId list, net::Ipv4Address address) {
+    return (Key{list} << 32) | address.value();
+  }
+  static constexpr ListId list_of(Key key) {
+    return static_cast<ListId>(key >> 32);
+  }
+  static constexpr net::Ipv4Address address_of(Key key) {
+    return net::Ipv4Address(static_cast<std::uint32_t>(key));
+  }
+
+  std::unordered_map<Key, net::IntervalSet> presence_;
+  std::unordered_map<ListId, std::unordered_set<net::Ipv4Address>> per_list_;
+  std::unordered_set<net::Ipv4Address> all_addresses_;
+};
+
+}  // namespace reuse::blocklist

@@ -1,0 +1,35 @@
+#include "blocklist/types.h"
+
+namespace reuse::blocklist {
+
+std::string_view to_string(ListCategory category) {
+  switch (category) {
+    case ListCategory::kSpam: return "spam";
+    case ListCategory::kBruteforce: return "bruteforce";
+    case ListCategory::kMalware: return "malware";
+    case ListCategory::kDdos: return "ddos";
+    case ListCategory::kScan: return "scan";
+    case ListCategory::kReputation: return "reputation";
+  }
+  return "?";
+}
+
+bool category_matches(ListCategory category, inet::AbuseCategory abuse) {
+  switch (category) {
+    case ListCategory::kReputation:
+      return true;
+    case ListCategory::kSpam:
+      return abuse == inet::AbuseCategory::kSpam;
+    case ListCategory::kBruteforce:
+      return abuse == inet::AbuseCategory::kBruteforce;
+    case ListCategory::kMalware:
+      return abuse == inet::AbuseCategory::kMalware;
+    case ListCategory::kDdos:
+      return abuse == inet::AbuseCategory::kDdos;
+    case ListCategory::kScan:
+      return abuse == inet::AbuseCategory::kScan;
+  }
+  return false;
+}
+
+}  // namespace reuse::blocklist

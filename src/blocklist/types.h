@@ -1,0 +1,50 @@
+// Blocklist model types.
+//
+// A blocklist is a feed of IPv4 addresses associated with some class of
+// malicious activity. Lists differ in what they monitor (category), how much
+// of the world they see (pickup rate), and how quickly they expire entries —
+// the parameters that shape every distribution in Section 5 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "internet/types.h"
+
+namespace reuse::blocklist {
+
+using ListId = std::uint32_t;
+
+/// What a list monitors; reputation lists aggregate everything.
+enum class ListCategory : std::uint8_t {
+  kSpam,
+  kBruteforce,
+  kMalware,
+  kDdos,
+  kScan,
+  kReputation,
+};
+inline constexpr int kListCategoryCount = 6;
+
+[[nodiscard]] std::string_view to_string(ListCategory category);
+
+/// True if a list of `category` would ingest an abuse event of `abuse`.
+[[nodiscard]] bool category_matches(ListCategory category,
+                                    inet::AbuseCategory abuse);
+
+struct BlocklistInfo {
+  ListId id = 0;
+  std::string name;        ///< e.g. "badips-12"
+  std::string maintainer;  ///< e.g. "Bad IPs"
+  ListCategory category = ListCategory::kReputation;
+  /// Probability the list observes (and therefore lists) any given abuse
+  /// event matching its category — feeds differ hugely in sensor coverage.
+  double pickup_rate = 0.05;
+  /// Mean days an entry stays listed after its last observation.
+  double removal_mean_days = 5.0;
+  /// Marked (*) in Table 2: named by surveyed operators.
+  bool used_by_operators = false;
+};
+
+}  // namespace reuse::blocklist

@@ -1,0 +1,107 @@
+#include "census/census.h"
+
+#include <algorithm>
+
+#include "netbase/rng.h"
+
+namespace reuse::census {
+
+AddressMetrics metrics_from_sequence(const std::vector<bool>& responses,
+                                     net::Duration interval) {
+  AddressMetrics metrics;
+  metrics.probes = static_cast<std::uint32_t>(responses.size());
+  std::vector<std::int64_t> uptimes;
+  std::int64_t run = 0;
+  bool previous = false;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const bool up = responses[i];
+    if (up) {
+      ++metrics.responses;
+      run += interval.count();
+    }
+    if (i > 0 && up != previous) ++metrics.transitions;
+    if (!up && run > 0) {
+      uptimes.push_back(run);
+      run = 0;
+    }
+    previous = up;
+  }
+  if (run > 0) uptimes.push_back(run);
+  if (!uptimes.empty()) {
+    std::sort(uptimes.begin(), uptimes.end());
+    metrics.median_uptime_seconds = uptimes[uptimes.size() / 2];
+  }
+  return metrics;
+}
+
+bool is_dynamic_block(const BlockMetrics& metrics, const DynamicBlockRule& rule) {
+  return metrics.responsive_addresses >= rule.min_responsive &&
+         metrics.mean_availability >= rule.min_availability &&
+         metrics.mean_availability <= rule.max_availability &&
+         metrics.mean_volatility >= rule.min_volatility &&
+         metrics.mean_volatility <= rule.max_volatility &&
+         metrics.median_uptime_seconds <= rule.max_median_uptime.count();
+}
+
+CensusResult run_census(const inet::World& world, const CensusConfig& config,
+                        const DynamicBlockRule& rule) {
+  CensusResult result;
+  net::Rng rng(config.seed);
+  const inet::PingModel model(world, config.seed ^ 0x9137ULL);
+
+  // Collect every assigned /24, then sample.
+  std::vector<net::Ipv4Prefix> all_blocks;
+  for (const inet::AsInfo& as_info : world.ases()) {
+    all_blocks.insert(all_blocks.end(), as_info.prefixes.begin(),
+                      as_info.prefixes.end());
+  }
+  const auto sample_size = static_cast<std::size_t>(
+      static_cast<double>(all_blocks.size()) * config.block_sample_fraction);
+  const std::vector<std::size_t> chosen =
+      rng.sample_indices(all_blocks.size(), sample_size);
+  result.blocks_surveyed = chosen.size();
+
+  const std::int64_t begin = config.window.begin.seconds();
+  const std::int64_t end = config.window.end.seconds();
+  const std::int64_t step = config.probe_interval.count();
+
+  std::vector<bool> sequence;
+  std::vector<std::int64_t> block_uptimes;
+  for (const std::size_t index : chosen) {
+    const net::Ipv4Prefix block = all_blocks[index];
+    BlockMetrics aggregate;
+    aggregate.block = block;
+    double availability_sum = 0.0;
+    double volatility_sum = 0.0;
+    block_uptimes.clear();
+    for (std::uint64_t offset = 0; offset < block.size(); ++offset) {
+      const net::Ipv4Address address = block.address_at(offset);
+      sequence.clear();
+      for (std::int64_t t = begin; t < end; t += step) {
+        sequence.push_back(model.responds(address, net::SimTime(t)));
+      }
+      result.probes_sent += sequence.size();
+      const AddressMetrics metrics =
+          metrics_from_sequence(sequence, config.probe_interval);
+      result.responses += metrics.responses;
+      if (metrics.responses == 0) continue;
+      ++aggregate.responsive_addresses;
+      availability_sum += metrics.availability();
+      volatility_sum += metrics.volatility();
+      block_uptimes.push_back(metrics.median_uptime_seconds);
+    }
+    if (aggregate.responsive_addresses == 0) continue;
+    aggregate.mean_availability =
+        availability_sum / aggregate.responsive_addresses;
+    aggregate.mean_volatility = volatility_sum / aggregate.responsive_addresses;
+    std::sort(block_uptimes.begin(), block_uptimes.end());
+    aggregate.median_uptime_seconds = block_uptimes[block_uptimes.size() / 2];
+    if (is_dynamic_block(aggregate, rule)) {
+      result.dynamic_blocks.insert(block);
+    }
+    result.blocks.push_back(aggregate);
+  }
+  return result;
+}
+
+}  // namespace reuse::census

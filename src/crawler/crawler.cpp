@@ -1,0 +1,221 @@
+#include "crawler/crawler.h"
+
+#include <algorithm>
+#include <array>
+
+namespace reuse::crawler {
+
+Crawler::Crawler(dht::DhtNetwork::DhtTransport& transport,
+                 sim::EventQueue& events, net::Endpoint bootstrap,
+                 CrawlerConfig config)
+    : transport_(transport),
+      events_(events),
+      bootstrap_(bootstrap),
+      config_(std::move(config)),
+      rng_(config_.seed) {}
+
+void Crawler::start(net::TimeWindow window) {
+  window_ = window;
+  events_.schedule_at(window.begin, [this] {
+    running_ = true;
+    // Seed discovery from the bootstrap node (always allowed, regardless of
+    // restriction — it is the crawler's front door).
+    get_nodes_queue_.push_back(
+        PendingGetNodes{bootstrap_, config_.get_nodes_per_endpoint});
+    seen_endpoints_.insert(bootstrap_);
+    dispatch_tick();
+    schedule_reping();
+  });
+  events_.schedule_at(window.end, [this] { running_ = false; });
+}
+
+bool Crawler::allowed(net::Ipv4Address address) const {
+  if (address == bootstrap_.address) return true;
+  if (config_.partition_count > 1 &&
+      std::hash<net::Ipv4Address>{}(address) % config_.partition_count !=
+          config_.partition_index) {
+    return false;
+  }
+  if (!config_.restricted) return true;
+  return config_.restrict_to.contains_address(address);
+}
+
+bool Crawler::cooled_down(net::Ipv4Address address) const {
+  const auto it = next_contact_ok_.find(address);
+  return it == next_contact_ok_.end() || events_.now() >= it->second;
+}
+
+void Crawler::touch(net::Ipv4Address address) {
+  next_contact_ok_[address] = events_.now() + config_.ip_cooldown;
+}
+
+void Crawler::dispatch_tick() {
+  if (!running_) return;
+  std::size_t budget = config_.messages_per_second;
+
+  // Verification first: pings are the crawler's purpose; discovery fills the
+  // remaining budget.
+  std::size_t requeued = 0;
+  while (budget > 0 && requeued < verify_queue_.size()) {
+    const net::Ipv4Address address = verify_queue_.front();
+    verify_queue_.pop_front();
+    if (!cooled_down(address)) {
+      // Not contactable yet: rotate to the back and remember we cycled.
+      verify_queue_.push_back(address);
+      ++requeued;
+      continue;
+    }
+    queued_for_verify_.erase(address);
+    const std::size_t ports = evidence_[address].ports.size();
+    if (ports > budget) {  // cannot burst this IP within the budget; retry
+      verify_queue_.push_front(address);
+      queued_for_verify_.insert(address);
+      break;
+    }
+    begin_verification(address);
+    budget -= ports;
+  }
+
+  while (budget > 0 && !get_nodes_queue_.empty()) {
+    PendingGetNodes pending = get_nodes_queue_.front();
+    get_nodes_queue_.pop_front();
+    if (!cooled_down(pending.endpoint.address)) {
+      get_nodes_queue_.push_back(pending);
+      // Guard against spinning on an all-cooling queue: stop after one pass.
+      if (--budget == 0) break;
+      if (get_nodes_queue_.front().endpoint == pending.endpoint) break;
+      continue;
+    }
+    send_get_nodes(pending.endpoint);
+    touch(pending.endpoint.address);
+    --budget;
+    if (--pending.remaining_queries > 0) {
+      get_nodes_queue_.push_back(pending);
+    }
+  }
+
+  events_.schedule_after(net::Duration::seconds(1), [this] { dispatch_tick(); });
+}
+
+void Crawler::send_get_nodes(const net::Endpoint& endpoint) {
+  ++stats_.get_nodes_sent;
+  // Random target per query: different corners of the peer's routing table.
+  std::array<std::uint32_t, 5> words{};
+  for (auto& w : words) w = static_cast<std::uint32_t>(rng_());
+  transport_.send_request(
+      net::Endpoint{}, endpoint, dht::GetNodesRequest{dht::NodeId(words)},
+      [this](const net::Endpoint& from, const dht::DhtResponse& response) {
+        on_get_nodes_response(from, response);
+      });
+}
+
+void Crawler::on_get_nodes_response(const net::Endpoint& from,
+                                    const dht::DhtResponse& response) {
+  ++stats_.get_nodes_responses;
+  node_ids_seen_.insert(response.responder_id);
+  learn_endpoint(from);
+  for (const dht::NodeContact& contact : response.neighbors) {
+    if (!allowed(contact.endpoint.address)) {
+      ++stats_.endpoints_skipped_restricted;
+      continue;
+    }
+    if (seen_endpoints_.insert(contact.endpoint).second) {
+      ++stats_.endpoints_discovered;
+      get_nodes_queue_.push_back(
+          PendingGetNodes{contact.endpoint, config_.get_nodes_per_endpoint});
+      learn_endpoint(contact.endpoint);
+    }
+  }
+}
+
+void Crawler::learn_endpoint(const net::Endpoint& endpoint) {
+  // The bootstrap node is infrastructure, not a measured BitTorrent user.
+  if (endpoint.address == bootstrap_.address) return;
+  if (!allowed(endpoint.address)) return;
+  IpEvidence& evidence = evidence_[endpoint.address];
+  if (evidence.ports.empty()) evidence.first_seen = events_.now();
+  evidence.last_seen = events_.now();
+  evidence.ports.insert(endpoint.port);
+  // Two ports on one IP: either a NAT or a stale entry — verification will
+  // tell them apart.
+  if (evidence.ports.size() >= 2 &&
+      !queued_for_verify_.contains(endpoint.address) &&
+      !open_rounds_.contains(endpoint.address)) {
+    verify_queue_.push_back(endpoint.address);
+    queued_for_verify_.insert(endpoint.address);
+  }
+}
+
+void Crawler::begin_verification(net::Ipv4Address address) {
+  IpEvidence& evidence = evidence_[address];
+  open_rounds_.emplace(address, VerificationRound{});
+  ++stats_.verification_rounds;
+  ++evidence.verification_rounds;
+  for (const std::uint16_t port : evidence.ports) {
+    ++stats_.pings_sent;
+    transport_.send_request(
+        net::Endpoint{}, net::Endpoint{address, port}, dht::BtPingRequest{},
+        [this, address](const net::Endpoint& from,
+                        const dht::DhtResponse& response) {
+          ++stats_.ping_responses;
+          node_ids_seen_.insert(response.responder_id);
+          const auto it = open_rounds_.find(address);
+          if (it == open_rounds_.end()) return;  // reply after round closed
+          it->second.responding_ports.insert(from.port);
+          it->second.responding_ids.insert(response.responder_id);
+        });
+  }
+  touch(address);
+  events_.schedule_after(config_.verification_window,
+                         [this, address] { close_verification(address); });
+}
+
+void Crawler::close_verification(net::Ipv4Address address) {
+  const auto it = open_rounds_.find(address);
+  if (it == open_rounds_.end()) return;
+  // Concurrent users are counted conservatively: a user answers on one port
+  // with one node_id, so the lower bound is the smaller of the two distinct
+  // counts (two replies sharing a node_id are one client double-mapped; two
+  // replies sharing a port cannot happen within a round).
+  const std::size_t concurrent = std::min(it->second.responding_ports.size(),
+                                          it->second.responding_ids.size());
+  IpEvidence& evidence = evidence_[address];
+  evidence.max_concurrent_users =
+      std::max(evidence.max_concurrent_users, concurrent);
+  open_rounds_.erase(it);
+}
+
+void Crawler::schedule_reping() {
+  if (!running_) return;
+  events_.schedule_after(config_.reping_interval, [this] {
+    if (!running_) return;
+    for (const auto& [address, evidence] : evidence_) {
+      if (evidence.ports.size() >= 2 && !queued_for_verify_.contains(address) &&
+          !open_rounds_.contains(address)) {
+        verify_queue_.push_back(address);
+        queued_for_verify_.insert(address);
+      }
+    }
+    // Discovery ran dry (every endpoint queried, or the bootstrap replies
+    // were all lost): re-seed from the bootstrap, as a continuously running
+    // crawler would.
+    if (get_nodes_queue_.empty()) {
+      get_nodes_queue_.push_back(
+          PendingGetNodes{bootstrap_, config_.get_nodes_per_endpoint});
+    }
+    schedule_reping();
+  });
+}
+
+std::vector<std::pair<net::Ipv4Address, std::size_t>> Crawler::nated() const {
+  std::vector<std::pair<net::Ipv4Address, std::size_t>> out;
+  for (const auto& [address, evidence] : evidence_) {
+    if (evidence.is_nated()) {
+      out.emplace_back(address, evidence.max_concurrent_users);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace reuse::crawler

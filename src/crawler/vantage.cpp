@@ -1,0 +1,51 @@
+#include "crawler/vantage.h"
+
+#include <algorithm>
+
+namespace reuse::crawler {
+
+MultiVantageCrawler::MultiVantageCrawler(
+    dht::DhtNetwork::DhtTransport& transport, sim::EventQueue& events,
+    net::Endpoint bootstrap, const VantageConfig& config) {
+  crawlers_.reserve(config.vantage_count);
+  for (std::size_t i = 0; i < config.vantage_count; ++i) {
+    CrawlerConfig crawler_config = config.base;
+    crawler_config.partition_count = config.vantage_count;
+    crawler_config.partition_index = i;
+    // Independent seeds, so vantages do not probe in lockstep.
+    crawler_config.seed = config.base.seed ^ (0x9e3779b9ULL * (i + 1));
+    crawlers_.push_back(std::make_unique<Crawler>(
+        transport, events, bootstrap, std::move(crawler_config)));
+  }
+}
+
+void MultiVantageCrawler::start(net::TimeWindow window) {
+  for (const auto& crawler : crawlers_) crawler->start(window);
+}
+
+MergedResults MultiVantageCrawler::merged() const {
+  MergedResults merged;
+  for (const auto& crawler : crawlers_) {
+    const CrawlStats& stats = crawler->stats();
+    merged.stats.get_nodes_sent += stats.get_nodes_sent;
+    merged.stats.get_nodes_responses += stats.get_nodes_responses;
+    merged.stats.pings_sent += stats.pings_sent;
+    merged.stats.ping_responses += stats.ping_responses;
+    merged.stats.endpoints_discovered += stats.endpoints_discovered;
+    merged.stats.endpoints_skipped_restricted +=
+        stats.endpoints_skipped_restricted;
+    merged.stats.verification_rounds += stats.verification_rounds;
+    merged.distinct_node_ids += crawler->distinct_node_ids();
+    for (const auto& [address, evidence] : crawler->discovered()) {
+      // Partitions are disjoint; insert never conflicts.
+      merged.evidence.emplace(address, evidence);
+    }
+    for (const auto& entry : crawler->nated()) {
+      merged.nated.push_back(entry);
+    }
+  }
+  std::sort(merged.nated.begin(), merged.nated.end());
+  return merged;
+}
+
+}  // namespace reuse::crawler

@@ -1,0 +1,45 @@
+// KRPC-style message types exchanged between the crawler and DHT peers.
+//
+// The paper's crawler uses exactly two verbs: `get_nodes` (neighbour
+// discovery) and `bt_ping` (liveness with node_id echo). Responses carry the
+// responder's node_id and client version, which is what the crawler logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dht/node_id.h"
+#include "netbase/ipv4.h"
+
+namespace reuse::dht {
+
+/// A (endpoint, node_id) pair as carried in get_nodes replies.
+struct NodeContact {
+  net::Endpoint endpoint;
+  NodeId id;
+
+  friend bool operator==(const NodeContact&, const NodeContact&) = default;
+};
+
+struct GetNodesRequest {
+  NodeId target;  ///< ids closest to this are returned
+};
+
+struct BtPingRequest {};
+
+using DhtRequest = std::variant<GetNodesRequest, BtPingRequest>;
+
+/// Unified response: ping replies leave `neighbors` empty.
+struct DhtResponse {
+  NodeId responder_id;
+  std::string version;  ///< client software tag, e.g. "LT1.2"
+  std::vector<NodeContact> neighbors;
+};
+
+/// Neighbours returned per get_nodes — eight, per the protocol description
+/// in the paper (a new user learns eight neighbours).
+inline constexpr std::size_t kNeighborsPerReply = 8;
+
+}  // namespace reuse::dht

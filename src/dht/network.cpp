@@ -1,0 +1,212 @@
+#include "dht/network.h"
+
+#include <stdexcept>
+
+#include "internet/lease.h"
+
+namespace reuse::dht {
+namespace {
+
+/// The bootstrap node lives outside the generated address space (the World
+/// allocates upwards from 1.0.0.0 and never reaches this block).
+const net::Endpoint kBootstrapEndpoint{
+    net::Ipv4Address::from_octets(203, 0, 113, 1), 6881};
+
+}  // namespace
+
+DhtNetwork::DhtNetwork(const inet::World& world, sim::EventQueue& events,
+                       const DhtNetworkConfig& config)
+    : world_(world),
+      events_(events),
+      config_(config),
+      rng_(config.seed),
+      transport_(events, net::Rng(config.seed ^ 0x7a57ULL), config.transport) {
+  // Bootstrap node: user id 0, always online.
+  PeerBehavior always_on;
+  always_on.always_on_fraction = 1.0;
+  peers_.emplace_back(inet::UserId{0}, rng_(), kBootstrapEndpoint, always_on);
+  bind_peer(0);
+
+  // One peer per BitTorrent user.
+  for (const inet::UserId id : world_.bittorrent_users()) {
+    const inet::User& user = world_.user(id);
+    const net::Endpoint endpoint = assign_endpoint(user);
+    peers_.emplace_back(id, user.seed, endpoint, config_.behavior);
+    bind_peer(peers_.size() - 1);
+  }
+
+  // Stale endpoints: some peers changed ports before the crawl began; the
+  // old endpoint still circulates in routing tables but answers nothing.
+  std::vector<net::Endpoint> old_endpoints(peers_.size());
+  std::vector<bool> has_old(peers_.size(), false);
+  for (std::size_t i = 1; i < peers_.size(); ++i) {
+    if (!rng_.bernoulli(config_.stale_endpoint_fraction)) continue;
+    // Old ports are drawn from a range no live binding uses (NAT mappings
+    // and fresh client ports all start at 1024), so stale entries are
+    // guaranteed silent rather than accidentally hitting a neighbour.
+    old_endpoints[i] = net::Endpoint{
+        peers_[i].endpoint().address,
+        static_cast<std::uint16_t>(512 + rng_.uniform(500))};
+    has_old[i] = true;
+  }
+
+  // Random contact graph. Each peer learns `contacts_per_peer` random other
+  // peers; links to a port-changed peer use the stale endpoint some of the
+  // time.
+  const std::size_t n = peers_.size();
+  if (n > 2) {
+    for (std::size_t i = 1; i < n; ++i) {
+      for (std::size_t c = 0; c < config_.contacts_per_peer; ++c) {
+        std::size_t j = 1 + rng_.uniform(n - 1);
+        if (j == i) continue;
+        const bool use_stale = has_old[j] && rng_.bernoulli(config_.stale_link_share);
+        peers_[i].table().insert(NodeContact{
+            use_stale ? old_endpoints[j] : peers_[j].endpoint(),
+            peers_[j].id()});
+      }
+    }
+    // Bootstrap learns a broad random sample (it answers the crawl's first
+    // get_nodes, so it must open the graph).
+    const std::size_t sample =
+        std::min(config_.bootstrap_contacts, n - 1);
+    for (const std::size_t j : rng_.sample_indices(n - 1, sample)) {
+      peers_[0].table().insert(
+          NodeContact{peers_[j + 1].endpoint(), peers_[j + 1].id()});
+    }
+  }
+}
+
+net::Endpoint DhtNetwork::assign_endpoint(const inet::User& user) {
+  switch (user.attachment) {
+    case inet::AttachmentKind::kStatic: {
+      return net::Endpoint{user.fixed_address,
+                           static_cast<std::uint16_t>(1024 + rng_.uniform(60000))};
+    }
+    case inet::AttachmentKind::kHomeNat:
+    case inet::AttachmentKind::kCgn: {
+      auto [it, inserted] = nat_devices_.try_emplace(
+          user.fixed_address, user.fixed_address,
+          static_cast<std::uint16_t>(1024));
+      return it->second.bind(user.id);
+    }
+    case inet::AttachmentKind::kDynamic: {
+      const net::Ipv4Address address = claim_dynamic_address(user.pool_index);
+      return net::Endpoint{address,
+                           static_cast<std::uint16_t>(1024 + rng_.uniform(60000))};
+    }
+  }
+  throw std::logic_error("assign_endpoint: unknown attachment");
+}
+
+net::Ipv4Address DhtNetwork::claim_dynamic_address(std::uint32_t pool_index) {
+  const inet::DynamicPoolInfo& pool = world_.pool(pool_index);
+  auto& occupied = pool_occupancy_[pool_index];
+  // DHCP grants are exclusive: draw until we land on a free address. Pools
+  // are provisioned with headroom (subscription ratio < 1), so this loop is
+  // short.
+  for (int attempts = 0; attempts < 1024; ++attempts) {
+    const net::Ipv4Address candidate = inet::draw_pool_address(pool, rng_);
+    if (occupied.insert(candidate).second) return candidate;
+  }
+  throw std::runtime_error("claim_dynamic_address: pool exhausted");
+}
+
+void DhtNetwork::bind_peer(std::size_t index) {
+  transport_.bind(peers_[index].endpoint(),
+                  [this, index](const net::Endpoint&, const DhtRequest& request) {
+                    return peers_[index].handle(request, events_.now());
+                  });
+}
+
+void DhtNetwork::unbind_peer(std::size_t index) {
+  transport_.unbind(peers_[index].endpoint());
+}
+
+void DhtNetwork::schedule_churn(net::TimeWindow window) {
+  for (std::size_t i = 1; i < peers_.size(); ++i) {
+    schedule_reboots(i, window);
+    const inet::User& user = world_.user(peers_[i].user());
+    if (config_.dynamic_address_churn &&
+        user.attachment == inet::AttachmentKind::kDynamic) {
+      schedule_moves(i, window);
+    }
+  }
+}
+
+void DhtNetwork::schedule_reboots(std::size_t index, net::TimeWindow window) {
+  if (config_.reboot_rate_per_day <= 0.0) return;
+  const double mean_gap_seconds = 86400.0 / config_.reboot_rate_per_day;
+  net::SimTime t = window.begin;
+  for (;;) {
+    t = t + net::Duration(static_cast<std::int64_t>(
+            std::max(1.0, rng_.exponential(mean_gap_seconds))));
+    if (t >= window.end) break;
+    events_.schedule_at(t, [this, index] { reboot_peer(index); });
+  }
+}
+
+void DhtNetwork::schedule_moves(std::size_t index, net::TimeWindow window) {
+  const inet::User& user = world_.user(peers_[index].user());
+  const inet::DynamicPoolInfo& pool = world_.pool(user.pool_index);
+  net::SimTime t = window.begin;
+  for (;;) {
+    t = t + net::Duration(static_cast<std::int64_t>(
+            std::max(60.0, rng_.exponential(pool.mean_lease_seconds))));
+    if (t >= window.end) break;
+    events_.schedule_at(t, [this, index] { move_dynamic_peer(index); });
+  }
+}
+
+void DhtNetwork::reboot_peer(std::size_t index) {
+  DhtPeer& peer = peers_[index];
+  peer.reboot(rng_());
+  ++churn_.reboots;
+  if (!rng_.bernoulli(config_.port_change_on_reboot)) return;
+  ++churn_.port_changes;
+  unbind_peer(index);
+  const inet::User& user = world_.user(peer.user());
+  switch (user.attachment) {
+    case inet::AttachmentKind::kHomeNat:
+    case inet::AttachmentKind::kCgn: {
+      auto it = nat_devices_.find(user.fixed_address);
+      peer.set_endpoint(it->second.bind(user.id));
+      break;
+    }
+    case inet::AttachmentKind::kStatic:
+    case inet::AttachmentKind::kDynamic: {
+      peer.set_endpoint(net::Endpoint{
+          peer.endpoint().address,
+          static_cast<std::uint16_t>(1024 + rng_.uniform(60000))});
+      break;
+    }
+  }
+  bind_peer(index);
+}
+
+void DhtNetwork::move_dynamic_peer(std::size_t index) {
+  DhtPeer& peer = peers_[index];
+  const inet::User& user = world_.user(peer.user());
+  ++churn_.address_changes;
+  unbind_peer(index);
+  pool_occupancy_[user.pool_index].erase(peer.endpoint().address);
+  const net::Ipv4Address address = claim_dynamic_address(user.pool_index);
+  peer.set_endpoint(net::Endpoint{
+      address, static_cast<std::uint16_t>(1024 + rng_.uniform(60000))});
+  bind_peer(index);
+}
+
+std::uint64_t DhtNetwork::total_node_ids_used() const {
+  std::uint64_t total = 0;
+  for (const DhtPeer& peer : peers_) total += peer.ids_used();
+  return total - peers_.front().ids_used();  // exclude bootstrap
+}
+
+std::size_t DhtNetwork::distinct_addresses() const {
+  std::unordered_set<net::Ipv4Address> addresses;
+  for (std::size_t i = 1; i < peers_.size(); ++i) {
+    addresses.insert(peers_[i].endpoint().address);
+  }
+  return addresses.size();
+}
+
+}  // namespace reuse::dht

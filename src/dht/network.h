@@ -1,0 +1,114 @@
+// The assembled BitTorrent DHT overlay.
+//
+// Builds one DhtPeer per BitTorrent user of the World, assigns public
+// endpoints through the appropriate sharing mechanism (direct, home NAT,
+// CGN port multiplexing, dynamic lease), seeds routing tables with a random
+// contact graph that includes *stale* endpoints (old ports leaked into other
+// peers' tables — the false-NAT signal the paper's ping verification must
+// reject), and drives churn: reboots regenerate node_ids and usually ports;
+// dynamic subscribers move to new addresses on their pool's lease timescale.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dht/peer.h"
+#include "internet/world.h"
+#include "netbase/rng.h"
+#include "simnet/event_queue.h"
+#include "simnet/nat.h"
+#include "simnet/transport.h"
+
+namespace reuse::dht {
+
+struct DhtNetworkConfig {
+  std::uint64_t seed = 2;
+  /// Contacts seeded into each peer's routing table (subject to k-bucket
+  /// capacity limits).
+  std::size_t contacts_per_peer = 32;
+  /// Fraction of peers that changed ports before the crawl, leaving an old
+  /// endpoint in circulation.
+  double stale_endpoint_fraction = 0.18;
+  /// Of the links pointing at such a peer, the share using the old endpoint.
+  double stale_link_share = 0.30;
+  PeerBehavior behavior;
+  sim::TransportConfig transport;
+  /// Per-peer reboot rate; each reboot draws a fresh node_id.
+  double reboot_rate_per_day = 0.08;
+  /// Probability a reboot also changes the port / NAT mapping.
+  double port_change_on_reboot = 0.9;
+  /// Whether dynamic subscribers change address mid-crawl at their pool's
+  /// lease rate.
+  bool dynamic_address_churn = true;
+  /// Bootstrap table size.
+  std::size_t bootstrap_contacts = 400;
+};
+
+struct DhtChurnStats {
+  std::uint64_t reboots = 0;
+  std::uint64_t port_changes = 0;
+  std::uint64_t address_changes = 0;
+};
+
+class DhtNetwork {
+ public:
+  using DhtTransport = sim::Transport<DhtRequest, DhtResponse>;
+
+  DhtNetwork(const inet::World& world, sim::EventQueue& events,
+             const DhtNetworkConfig& config);
+
+  DhtNetwork(const DhtNetwork&) = delete;
+  DhtNetwork& operator=(const DhtNetwork&) = delete;
+
+  [[nodiscard]] DhtTransport& transport() { return transport_; }
+  [[nodiscard]] const DhtTransport& transport() const { return transport_; }
+
+  [[nodiscard]] net::Endpoint bootstrap_endpoint() const {
+    return peers_.front().endpoint();
+  }
+
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size() - 1; }
+  /// Peer by index; index 0 is the bootstrap node.
+  [[nodiscard]] const DhtPeer& peer_at(std::size_t index) const {
+    return peers_[index];
+  }
+
+  /// Schedules reboot/address churn across the window. Call once, before
+  /// running the crawl.
+  void schedule_churn(net::TimeWindow window);
+
+  /// Distinct node_ids ever used (grows with reboots) — the §4 crawl-stats
+  /// denominator.
+  [[nodiscard]] std::uint64_t total_node_ids_used() const;
+
+  /// Distinct public addresses currently hosting at least one peer.
+  [[nodiscard]] std::size_t distinct_addresses() const;
+
+  [[nodiscard]] const DhtChurnStats& churn_stats() const { return churn_; }
+
+ private:
+  void bind_peer(std::size_t index);
+  void unbind_peer(std::size_t index);
+  net::Endpoint assign_endpoint(const inet::User& user);
+  net::Ipv4Address claim_dynamic_address(std::uint32_t pool_index);
+  void reboot_peer(std::size_t index);
+  void move_dynamic_peer(std::size_t index);
+  void schedule_reboots(std::size_t index, net::TimeWindow window);
+  void schedule_moves(std::size_t index, net::TimeWindow window);
+
+  const inet::World& world_;
+  sim::EventQueue& events_;
+  DhtNetworkConfig config_;
+  net::Rng rng_;
+  DhtTransport transport_;
+  std::deque<DhtPeer> peers_;  ///< [0] = bootstrap; stable references
+  std::unordered_map<net::Ipv4Address, sim::NatDevice> nat_devices_;
+  std::unordered_map<std::uint32_t, std::unordered_set<net::Ipv4Address>>
+      pool_occupancy_;
+  DhtChurnStats churn_;
+};
+
+}  // namespace reuse::dht

@@ -1,0 +1,42 @@
+#include "dht/node_id.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "netbase/rng.h"
+
+namespace reuse::dht {
+
+NodeId NodeId::derive(std::uint32_t private_address, std::uint64_t nonce) {
+  // A keyed splitmix chain standing in for SHA-1: uniform, deterministic,
+  // and collision-free in practice at simulation scale — the properties the
+  // protocol relies on.
+  std::uint64_t state =
+      (std::uint64_t{private_address} << 32) ^ nonce ^ 0x5bd1e995abcdefULL;
+  std::array<std::uint32_t, 5> words{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    words[i] = static_cast<std::uint32_t>(net::splitmix64(state) >> 32);
+  }
+  return NodeId(words);
+}
+
+int NodeId::bucket_index(const NodeId& other) const {
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::uint32_t diff = words_[i] ^ other.words_[i];
+    if (diff != 0) {
+      return static_cast<int>(159 - (i * 32 +
+                                     static_cast<std::size_t>(
+                                         std::countl_zero(diff))));
+    }
+  }
+  return -1;
+}
+
+std::string NodeId::to_hex() const {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%08x%08x%08x%08x%08x", words_[0],
+                words_[1], words_[2], words_[3], words_[4]);
+  return buffer;
+}
+
+}  // namespace reuse::dht

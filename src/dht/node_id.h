@@ -1,0 +1,71 @@
+// 160-bit BitTorrent DHT node identifiers.
+//
+// Per the paper (and BEP 5 practice), a client derives its node_id by
+// hashing its (possibly private, pre-NAT) IP address together with a random
+// number, and regenerates it on reboot. The crawler therefore must NOT key
+// identity on node_id — it keys on (IP, port) and uses node_ids only to count
+// distinct concurrent responders.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace reuse::dht {
+
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::array<std::uint32_t, 5> words)
+      : words_(words) {}
+
+  /// Derives an id the way BitTorrent clients do: hash of the client's own
+  /// (private) address and a random nonce drawn at client start.
+  static NodeId derive(std::uint32_t private_address, std::uint64_t nonce);
+
+  [[nodiscard]] constexpr const std::array<std::uint32_t, 5>& words() const {
+    return words_;
+  }
+
+  /// XOR distance (Kademlia metric), comparable lexicographically.
+  [[nodiscard]] constexpr std::array<std::uint32_t, 5> distance_to(
+      const NodeId& other) const {
+    std::array<std::uint32_t, 5> d{};
+    for (std::size_t i = 0; i < 5; ++i) d[i] = words_[i] ^ other.words_[i];
+    return d;
+  }
+
+  /// Index of the highest differing bit (0..159), or -1 for equal ids; the
+  /// k-bucket index.
+  [[nodiscard]] int bucket_index(const NodeId& other) const;
+
+  [[nodiscard]] std::string to_hex() const;
+
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+
+ private:
+  std::array<std::uint32_t, 5> words_{};
+};
+
+/// True iff `a` is XOR-closer to `target` than `b` is.
+[[nodiscard]] constexpr bool closer_to(const NodeId& target, const NodeId& a,
+                                       const NodeId& b) {
+  return a.distance_to(target) < b.distance_to(target);
+}
+
+}  // namespace reuse::dht
+
+template <>
+struct std::hash<reuse::dht::NodeId> {
+  std::size_t operator()(const reuse::dht::NodeId& id) const noexcept {
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    for (const std::uint32_t w : id.words()) {
+      x ^= w;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 29;
+    }
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,166 @@
+#include "dynadetect/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "netbase/kneedle.h"
+
+namespace reuse::dynadetect {
+
+bool ProbeHistory::multi_as() const {
+  for (const auto& record : allocations) {
+    if (record.asn != allocations.front().asn) return true;
+  }
+  return false;
+}
+
+std::size_t ProbeHistory::distinct_addresses() const {
+  std::unordered_set<net::Ipv4Address> seen;
+  for (const auto& record : allocations) seen.insert(record.address);
+  return seen.size();
+}
+
+std::optional<net::Duration> ProbeHistory::mean_change_interval() const {
+  if (allocations.size() < 2) return std::nullopt;
+  const std::int64_t span =
+      allocations.back().time_seconds - allocations.front().time_seconds;
+  return net::Duration(span /
+                       static_cast<std::int64_t>(allocations.size() - 1));
+}
+
+std::vector<ProbeHistory> build_histories(
+    std::span<const atlas::ConnectionRecord> records) {
+  // Group by probe, then sort each group by time and collapse consecutive
+  // same-address records (keepalives) into single allocations.
+  std::unordered_map<atlas::ProbeId, std::vector<atlas::ConnectionRecord>>
+      by_probe;
+  for (const auto& record : records) by_probe[record.probe_id].push_back(record);
+
+  std::vector<ProbeHistory> histories;
+  histories.reserve(by_probe.size());
+  for (auto& [probe_id, group] : by_probe) {
+    std::sort(group.begin(), group.end(),
+              [](const atlas::ConnectionRecord& a,
+                 const atlas::ConnectionRecord& b) {
+                return a.time_seconds < b.time_seconds;
+              });
+    ProbeHistory history;
+    history.probe_id = probe_id;
+    for (const auto& record : group) {
+      if (history.allocations.empty() ||
+          history.allocations.back().address != record.address) {
+        history.allocations.push_back(record);
+      }
+    }
+    histories.push_back(std::move(history));
+  }
+  std::sort(histories.begin(), histories.end(),
+            [](const ProbeHistory& a, const ProbeHistory& b) {
+              return a.probe_id < b.probe_id;
+            });
+  return histories;
+}
+
+int knee_allocation_threshold(std::span<const double> sorted_desc,
+                              double sensitivity, int fallback) {
+  if (sorted_desc.size() < 3) return fallback;
+  // Figure 2 plots allocation counts on a log axis, and that is the scale on
+  // which the churner-vs-stable bend is a knee; run kneedle on log10(y).
+  std::vector<double> log_counts;
+  log_counts.reserve(sorted_desc.size());
+  for (const double count : sorted_desc) {
+    log_counts.push_back(std::log10(std::max(1.0, count)));
+  }
+  net::KneedleParams params;
+  params.sensitivity = sensitivity;
+  params.direction = net::CurveDirection::kDecreasing;
+  // Integer counts step in plateaus which spawn micro local-maxima on the
+  // difference curve; smooth them away before knee detection (the kneedle
+  // paper's preprocessing step).
+  params.smoothing_window = std::max<std::size_t>(3, log_counts.size() / 100);
+  params.global_maximum = true;
+  const auto knee = net::find_knee(log_counts, params);
+  if (!knee) return fallback;
+  // The knee sits where the churner spectrum meets the stable mass; the
+  // count there is the reallocation threshold (>= 2 by definition of
+  // "multiple allocations").
+  return std::max(2, static_cast<int>(std::llround(std::pow(10.0, knee->y))));
+}
+
+PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
+                            const PipelineConfig& config) {
+  PipelineResult result;
+  const std::vector<ProbeHistory> histories = build_histories(records);
+  result.probes_total = histories.size();
+
+  // Step 2: same-AS filter.
+  std::vector<const ProbeHistory*> single_as;
+  single_as.reserve(histories.size());
+  for (const ProbeHistory& history : histories) {
+    if (history.multi_as()) {
+      ++result.probes_multi_as;
+    } else {
+      single_as.push_back(&history);
+      result.single_as_addresses += history.distinct_addresses();
+    }
+  }
+  result.probes_single_as = single_as.size();
+  for (const ProbeHistory* history : single_as) {
+    if (history->allocation_count() >= 2) ++result.probes_with_changes;
+  }
+
+  // Step 3: knee of the allocation-count curve (Figure 2).
+  result.allocation_curve.reserve(single_as.size());
+  for (const ProbeHistory* history : single_as) {
+    result.allocation_curve.push_back(
+        static_cast<double>(history->allocation_count()));
+  }
+  std::sort(result.allocation_curve.rbegin(), result.allocation_curve.rend());
+  result.knee_allocations =
+      config.min_allocations > 0
+          ? config.min_allocations
+          : knee_allocation_threshold(result.allocation_curve,
+                                      config.knee_sensitivity);
+
+  // Stage-0 prefix footprint: everything any probe held.
+  for (const ProbeHistory& history : histories) {
+    for (const auto& record : history.allocations) {
+      result.all_probe_prefixes.insert(
+          net::Ipv4Prefix(record.address, config.expand_prefix_length));
+    }
+  }
+
+  // Steps 3+4: thresholds, then /24 expansion; intermediate footprints are
+  // kept for the Figure 4 funnel.
+  for (const ProbeHistory* history : single_as) {
+    if (history->allocation_count() >= 2) {
+      for (const auto& record : history->allocations) {
+        result.single_as_change_prefixes.insert(
+            net::Ipv4Prefix(record.address, config.expand_prefix_length));
+      }
+    }
+    if (history->allocation_count() <
+        static_cast<std::size_t>(result.knee_allocations)) {
+      continue;
+    }
+    ++result.probes_above_knee;
+    for (const auto& record : history->allocations) {
+      result.above_knee_prefixes.insert(
+          net::Ipv4Prefix(record.address, config.expand_prefix_length));
+    }
+    const auto interval = history->mean_change_interval();
+    if (!interval || *interval > config.daily_threshold) continue;
+    ++result.probes_daily;
+    result.qualifying_probes.push_back(history->probe_id);
+    result.qualifying_addresses += history->distinct_addresses();
+    for (const auto& record : history->allocations) {
+      result.dynamic_prefixes.insert(
+          net::Ipv4Prefix(record.address, config.expand_prefix_length));
+    }
+  }
+  return result;
+}
+
+}  // namespace reuse::dynadetect

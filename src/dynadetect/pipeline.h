@@ -1,0 +1,100 @@
+// The paper's dynamic-address detection pipeline (Section 3.2).
+//
+// Input: Atlas-style connection logs over a long window. Steps, exactly as
+// published:
+//   1. Build per-probe allocation histories (consecutive duplicates collapse
+//      into one allocation).
+//   2. Drop probes whose allocations span multiple ASes (relocated probes /
+//      multi-AS ISPs — ambiguous evidence).
+//   3. Sort the remaining probes by allocation count and find the knee of
+//      that curve with kneedle; keep probes at or above the knee (the paper
+//      finds the knee at 8 allocations).
+//   4. Keep probes whose mean time between address changes is <= 1 day —
+//      blocklisting those addresses is stale within a day.
+//   5. Expand every address the qualifying probes held to its covering /24;
+//      the union is the dynamically allocated prefix set.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "atlas/connection_log.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix_trie.h"
+#include "netbase/sim_time.h"
+
+namespace reuse::dynadetect {
+
+/// One probe's deduplicated allocation history.
+struct ProbeHistory {
+  atlas::ProbeId probe_id = 0;
+  /// Allocation events: (time, address, asn); consecutive records with the
+  /// same address collapse into the first sighting.
+  std::vector<atlas::ConnectionRecord> allocations;
+
+  [[nodiscard]] std::size_t allocation_count() const {
+    return allocations.size();
+  }
+  [[nodiscard]] bool multi_as() const;
+  [[nodiscard]] std::size_t distinct_addresses() const;
+  /// Mean gap between consecutive allocation events; nullopt with < 2.
+  [[nodiscard]] std::optional<net::Duration> mean_change_interval() const;
+};
+
+/// Groups raw (time-sorted or unsorted) records into per-probe histories.
+[[nodiscard]] std::vector<ProbeHistory> build_histories(
+    std::span<const atlas::ConnectionRecord> records);
+
+struct PipelineConfig {
+  /// Fixed allocation-count threshold; <= 0 means "find the knee" (paper).
+  int min_allocations = 0;
+  /// Maximum mean change interval for a probe to count as fast-churning.
+  net::Duration daily_threshold = net::Duration::days(1);
+  /// Prefix width the qualifying addresses expand to (24 in the paper).
+  int expand_prefix_length = 24;
+  /// Kneedle sensitivity for the automatic threshold.
+  double knee_sensitivity = 1.0;
+};
+
+struct PipelineResult {
+  // Funnel counters (Figure 4 analogues).
+  std::size_t probes_total = 0;
+  std::size_t probes_multi_as = 0;       ///< dropped at step 2
+  std::size_t probes_single_as = 0;
+  std::size_t probes_with_changes = 0;   ///< single-AS, >= 2 allocations
+  std::size_t probes_above_knee = 0;     ///< step 3 survivors
+  std::size_t probes_daily = 0;          ///< step 4 survivors (qualifying)
+  int knee_allocations = 0;              ///< detected (or configured) threshold
+  /// Total addresses allocated to qualifying probes / all single-AS probes.
+  std::size_t qualifying_addresses = 0;
+  std::size_t single_as_addresses = 0;
+
+  /// Sorted (descending) allocation counts of single-AS probes — Figure 2.
+  std::vector<double> allocation_curve;
+
+  /// The emitted dynamic /24 set (step-4 survivors' addresses).
+  net::PrefixSet dynamic_prefixes;
+  /// Qualifying probe ids (step-4 survivors).
+  std::vector<atlas::ProbeId> qualifying_probes;
+
+  // Intermediate prefix sets per funnel stage (Figure 4 joins blocklisted
+  // addresses against each of these):
+  net::PrefixSet all_probe_prefixes;        ///< every address any probe held
+  net::PrefixSet single_as_change_prefixes; ///< single-AS probes with changes
+  net::PrefixSet above_knee_prefixes;       ///< ... with >= knee allocations
+};
+
+[[nodiscard]] PipelineResult run_pipeline(
+    std::span<const atlas::ConnectionRecord> records,
+    const PipelineConfig& config = {});
+
+/// Step 3 in isolation: the knee of a descending allocation-count curve,
+/// returned as the allocation count at the knee. Returns fallback when the
+/// curve has no knee (degenerate worlds).
+[[nodiscard]] int knee_allocation_threshold(std::span<const double> sorted_desc,
+                                            double sensitivity,
+                                            int fallback = 8);
+
+}  // namespace reuse::dynadetect

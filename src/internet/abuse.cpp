@@ -1,0 +1,118 @@
+#include "internet/abuse.h"
+
+#include <algorithm>
+
+#include "internet/lease.h"
+#include "netbase/rng.h"
+
+namespace reuse::inet {
+namespace {
+
+// Picks one category uniformly among the set bits of `mask`.
+AbuseCategory pick_category(net::Rng& rng, std::uint8_t mask) {
+  int set_bits[kAbuseCategoryCount];
+  int count = 0;
+  for (int c = 0; c < kAbuseCategoryCount; ++c) {
+    if ((mask >> c) & 1) set_bits[count++] = c;
+  }
+  if (count == 0) return AbuseCategory::kSpam;
+  return static_cast<AbuseCategory>(
+      set_bits[rng.uniform(static_cast<std::uint64_t>(count))]);
+}
+
+}  // namespace
+
+std::vector<AbuseEvent> generate_abuse(const World& world,
+                                       const AbuseGenConfig& config) {
+  std::vector<AbuseEvent> events;
+  net::Rng rng(config.seed);
+
+  const std::int64_t begin_s = config.window.begin.seconds();
+  const std::int64_t span_s = config.window.length().count();
+
+  // Draws an actor's activity episode intersected with the window; returns
+  // nullopt when the episode ended before the window began.
+  struct Episode {
+    std::int64_t begin;
+    std::int64_t end;
+  };
+  auto draw_episode = [&](net::Rng& r, double mean_days) -> std::optional<Episode> {
+    const auto length = static_cast<std::int64_t>(
+        std::max(3600.0, r.exponential(mean_days * 86400.0)));
+    const std::int64_t start =
+        begin_s - length +
+        static_cast<std::int64_t>(
+            r.uniform(static_cast<std::uint64_t>(span_s + length)));
+    const std::int64_t lo = std::max(start, begin_s);
+    const std::int64_t hi = std::min(start + length, begin_s + span_s);
+    if (lo >= hi) return std::nullopt;
+    return Episode{lo, hi};
+  };
+  auto draw_time_in = [&](net::Rng& r, const Episode& episode) {
+    return episode.begin +
+           static_cast<std::int64_t>(r.uniform(
+               static_cast<std::uint64_t>(episode.end - episode.begin)));
+  };
+
+  // Malicious servers: fixed source address, active for one campaign.
+  for (const MaliciousServer& server : world.malicious_servers()) {
+    net::Rng server_rng = rng.fork(server.address.value());
+    const auto episode =
+        draw_episode(server_rng, config.server_active_mean_days);
+    if (!episode) continue;
+    const double active_days =
+        static_cast<double>(episode->end - episode->begin) / 86400.0;
+    const std::uint64_t n =
+        server_rng.poisson(config.server_events_per_day * active_days);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      events.push_back(AbuseEvent{draw_time_in(server_rng, *episode),
+                                  server.address,
+                                  pick_category(server_rng, server.abuse_mask),
+                                  server.asn, 0});
+    }
+  }
+
+  // Infected users: source address depends on the attachment; activity is
+  // bounded by the infection episode (until cleanup).
+  for (const UserId id : world.infected_users()) {
+    const User& user = world.user(id);
+    net::Rng user_rng = rng.fork(user.seed);
+    const auto episode = draw_episode(user_rng, config.user_active_mean_days);
+    if (!episode) continue;
+    const double active_days =
+        static_cast<double>(episode->end - episode->begin) / 86400.0;
+    const std::uint64_t n =
+        user_rng.poisson(config.user_events_per_day * active_days);
+    if (n == 0) continue;
+    if (user.attachment == AttachmentKind::kDynamic) {
+      const LeaseTimeline timeline(world.pool(user.pool_index), user.seed,
+                                   config.window);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::int64_t when = draw_time_in(user_rng, *episode);
+        const auto address = timeline.address_at(net::SimTime(when));
+        if (!address) continue;
+        events.push_back(AbuseEvent{when, *address,
+                                    pick_category(user_rng, user.abuse_mask),
+                                    user.asn, id});
+      }
+    } else {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        events.push_back(AbuseEvent{draw_time_in(user_rng, *episode),
+                                    user.fixed_address,
+                                    pick_category(user_rng, user.abuse_mask),
+                                    user.asn, id});
+      }
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const AbuseEvent& a, const AbuseEvent& b) {
+              if (a.time_seconds != b.time_seconds) {
+                return a.time_seconds < b.time_seconds;
+              }
+              return a.source < b.source;
+            });
+  return events;
+}
+
+}  // namespace reuse::inet

@@ -1,0 +1,41 @@
+// Abuse-event generation.
+//
+// Blocklists in this reproduction are fed from an explicit event stream:
+// malicious servers and infected end hosts emit category-tagged events over
+// the measurement window. Crucially, an infected *dynamic* subscriber emits
+// from whatever address it holds at the moment — so its taint smears across
+// the pool, which is exactly the mechanism behind unjust blocking of the
+// next leaseholder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "internet/types.h"
+#include "internet/world.h"
+#include "netbase/sim_time.h"
+
+namespace reuse::inet {
+
+struct AbuseGenConfig {
+  net::TimeWindow window;
+  /// Per-actor Poisson rates, events/day (defaults come from WorldConfig).
+  double user_events_per_day = 0.8;
+  double server_events_per_day = 3.0;
+  /// Abuse is episodic, not eternal: an infected host emits only during an
+  /// activity episode (until the infection is cleaned), and malicious
+  /// servers run campaigns until taken down. Episode lengths are
+  /// exponential with these means; each actor gets one episode whose start
+  /// is uniform over [window.begin - episode, window.end). This is what
+  /// lets reused addresses fall off blocklists quickly while entrenched
+  /// servers persist (Figure 7).
+  double user_active_mean_days = 18.0;
+  double server_active_mean_days = 45.0;
+  std::uint64_t seed = 99;
+};
+
+/// Generates the complete abuse stream for the window, sorted by time.
+[[nodiscard]] std::vector<AbuseEvent> generate_abuse(const World& world,
+                                                     const AbuseGenConfig& config);
+
+}  // namespace reuse::inet

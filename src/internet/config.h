@@ -1,0 +1,118 @@
+// Generator knobs for the synthetic Internet.
+//
+// Defaults are tuned so that, at bench scale, the world reproduces the
+// *relative* quantities of the paper's measurement (Section 4): the share of
+// ASes hosting blocklisted space, the BitTorrent/RIPE coverage fractions,
+// NAT fan-out tails reaching ~78 users, and dynamic pools whose fastest
+// subscribers rotate addresses daily.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reuse::inet {
+
+struct WorldConfig {
+  std::uint64_t seed = 1;
+
+  /// Number of autonomous systems. The paper sees blocklisted addresses in
+  /// ~26K ASes; bench scale uses ~1/20 of that, tests much less.
+  std::size_t as_count = 300;
+
+  /// Per-AS /24 prefix counts are Pareto-distributed (few giant carriers,
+  /// many small networks).
+  double prefix_pareto_alpha = 1.25;
+  std::size_t min_prefixes_per_as = 1;
+  std::size_t max_prefixes_per_as = 1500;
+
+  // --- Prefix role mix -----------------------------------------------------
+  /// Baseline role weights for ASes that deploy neither CGN nor dynamic
+  /// pools; ASes that do shift weight into those roles.
+  double weight_unused = 0.18;
+  double weight_server = 0.17;
+  double weight_static_residential = 0.35;
+  double weight_home_nat = 0.30;
+
+  /// Fraction of ASes deploying carrier-grade NAT on part of their space.
+  double cgn_as_fraction = 0.08;
+  /// Share of a CGN AS's prefixes converted to CGN public pools.
+  double cgn_prefix_share = 0.15;
+
+  /// Fraction of ASes running dynamic pools (mostly consumer ISPs).
+  double dynamic_as_fraction = 0.38;
+  /// Share of a dynamic AS's prefixes assigned to pools.
+  double dynamic_prefix_share = 0.30;
+  /// Pools per dynamic AS are split into this many separate pools at most.
+  std::size_t max_pools_per_as = 4;
+
+  // --- Population ----------------------------------------------------------
+  /// Fraction of static-residential addresses actually occupied by a user.
+  double static_occupancy = 0.55;
+  /// Fraction of home-NAT addresses with an active household behind them.
+  double home_nat_occupancy = 0.6;
+  /// Household size behind a home NAT: 1 + geometric(p); most homes have one
+  /// or two active devices.
+  double home_nat_extra_member_p = 0.38;
+  /// Subscribers per CGN public address: heavy-tailed (Pareto), so a few
+  /// addresses front dozens of users — the paper's max is 78.
+  double cgn_users_min = 2.0;
+  double cgn_users_alpha = 1.7;
+  std::size_t cgn_users_cap = 260;
+  /// Dynamic-pool subscriber load: fraction of pool size that is subscribed
+  /// (must stay < 1 so leases can rotate).
+  double dynamic_subscription_ratio = 0.45;
+
+  // --- Lease churn ---------------------------------------------------------
+  /// Mean lease length (seconds) is drawn per pool from a log-uniform range;
+  /// pools at the low end rotate daily (the ones the paper's pipeline keeps),
+  /// pools at the high end look static over the study.
+  double min_mean_lease_seconds = 6.0 * 3600;        // 6 hours
+  double max_mean_lease_seconds = 300.0 * 86400;     // ~10 months
+
+  // --- BitTorrent adoption -------------------------------------------------
+  /// Per-AS adoption is drawn uniformly from this range; BitTorrent is
+  /// popular in some regions/ISPs and filtered in others (adoption 0 with
+  /// probability `bt_blocked_as_fraction`).
+  double bt_adoption_min = 0.05;
+  double bt_adoption_max = 0.45;
+  double bt_blocked_as_fraction = 0.2;
+
+  // --- Infection / abuse ---------------------------------------------------
+  /// Probability a non-P2P user is infected.
+  double infection_rate_base = 0.013;
+  /// Probability a BitTorrent user is infected (DeKoven et al.: P2P hosts
+  /// are disproportionately compromised).
+  double infection_rate_p2p = 0.10;
+  /// Fraction of server-hosting addresses that are malicious (C2, malware
+  /// distribution, snowshoe spam) — these give blocklists their non-reused
+  /// majority.
+  double malicious_server_fraction = 0.05;
+  /// ASes that filter outbound ICMP (census blind spots).
+  double icmp_filtered_as_fraction = 0.25;
+
+  // --- Abuse event rates (per actor, per day, while the actor's activity
+  // episode is running — abuse is bursty, not continuous) ------------------
+  double abuse_events_per_day_user = 3.0;
+  double abuse_events_per_day_server = 4.0;
+};
+
+/// A smaller world for unit tests: fast to build, still exercises every role.
+[[nodiscard]] inline WorldConfig test_world_config(std::uint64_t seed = 7) {
+  WorldConfig config;
+  config.seed = seed;
+  config.as_count = 40;
+  config.max_prefixes_per_as = 60;
+  return config;
+}
+
+/// The scale used by the bench/ experiment binaries (~1/20 of the paper's
+/// observed footprint; see DESIGN.md on scaling).
+[[nodiscard]] inline WorldConfig bench_world_config(std::uint64_t seed = 42) {
+  WorldConfig config;
+  config.seed = seed;
+  config.as_count = 1200;
+  config.max_prefixes_per_as = 1500;
+  return config;
+}
+
+}  // namespace reuse::inet

@@ -1,0 +1,73 @@
+#include "internet/lease.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace reuse::inet {
+
+net::Ipv4Address draw_pool_address(const DynamicPoolInfo& pool, net::Rng& rng) {
+  // Every pool prefix is a /24, so a uniform draw over (prefix, offset) is a
+  // uniform draw over the pool.
+  const auto& prefix = pool.prefixes[rng.uniform(pool.prefixes.size())];
+  return prefix.address_at(rng.uniform(256));
+}
+
+LeaseTimeline::LeaseTimeline(const DynamicPoolInfo& pool,
+                             std::uint64_t user_seed, net::TimeWindow window) {
+  net::Rng rng(user_seed ^ 0x1ea5e11fe11fULL);
+  // The subscriber's home segment: most grants come from one /24.
+  const net::Ipv4Prefix home =
+      pool.prefixes[user_seed % pool.prefixes.size()];
+  auto draw = [&]() {
+    if (rng.bernoulli(kHomeSegmentAffinity)) {
+      return home.address_at(rng.uniform(256));
+    }
+    return draw_pool_address(pool, rng);
+  };
+  net::SimTime t = window.begin;
+  net::Ipv4Address current = draw();
+  while (t < window.end) {
+    const auto lease = net::Duration(std::max<std::int64_t>(
+        60, static_cast<std::int64_t>(rng.exponential(pool.mean_lease_seconds))));
+    net::SimTime end = t + lease;
+    if (end > window.end) end = window.end;
+    segments_.push_back(LeaseSegment{t, end, current});
+    t = end;
+    // Reassignment: resample until the address differs (pools do not hand the
+    // same address straight back; with >= 256 addresses one retry loop is
+    // effectively instant).
+    net::Ipv4Address next = draw();
+    while (next == current && pool.prefixes.size() * 256 > 1) {
+      next = draw();
+    }
+    current = next;
+  }
+}
+
+std::optional<net::Ipv4Address> LeaseTimeline::address_at(net::SimTime t) const {
+  const auto it = std::partition_point(
+      segments_.begin(), segments_.end(),
+      [t](const LeaseSegment& segment) { return segment.end <= t; });
+  if (it == segments_.end() || t < it->begin) return std::nullopt;
+  return it->address;
+}
+
+std::vector<net::Ipv4Address> LeaseTimeline::distinct_addresses() const {
+  std::vector<net::Ipv4Address> out;
+  std::unordered_set<net::Ipv4Address> seen;
+  for (const LeaseSegment& segment : segments_) {
+    if (seen.insert(segment.address).second) out.push_back(segment.address);
+  }
+  return out;
+}
+
+std::optional<net::Duration> LeaseTimeline::mean_change_interval() const {
+  if (segments_.size() < 2) return std::nullopt;
+  // Changes happen at segment boundaries; the mean interval between changes
+  // is the covered span divided by the number of changes.
+  const net::Duration span = segments_.back().end - segments_.front().begin;
+  return net::Duration(span.count() /
+                       static_cast<std::int64_t>(segments_.size() - 1));
+}
+
+}  // namespace reuse::inet

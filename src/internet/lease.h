@@ -1,0 +1,70 @@
+// Per-subscriber dynamic-address lease timelines.
+//
+// Only a handful of entities ever need their full address history (Atlas
+// probes, infected dynamic users), so timelines are simulated lazily and
+// deterministically from (pool, user seed) instead of tracking every
+// subscriber of every pool — see DESIGN.md on scaling.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "internet/types.h"
+#include "netbase/ipv4.h"
+#include "netbase/rng.h"
+#include "netbase/sim_time.h"
+
+namespace reuse::inet {
+
+/// One stretch during which the subscriber held a single address.
+struct LeaseSegment {
+  net::SimTime begin;
+  net::SimTime end;  ///< exclusive
+  net::Ipv4Address address;
+};
+
+/// A subscriber's piecewise-constant address history over a window.
+class LeaseTimeline {
+ public:
+  /// Simulates the history: segment lengths are exponential around the
+  /// pool's mean lease, each expiry reassigns a fresh address from the pool
+  /// (never the one just released — pools hand addresses back out to other
+  /// subscribers first).
+  LeaseTimeline(const DynamicPoolInfo& pool, std::uint64_t user_seed,
+                net::TimeWindow window);
+
+  [[nodiscard]] const std::vector<LeaseSegment>& segments() const {
+    return segments_;
+  }
+
+  /// The address held at `t`, or nullopt outside the simulated window.
+  [[nodiscard]] std::optional<net::Ipv4Address> address_at(net::SimTime t) const;
+
+  /// Distinct addresses held over the window, in first-use order.
+  [[nodiscard]] std::vector<net::Ipv4Address> distinct_addresses() const;
+
+  /// Number of address *changes* (segments - 1 when non-empty).
+  [[nodiscard]] std::size_t change_count() const {
+    return segments_.empty() ? 0 : segments_.size() - 1;
+  }
+
+  /// Mean time between consecutive address changes; nullopt with < 2
+  /// segments. This is the quantity the paper thresholds at one day.
+  [[nodiscard]] std::optional<net::Duration> mean_change_interval() const;
+
+ private:
+  std::vector<LeaseSegment> segments_;
+};
+
+/// Draws one address uniformly from the pool's prefixes.
+[[nodiscard]] net::Ipv4Address draw_pool_address(const DynamicPoolInfo& pool,
+                                                 net::Rng& rng);
+
+/// Share of lease grants served from the subscriber's home segment (one /24
+/// of the pool, fixed per subscriber). DHCP servers strongly prefer the
+/// local segment, which is why a churning Atlas probe sees on the order of
+/// a hundred distinct addresses (the paper: 78 per qualifying probe), not
+/// the whole pool.
+inline constexpr double kHomeSegmentAffinity = 0.75;
+
+}  // namespace reuse::inet

@@ -1,0 +1,89 @@
+#include "internet/ping_model.h"
+
+#include <cmath>
+
+#include "netbase/rng.h"
+
+namespace reuse::inet {
+namespace {
+
+// Stateless mixing of several 64-bit values into one (splitmix finalizer
+// chain) — gives an independent uniform draw per (address, salt, slot).
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t state = a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+                        (c * 0xc2b2ae3d27d4eb4fULL);
+  return net::splitmix64(state);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double PingModel::unit_hash(net::Ipv4Address address, std::uint64_t salt) const {
+  return to_unit(mix(seed_, address.value(), salt));
+}
+
+bool PingModel::responds(net::Ipv4Address address, net::SimTime t) const {
+  const PrefixRecord* record = world_.prefix_record(address);
+  if (record == nullptr || record->role == PrefixRole::kUnused) return false;
+  const AsInfo* as_info = world_.find_as(record->asn);
+  if (as_info != nullptr && as_info->filters_icmp) return false;
+
+  switch (record->role) {
+    case PrefixRole::kServerHosting: {
+      // A server exists at this offset with probability density/256; servers
+      // answer nearly always.
+      const bool exists = unit_hash(address, 1) <
+                          static_cast<double>(record->density) / 256.0;
+      return exists && unit_hash(address, 2 + static_cast<std::uint64_t>(
+                                                  t.seconds() / 3600)) < 0.98;
+    }
+    case PrefixRole::kStaticResidential: {
+      if (!world_.is_static_occupied(address)) return false;
+      // 30% of residential hosts are always-on; the rest follow a diurnal
+      // duty cycle with a per-host online fraction.
+      if (unit_hash(address, 3) < 0.30) return true;
+      const double online_fraction = 0.2 + 0.5 * unit_hash(address, 4);
+      const double phase = unit_hash(address, 5);
+      const double day_position = std::fmod(
+          static_cast<double>(t.seconds()) / 86400.0 + phase, 1.0);
+      return day_position < online_fraction;
+    }
+    case PrefixRole::kHomeNatResidential: {
+      // The CPE answers pings on behalf of the household — a middlebox reply,
+      // one of the census's documented confusions.
+      if (!world_.nat_group_fanout(address)) return false;
+      return unit_hash(address, 6 + static_cast<std::uint64_t>(
+                                        t.seconds() / 3600)) < 0.95;
+    }
+    case PrefixRole::kCgnPool:
+      // The carrier NAT itself replies: looks like a rock-stable host even
+      // though dozens of users churn behind it.
+      return unit_hash(address, 7 + static_cast<std::uint64_t>(
+                                        t.seconds() / 3600)) < 0.99;
+    case PrefixRole::kDynamicPool: {
+      // The address answers only while leased to an online subscriber. The
+      // occupied/idle pattern flips on the pool's lease timescale, which is
+      // what gives dynamic blocks their high volatility signature.
+      const DynamicPoolInfo& pool = world_.pool(record->pool_index);
+      const auto slot = static_cast<std::uint64_t>(
+          static_cast<double>(t.seconds()) /
+          std::max(60.0, pool.mean_lease_seconds));
+      const double occupied =
+          world_.config().dynamic_subscription_ratio;
+      if (to_unit(mix(seed_ ^ 0xd1eaf, address.value(), slot)) >= occupied) {
+        return false;
+      }
+      // Leaseholder online?
+      return to_unit(mix(seed_ ^ 0x0111eULL, address.value(), slot * 31 + 7)) <
+             0.7;
+    }
+    case PrefixRole::kUnused:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace reuse::inet

@@ -1,0 +1,37 @@
+// Deterministic ICMP responsiveness model for the census baseline.
+//
+// Cai et al.'s technique pings sampled addresses on a schedule and infers
+// dynamics from response patterns. The paper calls out that approach's
+// failure modes — middleboxes answering on behalf of hosts, ASes filtering
+// ICMP — and this model reproduces them so the Figure 6 comparison shows the
+// same strengths and weaknesses. Responses are a pure function of (seed,
+// address, time), so any probing schedule observes a consistent world.
+#pragma once
+
+#include <cstdint>
+
+#include "internet/world.h"
+#include "netbase/ipv4.h"
+#include "netbase/sim_time.h"
+
+namespace reuse::inet {
+
+class PingModel {
+ public:
+  PingModel(const World& world, std::uint64_t seed)
+      : world_(world), seed_(seed) {}
+
+  /// Would an ICMP echo to `address` at time `t` get a reply?
+  [[nodiscard]] bool responds(net::Ipv4Address address, net::SimTime t) const;
+
+ private:
+  /// Uniform [0,1) hash of (seed, address, salt) — the per-address parameter
+  /// source.
+  [[nodiscard]] double unit_hash(net::Ipv4Address address,
+                                 std::uint64_t salt) const;
+
+  const World& world_;
+  std::uint64_t seed_;
+};
+
+}  // namespace reuse::inet

@@ -1,0 +1,28 @@
+#include "internet/types.h"
+
+namespace reuse::inet {
+
+std::string_view to_string(PrefixRole role) {
+  switch (role) {
+    case PrefixRole::kUnused: return "unused";
+    case PrefixRole::kServerHosting: return "server-hosting";
+    case PrefixRole::kStaticResidential: return "static-residential";
+    case PrefixRole::kHomeNatResidential: return "home-nat";
+    case PrefixRole::kCgnPool: return "cgn-pool";
+    case PrefixRole::kDynamicPool: return "dynamic-pool";
+  }
+  return "?";
+}
+
+std::string_view to_string(AbuseCategory category) {
+  switch (category) {
+    case AbuseCategory::kSpam: return "spam";
+    case AbuseCategory::kDdos: return "ddos";
+    case AbuseCategory::kBruteforce: return "bruteforce";
+    case AbuseCategory::kMalware: return "malware";
+    case AbuseCategory::kScan: return "scan";
+  }
+  return "?";
+}
+
+}  // namespace reuse::inet

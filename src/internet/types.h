@@ -1,0 +1,113 @@
+// Entity types of the synthetic Internet.
+//
+// The generator hands every /24 prefix a role; roles determine how addresses
+// map to users and therefore which reuse mechanism (if any) applies. These
+// are the ground-truth facts the detection techniques are validated against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace reuse::inet {
+
+using UserId = std::uint64_t;
+using Asn = std::uint32_t;
+
+/// How a /24 block is used by its AS.
+enum class PrefixRole : std::uint8_t {
+  kUnused,            ///< dark space: never answers, never listed
+  kServerHosting,     ///< statically addressed servers (some malicious)
+  kStaticResidential, ///< one subscriber per address, stable allocation
+  kHomeNatResidential,///< one home NAT per address, 1..n members
+  kCgnPool,           ///< carrier-grade NAT public side: heavy sharing
+  kDynamicPool,       ///< ISP dynamic pool: addresses rotate across users
+};
+
+[[nodiscard]] std::string_view to_string(PrefixRole role);
+
+/// Malicious traffic categories; blocklists subscribe to subsets of these.
+enum class AbuseCategory : std::uint8_t {
+  kSpam,
+  kDdos,
+  kBruteforce,
+  kMalware,
+  kScan,
+};
+inline constexpr int kAbuseCategoryCount = 5;
+
+[[nodiscard]] std::string_view to_string(AbuseCategory category);
+
+/// How a user reaches the public Internet.
+enum class AttachmentKind : std::uint8_t {
+  kStatic,      ///< owns a fixed public address
+  kHomeNat,     ///< shares a fixed public address with a small household
+  kCgn,         ///< shares a carrier NAT address with many subscribers
+  kDynamic,     ///< leases from a rotating pool (one user per address at a time)
+};
+
+/// A subscriber / end host.
+struct User {
+  UserId id = 0;
+  Asn asn = 0;
+  AttachmentKind attachment = AttachmentKind::kStatic;
+  /// For kStatic: the user's own address. For kHomeNat/kCgn: the shared
+  /// public address. For kDynamic: unset (address comes from the pool).
+  net::Ipv4Address fixed_address;
+  /// For kDynamic: which of the AS's pools the user leases from.
+  std::uint32_t pool_index = 0;
+  /// Per-user stream salt so lazily simulated timelines are reproducible.
+  std::uint64_t seed = 0;
+
+  bool uses_bittorrent = false;
+  bool infected = false;
+  /// Bitmask over AbuseCategory for infected users.
+  std::uint8_t abuse_mask = 0;
+
+  [[nodiscard]] bool emits(AbuseCategory category) const {
+    return (abuse_mask >> static_cast<unsigned>(category)) & 1u;
+  }
+};
+
+/// A group of users sharing one public address right now (home NAT or CGN).
+struct NatGroup {
+  net::Ipv4Address public_address;
+  Asn asn = 0;
+  bool carrier_grade = false;
+  std::vector<UserId> members;
+};
+
+/// A dynamic address pool operated by one AS.
+struct DynamicPoolInfo {
+  Asn asn = 0;
+  std::uint32_t index = 0;              ///< pool index within the AS
+  std::vector<net::Ipv4Prefix> prefixes;
+  std::vector<UserId> subscribers;
+  /// Mean time between address changes for subscribers of this pool, in
+  /// seconds. The paper's pipeline keys on whether this is under a day.
+  double mean_lease_seconds = 0.0;
+};
+
+/// An autonomous system.
+struct AsInfo {
+  Asn asn = 0;
+  std::string name;
+  std::vector<net::Ipv4Prefix> prefixes;        ///< all /24s, in address order
+  std::vector<PrefixRole> roles;                ///< parallel to `prefixes`
+  std::vector<std::uint32_t> pool_indices;      ///< indices into World pools
+  bool filters_icmp = false;   ///< drops ICMP at the border (hurts the census)
+  double bt_adoption = 0.0;    ///< BitTorrent popularity among subscribers
+};
+
+/// One malicious action observed by blocklist feeds.
+struct AbuseEvent {
+  std::int64_t time_seconds = 0;
+  net::Ipv4Address source;
+  AbuseCategory category = AbuseCategory::kSpam;
+  Asn asn = 0;
+  UserId actor = 0;  ///< 0 when the actor is a standalone malicious server
+};
+
+}  // namespace reuse::inet

@@ -1,0 +1,387 @@
+#include "internet/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reuse::inet {
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+// Draws an abuse-category bitmask: one mandatory category plus a second with
+// moderate probability. `weights` indexes AbuseCategory.
+std::uint8_t draw_abuse_mask(net::Rng& rng, std::span<const double> weights) {
+  std::uint8_t mask = 0;
+  mask |= static_cast<std::uint8_t>(1u << rng.weighted_index(weights));
+  if (rng.bernoulli(0.35)) {
+    mask |= static_cast<std::uint8_t>(1u << rng.weighted_index(weights));
+  }
+  return mask;
+}
+
+constexpr double kUserAbuseWeights[kAbuseCategoryCount] = {
+    0.50, 0.09, 0.20, 0.02, 0.19};  // spam, ddos, bruteforce, malware, scan
+// Malware *hosting* is a server phenomenon; infected end hosts mostly spam,
+// scan and brute-force, which keeps malware-focused lists clear of NATed
+// residential addresses (as the paper's per-list counts show).
+constexpr double kServerAbuseWeights[kAbuseCategoryCount] = {
+    0.30, 0.10, 0.15, 0.30, 0.15};
+
+}  // namespace
+
+World::World(const WorldConfig& config) : config_(config) {
+  net::Rng rng(config_.seed);
+  build(rng);
+}
+
+void World::build(net::Rng& rng) {
+  ases_.reserve(config_.as_count);
+  for (std::size_t i = 0; i < config_.as_count; ++i) {
+    // ASNs are synthetic but unique; index 0 is the flagship eyeball carrier
+    // (the paper's AS4134 analogue: most blocklisted addresses, both large
+    // hosting presence and a huge subscriber base).
+    const Asn asn = i == 0 ? 4134 : static_cast<Asn>(101 + i * 37);
+    const bool hosting_heavy =
+        i != 0 && rng.bernoulli(0.15);  // data-centre / bulletproof hosting
+    build_as(rng, i, asn, hosting_heavy);
+  }
+}
+
+void World::build_as(net::Rng& rng, std::size_t as_index, Asn asn,
+                     bool hosting_heavy) {
+  AsInfo info;
+  info.asn = asn;
+  info.name = as_index == 0 ? "SynthTel Backbone (AS4134 analogue)"
+                            : (hosting_heavy ? "HostingAS" : "AS") +
+                                  std::to_string(asn);
+  info.filters_icmp = rng.bernoulli(config_.icmp_filtered_as_fraction);
+  info.bt_adoption =
+      rng.bernoulli(config_.bt_blocked_as_fraction)
+          ? 0.0
+          : rng.uniform_real(config_.bt_adoption_min, config_.bt_adoption_max);
+
+  // --- Subscriber population ----------------------------------------------
+  std::size_t subscribers;
+  if (as_index == 0) {
+    subscribers = 30000;  // flagship carrier
+  } else if (hosting_heavy) {
+    subscribers = static_cast<std::size_t>(rng.uniform_int(10, 120));
+  } else {
+    subscribers = static_cast<std::size_t>(
+        std::min(30000.0, rng.pareto(40.0, 1.05)));
+  }
+
+  const bool has_cgn = as_index == 0 || rng.bernoulli(config_.cgn_as_fraction);
+  const bool has_dyn =
+      as_index == 0 || rng.bernoulli(config_.dynamic_as_fraction);
+
+  double f_cgn = has_cgn && !hosting_heavy ? rng.uniform_real(0.05, 0.22) : 0.0;
+  double f_dyn = has_dyn && !hosting_heavy ? rng.uniform_real(0.2, 0.6) : 0.0;
+  if (f_cgn + f_dyn > 0.85) {  // keep some directly addressed users
+    const double scale = 0.85 / (f_cgn + f_dyn);
+    f_cgn *= scale;
+    f_dyn *= scale;
+  }
+  const double rest = 1.0 - f_cgn - f_dyn;
+  const double f_homenat = rest * rng.uniform_real(0.4, 0.75);
+
+  auto n_cgn = static_cast<std::size_t>(subscribers * f_cgn);
+  if (n_cgn == 1) n_cgn = 0;  // a carrier NAT with one subscriber is not one
+  const auto n_dyn = static_cast<std::size_t>(subscribers * f_dyn);
+  const auto n_home = static_cast<std::size_t>(subscribers * f_homenat);
+  const std::size_t n_static = subscribers - n_cgn - n_dyn - n_home;
+
+  auto make_user = [&](AttachmentKind kind) {
+    User user;
+    user.asn = asn;
+    user.attachment = kind;
+    user.seed = rng();
+    user.uses_bittorrent = rng.bernoulli(info.bt_adoption);
+    const double infection_rate = user.uses_bittorrent
+                                      ? config_.infection_rate_p2p
+                                      : config_.infection_rate_base;
+    user.infected = rng.bernoulli(infection_rate);
+    if (user.infected) user.abuse_mask = draw_abuse_mask(rng, kUserAbuseWeights);
+    return user;
+  };
+
+  // --- Static residential ---------------------------------------------------
+  {
+    const auto per_prefix = static_cast<std::size_t>(
+        std::max(1.0, std::round(256.0 * config_.static_occupancy)));
+    std::size_t remaining = n_static;
+    while (remaining > 0) {
+      const net::Ipv4Prefix prefix = allocate_slash24();
+      info.prefixes.push_back(prefix);
+      info.roles.push_back(PrefixRole::kStaticResidential);
+      const std::size_t here = std::min(remaining, per_prefix);
+      prefix_table_.insert(
+          prefix, PrefixRecord{asn, PrefixRole::kStaticResidential, 0,
+                               static_cast<std::uint16_t>(here)});
+      for (const std::size_t offset : rng.sample_indices(256, here)) {
+        User user = make_user(AttachmentKind::kStatic);
+        user.fixed_address = prefix.address_at(offset);
+        const UserId id = add_user(std::move(user));
+        static_occupancy_[prefix.address_at(offset)] = id;
+      }
+      remaining -= here;
+    }
+  }
+
+  // --- Home NAT residential -------------------------------------------------
+  {
+    const auto addrs_per_prefix = static_cast<std::size_t>(
+        std::max(1.0, std::round(256.0 * config_.home_nat_occupancy)));
+    std::size_t remaining = n_home;
+    std::vector<std::size_t> offsets;
+    std::size_t used_in_prefix = addrs_per_prefix;  // force allocation first
+    net::Ipv4Prefix prefix;
+    while (remaining > 0) {
+      if (used_in_prefix >= addrs_per_prefix) {
+        prefix = allocate_slash24();
+        info.prefixes.push_back(prefix);
+        info.roles.push_back(PrefixRole::kHomeNatResidential);
+        prefix_table_.insert(
+            prefix, PrefixRecord{asn, PrefixRole::kHomeNatResidential, 0,
+                                 static_cast<std::uint16_t>(addrs_per_prefix)});
+        offsets = rng.sample_indices(256, addrs_per_prefix);
+        used_in_prefix = 0;
+      }
+      // Household size: 1 + geometric, truncated; most homes have one or two
+      // concurrently active devices.
+      std::size_t household =
+          1 + std::min<std::size_t>(
+                  rng.geometric(1.0 - config_.home_nat_extra_member_p), 7);
+      household = std::min(household, remaining);
+      NatGroup group;
+      group.public_address = prefix.address_at(offsets[used_in_prefix]);
+      group.asn = asn;
+      group.carrier_grade = false;
+      bool first_uses_bt = false;
+      for (std::size_t m = 0; m < household; ++m) {
+        User user = make_user(AttachmentKind::kHomeNat);
+        // BitTorrent usage clusters within households: once one member runs
+        // a client the others are far likelier to as well (shared media
+        // habits). This is what makes two-user home NATs detectable at all.
+        if (m == 0) {
+          first_uses_bt = user.uses_bittorrent;
+        } else if (first_uses_bt && !user.uses_bittorrent) {
+          user.uses_bittorrent =
+              rng.bernoulli(std::min(0.75, info.bt_adoption * 3.0));
+        }
+        user.fixed_address = group.public_address;
+        group.members.push_back(add_user(std::move(user)));
+      }
+      nat_fanout_[group.public_address] =
+          static_cast<std::uint32_t>(group.members.size());
+      nat_groups_.push_back(std::move(group));
+      ++used_in_prefix;
+      remaining -= household;
+    }
+  }
+
+  // --- Carrier-grade NAT ------------------------------------------------------
+  {
+    std::size_t remaining = n_cgn;
+    std::size_t used_in_prefix = 256;
+    net::Ipv4Prefix prefix;
+    while (remaining > 0) {
+      if (used_in_prefix >= 256) {
+        prefix = allocate_slash24();
+        info.prefixes.push_back(prefix);
+        info.roles.push_back(PrefixRole::kCgnPool);
+        prefix_table_.insert(
+            prefix, PrefixRecord{asn, PrefixRole::kCgnPool, 0, 256});
+        used_in_prefix = 0;
+      }
+      // Fan-out behind one CGN public address: Pareto tail so a small share
+      // of addresses front dozens of subscribers (paper max: 78).
+      auto fanout = static_cast<std::size_t>(
+          std::round(rng.pareto(config_.cgn_users_min, config_.cgn_users_alpha)));
+      fanout = std::clamp<std::size_t>(fanout, 2, config_.cgn_users_cap);
+      fanout = std::min(fanout, remaining);
+      // Never leave a lone subscriber for the next round: a carrier group
+      // has at least two members by definition.
+      if (remaining - fanout == 1) ++fanout;
+      NatGroup group;
+      group.public_address = prefix.address_at(used_in_prefix);
+      group.asn = asn;
+      group.carrier_grade = true;
+      for (std::size_t m = 0; m < fanout; ++m) {
+        User user = make_user(AttachmentKind::kCgn);
+        user.fixed_address = group.public_address;
+        group.members.push_back(add_user(std::move(user)));
+      }
+      nat_fanout_[group.public_address] =
+          static_cast<std::uint32_t>(group.members.size());
+      nat_groups_.push_back(std::move(group));
+      ++used_in_prefix;
+      remaining -= fanout;
+    }
+  }
+
+  // --- Dynamic pools ----------------------------------------------------------
+  if (n_dyn > 0) {
+    // Pool count grows with the deployment: a large ISP runs several regional
+    // pools (which, with the stratified lease draw below, always span the
+    // fast-to-slow spectrum); a small one runs a single pool.
+    const std::size_t pool_count = std::clamp<std::size_t>(
+        n_dyn / 256 + rng.uniform(2), 1, config_.max_pools_per_as);
+    std::size_t assigned = 0;
+    for (std::size_t p = 0; p < pool_count; ++p) {
+      const std::size_t share = p + 1 == pool_count
+                                    ? n_dyn - assigned
+                                    : n_dyn / pool_count;
+      assigned += share;
+      if (share == 0) continue;
+      DynamicPoolInfo pool;
+      pool.asn = asn;
+      pool.index = static_cast<std::uint32_t>(pools_.size());
+      // Mean lease is log-uniform across pools: some rotate every few hours,
+      // others effectively never during the study. Sampling is stratified
+      // over an AS's pools so a multi-pool ISP spans the whole range (and
+      // small worlds don't randomly lose all their fast pools).
+      const double stratum =
+          (static_cast<double>(p) + rng.uniform_real()) /
+          static_cast<double>(pool_count);
+      pool.mean_lease_seconds =
+          std::exp(std::log(config_.min_mean_lease_seconds) +
+                   stratum * (std::log(config_.max_mean_lease_seconds) -
+                              std::log(config_.min_mean_lease_seconds)));
+      const auto pool_addresses = static_cast<std::size_t>(std::ceil(
+          static_cast<double>(share) / config_.dynamic_subscription_ratio));
+      const std::size_t prefixes_needed =
+          (pool_addresses + 255) / 256;
+      for (std::size_t q = 0; q < prefixes_needed; ++q) {
+        const net::Ipv4Prefix prefix = allocate_slash24();
+        info.prefixes.push_back(prefix);
+        info.roles.push_back(PrefixRole::kDynamicPool);
+        info.pool_indices.push_back(pool.index);
+        prefix_table_.insert(
+            prefix,
+            PrefixRecord{asn, PrefixRole::kDynamicPool, pool.index,
+                         static_cast<std::uint16_t>(
+                             256.0 * config_.dynamic_subscription_ratio)});
+        pool.prefixes.push_back(prefix);
+        dynamic_prefixes_.insert(prefix);
+        if (pool.mean_lease_seconds <= kSecondsPerDay) {
+          fast_dynamic_prefixes_.insert(prefix);
+        }
+      }
+      for (std::size_t m = 0; m < share; ++m) {
+        User user = make_user(AttachmentKind::kDynamic);
+        user.pool_index = pool.index;
+        pool.subscribers.push_back(add_user(std::move(user)));
+      }
+      pools_.push_back(std::move(pool));
+    }
+  }
+
+  // --- Server hosting space -----------------------------------------------
+  {
+    std::size_t server_prefixes;
+    double malicious_fraction;
+    if (as_index == 0) {
+      server_prefixes = 420;
+      malicious_fraction = 0.12;
+    } else if (hosting_heavy) {
+      server_prefixes = std::clamp<std::size_t>(
+          static_cast<std::size_t>(rng.pareto(5.0, 0.9)), 5, 280);
+      malicious_fraction = rng.uniform_real(0.03, 0.15);
+    } else {
+      server_prefixes = rng.uniform(4);  // 0..3
+      malicious_fraction = config_.malicious_server_fraction;
+    }
+    for (std::size_t s = 0; s < server_prefixes; ++s) {
+      const net::Ipv4Prefix prefix = allocate_slash24();
+      info.prefixes.push_back(prefix);
+      info.roles.push_back(PrefixRole::kServerHosting);
+      const auto servers_here =
+          static_cast<std::size_t>(rng.uniform_int(60, 250));
+      prefix_table_.insert(
+          prefix, PrefixRecord{asn, PrefixRole::kServerHosting, 0,
+                               static_cast<std::uint16_t>(servers_here)});
+      for (const std::size_t offset : rng.sample_indices(256, servers_here)) {
+        if (rng.bernoulli(malicious_fraction)) {
+          malicious_servers_.push_back(
+              MaliciousServer{prefix.address_at(offset), asn,
+                              draw_abuse_mask(rng, kServerAbuseWeights)});
+        }
+        // Benign servers carry no state beyond ping responsiveness, which the
+        // census models from the prefix role.
+      }
+    }
+  }
+
+  // --- Unused space ---------------------------------------------------------
+  {
+    const std::size_t unused = rng.uniform(5);
+    for (std::size_t u = 0; u < unused; ++u) {
+      const net::Ipv4Prefix prefix = allocate_slash24();
+      info.prefixes.push_back(prefix);
+      info.roles.push_back(PrefixRole::kUnused);
+      prefix_table_.insert(prefix,
+                           PrefixRecord{asn, PrefixRole::kUnused, 0, 0});
+    }
+  }
+
+  ases_.push_back(std::move(info));
+}
+
+net::Ipv4Prefix World::allocate_slash24() {
+  if (next_slash24_ >= (224u << 16)) {  // stop before multicast space
+    throw std::runtime_error("World: ran out of IPv4 /24s; shrink the config");
+  }
+  const net::Ipv4Prefix prefix(net::Ipv4Address(next_slash24_ << 8), 24);
+  ++next_slash24_;
+  ++prefix_count_;
+  return prefix;
+}
+
+UserId World::add_user(User user) {
+  user.id = static_cast<UserId>(users_.size() + 1);
+  const UserId id = user.id;
+  if (user.uses_bittorrent) bittorrent_users_.push_back(id);
+  if (user.infected) infected_users_.push_back(id);
+  users_.push_back(std::move(user));
+  return id;
+}
+
+const AsInfo* World::find_as(Asn asn) const {
+  for (const AsInfo& info : ases_) {
+    if (info.asn == asn) return &info;
+  }
+  return nullptr;
+}
+
+const PrefixRecord* World::prefix_record(net::Ipv4Address address) const {
+  return prefix_table_.lookup_ptr(address);
+}
+
+Asn World::asn_of(net::Ipv4Address address) const {
+  const PrefixRecord* record = prefix_record(address);
+  return record == nullptr ? 0 : record->asn;
+}
+
+PrefixRole World::role_of(net::Ipv4Address address) const {
+  const PrefixRecord* record = prefix_record(address);
+  return record == nullptr ? PrefixRole::kUnused : record->role;
+}
+
+std::size_t World::users_behind(net::Ipv4Address address) const {
+  if (const auto it = nat_fanout_.find(address); it != nat_fanout_.end()) {
+    return it->second;
+  }
+  if (static_occupancy_.contains(address)) return 1;
+  switch (role_of(address)) {
+    case PrefixRole::kDynamicPool:
+      return 1;  // one leaseholder at a time
+    case PrefixRole::kServerHosting:
+      return 1;  // operator, not an end user; still a single party
+    default:
+      return 0;
+  }
+}
+
+}  // namespace reuse::inet

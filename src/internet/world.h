@@ -1,0 +1,156 @@
+// The synthetic Internet.
+//
+// World materialises a population of autonomous systems, /24 prefixes with
+// roles, subscribers, NAT groups, dynamic pools, and malicious actors from a
+// WorldConfig + seed. It is the common substrate under the DHT, the Atlas
+// fleet, the blocklist feeds and the ICMP census, and it answers the
+// ground-truth queries the validation suite checks the detectors against.
+//
+// Generation is population-first: each AS draws a subscriber count and an
+// attachment mix, then exactly as many /24s as those subscribers need are
+// allocated, plus server/unused space. This keeps the world's size directly
+// controlled by the config instead of emerging from per-address coin flips.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "internet/config.h"
+#include "internet/types.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix_trie.h"
+#include "netbase/rng.h"
+
+namespace reuse::inet {
+
+/// A statically addressed malicious server (C2, malware host, snowshoe
+/// spammer). These produce the bulk of blocklist mass and are *not* reused
+/// addresses — the study quantifies the reused minority around them.
+struct MaliciousServer {
+  net::Ipv4Address address;
+  Asn asn = 0;
+  std::uint8_t abuse_mask = 0;
+};
+
+/// Per-/24 record stored in the lookup trie.
+struct PrefixRecord {
+  Asn asn = 0;
+  PrefixRole role = PrefixRole::kUnused;
+  std::uint32_t pool_index = 0;  ///< valid when role == kDynamicPool
+  /// How many of the 256 addresses are assigned/occupied; the ICMP census
+  /// model uses this to decide which addresses exist at all.
+  std::uint16_t density = 0;
+};
+
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  World(World&&) = default;
+  World& operator=(World&&) = default;
+
+  [[nodiscard]] const WorldConfig& config() const { return config_; }
+
+  // --- Topology ------------------------------------------------------------
+  [[nodiscard]] const std::vector<AsInfo>& ases() const { return ases_; }
+  [[nodiscard]] const AsInfo* find_as(Asn asn) const;
+  [[nodiscard]] std::size_t prefix_count() const { return prefix_count_; }
+
+  /// The /24 record covering `address`, or nullptr for unassigned space.
+  [[nodiscard]] const PrefixRecord* prefix_record(net::Ipv4Address address) const;
+  [[nodiscard]] Asn asn_of(net::Ipv4Address address) const;
+  [[nodiscard]] PrefixRole role_of(net::Ipv4Address address) const;
+
+  // --- Population ----------------------------------------------------------
+  [[nodiscard]] const std::vector<User>& users() const { return users_; }
+  [[nodiscard]] const User& user(UserId id) const { return users_[id - 1]; }
+  [[nodiscard]] const std::vector<NatGroup>& nat_groups() const {
+    return nat_groups_;
+  }
+  [[nodiscard]] const std::vector<DynamicPoolInfo>& pools() const {
+    return pools_;
+  }
+  [[nodiscard]] const DynamicPoolInfo& pool(std::uint32_t index) const {
+    return pools_[index];
+  }
+  [[nodiscard]] const std::vector<MaliciousServer>& malicious_servers() const {
+    return malicious_servers_;
+  }
+
+  /// Ids of users that run BitTorrent (the DHT network's population).
+  [[nodiscard]] const std::vector<UserId>& bittorrent_users() const {
+    return bittorrent_users_;
+  }
+  /// Ids of infected users (abuse sources besides malicious servers).
+  [[nodiscard]] const std::vector<UserId>& infected_users() const {
+    return infected_users_;
+  }
+
+  // --- Ground truth --------------------------------------------------------
+  /// Number of users *concurrently* sharing `address` (0 for unoccupied or
+  /// unassigned space; 1 for a dedicated address; >= 2 behind a shared NAT).
+  [[nodiscard]] std::size_t users_behind(net::Ipv4Address address) const;
+
+  /// True iff the address is shared by >= 2 concurrent users.
+  [[nodiscard]] bool is_shared_address(net::Ipv4Address address) const {
+    return users_behind(address) >= 2;
+  }
+
+  /// True iff exactly one dedicated static subscriber occupies the address.
+  [[nodiscard]] bool is_static_occupied(net::Ipv4Address address) const {
+    return static_occupancy_.contains(address);
+  }
+
+  /// NAT fan-out at `address` (home NAT or CGN), or nullopt when the address
+  /// is not a NAT public address.
+  [[nodiscard]] std::optional<std::uint32_t> nat_group_fanout(
+      net::Ipv4Address address) const {
+    const auto it = nat_fanout_.find(address);
+    if (it == nat_fanout_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// All /24s belonging to any dynamic pool (reused over time).
+  [[nodiscard]] const net::PrefixSet& dynamic_prefixes() const {
+    return dynamic_prefixes_;
+  }
+  /// Dynamic /24s whose pool rotates with mean lease <= 1 day — the
+  /// population the paper's pipeline is designed to find.
+  [[nodiscard]] const net::PrefixSet& fast_dynamic_prefixes() const {
+    return fast_dynamic_prefixes_;
+  }
+
+  [[nodiscard]] std::size_t user_count() const { return users_.size(); }
+
+ private:
+  void build(net::Rng& rng);
+  void build_as(net::Rng& rng, std::size_t as_index, Asn asn, bool hosting_heavy);
+  net::Ipv4Prefix allocate_slash24();
+  UserId add_user(User user);
+
+  WorldConfig config_;
+  std::vector<AsInfo> ases_;
+  std::vector<User> users_;
+  std::vector<NatGroup> nat_groups_;
+  std::vector<DynamicPoolInfo> pools_;
+  std::vector<MaliciousServer> malicious_servers_;
+  std::vector<UserId> bittorrent_users_;
+  std::vector<UserId> infected_users_;
+
+  net::PrefixTrie<PrefixRecord> prefix_table_;
+  std::size_t prefix_count_ = 0;
+  /// Concurrent-sharing fan-out for NAT public addresses.
+  std::unordered_map<net::Ipv4Address, std::uint32_t> nat_fanout_;
+  /// Addresses occupied by exactly one dedicated (static) user.
+  std::unordered_map<net::Ipv4Address, UserId> static_occupancy_;
+  net::PrefixSet dynamic_prefixes_;
+  net::PrefixSet fast_dynamic_prefixes_;
+
+  std::uint32_t next_slash24_ = 1 << 16;  ///< starts at 1.0.0.0
+};
+
+}  // namespace reuse::inet

@@ -1,0 +1,114 @@
+#include "netbase/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace reuse::net {
+namespace {
+
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(std::max(v, 1e-12));
+}
+
+std::string axis_number(double v) {
+  char buffer[32];
+  if (std::fabs(v) >= 1000.0 || (std::fabs(v) < 0.01 && v != 0.0)) {
+    std::snprintf(buffer, sizeof(buffer), "%.2g", v);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double tx = transform(x, options.log_x);
+      const double ty = transform(y, options.log_y);
+      x_min = std::min(x_min, tx);
+      x_max = std::max(x_max, tx);
+      y_min = std::min(y_min, ty);
+      y_max = std::max(y_max, ty);
+    }
+  }
+  if (!(x_min < x_max)) x_max = x_min + 1.0;
+  if (!(y_min < y_max)) y_max = y_min + 1.0;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> raster(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double tx = transform(x, options.log_x);
+      const double ty = transform(y, options.log_y);
+      int col = static_cast<int>(std::lround((tx - x_min) / (x_max - x_min) *
+                                             (w - 1)));
+      int row = static_cast<int>(std::lround((ty - y_min) / (y_max - y_min) *
+                                             (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      raster[static_cast<std::size_t>(h - 1 - row)]
+            [static_cast<std::size_t>(col)] = s.glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.y_label.empty()) out << options.y_label << '\n';
+  for (int r = 0; r < h; ++r) {
+    const double y_here =
+        y_max - (y_max - y_min) * static_cast<double>(r) / (h - 1);
+    const double y_display = options.log_y ? std::pow(10.0, y_here) : y_here;
+    char margin[16];
+    std::snprintf(margin, sizeof(margin), "%9s |", axis_number(y_display).c_str());
+    out << margin << raster[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(11, ' ') << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+  const double x_lo = options.log_x ? std::pow(10.0, x_min) : x_min;
+  const double x_hi = options.log_x ? std::pow(10.0, x_max) : x_max;
+  out << std::string(11, ' ') << axis_number(x_lo);
+  const std::string hi = axis_number(x_hi);
+  const int pad = w - static_cast<int>(axis_number(x_lo).size()) -
+                  static_cast<int>(hi.size());
+  out << std::string(static_cast<std::size_t>(std::max(1, pad)), ' ') << hi
+      << "  " << options.x_label << '\n';
+  for (const auto& s : series) {
+    out << "  " << s.glyph << " = " << s.label << '\n';
+  }
+  return out.str();
+}
+
+std::string render_bars(const std::vector<std::pair<std::string, double>>& bars,
+                        int width, const std::string& unit) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+  std::ostringstream out;
+  for (const auto& [label, value] : bars) {
+    const int filled =
+        static_cast<int>(std::lround(value / max_value * width));
+    out << label << std::string(label_width - label.size(), ' ') << " |"
+        << std::string(static_cast<std::size_t>(filled), '#')
+        << std::string(static_cast<std::size_t>(width - filled), ' ') << "| "
+        << axis_number(value) << unit << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace reuse::net

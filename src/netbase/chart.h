@@ -1,0 +1,38 @@
+// ASCII chart rendering so each bench binary can show the *shape* of the
+// figure it reproduces (CDFs, sorted bar series) directly in the terminal,
+// next to the numeric rows.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reuse::net {
+
+struct ChartSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  ///< (x, y), sorted by x.
+  char glyph = '*';
+};
+
+struct ChartOptions {
+  int width = 72;     ///< plot columns
+  int height = 16;    ///< plot rows
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders one or more series on shared axes as a character raster with a
+/// small legend. Intended for quick visual confirmation of curve shapes, not
+/// publication graphics.
+[[nodiscard]] std::string render_chart(const std::vector<ChartSeries>& series,
+                                       const ChartOptions& options = {});
+
+/// Renders a horizontal bar chart (label, value) — used for Figure 9.
+[[nodiscard]] std::string render_bars(
+    const std::vector<std::pair<std::string, double>>& bars, int width = 50,
+    const std::string& unit = "");
+
+}  // namespace reuse::net

@@ -1,0 +1,109 @@
+#include "netbase/flags.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace reuse::net {
+
+void FlagParser::define(const std::string& name, const std::string& help,
+                        const std::string& default_value) {
+  flags_[name] = Flag{help, default_value, /*boolean=*/false, false, {}};
+}
+
+void FlagParser::define_bool(const std::string& name, const std::string& help) {
+  flags_[name] = Flag{help, "false", /*boolean=*/true, false, {}};
+}
+
+bool FlagParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto equals = token.find('='); equals != std::string::npos) {
+      value = token.substr(equals + 1);
+      token.resize(equals);
+      has_value = true;
+    }
+    const auto it = flags_.find(token);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + token;
+      return false;
+    }
+    Flag& flag = it->second;
+    if (flag.boolean) {
+      flag.set = true;
+      flag.value = has_value ? value : "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        error_ = "flag --" + token + " needs a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    flag.set = true;
+    flag.value = std::move(value);
+  }
+  return true;
+}
+
+bool FlagParser::has(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::string FlagParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return {};
+  return it->second.set ? it->second.value : it->second.default_value;
+}
+
+std::optional<std::int64_t> FlagParser::get_int(const std::string& name) const {
+  const std::string text = get(name);
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> FlagParser::get_double(const std::string& name) const {
+  const std::string text = get(name);
+  if (text.empty()) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  const std::string text = get(name);
+  return text == "true" || text == "1" || text == "yes";
+}
+
+std::string FlagParser::usage(const std::string& program,
+                              const std::string& description) const {
+  std::ostringstream out;
+  out << program << " — " << description << "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    if (!flag.boolean) out << "=<value>";
+    out << "\n      " << flag.help;
+    if (!flag.default_value.empty() && !flag.boolean) {
+      out << " (default: " << flag.default_value << ")";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace reuse::net

@@ -1,0 +1,56 @@
+// Minimal command-line flag parsing for the tools/ binaries.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags are
+// errors (typos in measurement tooling silently change experiments
+// otherwise); positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace reuse::net {
+
+class FlagParser {
+ public:
+  /// Registers a flag with a help line; call before parse().
+  void define(const std::string& name, const std::string& help,
+              const std::string& default_value = "");
+  void define_bool(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or a
+  /// missing value.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(const std::string& name) const;
+  [[nodiscard]] std::optional<double> get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Formatted flag reference for --help output.
+  [[nodiscard]] std::string usage(const std::string& program,
+                                  const std::string& description) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    bool boolean = false;
+    bool set = false;
+    std::string value;
+  };
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace reuse::net

@@ -1,0 +1,65 @@
+#include "netbase/interval_set.h"
+
+#include <algorithm>
+
+namespace reuse::net {
+
+void IntervalSet::insert(std::int64_t begin, std::int64_t end) {
+  if (begin >= end) return;
+  // Find the first interval whose end >= begin (could merge with us).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), begin,
+      [](const Interval& iv, std::int64_t b) { return iv.end < b; });
+  // Find one past the last interval whose begin <= end.
+  auto last = std::upper_bound(
+      first, intervals_.end(), end,
+      [](std::int64_t e, const Interval& iv) { return e < iv.begin; });
+  if (first != last) {
+    begin = std::min(begin, first->begin);
+    end = std::max(end, (last - 1)->end);
+  }
+  const auto insert_at = intervals_.erase(first, last);
+  intervals_.insert(insert_at, Interval{begin, end});
+}
+
+void IntervalSet::erase(std::int64_t begin, std::int64_t end) {
+  if (begin >= end || intervals_.empty()) return;
+  std::vector<Interval> result;
+  result.reserve(intervals_.size() + 1);
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= begin || iv.begin >= end) {
+      result.push_back(iv);
+      continue;
+    }
+    if (iv.begin < begin) result.push_back(Interval{iv.begin, begin});
+    if (iv.end > end) result.push_back(Interval{end, iv.end});
+  }
+  intervals_ = std::move(result);
+}
+
+bool IntervalSet::contains(std::int64_t point) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), point,
+      [](std::int64_t p, const Interval& iv) { return p < iv.begin; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return point < it->end;
+}
+
+std::int64_t IntervalSet::measure() const {
+  std::int64_t total = 0;
+  for (const Interval& iv : intervals_) total += iv.end - iv.begin;
+  return total;
+}
+
+std::int64_t IntervalSet::overlap(std::int64_t begin, std::int64_t end) const {
+  std::int64_t total = 0;
+  for (const Interval& iv : intervals_) {
+    const std::int64_t lo = std::max(begin, iv.begin);
+    const std::int64_t hi = std::min(end, iv.end);
+    if (lo < hi) total += hi - lo;
+  }
+  return total;
+}
+
+}  // namespace reuse::net

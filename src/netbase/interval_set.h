@@ -1,0 +1,53 @@
+// Sorted disjoint interval set over int64 keys.
+//
+// Listing presence over the 83-day measurement window is a union of
+// half-open day intervals per (blocklist, address) pair; this container
+// stores them merged and answers coverage queries for the duration CDFs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace reuse::net {
+
+/// A set of half-open intervals [begin, end) over std::int64_t, kept sorted
+/// and coalesced (touching intervals merge).
+class IntervalSet {
+ public:
+  struct Interval {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+
+    friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
+  };
+
+  /// Adds [begin, end); no-op when begin >= end.
+  void insert(std::int64_t begin, std::int64_t end);
+
+  /// Removes [begin, end) from the set, splitting intervals as needed.
+  void erase(std::int64_t begin, std::int64_t end);
+
+  [[nodiscard]] bool contains(std::int64_t point) const;
+
+  /// Total covered length.
+  [[nodiscard]] std::int64_t measure() const;
+
+  /// Length of the overlap with [begin, end).
+  [[nodiscard]] std::int64_t overlap(std::int64_t begin, std::int64_t end) const;
+
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] std::size_t interval_count() const { return intervals_.size(); }
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    return intervals_;
+  }
+
+  /// Earliest covered point; undefined when empty.
+  [[nodiscard]] std::int64_t min() const { return intervals_.front().begin; }
+  /// One past the last covered point; undefined when empty.
+  [[nodiscard]] std::int64_t max() const { return intervals_.back().end; }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace reuse::net

@@ -1,0 +1,91 @@
+#include "netbase/ipv4.h"
+
+#include <array>
+#include <charconv>
+#include <ostream>
+
+namespace reuse::net {
+namespace {
+
+// Parses one decimal octet (0..255) from the front of `text`, advancing it.
+std::optional<std::uint8_t> parse_octet(std::string_view& text) {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  // Reject leading zeros like "01" which from_chars accepts; blocklist feeds
+  // never emit them and silently accepting masks corrupt input.
+  if (ptr - begin > 1 && *begin == '0') return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    auto octet = parse_octet(text);
+    if (!octet) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return from_octets(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out.append(std::to_string(octet(i)));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address address) {
+  return os << address.to_string();
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto address = Ipv4Address::parse(text);
+    if (!address) return std::nullopt;
+    return Ipv4Prefix(*address, 32);
+  }
+  auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  auto [ptr, ec] = std::from_chars(len_text.data(),
+                                   len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Ipv4Prefix(*address, length);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network().to_string() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Prefix prefix) {
+  return os << prefix.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Endpoint& endpoint) {
+  return os << endpoint.address << ':' << endpoint.port;
+}
+
+std::string to_string(const Endpoint& endpoint) {
+  return endpoint.address.to_string() + ":" + std::to_string(endpoint.port);
+}
+
+}  // namespace reuse::net

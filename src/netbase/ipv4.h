@@ -1,0 +1,177 @@
+// IPv4 address and CIDR prefix value types.
+//
+// These are the fundamental identifiers of the whole study: blocklists list
+// IPv4 addresses, the BitTorrent crawler discovers (address, port) endpoints,
+// and the dynamic-address pipeline reasons about covering /24 prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace reuse::net {
+
+/// An IPv4 address held in host byte order.
+///
+/// A plain value type: cheap to copy, totally ordered, hashable. The numeric
+/// value is exposed because the simulators allocate address ranges
+/// arithmetically.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+
+  /// Builds an address from its four dotted-quad octets (a.b.c.d).
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Returns nullopt on any
+  /// malformed input (missing octets, values > 255, stray characters).
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  [[nodiscard]] constexpr std::uint8_t octet(int index) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - index)));
+  }
+
+  /// Dotted-quad rendering ("192.0.2.1").
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Address address);
+
+/// A CIDR prefix, e.g. 192.0.2.0/24. The network address is stored masked,
+/// so two prefixes compare equal iff they denote the same address block.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Builds a prefix from any address inside it; host bits are cleared.
+  /// Precondition: 0 <= length <= 32.
+  constexpr Ipv4Prefix(Ipv4Address address, int length)
+      : network_(address.value() & mask_for(length)), length_(length) {}
+
+  /// Parses "a.b.c.d/len". A bare address parses as a /32.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  /// The covering /24 of an address — the granularity the paper uses for
+  /// dynamic address pools.
+  static constexpr Ipv4Prefix slash24_of(Ipv4Address address) {
+    return Ipv4Prefix(address, 24);
+  }
+
+  [[nodiscard]] constexpr Ipv4Address network() const {
+    return Ipv4Address(network_);
+  }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address address) const {
+    return (address.value() & mask_for(length_)) == network_;
+  }
+
+  /// True if `other` is fully inside this prefix (or equal).
+  [[nodiscard]] constexpr bool contains(Ipv4Prefix other) const {
+    return other.length_ >= length_ &&
+           (other.network_ & mask_for(length_)) == network_;
+  }
+
+  [[nodiscard]] constexpr Ipv4Address first_address() const {
+    return Ipv4Address(network_);
+  }
+  [[nodiscard]] constexpr Ipv4Address last_address() const {
+    return Ipv4Address(network_ | ~mask_for(length_));
+  }
+
+  /// Number of addresses covered (2^(32-length)); 0 means 2^32 for a /0.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The address at `offset` within the block. Precondition: offset < size().
+  [[nodiscard]] constexpr Ipv4Address address_at(std::uint64_t offset) const {
+    return Ipv4Address(network_ + static_cast<std::uint32_t>(offset));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Prefix, Ipv4Prefix) = default;
+
+  static constexpr std::uint32_t mask_for(int length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  std::uint32_t network_ = 0;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4Prefix prefix);
+
+/// A transport endpoint: the unit the DHT crawler discovers. Multiple
+/// endpoints sharing an address is the crawler's NAT signal.
+struct Endpoint {
+  Ipv4Address address;
+  std::uint16_t port = 0;
+
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Endpoint& endpoint);
+[[nodiscard]] std::string to_string(const Endpoint& endpoint);
+
+}  // namespace reuse::net
+
+template <>
+struct std::hash<reuse::net::Ipv4Address> {
+  std::size_t operator()(reuse::net::Ipv4Address address) const noexcept {
+    // Finalizer from splitmix64: cheap and well mixed for table use.
+    std::uint64_t x = address.value();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+template <>
+struct std::hash<reuse::net::Ipv4Prefix> {
+  std::size_t operator()(reuse::net::Ipv4Prefix prefix) const noexcept {
+    std::uint64_t x = (std::uint64_t{prefix.network().value()} << 6) |
+                      static_cast<std::uint64_t>(prefix.length());
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+template <>
+struct std::hash<reuse::net::Endpoint> {
+  std::size_t operator()(const reuse::net::Endpoint& endpoint) const noexcept {
+    std::uint64_t x = (std::uint64_t{endpoint.address.value()} << 16) |
+                      endpoint.port;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

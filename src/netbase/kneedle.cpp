@@ -1,0 +1,141 @@
+#include "netbase/kneedle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reuse::net {
+namespace {
+
+std::vector<double> moving_average(std::span<const double> ys,
+                                   std::size_t half_width) {
+  if (half_width == 0) return {ys.begin(), ys.end()};
+  std::vector<double> smoothed(ys.size());
+  const auto n = static_cast<std::ptrdiff_t>(ys.size());
+  const auto w = static_cast<std::ptrdiff_t>(half_width);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - w);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n - 1, i + w);
+    double sum = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) sum += ys[static_cast<std::size_t>(j)];
+    smoothed[static_cast<std::size_t>(i)] =
+        sum / static_cast<double>(hi - lo + 1);
+  }
+  return smoothed;
+}
+
+CurveDirection detect_direction(std::span<const double> ys) {
+  return ys.back() >= ys.front() ? CurveDirection::kIncreasing
+                                 : CurveDirection::kDecreasing;
+}
+
+// Shape detection: a curve lying above its end-to-end chord is concave,
+// below it convex — independent of direction (y=x^2 and y=1/(1+x) both sit
+// below their chords and are both convex).
+CurveShape detect_shape(std::span<const double> xs, std::span<const double> ys) {
+  double deviation = 0.0;
+  const double x0 = xs.front();
+  const double x1 = xs.back();
+  const double y0 = ys.front();
+  const double y1 = ys.back();
+  const double dx = x1 - x0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double chord = y0 + (y1 - y0) * ((xs[i] - x0) / dx);
+    deviation += ys[i] - chord;
+  }
+  return deviation >= 0.0 ? CurveShape::kConcave : CurveShape::kConvex;
+}
+
+}  // namespace
+
+std::optional<KneePoint> find_knee(std::span<const double> xs,
+                                   std::span<const double> ys,
+                                   const KneedleParams& params) {
+  const std::size_t n = xs.size();
+  if (n < 3 || ys.size() != n) return std::nullopt;
+
+  const std::vector<double> smooth = moving_average(ys, params.smoothing_window);
+
+  // Normalise both axes to [0, 1].
+  const double x_min = xs.front();
+  const double x_span = xs.back() - x_min;
+  const auto [y_min_it, y_max_it] = std::minmax_element(smooth.begin(), smooth.end());
+  const double y_min = *y_min_it;
+  const double y_span = *y_max_it - y_min;
+  if (x_span <= 0.0 || y_span <= 0.0) return std::nullopt;
+
+  const CurveDirection direction =
+      params.direction ? *params.direction : detect_direction(smooth);
+  const CurveShape shape =
+      params.shape ? *params.shape : detect_shape(xs, smooth);
+
+  // Transform every curve into the canonical increasing/concave form, in
+  // which the knee is the maximum of y_n - x_n.
+  std::vector<double> xn(n);
+  std::vector<double> yn(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xn[i] = (xs[i] - x_min) / x_span;
+    yn[i] = (smooth[i] - y_min) / y_span;
+  }
+  // Vertical flip turns a decreasing curve into an increasing one and
+  // toggles its shape (convex <-> concave).
+  CurveShape effective_shape = shape;
+  if (direction == CurveDirection::kDecreasing) {
+    for (std::size_t i = 0; i < n; ++i) yn[i] = 1.0 - yn[i];
+    effective_shape = shape == CurveShape::kConvex ? CurveShape::kConcave
+                                                   : CurveShape::kConvex;
+  }
+  if (effective_shape == CurveShape::kConvex) {
+    // Mirror horizontally so the bend faces the canonical (concave) way.
+    std::reverse(xn.begin(), xn.end());
+    std::reverse(yn.begin(), yn.end());
+    for (std::size_t i = 0; i < n; ++i) xn[i] = 1.0 - xn[i];
+  }
+
+  // Difference curve.
+  std::vector<double> diff(n);
+  for (std::size_t i = 0; i < n; ++i) diff[i] = yn[i] - xn[i];
+
+  // Mean spacing of normalised x, used in the threshold decay.
+  const double mean_dx = 1.0 / static_cast<double>(n - 1);
+
+  std::optional<std::size_t> best;
+  if (params.global_maximum) {
+    std::size_t arg = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (diff[i] > diff[arg]) arg = i;
+    }
+    // A knee must actually protrude above the diagonal by the sensitivity
+    // margin; straight lines stay knee-free.
+    if (diff[arg] > params.sensitivity * mean_dx) best = arg;
+  }
+  for (std::size_t i = 1; !best && i + 1 < n; ++i) {
+    const bool local_max = diff[i] >= diff[i - 1] && diff[i] >= diff[i + 1];
+    if (!local_max) continue;
+    const double threshold = diff[i] - params.sensitivity * mean_dx;
+    // Accept if the difference curve drops below the threshold before the
+    // next local maximum (the kneedle confirmation step).
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (diff[j] >= diff[i] && j + 1 < n) break;  // superseded by later max
+      if (diff[j] < threshold) {
+        best = i;
+        break;
+      }
+    }
+    if (best) break;
+  }
+  if (!best) return std::nullopt;
+
+  // Map back through the transforms to the original index.
+  std::size_t index = *best;
+  if (effective_shape == CurveShape::kConvex) index = n - 1 - index;
+  return KneePoint{index, xs[index], ys[index]};
+}
+
+std::optional<KneePoint> find_knee(std::span<const double> ys,
+                                   const KneedleParams& params) {
+  std::vector<double> xs(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  return find_knee(xs, ys, params);
+}
+
+}  // namespace reuse::net

@@ -1,0 +1,51 @@
+// Kneedle knee/elbow detection (Satopää, Albrecht, Irwin, Raghavan 2011).
+//
+// The paper derives its "8 address allocations" threshold by running kneedle
+// on the sorted per-probe allocation-count curve (Figure 2). We implement the
+// published algorithm: normalise the curve, form the difference curve against
+// the diagonal, and accept the first local maximum whose prominence survives
+// the sensitivity-scaled threshold until the next local maximum.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace reuse::net {
+
+enum class CurveDirection { kIncreasing, kDecreasing };
+enum class CurveShape { kConcave, kConvex };
+
+struct KneedleParams {
+  /// Sensitivity S from the paper; larger demands a more pronounced knee.
+  double sensitivity = 1.0;
+  /// Moving-average half-width applied before normalisation; 0 disables.
+  std::size_t smoothing_window = 0;
+  /// When unset, direction/shape are detected from the data.
+  std::optional<CurveDirection> direction;
+  std::optional<CurveShape> shape;
+  /// Offline variant: take the global maximum of the difference curve
+  /// instead of the first threshold-confirmed local maximum. Robust against
+  /// plateau noise on step-valued curves.
+  bool global_maximum = false;
+};
+
+struct KneePoint {
+  std::size_t index = 0;  ///< Index into the input samples.
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Finds the knee of y(x) for points sorted by strictly increasing x.
+/// Returns nullopt when no knee satisfies the threshold test (e.g. straight
+/// lines) or when fewer than three points are supplied.
+[[nodiscard]] std::optional<KneePoint> find_knee(std::span<const double> xs,
+                                                 std::span<const double> ys,
+                                                 const KneedleParams& params = {});
+
+/// Convenience overload: x is the sample index 0..n-1.
+[[nodiscard]] std::optional<KneePoint> find_knee(std::span<const double> ys,
+                                                 const KneedleParams& params = {});
+
+}  // namespace reuse::net

@@ -1,0 +1,144 @@
+// Binary (Patricia-lite) trie keyed by IPv4 CIDR prefixes.
+//
+// The analysis joins millions of blocklisted addresses against sets of
+// dynamic /24 prefixes and against per-AS prefix tables, so longest-prefix
+// match has to be cheap and allocation-friendly. Nodes are stored in a flat
+// vector with index links; children are created per consumed bit (a plain
+// binary trie — at most 32 steps per lookup, no path compression needed at
+// this scale).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace reuse::net {
+
+/// Maps CIDR prefixes to values of type T with longest-prefix-match lookup.
+///
+/// Inserting the same prefix twice overwrites the previous value.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.emplace_back(); }
+
+  /// Inserts or replaces the value stored at `prefix`.
+  void insert(Ipv4Prefix prefix, T value) {
+    std::uint32_t index = 0;
+    const std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      std::uint32_t child = nodes_[index].child[bit];
+      if (child == kNone) {
+        child = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.emplace_back();  // may reallocate: re-index below, no refs held
+        nodes_[index].child[bit] = child;
+      }
+      index = child;
+    }
+    if (!nodes_[index].value) ++size_;
+    nodes_[index].value = std::move(value);
+  }
+
+  /// Longest-prefix match: the value of the most specific stored prefix
+  /// containing `address`, or nullopt when none contains it.
+  [[nodiscard]] std::optional<T> lookup(Ipv4Address address) const {
+    const T* found = lookup_ptr(address);
+    if (found == nullptr) return std::nullopt;
+    return *found;
+  }
+
+  /// Like lookup() but without copying; the pointer is invalidated by the
+  /// next insert().
+  [[nodiscard]] const T* lookup_ptr(Ipv4Address address) const {
+    const T* best = nodes_[0].value ? &*nodes_[0].value : nullptr;
+    std::uint32_t index = 0;
+    const std::uint32_t bits = address.value();
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[index].child[bit];
+      if (child == kNone) break;
+      index = child;
+      if (nodes_[index].value) best = &*nodes_[index].value;
+    }
+    return best;
+  }
+
+  /// The value stored at exactly `prefix`, ignoring covering prefixes.
+  [[nodiscard]] const T* exact(Ipv4Prefix prefix) const {
+    std::uint32_t index = 0;
+    const std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      const std::uint32_t child = nodes_[index].child[bit];
+      if (child == kNone) return nullptr;
+      index = child;
+    }
+    return nodes_[index].value ? &*nodes_[index].value : nullptr;
+  }
+
+  [[nodiscard]] bool contains(Ipv4Address address) const {
+    return lookup_ptr(address) != nullptr;
+  }
+
+  /// Number of distinct stored prefixes.
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in address order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(0, 0, 0, fn);
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  struct Node {
+    std::uint32_t child[2] = {kNone, kNone};
+    std::optional<T> value;
+  };
+
+  template <typename Fn>
+  void walk(std::uint32_t index, std::uint32_t bits, int depth, Fn& fn) const {
+    const Node& node = nodes_[index];
+    if (node.value) fn(Ipv4Prefix(Ipv4Address(bits), depth), *node.value);
+    if (depth == 32) return;
+    if (node.child[0] != kNone) walk(node.child[0], bits, depth + 1, fn);
+    if (node.child[1] != kNone) {
+      walk(node.child[1], bits | (1u << (31 - depth)), depth + 1, fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+/// A set of prefixes with containment queries; thin wrapper over PrefixTrie.
+class PrefixSet {
+ public:
+  void insert(Ipv4Prefix prefix) { trie_.insert(prefix, true); }
+
+  [[nodiscard]] bool contains_address(Ipv4Address address) const {
+    return trie_.contains(address);
+  }
+  [[nodiscard]] bool contains_prefix(Ipv4Prefix prefix) const {
+    return trie_.exact(prefix) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+  [[nodiscard]] bool empty() const { return trie_.empty(); }
+
+  [[nodiscard]] std::vector<Ipv4Prefix> to_vector() const {
+    std::vector<Ipv4Prefix> out;
+    out.reserve(trie_.size());
+    trie_.for_each([&](Ipv4Prefix prefix, bool) { out.push_back(prefix); });
+    return out;
+  }
+
+ private:
+  PrefixTrie<bool> trie_;
+};
+
+}  // namespace reuse::net

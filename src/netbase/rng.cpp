@@ -1,0 +1,78 @@
+#include "netbase/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace reuse::net {
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf: n must be positive");
+  if (n == 1) return 1;
+  // Devroye's rejection method for the Zipf(s) distribution truncated at n.
+  // Handles s == 1 via the log form of the integrated weight function.
+  const double nd = static_cast<double>(n);
+  auto weight_integral = [s, nd](double x) {
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto weight_integral_inv = [s](double y) {
+    if (s == 1.0) return std::exp(y);
+    return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = weight_integral(0.5) - 1.0;
+  const double hn = weight_integral(nd + 0.5);
+  for (;;) {
+    const double u = hx0 + uniform_real() * (hn - hx0);
+    const double x = weight_integral_inv(u);
+    const auto k = static_cast<std::uint64_t>(std::llround(std::max(1.0, x)));
+    if (k > n) continue;
+    const double kd = static_cast<double>(k);
+    const double ratio =
+        std::pow(kd, -s) /
+        (weight_integral(kd + 0.5) - weight_integral(kd - 0.5));
+    if (uniform_real() * 1.2 <= ratio) return k;
+  }
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_index: total weight must be > 0");
+  }
+  double draw = uniform_real() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack lands on the last item.
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_indices: k > n");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Dense fraction: partial Fisher–Yates over an index vector.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + uniform(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse fraction: rejection into a hash set.
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const std::size_t candidate = uniform(n);
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace reuse::net

@@ -1,0 +1,116 @@
+// Minimal little-endian binary serialization for cache files.
+//
+// The bench harness runs one expensive end-to-end simulation and shares its
+// results across a dozen figure binaries through an on-disk cache; this is
+// the encoding layer. Fixed-width little-endian integers, length-prefixed
+// containers, no alignment assumptions.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace reuse::net {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  void write(T value) {
+    // Serialize as unsigned little-endian of the same width.
+    using U = std::make_unsigned_t<T>;
+    U u;
+    std::memcpy(&u, &value, sizeof(T));
+    char bytes[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<char>((u >> (8 * i)) & 0xFF);
+    }
+    os_.write(bytes, sizeof(T));
+  }
+
+  void write(double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    write(bits);
+  }
+
+  void write(const std::string& text) {
+    write(static_cast<std::uint64_t>(text.size()));
+    os_.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+
+  /// Writes a container of elements via a per-element callback.
+  template <typename Container, typename Fn>
+  void write_sequence(const Container& items, Fn&& fn) {
+    write(static_cast<std::uint64_t>(items.size()));
+    for (const auto& item : items) fn(*this, item);
+  }
+
+  [[nodiscard]] bool ok() const { return os_.good(); }
+
+ private:
+  std::ostream& os_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(is) {}
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  [[nodiscard]] T read() {
+    char bytes[sizeof(T)] = {};
+    is_.read(bytes, sizeof(T));
+    using U = std::make_unsigned_t<T>;
+    U u = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      u |= static_cast<U>(static_cast<unsigned char>(bytes[i])) << (8 * i);
+    }
+    T value;
+    std::memcpy(&value, &u, sizeof(T));
+    return value;
+  }
+
+  [[nodiscard]] double read_double() {
+    const std::uint64_t bits = read<std::uint64_t>();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  [[nodiscard]] std::string read_string() {
+    const auto size = read<std::uint64_t>();
+    if (size > kMaxString || !is_.good()) {
+      is_.setstate(std::ios::failbit);
+      return {};
+    }
+    std::string text(size, '\0');
+    is_.read(text.data(), static_cast<std::streamsize>(size));
+    return text;
+  }
+
+  /// Reads a length prefix; returns 0 and poisons the stream if implausible.
+  [[nodiscard]] std::uint64_t read_size(std::uint64_t sanity_limit) {
+    const auto size = read<std::uint64_t>();
+    if (size > sanity_limit) {
+      is_.setstate(std::ios::failbit);
+      return 0;
+    }
+    return size;
+  }
+
+  [[nodiscard]] bool ok() const { return is_.good(); }
+
+ private:
+  static constexpr std::uint64_t kMaxString = 1 << 20;
+
+  std::istream& is_;
+};
+
+}  // namespace reuse::net

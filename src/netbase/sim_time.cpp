@@ -1,0 +1,33 @@
+#include "netbase/sim_time.h"
+
+#include <cstdio>
+
+namespace reuse::net {
+
+std::string Duration::to_string() const {
+  std::int64_t s = seconds_;
+  const bool negative = s < 0;
+  if (negative) s = -s;
+  const std::int64_t days = s / 86400;
+  s %= 86400;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s%lldd %02lld:%02lld:%02lld",
+                negative ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(s / 3600),
+                static_cast<long long>((s / 60) % 60),
+                static_cast<long long>(s % 60));
+  return buffer;
+}
+
+std::string SimTime::to_string() const {
+  char buffer[64];
+  const std::int64_t s = seconds_;
+  std::snprintf(buffer, sizeof(buffer), "day %lld %02lld:%02lld:%02lld",
+                static_cast<long long>(s / 86400),
+                static_cast<long long>((s / 3600) % 24),
+                static_cast<long long>((s / 60) % 60),
+                static_cast<long long>(s % 60));
+  return buffer;
+}
+
+}  // namespace reuse::net

@@ -1,0 +1,98 @@
+// Simulated time for every substrate.
+//
+// The study spans 16 months of Atlas logs and 83 days of blocklist
+// snapshots; the crawler reasons in 20-minute cooldowns and hourly re-pings.
+// A single integer timeline in seconds keeps all of that consistent and
+// exactly reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace reuse::net {
+
+/// A span of simulated time, in whole seconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t seconds) : seconds_(seconds) {}
+
+  static constexpr Duration seconds(std::int64_t n) { return Duration(n); }
+  static constexpr Duration minutes(std::int64_t n) { return Duration(n * 60); }
+  static constexpr Duration hours(std::int64_t n) { return Duration(n * 3600); }
+  static constexpr Duration days(std::int64_t n) { return Duration(n * 86400); }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return seconds_; }
+  [[nodiscard]] constexpr double as_days() const {
+    return static_cast<double>(seconds_) / 86400.0;
+  }
+  [[nodiscard]] constexpr double as_hours() const {
+    return static_cast<double>(seconds_) / 3600.0;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.seconds_ + b.seconds_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.seconds_ * k);
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration(a.seconds_ / k);
+  }
+
+  /// Human-readable rendering, e.g. "2d 03:15:07".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// An instant on the simulated timeline (seconds since simulation epoch).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t seconds) : seconds_(seconds) {}
+
+  static constexpr SimTime epoch() { return SimTime(0); }
+
+  [[nodiscard]] constexpr std::int64_t seconds() const { return seconds_; }
+  /// Whole days elapsed since the epoch; snapshot indices use this.
+  [[nodiscard]] constexpr std::int64_t day() const { return seconds_ / 86400; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime(t.seconds_ + d.count());
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime(t.seconds_ - d.count());
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration(a.seconds_ - b.seconds_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// A half-open interval [begin, end) on the simulated timeline.
+struct TimeWindow {
+  SimTime begin;
+  SimTime end;
+
+  [[nodiscard]] constexpr bool contains(SimTime t) const {
+    return begin <= t && t < end;
+  }
+  [[nodiscard]] constexpr Duration length() const { return end - begin; }
+
+  friend constexpr auto operator<=>(const TimeWindow&,
+                                    const TimeWindow&) = default;
+};
+
+}  // namespace reuse::net

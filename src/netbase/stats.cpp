@@ -1,0 +1,96 @@
+#include "netbase/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace reuse::net {
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::fraction_at_most(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())) - 1.0);
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t max_points) const {
+  std::vector<std::pair<double, double>> points;
+  if (sorted_.empty()) return points;
+  const std::size_t n = sorted_.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += stride) {
+    points.emplace_back(sorted_[i],
+                        static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (points.back().first != sorted_.back() || points.back().second != 1.0) {
+    points.emplace_back(sorted_.back(), 1.0);
+  }
+  return points;
+}
+
+Histogram::Histogram(double low, double high, std::size_t bins)
+    : low_(low), high_(high), counts_(bins, 0.0) {
+  if (!(low < high) || bins == 0) {
+    throw std::invalid_argument("Histogram: need low < high and bins > 0");
+  }
+}
+
+void Histogram::add(double x, double weight) {
+  const double span = high_ - low_;
+  auto index = static_cast<std::ptrdiff_t>((x - low_) / span *
+                                           static_cast<double>(counts_.size()));
+  index = std::clamp<std::ptrdiff_t>(
+      index, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(index)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return low_ + (high_ - low_) * static_cast<double>(i) /
+                    static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+double IntDistribution::fraction_at_most(std::int64_t v) const {
+  if (total_ == 0) return 0.0;
+  std::int64_t cumulative = 0;
+  for (const auto& [value, count] : counts_) {
+    if (value > v) break;
+    cumulative += count;
+  }
+  return static_cast<double>(cumulative) / static_cast<double>(total_);
+}
+
+double round_significant(double value, int digits) {
+  if (value == 0.0) return 0.0;
+  const double magnitude =
+      std::pow(10.0, digits - 1 - static_cast<int>(std::floor(
+                                      std::log10(std::fabs(value)))));
+  return std::round(value * magnitude) / magnitude;
+}
+
+std::string percent(double fraction, int decimals) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace reuse::net

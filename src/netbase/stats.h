@@ -1,0 +1,135 @@
+// Statistics utilities shared by the analysis and report layers.
+//
+// Everything the paper plots is either an empirical CDF (Figures 3, 7, 8), a
+// sorted per-entity curve (Figure 2) or a sorted per-list bar series
+// (Figures 5, 6); these helpers compute them once so every bench renders the
+// same way.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace reuse::net {
+
+/// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Empirical cumulative distribution over a sample.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  [[nodiscard]] bool empty() const { return sorted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Fraction of samples <= x, in [0, 1].
+  [[nodiscard]] double fraction_at_most(double x) const;
+
+  /// The q-quantile (q in [0, 1]) by the nearest-rank rule.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const { return sorted_.empty() ? 0 : sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.empty() ? 0 : sorted_.back(); }
+
+  /// The underlying sorted sample, for plotting.
+  [[nodiscard]] std::span<const double> sorted() const { return sorted_; }
+
+  /// (x, F(x)) step points thinned to at most `max_points` for plotting.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(
+      std::size_t max_points = 200) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-bin histogram over [low, high); out-of-range samples clamp to the
+/// edge bins so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double low, double high, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] double bin_high(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  double low_;
+  double high_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Counter keyed by integer values; renders "value -> count" distributions
+/// such as users-behind-NAT.
+class IntDistribution {
+ public:
+  void add(std::int64_t value, std::int64_t count = 1) {
+    counts_[value] += count;
+    total_ += count;
+  }
+
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] const std::map<std::int64_t, std::int64_t>& counts() const {
+    return counts_;
+  }
+
+  /// Fraction of mass at values <= v.
+  [[nodiscard]] double fraction_at_most(std::int64_t v) const;
+  [[nodiscard]] std::int64_t max_value() const {
+    return counts_.empty() ? 0 : counts_.rbegin()->first;
+  }
+
+ private:
+  std::map<std::int64_t, std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Rounds to `digits` significant decimal digits; report helpers use this to
+/// keep paper-vs-measured tables readable.
+[[nodiscard]] double round_significant(double value, int digits);
+
+/// Formats a fraction as a percentage string like "61.3%".
+[[nodiscard]] std::string percent(double fraction, int decimals = 1);
+
+}  // namespace reuse::net

@@ -1,0 +1,47 @@
+// Plain-text table and CSV rendering for bench/report output.
+//
+// Every experiment binary prints a paper-vs-measured table; rendering lives
+// here so the formatting is uniform across all of bench/.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace reuse::net {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// consistently (thousands separators for counts, fixed decimals for rates).
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  AsciiTable& add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  [[nodiscard]] std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats 1234567 as "1,234,567".
+[[nodiscard]] std::string with_thousands(std::int64_t value);
+
+/// Formats a double with `decimals` fixed decimals.
+[[nodiscard]] std::string fixed(double value, int decimals = 2);
+
+/// Formats large counts the way the paper does: 29.7K, 2M, 1.6B.
+[[nodiscard]] std::string compact_count(double value);
+
+/// Escapes a cell for CSV output (quotes when needed).
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace reuse::net

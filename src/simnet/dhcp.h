@@ -1,0 +1,111 @@
+// Dynamic address pool (DHCP-style) model.
+//
+// Dynamic addressing — the second reuse mechanism the paper studies — hands
+// the same public address to different subscribers over time. The pool tracks
+// which addresses are free, leases them out, and deliberately *reuses*
+// returned addresses (ISP pools are small relative to their churn), which is
+// what puts an innocent subscriber behind a previously blocklisted address.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/rng.h"
+
+namespace reuse::sim {
+
+using SubscriberId = std::uint64_t;
+
+/// Allocation order inside the pool. Real ISPs differ; the choice affects how
+/// quickly a tainted address lands on a new user.
+enum class PoolPolicy {
+  kRandom,         ///< uniform over free addresses
+  kLeastRecently,  ///< FIFO: the address free the longest goes out first
+  kMostRecently,   ///< LIFO: the most recently freed address goes out first
+};
+
+class AddressPool {
+ public:
+  AddressPool(std::vector<net::Ipv4Prefix> prefixes, PoolPolicy policy,
+              net::Rng rng)
+      : policy_(policy), rng_(std::move(rng)) {
+    for (const auto& prefix : prefixes) {
+      for (std::uint64_t i = 0; i < prefix.size(); ++i) {
+        free_.push_back(prefix.address_at(i));
+      }
+    }
+    if (free_.empty()) {
+      throw std::invalid_argument("AddressPool: empty prefix set");
+    }
+  }
+
+  /// Leases an address to `subscriber`. If the subscriber already holds one,
+  /// it is returned to the pool first (a renewal that lands on a new
+  /// address, which is the churn the Atlas pipeline observes).
+  [[nodiscard]] std::optional<net::Ipv4Address> lease(SubscriberId subscriber) {
+    release(subscriber);
+    if (free_.empty()) return std::nullopt;
+    const net::Ipv4Address address = take();
+    leases_[subscriber] = address;
+    holders_[address] = subscriber;
+    return address;
+  }
+
+  void release(SubscriberId subscriber) {
+    const auto it = leases_.find(subscriber);
+    if (it == leases_.end()) return;
+    holders_.erase(it->second);
+    free_.push_back(it->second);
+    leases_.erase(it);
+  }
+
+  [[nodiscard]] std::optional<net::Ipv4Address> address_of(
+      SubscriberId subscriber) const {
+    const auto it = leases_.find(subscriber);
+    if (it == leases_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::optional<SubscriberId> holder_of(
+      net::Ipv4Address address) const {
+    const auto it = holders_.find(address);
+    if (it == holders_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t free_count() const { return free_.size(); }
+  [[nodiscard]] std::size_t leased_count() const { return leases_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    return free_.size() + leases_.size();
+  }
+
+ private:
+  net::Ipv4Address take() {
+    if (policy_ == PoolPolicy::kLeastRecently) {
+      const net::Ipv4Address address = free_.front();
+      free_.pop_front();
+      return address;
+    }
+    if (policy_ == PoolPolicy::kRandom) {
+      // Swap-with-back keeps removal O(1); free-list order is irrelevant
+      // under the random policy.
+      std::swap(free_[rng_.uniform(free_.size())], free_.back());
+    }
+    const net::Ipv4Address address = free_.back();
+    free_.pop_back();
+    return address;
+  }
+
+  PoolPolicy policy_;
+  net::Rng rng_;
+  std::deque<net::Ipv4Address> free_;
+  std::unordered_map<SubscriberId, net::Ipv4Address> leases_;
+  std::unordered_map<net::Ipv4Address, SubscriberId> holders_;
+};
+
+}  // namespace reuse::sim

@@ -1,0 +1,37 @@
+#include "simnet/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace reuse::sim {
+
+void EventQueue::schedule_at(net::SimTime when, Action action) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  queue_.push(Entry{when, next_sequence_++, std::move(action)});
+}
+
+bool EventQueue::run_next() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the action is moved out via const_cast,
+  // which is safe because the entry is popped before the action runs.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+void EventQueue::run_until(net::SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when < deadline) run_next();
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::run_all() {
+  while (run_next()) {
+  }
+}
+
+}  // namespace reuse::sim

@@ -1,0 +1,94 @@
+// Network Address Translation device model.
+//
+// A NAT multiplexes several internal hosts onto one public address by
+// allocating distinct external ports — this is precisely the address-sharing
+// the crawler detects. Home NATs front a handful of users; carrier-grade
+// NATs front hundreds. The model tracks live mappings plus recently expired
+// ones so the DHT can contain stale (IP, port) entries that no longer answer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/rng.h"
+
+namespace reuse::sim {
+
+/// Opaque identifier for an internal host behind a NAT.
+using InternalHostId = std::uint64_t;
+
+class NatDevice {
+ public:
+  /// `first_port` is where external port allocation starts; real CPE devices
+  /// typically hand out high ephemeral ports.
+  NatDevice(net::Ipv4Address public_address, std::uint16_t first_port = 1024)
+      : public_address_(public_address), next_port_(first_port) {}
+
+  [[nodiscard]] net::Ipv4Address public_address() const {
+    return public_address_;
+  }
+
+  /// Creates a mapping for `host`, returning the external endpoint. A host
+  /// may hold several mappings over its lifetime (one per rebind); only the
+  /// most recent is live.
+  net::Endpoint bind(InternalHostId host) {
+    // Retire any previous mapping the host held.
+    if (const auto it = host_to_port_.find(host); it != host_to_port_.end()) {
+      port_to_host_.erase(it->second);
+      host_to_port_.erase(it);
+    }
+    const std::uint16_t port = allocate_port();
+    host_to_port_[host] = port;
+    port_to_host_[port] = host;
+    return net::Endpoint{public_address_, port};
+  }
+
+  /// Drops the host's live mapping (host went offline / NAT timed it out).
+  void release(InternalHostId host) {
+    const auto it = host_to_port_.find(host);
+    if (it == host_to_port_.end()) return;
+    port_to_host_.erase(it->second);
+    host_to_port_.erase(it);
+  }
+
+  /// The internal host currently owning `port`, if any.
+  [[nodiscard]] std::optional<InternalHostId> host_at(std::uint16_t port) const {
+    const auto it = port_to_host_.find(port);
+    if (it == port_to_host_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::optional<net::Endpoint> endpoint_of(
+      InternalHostId host) const {
+    const auto it = host_to_port_.find(host);
+    if (it == host_to_port_.end()) return std::nullopt;
+    return net::Endpoint{public_address_, it->second};
+  }
+
+  /// Number of hosts with a live mapping right now — the ground truth for
+  /// "users behind this address".
+  [[nodiscard]] std::size_t active_hosts() const { return host_to_port_.size(); }
+
+ private:
+  std::uint16_t allocate_port() {
+    // Linear scan from next_port_, skipping ports still in use; wraps within
+    // the ephemeral range. The port space (64K) far exceeds any simulated
+    // NAT's fan-out, so this terminates quickly.
+    for (;;) {
+      const std::uint16_t candidate = next_port_;
+      next_port_ = next_port_ == 65535 ? std::uint16_t{1024}
+                                       : static_cast<std::uint16_t>(next_port_ + 1);
+      if (!port_to_host_.contains(candidate)) return candidate;
+    }
+  }
+
+  net::Ipv4Address public_address_;
+  std::uint16_t next_port_;
+  std::unordered_map<InternalHostId, std::uint16_t> host_to_port_;
+  std::unordered_map<std::uint16_t, InternalHostId> port_to_host_;
+};
+
+}  // namespace reuse::sim

@@ -1,0 +1,184 @@
+#include "survey/survey.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace reuse::survey {
+namespace {
+
+constexpr std::size_t kRespondents = 65;
+
+std::uint16_t type_bit(OperatorListType type) {
+  return static_cast<std::uint16_t>(1u << static_cast<unsigned>(type));
+}
+
+// Builds the synthetic response set. Index ranges are chosen so every
+// published marginal comes out exactly; see the tests for the checklist:
+//   external 55/65 (85%), internal 46/65 (70%), direct block 38/65 (59%),
+//   threat intel 22/65 (<35%), reuse questions answered by 34,
+//   CGN concern 19/34 (56%), dynamic concern 26/34 (76%),
+//   paid lists avg 2 / max 39, public lists avg 10 / max 68,
+//   >= 2 list types for 36/65 (55%).
+std::vector<SurveyResponse> build_survey() {
+  std::vector<SurveyResponse> responses(kRespondents);
+  for (std::size_t i = 0; i < kRespondents; ++i) {
+    SurveyResponse& r = responses[i];
+    r.respondent_id = static_cast<std::uint32_t>(i + 1);
+    r.uses_external = i < 55;
+    r.maintains_internal = i < 46;
+    r.blocks_directly = i < 38;
+    r.feeds_threat_intel = i >= 20 && i < 42;
+    if (i < 34) {
+      r.cgn_hurts_accuracy = i < 19;
+      r.dynamic_hurts_accuracy = i < 26;
+    }
+  }
+
+  // Paid-for lists: one heavy subscriber (39), a tier on 3, a tier on 1;
+  // sum = 130 => mean 2.0.
+  responses[0].paid_lists = 39;
+  for (std::size_t i = 1; i <= 21; ++i) responses[i].paid_lists = 3;
+  for (std::size_t i = 22; i <= 49; ++i) responses[i].paid_lists = 1;
+
+  // Public lists: one aggregator on 68; external users on 12 or 6;
+  // sum = 650 => mean 10.0.
+  responses[1].public_lists = 68;
+  responses[0].public_lists = 12;
+  for (std::size_t i = 2; i <= 43; ++i) responses[i].public_lists = 12;
+  for (std::size_t i = 44; i <= 53; ++i) responses[i].public_lists = 6;
+  responses[2].public_lists += 6;  // residual to hit the published mean
+
+  // List types. The 26 respondents who reported reuse issues (indices 0..25)
+  // use types with the Figure 9 frequencies: type t is used by the first
+  // `kIssueGroupCounts[t]` members of that group.
+  struct TypeCount {
+    OperatorListType type;
+    std::size_t count;
+  };
+  constexpr TypeCount kIssueGroupCounts[] = {
+      {OperatorListType::kSpam, 24},      {OperatorListType::kReputation, 22},
+      {OperatorListType::kDdos, 20},      {OperatorListType::kBruteforce, 18},
+      {OperatorListType::kRansomware, 17},{OperatorListType::kSsh, 15},
+      {OperatorListType::kHttp, 13},      {OperatorListType::kBackdoor, 11},
+      {OperatorListType::kFtp, 9},        {OperatorListType::kBanking, 7},
+      {OperatorListType::kVoip, 5},
+  };
+  for (const TypeCount& entry : kIssueGroupCounts) {
+    for (std::size_t i = 0; i < entry.count; ++i) {
+      responses[i].list_types_used |= type_bit(entry.type);
+    }
+  }
+  // Remaining external users: indices 26..39 run spam + reputation (two
+  // types), 40..54 spam only — this lands the ">= 2 types" share at 36/65.
+  for (std::size_t i = 26; i <= 39; ++i) {
+    responses[i].list_types_used |=
+        type_bit(OperatorListType::kSpam) | type_bit(OperatorListType::kReputation);
+  }
+  for (std::size_t i = 40; i <= 54; ++i) {
+    responses[i].list_types_used |= type_bit(OperatorListType::kSpam);
+  }
+  return responses;
+}
+
+}  // namespace
+
+std::string_view to_string(OperatorListType type) {
+  switch (type) {
+    case OperatorListType::kVoip: return "VOIP";
+    case OperatorListType::kBanking: return "Banking";
+    case OperatorListType::kFtp: return "FTP";
+    case OperatorListType::kBackdoor: return "Backdoor";
+    case OperatorListType::kHttp: return "HTTP";
+    case OperatorListType::kSsh: return "SSH";
+    case OperatorListType::kRansomware: return "Ransomware";
+    case OperatorListType::kBruteforce: return "Bruteforce";
+    case OperatorListType::kDdos: return "DDoS";
+    case OperatorListType::kReputation: return "Reputation";
+    case OperatorListType::kSpam: return "Spam";
+  }
+  return "?";
+}
+
+int SurveyResponse::type_count() const {
+  return std::popcount(list_types_used);
+}
+
+const std::vector<SurveyResponse>& embedded_survey() {
+  static const std::vector<SurveyResponse> kSurvey = build_survey();
+  return kSurvey;
+}
+
+SurveySummary summarize(std::span<const SurveyResponse> responses) {
+  SurveySummary summary;
+  summary.respondents = responses.size();
+  if (responses.empty()) return summary;
+  std::size_t external = 0;
+  std::size_t internal = 0;
+  std::size_t direct = 0;
+  std::size_t intel = 0;
+  std::size_t answered = 0;
+  std::size_t cgn_yes = 0;
+  std::size_t dynamic_yes = 0;
+  std::size_t multi_type = 0;
+  std::int64_t paid_sum = 0;
+  std::int64_t public_sum = 0;
+  for (const SurveyResponse& r : responses) {
+    external += r.uses_external;
+    internal += r.maintains_internal;
+    direct += r.blocks_directly;
+    intel += r.feeds_threat_intel;
+    if (r.cgn_hurts_accuracy || r.dynamic_hurts_accuracy) {
+      ++answered;
+      cgn_yes += r.cgn_hurts_accuracy.value_or(false);
+      dynamic_yes += r.dynamic_hurts_accuracy.value_or(false);
+    }
+    multi_type += r.type_count() >= 2;
+    paid_sum += r.paid_lists;
+    public_sum += r.public_lists;
+    summary.paid_lists_max = std::max(summary.paid_lists_max, r.paid_lists);
+    summary.public_lists_max = std::max(summary.public_lists_max, r.public_lists);
+  }
+  const double n = static_cast<double>(responses.size());
+  summary.external_usage_fraction = external / n;
+  summary.internal_usage_fraction = internal / n;
+  summary.direct_block_fraction = direct / n;
+  summary.threat_intel_fraction = intel / n;
+  summary.paid_lists_mean = static_cast<double>(paid_sum) / n;
+  summary.public_lists_mean = static_cast<double>(public_sum) / n;
+  summary.reuse_question_respondents = answered;
+  if (answered > 0) {
+    summary.cgn_concern_fraction = static_cast<double>(cgn_yes) / answered;
+    summary.dynamic_concern_fraction =
+        static_cast<double>(dynamic_yes) / answered;
+  }
+  summary.multi_type_fraction = multi_type / n;
+  return summary;
+}
+
+std::vector<std::pair<std::string, double>> reuse_issue_type_usage(
+    std::span<const SurveyResponse> responses) {
+  std::size_t issue_group = 0;
+  std::array<std::size_t, kOperatorListTypeCount> counts{};
+  for (const SurveyResponse& r : responses) {
+    if (!r.faced_reuse_issue()) continue;
+    ++issue_group;
+    for (int t = 0; t < kOperatorListTypeCount; ++t) {
+      if (r.uses_type(static_cast<OperatorListType>(t))) {
+        ++counts[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+  std::vector<std::pair<std::string, double>> out;
+  for (int t = 0; t < kOperatorListTypeCount; ++t) {
+    out.emplace_back(std::string(to_string(static_cast<OperatorListType>(t))),
+                     issue_group == 0
+                         ? 0.0
+                         : static_cast<double>(counts[static_cast<std::size_t>(t)]) /
+                               static_cast<double>(issue_group));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+}  // namespace reuse::survey

@@ -1,0 +1,90 @@
+// Operator survey dataset and tabulation (paper §6, Appendix A).
+//
+// The paper surveys 65 network operators about blocklist usage. The raw
+// responses are not published, so this module embeds a synthetic response
+// set whose aggregations reproduce the published marginals exactly (Table 1)
+// and the type-usage bars of Figure 9, plus the tabulators that compute
+// those aggregates from any response set of this schema.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reuse::survey {
+
+/// Blocklist types operators reported using (Figure 9's y-axis).
+enum class OperatorListType : std::uint8_t {
+  kVoip,
+  kBanking,
+  kFtp,
+  kBackdoor,
+  kHttp,
+  kSsh,
+  kRansomware,
+  kBruteforce,
+  kDdos,
+  kReputation,
+  kSpam,
+};
+inline constexpr int kOperatorListTypeCount = 11;
+
+[[nodiscard]] std::string_view to_string(OperatorListType type);
+
+struct SurveyResponse {
+  std::uint32_t respondent_id = 0;
+  bool maintains_internal = false;
+  bool uses_external = false;
+  int paid_lists = 0;
+  int public_lists = 0;
+  bool blocks_directly = false;       ///< uses lists to directly drop traffic
+  bool feeds_threat_intel = false;
+  /// Answers to the reuse questions; unanswered (31 of 65) is nullopt.
+  std::optional<bool> cgn_hurts_accuracy;
+  std::optional<bool> dynamic_hurts_accuracy;
+  /// Bitmask over OperatorListType of external list types used.
+  std::uint16_t list_types_used = 0;
+
+  [[nodiscard]] bool uses_type(OperatorListType type) const {
+    return (list_types_used >> static_cast<unsigned>(type)) & 1u;
+  }
+  [[nodiscard]] int type_count() const;
+  /// "Faced issues with reused addresses": answered yes to either question.
+  [[nodiscard]] bool faced_reuse_issue() const {
+    return cgn_hurts_accuracy.value_or(false) ||
+           dynamic_hurts_accuracy.value_or(false);
+  }
+};
+
+/// The embedded 65-respondent dataset.
+[[nodiscard]] const std::vector<SurveyResponse>& embedded_survey();
+
+/// Table 1 aggregates.
+struct SurveySummary {
+  std::size_t respondents = 0;
+  double external_usage_fraction = 0.0;
+  double internal_usage_fraction = 0.0;
+  double paid_lists_mean = 0.0;
+  int paid_lists_max = 0;
+  double public_lists_mean = 0.0;
+  int public_lists_max = 0;
+  double direct_block_fraction = 0.0;
+  double threat_intel_fraction = 0.0;
+  std::size_t reuse_question_respondents = 0;
+  double cgn_concern_fraction = 0.0;      ///< of those who answered
+  double dynamic_concern_fraction = 0.0;  ///< of those who answered
+  double multi_type_fraction = 0.0;       ///< used >= 2 list types
+};
+
+[[nodiscard]] SurveySummary summarize(std::span<const SurveyResponse> responses);
+
+/// Figure 9: for each list type, the fraction of reuse-issue operators using
+/// it, sorted ascending (the paper's bar order).
+[[nodiscard]] std::vector<std::pair<std::string, double>>
+reuse_issue_type_usage(std::span<const SurveyResponse> responses);
+
+}  // namespace reuse::survey

@@ -1,0 +1,201 @@
+#include "census/census.h"
+
+#include <gtest/gtest.h>
+
+namespace reuse::census {
+namespace {
+
+TEST(AddressMetrics, AllUpSequence) {
+  const AddressMetrics metrics =
+      metrics_from_sequence(std::vector<bool>(10, true), net::Duration::hours(1));
+  EXPECT_EQ(metrics.probes, 10u);
+  EXPECT_EQ(metrics.responses, 10u);
+  EXPECT_DOUBLE_EQ(metrics.availability(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.volatility(), 0.0);
+  EXPECT_EQ(metrics.median_uptime_seconds, 10 * 3600);
+}
+
+TEST(AddressMetrics, AllDownSequence) {
+  const AddressMetrics metrics =
+      metrics_from_sequence(std::vector<bool>(10, false), net::Duration::hours(1));
+  EXPECT_DOUBLE_EQ(metrics.availability(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.volatility(), 0.0);
+  EXPECT_EQ(metrics.median_uptime_seconds, 0);
+}
+
+TEST(AddressMetrics, AlternatingSequenceIsMaximallyVolatile) {
+  std::vector<bool> responses;
+  for (int i = 0; i < 10; ++i) responses.push_back(i % 2 == 0);
+  const AddressMetrics metrics =
+      metrics_from_sequence(responses, net::Duration::hours(1));
+  EXPECT_DOUBLE_EQ(metrics.availability(), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.volatility(), 1.0);
+  EXPECT_EQ(metrics.median_uptime_seconds, 3600);
+}
+
+TEST(AddressMetrics, UptimeRunsAreMeasured) {
+  // up up up down up down -> runs of 3h and 1h, median = 3h (upper median).
+  const std::vector<bool> responses{true, true, true, false, true, false};
+  const AddressMetrics metrics =
+      metrics_from_sequence(responses, net::Duration::hours(1));
+  EXPECT_EQ(metrics.median_uptime_seconds, 3 * 3600);
+  EXPECT_EQ(metrics.transitions, 3u);
+}
+
+TEST(AddressMetrics, EmptySequence) {
+  const AddressMetrics metrics =
+      metrics_from_sequence({}, net::Duration::hours(1));
+  EXPECT_EQ(metrics.probes, 0u);
+  EXPECT_DOUBLE_EQ(metrics.availability(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.volatility(), 0.0);
+}
+
+TEST(DynamicBlockRule, ClassifiesByThresholds) {
+  BlockMetrics metrics;
+  metrics.responsive_addresses = 100;
+  metrics.mean_availability = 0.35;  // idle between leases
+  metrics.mean_volatility = 0.03;    // lease-rate flips
+  metrics.median_uptime_seconds = 86400;
+  EXPECT_TRUE(is_dynamic_block(metrics));
+
+  BlockMetrics stable = metrics;
+  stable.mean_availability = 0.99;  // servers / middlebox replies
+  EXPECT_FALSE(is_dynamic_block(stable));
+
+  BlockMetrics residential = metrics;
+  residential.mean_availability = 0.62;  // always-on + diurnal host mix
+  EXPECT_FALSE(is_dynamic_block(residential));
+
+  BlockMetrics quiet = metrics;
+  quiet.responsive_addresses = 2;  // too sparse to judge
+  EXPECT_FALSE(is_dynamic_block(quiet));
+
+  BlockMetrics frozen = metrics;
+  frozen.mean_volatility = 0.0;  // never flips at all
+  EXPECT_FALSE(is_dynamic_block(frozen));
+
+  BlockMetrics thrashing = metrics;
+  thrashing.mean_volatility = 0.9;  // responds at random: measurement noise
+  EXPECT_FALSE(is_dynamic_block(thrashing));
+
+  BlockMetrics longlease = metrics;
+  longlease.median_uptime_seconds = 30 * 86400;
+  EXPECT_FALSE(is_dynamic_block(longlease));
+}
+
+class CensusOnWorld : public ::testing::Test {
+ protected:
+  static const inet::World& world() {
+    static const inet::World kWorld(inet::test_world_config(21));
+    return kWorld;
+  }
+  static const CensusResult& result() {
+    static const CensusResult kResult = [] {
+      CensusConfig config;
+      config.seed = 5;
+      config.block_sample_fraction = 0.5;
+      config.window = {net::SimTime(0), net::SimTime(7 * 86400)};
+      return run_census(world(), config);
+    }();
+    return kResult;
+  }
+};
+
+TEST_F(CensusOnWorld, SurveysTheRequestedSample) {
+  std::size_t total_blocks = 0;
+  for (const auto& as_info : world().ases()) {
+    total_blocks += as_info.prefixes.size();
+  }
+  EXPECT_EQ(result().blocks_surveyed, total_blocks / 2);
+  EXPECT_GT(result().probes_sent, 0u);
+  EXPECT_GT(result().responses, 0u);
+  EXPECT_LT(result().responses, result().probes_sent);
+}
+
+TEST_F(CensusOnWorld, IcmpFilteredAsesNeverRespond) {
+  const inet::PingModel model(world(), 999);
+  for (const auto& as_info : world().ases()) {
+    if (!as_info.filters_icmp) continue;
+    for (const auto& prefix : as_info.prefixes) {
+      EXPECT_FALSE(model.responds(prefix.address_at(10), net::SimTime(0)));
+    }
+    break;  // one AS suffices
+  }
+}
+
+TEST_F(CensusOnWorld, DynamicBlocksAreMostlyRealDynamicPools) {
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  for (const auto& prefix : result().dynamic_blocks.to_vector()) {
+    ++total;
+    hits += world().dynamic_prefixes().contains_prefix(prefix);
+  }
+  if (total == 0) GTEST_SKIP() << "no dynamic blocks detected at this scale";
+  // The census is the *noisy baseline*: most (not necessarily all) of its
+  // calls should be real dynamic pools.
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(total), 0.6);
+}
+
+TEST_F(CensusOnWorld, CgnBlocksLookStatic) {
+  // Middlebox replies make CGN space look like stable hosts; the census must
+  // NOT classify CGN /24s as dynamic (a documented failure mode).
+  for (const auto& block : result().blocks) {
+    if (world().role_of(block.block.network()) == inet::PrefixRole::kCgnPool) {
+      EXPECT_FALSE(result().dynamic_blocks.contains_prefix(block.block))
+          << block.block.to_string();
+    }
+  }
+}
+
+TEST_F(CensusOnWorld, BlockMetricsAreWellFormed) {
+  for (const auto& block : result().blocks) {
+    EXPECT_GE(block.responsive_addresses, 1u);
+    EXPECT_LE(block.responsive_addresses, 256u);
+    EXPECT_GE(block.mean_availability, 0.0);
+    EXPECT_LE(block.mean_availability, 1.0);
+    EXPECT_GE(block.mean_volatility, 0.0);
+    EXPECT_LE(block.mean_volatility, 1.0);
+  }
+}
+
+TEST(PingModel, IsDeterministic) {
+  const inet::World world(inet::test_world_config(22));
+  const inet::PingModel a(world, 1);
+  const inet::PingModel b(world, 1);
+  const inet::PingModel c(world, 2);
+  int diverged = 0;
+  for (const auto& as_info : world.ases()) {
+    for (const auto& prefix : as_info.prefixes) {
+      for (int offset = 0; offset < 8; ++offset) {
+        const auto address = prefix.address_at(static_cast<std::uint64_t>(offset) * 31);
+        for (int hour = 0; hour < 4; ++hour) {
+          const net::SimTime t(hour * 3600);
+          ASSERT_EQ(a.responds(address, t), b.responds(address, t));
+          diverged += a.responds(address, t) != c.responds(address, t);
+        }
+      }
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(PingModel, UnusedSpaceIsDark) {
+  const inet::World world(inet::test_world_config(23));
+  const inet::PingModel model(world, 7);
+  EXPECT_FALSE(model.responds(net::Ipv4Address(1), net::SimTime(0)));
+  for (const auto& as_info : world.ases()) {
+    for (std::size_t i = 0; i < as_info.prefixes.size(); ++i) {
+      if (as_info.roles[i] == inet::PrefixRole::kUnused) {
+        for (int offset = 0; offset < 256; offset += 17) {
+          EXPECT_FALSE(model.responds(
+              as_info.prefixes[i].address_at(static_cast<std::uint64_t>(offset)),
+              net::SimTime(3600)));
+        }
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reuse::census

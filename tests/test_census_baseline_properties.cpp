@@ -1,0 +1,66 @@
+// Property sweep over census configurations: the baseline's documented
+// strengths and weaknesses must hold across sampling rates and seeds.
+#include <gtest/gtest.h>
+
+#include "census/census.h"
+
+namespace reuse::census {
+namespace {
+
+class CensusProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CensusProperty, NeverFlagsNonPoolMiddleboxSpace) {
+  const inet::World world(inet::test_world_config(GetParam()));
+  CensusConfig config;
+  config.seed = GetParam() * 31;
+  config.block_sample_fraction = 0.4;
+  config.window = {net::SimTime(0), net::SimTime(7 * 86400)};
+  const CensusResult result = run_census(world, config);
+
+  for (const auto& prefix : result.dynamic_blocks.to_vector()) {
+    const inet::PrefixRole role = world.role_of(prefix.network());
+    // CGN and home-NAT space answers through middleboxes and must look
+    // static; server space is stably up. Only pool space (or, rarely,
+    // oddly behaving residential space) may be called dynamic.
+    EXPECT_NE(role, inet::PrefixRole::kCgnPool) << prefix.to_string();
+    EXPECT_NE(role, inet::PrefixRole::kHomeNatResidential) << prefix.to_string();
+    EXPECT_NE(role, inet::PrefixRole::kServerHosting) << prefix.to_string();
+    EXPECT_NE(role, inet::PrefixRole::kUnused) << prefix.to_string();
+  }
+}
+
+TEST_P(CensusProperty, IcmpFilteredPoolsAreInvisible) {
+  const inet::World world(inet::test_world_config(GetParam()));
+  CensusConfig config;
+  config.seed = GetParam() * 37;
+  config.block_sample_fraction = 1.0;  // survey everything
+  config.window = {net::SimTime(0), net::SimTime(5 * 86400)};
+  const CensusResult result = run_census(world, config);
+
+  for (const auto& prefix : result.dynamic_blocks.to_vector()) {
+    const inet::AsInfo* as_info = world.find_as(world.asn_of(prefix.network()));
+    ASSERT_NE(as_info, nullptr);
+    EXPECT_FALSE(as_info->filters_icmp)
+        << prefix.to_string() << " should be invisible to ICMP";
+  }
+}
+
+TEST_P(CensusProperty, SamplingScalesProbeVolumeLinearly) {
+  const inet::World world(inet::test_world_config(GetParam()));
+  auto probes_at = [&](double fraction) {
+    CensusConfig config;
+    config.seed = 5;
+    config.block_sample_fraction = fraction;
+    config.window = {net::SimTime(0), net::SimTime(86400)};
+    return run_census(world, config).probes_sent;
+  };
+  const auto half = probes_at(0.5);
+  const auto tenth = probes_at(0.1);
+  EXPECT_GT(half, tenth * 4);
+  EXPECT_LT(half, tenth * 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CensusProperty, ::testing::Values(41, 43, 47));
+
+}  // namespace
+}  // namespace reuse::census

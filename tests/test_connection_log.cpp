@@ -1,0 +1,63 @@
+#include "atlas/connection_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace reuse::atlas {
+namespace {
+
+TEST(ConnectionLog, CsvRoundTrip) {
+  std::vector<ConnectionRecord> records{
+      {0, 1, *net::Ipv4Address::parse("10.0.0.1"), 100},
+      {86400, 2, *net::Ipv4Address::parse("192.0.2.7"), 4134},
+      {172800, 1, *net::Ipv4Address::parse("10.0.0.2"), 100},
+  };
+  std::ostringstream os;
+  write_csv(os, records);
+  std::istringstream is(os.str());
+  const auto parsed = read_csv(is);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, records);
+}
+
+TEST(ConnectionLog, ParsesSingleRecord) {
+  const auto record = parse_record("3600,42,1.2.3.4,65000");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->time_seconds, 3600);
+  EXPECT_EQ(record->probe_id, 42u);
+  EXPECT_EQ(record->address.to_string(), "1.2.3.4");
+  EXPECT_EQ(record->asn, 65000u);
+}
+
+TEST(ConnectionLog, RejectsMalformedRecords) {
+  EXPECT_FALSE(parse_record(""));
+  EXPECT_FALSE(parse_record("1,2,3"));
+  EXPECT_FALSE(parse_record("1,2,1.2.3.4"));
+  EXPECT_FALSE(parse_record("x,2,1.2.3.4,5"));
+  EXPECT_FALSE(parse_record("1,2,999.2.3.4,5"));
+  EXPECT_FALSE(parse_record("1,2,1.2.3.4,5,6"));
+  EXPECT_FALSE(parse_record("1,2,1.2.3.4,asn"));
+}
+
+TEST(ConnectionLog, NegativeTimesSupported) {
+  // Warm-up records predate the simulation epoch.
+  const auto record = parse_record("-3600,1,1.2.3.4,5");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->time_seconds, -3600);
+}
+
+TEST(ConnectionLog, ReadSkipsHeaderAndBlankLines) {
+  std::istringstream is("time,probe_id,address,asn\n\n1,2,1.2.3.4,5\n\n");
+  const auto parsed = read_csv(is);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(ConnectionLog, ReadRejectsCorruptBody) {
+  std::istringstream is("time,probe_id,address,asn\nnot-a-record\n");
+  EXPECT_FALSE(read_csv(is).has_value());
+}
+
+}  // namespace
+}  // namespace reuse::atlas

@@ -1,0 +1,250 @@
+// Crawler behaviour under controlled conditions: hand-built DHT topologies
+// where ground truth is exact, exercising the paper's verification rule —
+// >= 2 concurrent bt_ping replies with distinct node_ids AND ports.
+#include "crawler/crawler.h"
+
+#include <gtest/gtest.h>
+
+#include "dht/messages.h"
+#include "simnet/event_queue.h"
+#include "simnet/transport.h"
+
+namespace reuse::crawler {
+namespace {
+
+using dht::BtPingRequest;
+using dht::DhtRequest;
+using dht::DhtResponse;
+using dht::GetNodesRequest;
+using dht::NodeContact;
+using dht::NodeId;
+
+net::Ipv4Address addr(std::uint32_t value) { return net::Ipv4Address(value); }
+
+NodeId make_id(std::uint32_t tag) {
+  return NodeId(std::array<std::uint32_t, 5>{tag, tag, tag, tag, tag});
+}
+
+/// A scripted peer: always online, fixed node_id, fixed neighbour list.
+struct ScriptedPeer {
+  NodeId id;
+  std::vector<NodeContact> neighbors;
+};
+
+class CrawlerHarness {
+ public:
+  CrawlerHarness() : transport_(events_, net::Rng(1), lossless()) {}
+
+  static sim::TransportConfig lossless() {
+    sim::TransportConfig config;
+    config.request_loss = 0.0;
+    config.response_loss = 0.0;
+    config.min_delay = net::Duration::seconds(1);
+    config.max_delay = net::Duration::seconds(1);
+    return config;
+  }
+
+  void add_peer(const net::Endpoint& endpoint, ScriptedPeer peer) {
+    transport_.bind(endpoint, [peer = std::move(peer)](
+                                  const net::Endpoint&, const DhtRequest& request)
+                                  -> std::optional<DhtResponse> {
+      DhtResponse response;
+      response.responder_id = peer.id;
+      response.version = "TEST";
+      if (std::holds_alternative<GetNodesRequest>(request)) {
+        response.neighbors = peer.neighbors;
+      }
+      return response;
+    });
+  }
+
+  /// Runs a crawl from `bootstrap` over `days` days.
+  Crawler& crawl(const net::Endpoint& bootstrap, int days,
+                 CrawlerConfig config = {}) {
+    config.seed = 5;
+    crawler_ = std::make_unique<Crawler>(transport_, events_, bootstrap,
+                                         std::move(config));
+    const net::TimeWindow window{net::SimTime(0), net::SimTime(days * 86400)};
+    crawler_->start(window);
+    events_.run_until(window.end + net::Duration::minutes(5));
+    return *crawler_;
+  }
+
+  sim::EventQueue events_;
+  sim::Transport<DhtRequest, DhtResponse> transport_;
+  std::unique_ptr<Crawler> crawler_;
+};
+
+// Bootstrap at .1; two live clients behind the NAT address .10 on ports
+// 2000/3000 (distinct ids). The crawler must flag .10 as NATed with a
+// 2-user lower bound.
+TEST(Crawler, DetectsTwoUserNat) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint nat_a{addr(10), 2000};
+  const net::Endpoint nat_b{addr(10), 3000};
+  harness.add_peer(bootstrap,
+                   {make_id(1), {{nat_a, make_id(10)}, {nat_b, make_id(11)}}});
+  harness.add_peer(nat_a, {make_id(10), {{nat_b, make_id(11)}}});
+  harness.add_peer(nat_b, {make_id(11), {{nat_a, make_id(10)}}});
+
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  const auto nated = crawler.nated();
+  ASSERT_EQ(nated.size(), 1u);
+  EXPECT_EQ(nated[0].first, addr(10));
+  EXPECT_EQ(nated[0].second, 2u);
+  EXPECT_TRUE(crawler.discovered().at(addr(10)).is_nated());
+}
+
+// One client at .10 changed its port: the old endpoint circulates in the
+// bootstrap's table but is dead. Two ports are seen, but only one answers —
+// the paper's stale-information case. The IP must NOT be flagged.
+TEST(Crawler, StalePortIsNotMistakenForNat) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint live{addr(10), 2000};
+  const net::Endpoint stale{addr(10), 700};  // unbound: never answers
+  harness.add_peer(bootstrap,
+                   {make_id(1), {{live, make_id(10)}, {stale, make_id(10)}}});
+  harness.add_peer(live, {make_id(10), {}});
+
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  EXPECT_TRUE(crawler.nated().empty());
+  const IpEvidence& evidence = crawler.discovered().at(addr(10));
+  EXPECT_EQ(evidence.ports.size(), 2u);
+  EXPECT_FALSE(evidence.is_nated());
+  EXPECT_GT(evidence.verification_rounds, 0u);
+}
+
+// Two ports answering with the SAME node_id (one client double-mapped) do
+// not satisfy the distinct-id rule.
+TEST(Crawler, SameNodeIdOnTwoPortsIsOneUser) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint a{addr(10), 2000};
+  const net::Endpoint b{addr(10), 3000};
+  harness.add_peer(bootstrap,
+                   {make_id(1), {{a, make_id(10)}, {b, make_id(10)}}});
+  harness.add_peer(a, {make_id(10), {}});
+  harness.add_peer(b, {make_id(10), {}});
+
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  EXPECT_TRUE(crawler.nated().empty());
+}
+
+// A single-port IP is never even verified.
+TEST(Crawler, SinglePortIpIsNotVerified) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint solo{addr(10), 2000};
+  harness.add_peer(bootstrap, {make_id(1), {{solo, make_id(10)}}});
+  harness.add_peer(solo, {make_id(10), {}});
+
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  EXPECT_TRUE(crawler.nated().empty());
+  EXPECT_EQ(crawler.discovered().at(addr(10)).verification_rounds, 0u);
+}
+
+// Restriction: endpoints outside the allowed /24s are skipped entirely.
+TEST(Crawler, RestrictionSkipsOutsideAddresses) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint inside{addr(10), 2000};
+  const net::Endpoint outside{addr(1u << 24), 2000};
+  harness.add_peer(bootstrap, {make_id(1), {{inside, make_id(10)},
+                                            {outside, make_id(11)}}});
+  harness.add_peer(inside, {make_id(10), {}});
+  harness.add_peer(outside, {make_id(11), {}});
+
+  CrawlerConfig config;
+  config.restricted = true;
+  config.restrict_to.insert(net::Ipv4Prefix::slash24_of(addr(10)));
+  Crawler& crawler = harness.crawl(bootstrap, 1, std::move(config));
+  EXPECT_TRUE(crawler.discovered().contains(addr(10)));
+  EXPECT_FALSE(crawler.discovered().contains(addr(1u << 24)));
+  EXPECT_GT(crawler.stats().endpoints_skipped_restricted, 0u);
+}
+
+// The per-IP cooldown bounds contact frequency: with a 20-minute cooldown,
+// one IP sees at most ~3 verification bursts per hour.
+TEST(Crawler, CooldownLimitsContactRate) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint a{addr(10), 2000};
+  const net::Endpoint b{addr(10), 3000};
+  harness.add_peer(bootstrap,
+                   {make_id(1), {{a, make_id(10)}, {b, make_id(11)}}});
+  harness.add_peer(a, {make_id(10), {{b, make_id(11)}}});
+  harness.add_peer(b, {make_id(11), {{a, make_id(10)}}});
+
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  // 1 day / 20 min = 72 contact opportunities; the crawler may use fewer
+  // (hourly re-pings) but must never exceed the cooldown bound.
+  EXPECT_LE(crawler.discovered().at(addr(10)).verification_rounds, 73u);
+  EXPECT_GT(crawler.discovered().at(addr(10)).verification_rounds, 10u);
+}
+
+// The lower bound never exceeds the true number of scripted clients.
+TEST(Crawler, UserCountIsALowerBound) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  std::vector<NodeContact> contacts;
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    const net::Endpoint endpoint{addr(10), static_cast<std::uint16_t>(2000 + i)};
+    contacts.push_back({endpoint, make_id(10u + i)});
+  }
+  harness.add_peer(bootstrap, {make_id(1), contacts});
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    harness.add_peer({addr(10), static_cast<std::uint16_t>(2000 + i)},
+                     {make_id(10u + i), {}});
+  }
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  const auto nated = crawler.nated();
+  ASSERT_EQ(nated.size(), 1u);
+  EXPECT_LE(nated[0].second, 5u);
+  EXPECT_GE(nated[0].second, 2u);
+}
+
+// Lossy transport: detection still succeeds thanks to hourly re-pings.
+TEST(Crawler, SurvivesHeavyLossViaRepings) {
+  CrawlerHarness harness;
+  // Rebuild the transport with 40% loss each way.
+  sim::TransportConfig lossy;
+  lossy.request_loss = 0.4;
+  lossy.response_loss = 0.4;
+  lossy.min_delay = net::Duration::seconds(1);
+  lossy.max_delay = net::Duration::seconds(2);
+  sim::Transport<DhtRequest, DhtResponse> transport(harness.events_,
+                                                    net::Rng(3), lossy);
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint a{addr(10), 2000};
+  const net::Endpoint b{addr(10), 3000};
+  auto bind_scripted = [&](const net::Endpoint& endpoint, ScriptedPeer peer) {
+    transport.bind(endpoint, [peer = std::move(peer)](
+                                 const net::Endpoint&, const DhtRequest& request)
+                                 -> std::optional<DhtResponse> {
+      DhtResponse response;
+      response.responder_id = peer.id;
+      if (std::holds_alternative<GetNodesRequest>(request)) {
+        response.neighbors = peer.neighbors;
+      }
+      return response;
+    });
+  };
+  bind_scripted(bootstrap, {make_id(1), {{a, make_id(10)}, {b, make_id(11)}}});
+  bind_scripted(a, {make_id(10), {{b, make_id(11)}}});
+  bind_scripted(b, {make_id(11), {{a, make_id(10)}}});
+
+  CrawlerConfig config;
+  config.seed = 5;
+  Crawler crawler(transport, harness.events_, bootstrap, config);
+  crawler.start({net::SimTime(0), net::SimTime(2 * 86400)});
+  harness.events_.run_until(net::SimTime(2 * 86400) + net::Duration::minutes(5));
+  const auto nated = crawler.nated();
+  ASSERT_EQ(nated.size(), 1u);
+  EXPECT_EQ(nated[0].first, addr(10));
+  EXPECT_LT(crawler.stats().ping_response_rate(), 0.7);
+}
+
+}  // namespace
+}  // namespace reuse::crawler

@@ -1,0 +1,109 @@
+#include "blocklist/dump.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace reuse::blocklist {
+namespace {
+
+net::Ipv4Address addr(const char* text) { return *net::Ipv4Address::parse(text); }
+
+class DumpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("dump_test_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::vector<BlocklistInfo> catalogue() {
+    BlocklistInfo a;
+    a.id = 1;
+    a.name = "alpha";
+    BlocklistInfo b;
+    b.id = 2;
+    b.name = "beta";
+    return {a, b};
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DumpTest, RoundTripPreservesPresence) {
+  SnapshotStore store;
+  store.record(1, addr("1.0.0.1"), 0);
+  store.record(1, addr("1.0.0.1"), 1);
+  store.record(1, addr("1.0.0.2"), 1);
+  store.record(2, addr("2.0.0.1"), 0);
+  store.record(2, addr("2.0.0.1"), 3);  // gap: days 0 and 3
+
+  const auto written = write_daily_dumps(store, catalogue(), dir_);
+  ASSERT_TRUE(written.has_value());
+  EXPECT_EQ(written->files, 4u);  // (d0,alpha) (d1,alpha) (d0,beta) (d3,beta)
+  EXPECT_EQ(written->entries, 5u);
+
+  SnapshotStore reloaded;
+  const auto read = read_daily_dumps(dir_, catalogue(), reloaded);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->entries, 5u);
+  EXPECT_EQ(reloaded.listing_count(), store.listing_count());
+  store.for_each_listing([&](ListId list, net::Ipv4Address address,
+                             const net::IntervalSet& presence) {
+    const net::IntervalSet* other = reloaded.presence(list, address);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->intervals(), presence.intervals());
+  });
+}
+
+TEST_F(DumpTest, LayoutIsOneFilePerListAndDay) {
+  SnapshotStore store;
+  store.record(1, addr("1.0.0.1"), 7);
+  ASSERT_TRUE(write_daily_dumps(store, catalogue(), dir_).has_value());
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "7" / "alpha.txt"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "7" / "beta.txt"));
+}
+
+TEST_F(DumpTest, UnknownListsAndGarbageAreSkippedOnImport) {
+  std::filesystem::create_directories(dir_ / "0");
+  std::filesystem::create_directories(dir_ / "not-a-day");
+  {
+    std::ofstream os(dir_ / "0" / "alpha.txt");
+    os << "1.0.0.1\njunk line\n";
+  }
+  {
+    std::ofstream os(dir_ / "0" / "unknown-list.txt");
+    os << "9.9.9.9\n";
+  }
+  {
+    std::ofstream os(dir_ / "not-a-day" / "alpha.txt");
+    os << "8.8.8.8\n";
+  }
+  SnapshotStore store;
+  const auto stats = read_daily_dumps(dir_, catalogue(), store);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->files, 1u);
+  EXPECT_EQ(stats->entries, 1u);
+  EXPECT_EQ(stats->skipped_lines, 1u);
+  EXPECT_NE(store.presence(1, addr("1.0.0.1")), nullptr);
+  EXPECT_EQ(store.addresses().size(), 1u);
+}
+
+TEST_F(DumpTest, MissingDirectoryIsAnError) {
+  SnapshotStore store;
+  EXPECT_FALSE(read_daily_dumps(dir_ / "nope", catalogue(), store).has_value());
+}
+
+TEST_F(DumpTest, EmptyStoreWritesNothing) {
+  SnapshotStore store;
+  const auto stats = write_daily_dumps(store, catalogue(), dir_);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->files, 0u);
+}
+
+}  // namespace
+}  // namespace reuse::blocklist

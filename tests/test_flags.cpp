@@ -1,0 +1,108 @@
+#include "netbase/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace reuse::net {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return argv;
+}
+
+TEST(FlagParser, ParsesEqualsAndSpaceForms) {
+  FlagParser parser;
+  parser.define("alpha", "first");
+  parser.define("beta", "second");
+  const auto argv = argv_of({"--alpha=1", "--beta", "two"});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get("alpha"), "1");
+  EXPECT_EQ(parser.get("beta"), "two");
+  EXPECT_TRUE(parser.has("alpha"));
+}
+
+TEST(FlagParser, DefaultsApplyWhenUnset) {
+  FlagParser parser;
+  parser.define("alpha", "first", "42");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(parser.has("alpha"));
+  EXPECT_EQ(parser.get("alpha"), "42");
+  EXPECT_EQ(parser.get_int("alpha"), 42);
+}
+
+TEST(FlagParser, BooleanFlags) {
+  FlagParser parser;
+  parser.define_bool("verbose", "chatty");
+  parser.define_bool("quiet", "silent");
+  const auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+  EXPECT_FALSE(parser.get_bool("quiet"));
+}
+
+TEST(FlagParser, BooleanWithExplicitValue) {
+  FlagParser parser;
+  parser.define_bool("verbose", "chatty");
+  const auto argv = argv_of({"--verbose=yes"});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(FlagParser, UnknownFlagIsAnError) {
+  FlagParser parser;
+  parser.define("alpha", "first");
+  const auto argv = argv_of({"--oops=1"});
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(parser.error().find("oops"), std::string::npos);
+}
+
+TEST(FlagParser, MissingValueIsAnError) {
+  FlagParser parser;
+  parser.define("alpha", "first");
+  const auto argv = argv_of({"--alpha"});
+  EXPECT_FALSE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(parser.error().find("alpha"), std::string::npos);
+}
+
+TEST(FlagParser, PositionalArgumentsAreCollected) {
+  FlagParser parser;
+  parser.define("alpha", "first");
+  const auto argv = argv_of({"one", "--alpha=x", "two"});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.positional(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(FlagParser, NumericConversionFailuresAreNullopt) {
+  FlagParser parser;
+  parser.define("n", "count", "abc");
+  parser.define("x", "rate", "1.5");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(parser.get_int("n").has_value());
+  EXPECT_EQ(parser.get_double("x"), 1.5);
+  EXPECT_FALSE(parser.get_double("n").has_value());
+}
+
+TEST(FlagParser, UsageListsEveryFlag) {
+  FlagParser parser;
+  parser.define("alpha", "the alpha flag", "7");
+  parser.define_bool("verbose", "chatty");
+  const std::string usage = parser.usage("tool", "does things");
+  EXPECT_NE(usage.find("--alpha=<value>"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+}
+
+TEST(FlagParser, NegativeNumbersParse) {
+  FlagParser parser;
+  parser.define("n", "count");
+  const auto argv = argv_of({"--n=-5"});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get_int("n"), -5);
+}
+
+}  // namespace
+}  // namespace reuse::net

@@ -1,0 +1,143 @@
+#include "atlas/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace reuse::atlas {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static const inet::World& world() {
+    static const inet::World kWorld(inet::test_world_config(13));
+    return kWorld;
+  }
+  static FleetConfig config() {
+    FleetConfig config;
+    config.seed = 55;
+    config.probe_count = 400;
+    return config;
+  }
+  static const AtlasFleet& fleet() {
+    static const AtlasFleet kFleet(world(), config());
+    return kFleet;
+  }
+};
+
+TEST_F(FleetTest, BuildsRequestedProbeCount) {
+  EXPECT_EQ(fleet().probe_count(), 400u);
+  EXPECT_FALSE(fleet().log().empty());
+}
+
+TEST_F(FleetTest, LogIsTimeSorted) {
+  const auto& log = fleet().log();
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].time_seconds, log[i].time_seconds);
+  }
+}
+
+TEST_F(FleetTest, RecordsStayInsideWindow) {
+  const auto window = config().window;
+  for (const ConnectionRecord& record : fleet().log()) {
+    EXPECT_GE(record.time_seconds, window.begin.seconds());
+    EXPECT_LT(record.time_seconds, window.end.seconds());
+  }
+}
+
+TEST_F(FleetTest, RecordAsnMatchesAddressOwner) {
+  for (const ConnectionRecord& record : fleet().log()) {
+    EXPECT_EQ(world().asn_of(record.address), record.asn)
+        << record.address.to_string();
+  }
+}
+
+TEST_F(FleetTest, EveryProbeEmitsRecords) {
+  std::unordered_set<ProbeId> seen;
+  for (const ConnectionRecord& record : fleet().log()) {
+    seen.insert(record.probe_id);
+  }
+  EXPECT_EQ(seen.size(), fleet().probe_count());
+}
+
+TEST_F(FleetTest, RelocatedProbesSpanTwoAses) {
+  std::unordered_map<ProbeId, std::unordered_set<inet::Asn>> asns;
+  for (const ConnectionRecord& record : fleet().log()) {
+    asns[record.probe_id].insert(record.asn);
+  }
+  std::size_t relocated_in_truth = 0;
+  for (const ProbeTruth& truth : fleet().truths()) {
+    if (truth.relocated) {
+      ++relocated_in_truth;
+      EXPECT_NE(truth.second_host, 0u);
+      // The move is visible in the log unless one span was empty.
+      EXPECT_GE(asns[truth.probe_id].size(), 1u);
+    } else {
+      EXPECT_EQ(asns[truth.probe_id].size(), 1u);
+    }
+  }
+  // ~13% of 400.
+  EXPECT_GT(relocated_in_truth, 20u);
+  EXPECT_LT(relocated_in_truth, 100u);
+}
+
+TEST_F(FleetTest, StaticHostsNeverChangeAddress) {
+  std::unordered_map<ProbeId, std::unordered_set<net::Ipv4Address>> addresses;
+  for (const ConnectionRecord& record : fleet().log()) {
+    addresses[record.probe_id].insert(record.address);
+  }
+  for (const ProbeTruth& truth : fleet().truths()) {
+    if (truth.relocated) continue;
+    const inet::User& host = world().user(truth.host);
+    if (host.attachment != inet::AttachmentKind::kDynamic) {
+      EXPECT_EQ(addresses[truth.probe_id].size(), 1u)
+          << "static probe " << truth.probe_id;
+    }
+  }
+}
+
+TEST_F(FleetTest, FastPoolProbesChangeOften) {
+  std::unordered_map<ProbeId, std::unordered_set<net::Ipv4Address>> addresses;
+  for (const ConnectionRecord& record : fleet().log()) {
+    addresses[record.probe_id].insert(record.address);
+  }
+  std::size_t fast_probes = 0;
+  for (const ProbeTruth& truth : fleet().truths()) {
+    if (!truth.on_fast_pool || truth.relocated) continue;
+    ++fast_probes;
+    // A probe on a <= 1-day pool over 16 months sees hundreds of addresses.
+    EXPECT_GT(addresses[truth.probe_id].size(), 50u);
+  }
+  if (fast_probes == 0) {
+    GTEST_SKIP() << "seed produced no fast-pool probes";
+  }
+}
+
+TEST_F(FleetTest, TruthFlagsMatchWorld) {
+  for (const ProbeTruth& truth : fleet().truths()) {
+    const inet::User& host = world().user(truth.host);
+    EXPECT_EQ(truth.on_dynamic_pool,
+              host.attachment == inet::AttachmentKind::kDynamic);
+    if (truth.on_fast_pool) {
+      EXPECT_TRUE(truth.on_dynamic_pool);
+    }
+    EXPECT_EQ(fleet().truth(truth.probe_id).probe_id, truth.probe_id);
+  }
+}
+
+TEST(FleetDeterminism, SameSeedSameLog) {
+  const inet::World world(inet::test_world_config(13));
+  FleetConfig config;
+  config.seed = 9;
+  config.probe_count = 50;
+  const AtlasFleet a(world, config);
+  const AtlasFleet b(world, config);
+  EXPECT_EQ(a.log().size(), b.log().size());
+  for (std::size_t i = 0; i < a.log().size(); i += 37) {
+    EXPECT_EQ(a.log()[i], b.log()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace reuse::atlas

@@ -1,0 +1,87 @@
+#include "analysis/greylist.h"
+
+#include <gtest/gtest.h>
+
+namespace reuse::analysis {
+namespace {
+
+net::Ipv4Address addr(const char* text) { return *net::Ipv4Address::parse(text); }
+
+TEST(ReusedAddressList, EmptyStoreYieldsEmptyList) {
+  blocklist::SnapshotStore store;
+  EXPECT_TRUE(build_reused_address_list(store, {}, {}).empty());
+}
+
+TEST(ReusedAddressList, OnlyReusedBlocklistedAddressesAppear) {
+  blocklist::SnapshotStore store;
+  store.record(1, addr("1.0.0.1"), 0);  // NATed
+  store.record(1, addr("2.0.0.1"), 0);  // dynamic (via prefix)
+  store.record(1, addr("3.0.0.1"), 0);  // neither
+  std::unordered_set<net::Ipv4Address> nated{addr("1.0.0.1"),
+                                             addr("9.0.0.9")};  // 9… unlisted
+  net::PrefixSet dynamic;
+  dynamic.insert(*net::Ipv4Prefix::parse("2.0.0.0/24"));
+
+  const auto reused = build_reused_address_list(store, nated, dynamic);
+  ASSERT_EQ(reused.size(), 2u);
+  EXPECT_EQ(reused[0].address, addr("1.0.0.1"));
+  EXPECT_TRUE(reused[0].nated);
+  EXPECT_FALSE(reused[0].dynamic);
+  EXPECT_EQ(reused[1].address, addr("2.0.0.1"));
+  EXPECT_FALSE(reused[1].nated);
+  EXPECT_TRUE(reused[1].dynamic);
+}
+
+TEST(ReusedAddressList, SortedByAddress) {
+  blocklist::SnapshotStore store;
+  store.record(1, addr("9.0.0.1"), 0);
+  store.record(1, addr("1.0.0.1"), 0);
+  store.record(1, addr("5.0.0.1"), 0);
+  std::unordered_set<net::Ipv4Address> nated{addr("9.0.0.1"), addr("1.0.0.1"),
+                                             addr("5.0.0.1")};
+  const auto reused = build_reused_address_list(store, nated, {});
+  ASSERT_EQ(reused.size(), 3u);
+  EXPECT_LT(reused[0].address, reused[1].address);
+  EXPECT_LT(reused[1].address, reused[2].address);
+}
+
+TEST(GreylistSplit, PartitionIsCompleteAndDisjoint) {
+  std::vector<ReusedAddressEntry> reused;
+  reused.push_back({addr("1.0.0.1"), true, false});
+  reused.push_back({addr("2.0.0.1"), false, true});
+  const std::vector<net::Ipv4Address> snapshot{
+      addr("1.0.0.1"), addr("2.0.0.1"), addr("3.0.0.1"), addr("4.0.0.1")};
+  const GreylistSplit split = split_for_greylisting(snapshot, reused);
+  EXPECT_EQ(split.block.size() + split.greylist.size(), snapshot.size());
+  EXPECT_EQ(split.greylist.size(), 2u);
+  for (const auto& address : split.block) {
+    for (const auto& grey : split.greylist) {
+      EXPECT_NE(address, grey);
+    }
+  }
+}
+
+TEST(GreylistSplit, EmptyInputs) {
+  const GreylistSplit nothing = split_for_greylisting({}, {});
+  EXPECT_TRUE(nothing.block.empty());
+  EXPECT_TRUE(nothing.greylist.empty());
+
+  const GreylistSplit no_knowledge =
+      split_for_greylisting({addr("1.0.0.1")}, {});
+  EXPECT_EQ(no_knowledge.block.size(), 1u);
+  EXPECT_TRUE(no_knowledge.greylist.empty());
+}
+
+TEST(GreylistSplit, PreservesSnapshotOrderWithinClasses) {
+  std::vector<ReusedAddressEntry> reused;
+  reused.push_back({addr("2.0.0.1"), true, false});
+  const std::vector<net::Ipv4Address> snapshot{
+      addr("9.0.0.1"), addr("2.0.0.1"), addr("1.0.0.1")};
+  const GreylistSplit split = split_for_greylisting(snapshot, reused);
+  ASSERT_EQ(split.block.size(), 2u);
+  EXPECT_EQ(split.block[0], addr("9.0.0.1"));
+  EXPECT_EQ(split.block[1], addr("1.0.0.1"));
+}
+
+}  // namespace
+}  // namespace reuse::analysis

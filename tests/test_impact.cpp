@@ -1,0 +1,191 @@
+// The Section-5 joins on handcrafted inputs with exactly known answers.
+#include "analysis/impact.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/greylist.h"
+#include "blocklist/catalogue.h"
+
+namespace reuse::analysis {
+namespace {
+
+net::Ipv4Address addr(const char* text) { return *net::Ipv4Address::parse(text); }
+
+blocklist::BlocklistInfo list_info(blocklist::ListId id) {
+  blocklist::BlocklistInfo info;
+  info.id = id;
+  info.name = "list-" + std::to_string(id);
+  return info;
+}
+
+// Fixture: 3 lists; addresses A (NATed), B (dynamic), C (plain), D (both).
+class ImpactFixture : public ::testing::Test {
+ protected:
+  ImpactFixture() {
+    catalogue_ = {list_info(1), list_info(2), list_info(3)};
+    // List 1: A for days 0..3, C for day 0.
+    store_.record(1, a_, 0);
+    store_.record(1, a_, 1);
+    store_.record(1, a_, 2);
+    store_.record(1, c_, 0);
+    // List 2: A day 5 (re-listing), B days 0..1, D day 0.
+    store_.record(2, a_, 5);
+    store_.record(2, b_, 0);
+    store_.record(2, b_, 1);
+    store_.record(2, d_, 0);
+    // List 3: empty.
+    nated_ = {a_, d_};
+    dynamic_.insert(net::Ipv4Prefix::slash24_of(b_));
+    dynamic_.insert(net::Ipv4Prefix::slash24_of(d_));
+  }
+
+  net::Ipv4Address a_ = addr("10.0.0.1");
+  net::Ipv4Address b_ = addr("10.0.1.1");
+  net::Ipv4Address c_ = addr("10.0.2.1");
+  net::Ipv4Address d_ = addr("10.0.3.1");
+  blocklist::SnapshotStore store_;
+  std::vector<blocklist::BlocklistInfo> catalogue_;
+  std::unordered_set<net::Ipv4Address> nated_;
+  net::PrefixSet dynamic_;
+};
+
+TEST_F(ImpactFixture, ReuseImpactCountsExactly) {
+  const ReuseImpact impact =
+      compute_reuse_impact(store_, catalogue_, nated_, dynamic_);
+  EXPECT_EQ(impact.lists_total, 3u);
+  EXPECT_EQ(impact.total_listings, 5u);  // (1,A),(1,C),(2,A),(2,B),(2,D)
+  EXPECT_EQ(impact.nated_listings, 3u);  // (1,A),(2,A),(2,D)
+  EXPECT_EQ(impact.dynamic_listings, 2u);  // (2,B),(2,D)
+  EXPECT_EQ(impact.lists_with_nated, 2u);
+  EXPECT_EQ(impact.lists_with_dynamic, 1u);
+  EXPECT_EQ(impact.nated_blocklisted_addresses, 2u);   // A, D
+  EXPECT_EQ(impact.dynamic_blocklisted_addresses, 2u); // B, D
+  EXPECT_NEAR(impact.fraction_lists_with_nated(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(impact.fraction_lists_with_dynamic(), 1.0 / 3.0, 1e-12);
+  ASSERT_EQ(impact.per_list.size(), 3u);
+  EXPECT_EQ(impact.per_list[0].total_addresses, 2u);
+  EXPECT_EQ(impact.per_list[0].nated_addresses, 1u);
+  EXPECT_EQ(impact.per_list[2].total_addresses, 0u);
+}
+
+TEST_F(ImpactFixture, ListingDurationsPerSpell) {
+  const ListingDurations durations =
+      compute_listing_durations(store_, nated_, dynamic_);
+  // Spells: (1,A):3d; (1,C):1d; (2,A):1d; (2,B):2d; (2,D):1d -> 5 spells.
+  EXPECT_EQ(durations.all_days.size(), 5u);
+  // NATed spells: A's two + D's one.
+  EXPECT_EQ(durations.nated_days.size(), 3u);
+  EXPECT_EQ(durations.dynamic_days.size(), 2u);
+  double total = 0;
+  for (const double d : durations.all_days) total += d;
+  EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+TEST_F(ImpactFixture, UsersBehindBlocklistedNats) {
+  const std::vector<std::pair<net::Ipv4Address, std::size_t>> nated = {
+      {a_, 3}, {d_, 2}, {addr("99.99.99.99"), 78}};  // last one not blocklisted
+  const net::IntDistribution users = users_behind_blocklisted_nats(store_, nated);
+  EXPECT_EQ(users.total(), 2);
+  EXPECT_EQ(users.max_value(), 3);
+  EXPECT_DOUBLE_EQ(users.fraction_at_most(2), 0.5);
+}
+
+TEST_F(ImpactFixture, TopListsRankByClassListings) {
+  const ReuseImpact impact =
+      compute_reuse_impact(store_, catalogue_, nated_, dynamic_);
+  const auto top_nat = top_lists_by(impact, catalogue_, /*nated=*/true, 2);
+  ASSERT_EQ(top_nat.size(), 2u);
+  EXPECT_EQ(top_nat[0].listings, 2u);  // list 2 has A and D
+  EXPECT_EQ(top_nat[0].name, "list-2");
+  const auto top_dyn = top_lists_by(impact, catalogue_, /*nated=*/false, 1);
+  ASSERT_EQ(top_dyn.size(), 1u);
+  EXPECT_EQ(top_dyn[0].list, 2u);
+}
+
+TEST_F(ImpactFixture, GreylistSplitsReusedFromPlain) {
+  const auto reused = build_reused_address_list(store_, nated_, dynamic_);
+  ASSERT_EQ(reused.size(), 3u);  // A, B, D (sorted by address)
+  EXPECT_EQ(reused[0].address, a_);
+  EXPECT_TRUE(reused[0].nated);
+  EXPECT_FALSE(reused[0].dynamic);
+  EXPECT_TRUE(reused[2].nated);
+  EXPECT_TRUE(reused[2].dynamic);
+
+  const GreylistSplit split =
+      split_for_greylisting({a_, b_, c_, d_}, reused);
+  EXPECT_EQ(split.greylist.size(), 3u);
+  ASSERT_EQ(split.block.size(), 1u);
+  EXPECT_EQ(split.block[0], c_);
+}
+
+TEST(AsCoverage, CurvesAreCumulativeAndPlateau) {
+  // Build a tiny world for AS attribution.
+  const inet::World world(inet::test_world_config(31));
+  blocklist::SnapshotStore store;
+  std::unordered_map<net::Ipv4Address, crawler::IpEvidence> discovered;
+  net::PrefixSet probe_prefixes;
+  // Blocklist one address in each of the first 6 ASes; mark the first two
+  // as BitTorrent-observed and the third as probe-covered.
+  int index = 0;
+  for (const auto& as_info : world.ases()) {
+    if (as_info.prefixes.empty()) continue;
+    const net::Ipv4Address address = as_info.prefixes[0].address_at(1);
+    store.record(1, address, 0);
+    if (index < 2) discovered[address] = crawler::IpEvidence{};
+    if (index == 2) probe_prefixes.insert(net::Ipv4Prefix::slash24_of(address));
+    if (++index == 6) break;
+  }
+  const AsCoverage coverage =
+      compute_as_coverage(world, store, discovered, probe_prefixes);
+  EXPECT_EQ(coverage.ases_with_blocklisted, 6u);
+  EXPECT_EQ(coverage.ases_with_bittorrent, 2u);
+  EXPECT_EQ(coverage.ases_with_ripe, 1u);
+  const auto blocklisted_curve = coverage.curve_blocklisted();
+  ASSERT_EQ(blocklisted_curve.size(), 6u);
+  EXPECT_DOUBLE_EQ(blocklisted_curve.back().second, 1.0);
+  const auto bt_curve = coverage.curve_bittorrent();
+  EXPECT_NEAR(bt_curve.back().second, 2.0 / 6.0, 1e-12);
+  const auto ripe_curve = coverage.curve_ripe();
+  EXPECT_NEAR(ripe_curve.back().second, 1.0 / 6.0, 1e-12);
+  // Monotone non-decreasing.
+  for (std::size_t i = 1; i < bt_curve.size(); ++i) {
+    EXPECT_GE(bt_curve[i].second, bt_curve[i - 1].second);
+  }
+}
+
+TEST(Validation, PrecisionAgainstGroundTruth) {
+  const inet::World world(inet::test_world_config(33));
+  // Find one genuinely shared address and one dedicated one.
+  net::Ipv4Address shared;
+  for (const auto& group : world.nat_groups()) {
+    if (group.members.size() >= 2) {
+      shared = group.public_address;
+      break;
+    }
+  }
+  net::Ipv4Address dedicated;
+  for (const auto& user : world.users()) {
+    if (user.attachment == inet::AttachmentKind::kStatic) {
+      dedicated = user.fixed_address;
+      break;
+    }
+  }
+  const DetectorValidation good = validate_nat_detection(world, {shared});
+  EXPECT_EQ(good.detected, 1u);
+  EXPECT_DOUBLE_EQ(good.precision(), 1.0);
+  const DetectorValidation mixed =
+      validate_nat_detection(world, {shared, dedicated});
+  EXPECT_DOUBLE_EQ(mixed.precision(), 0.5);
+  const DetectorValidation empty = validate_nat_detection(world, {});
+  EXPECT_DOUBLE_EQ(empty.precision(), 1.0);
+
+  net::PrefixSet dynamic;
+  dynamic.insert(world.dynamic_prefixes().to_vector().front());
+  dynamic.insert(*net::Ipv4Prefix::parse("200.200.200.0/24"));
+  const DetectorValidation dyn = validate_dynamic_detection(world, dynamic);
+  EXPECT_EQ(dyn.detected, 2u);
+  EXPECT_EQ(dyn.true_positives, 1u);
+}
+
+}  // namespace
+}  // namespace reuse::analysis

@@ -1,0 +1,130 @@
+#include "netbase/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "netbase/rng.h"
+
+namespace reuse::net {
+namespace {
+
+TEST(IntervalSet, InsertAndContains) {
+  IntervalSet set;
+  set.insert(5, 10);
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_TRUE(set.contains(9));
+  EXPECT_FALSE(set.contains(10));
+  EXPECT_FALSE(set.contains(4));
+  EXPECT_EQ(set.measure(), 5);
+}
+
+TEST(IntervalSet, EmptyInsertIsNoop) {
+  IntervalSet set;
+  set.insert(5, 5);
+  set.insert(7, 3);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, TouchingIntervalsMerge) {
+  IntervalSet set;
+  set.insert(0, 5);
+  set.insert(5, 10);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.measure(), 10);
+}
+
+TEST(IntervalSet, OverlappingIntervalsMerge) {
+  IntervalSet set;
+  set.insert(0, 6);
+  set.insert(4, 12);
+  set.insert(20, 25);
+  EXPECT_EQ(set.interval_count(), 2u);
+  EXPECT_EQ(set.measure(), 17);
+  EXPECT_EQ(set.min(), 0);
+  EXPECT_EQ(set.max(), 25);
+}
+
+TEST(IntervalSet, InsertBridgesGaps) {
+  IntervalSet set;
+  set.insert(0, 2);
+  set.insert(8, 10);
+  set.insert(1, 9);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.measure(), 10);
+}
+
+TEST(IntervalSet, EraseSplitsIntervals) {
+  IntervalSet set;
+  set.insert(0, 10);
+  set.erase(3, 7);
+  EXPECT_EQ(set.interval_count(), 2u);
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_FALSE(set.contains(6));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_EQ(set.measure(), 6);
+}
+
+TEST(IntervalSet, EraseBeyondEdgesClips) {
+  IntervalSet set;
+  set.insert(5, 10);
+  set.erase(0, 7);
+  EXPECT_EQ(set.measure(), 3);
+  set.erase(-100, 100);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, OverlapMeasuresIntersection) {
+  IntervalSet set;
+  set.insert(0, 10);
+  set.insert(20, 30);
+  EXPECT_EQ(set.overlap(5, 25), 10);  // 5..10 and 20..25
+  EXPECT_EQ(set.overlap(10, 20), 0);
+  EXPECT_EQ(set.overlap(-5, 100), 20);
+}
+
+// Property sweep: random insert/erase sequences agree with a dense bitmap
+// model over a small universe.
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, AgreesWithBitmapModel) {
+  constexpr int kUniverse = 128;
+  Rng rng(GetParam());
+  IntervalSet set;
+  std::bitset<kUniverse> model;
+  for (int step = 0; step < 300; ++step) {
+    const auto a = static_cast<std::int64_t>(rng.uniform(kUniverse));
+    const auto b = static_cast<std::int64_t>(rng.uniform(kUniverse));
+    const std::int64_t lo = std::min(a, b);
+    const std::int64_t hi = std::max(a, b);
+    if (rng.bernoulli(0.6)) {
+      set.insert(lo, hi);
+      for (std::int64_t i = lo; i < hi; ++i) model.set(static_cast<std::size_t>(i));
+    } else {
+      set.erase(lo, hi);
+      for (std::int64_t i = lo; i < hi; ++i) model.reset(static_cast<std::size_t>(i));
+    }
+    ASSERT_EQ(set.measure(), static_cast<std::int64_t>(model.count()));
+    // Spot-check membership at a few random points.
+    for (int check = 0; check < 8; ++check) {
+      const auto p = static_cast<std::int64_t>(rng.uniform(kUniverse));
+      ASSERT_EQ(set.contains(p), model.test(static_cast<std::size_t>(p)))
+          << "point " << p << " after step " << step;
+    }
+    // Invariant: intervals sorted, disjoint, non-touching.
+    const auto& intervals = set.intervals();
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      ASSERT_LT(intervals[i].begin, intervals[i].end);
+      if (i > 0) {
+        ASSERT_LT(intervals[i - 1].end, intervals[i].begin);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace reuse::net

@@ -1,0 +1,139 @@
+#include "netbase/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "netbase/rng.h"
+
+namespace reuse::net {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  const auto address = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(address.has_value());
+  EXPECT_EQ(address->value(), 0xC0000201u);
+  EXPECT_EQ(address->octet(0), 192);
+  EXPECT_EQ(address->octet(1), 0);
+  EXPECT_EQ(address->octet(2), 2);
+  EXPECT_EQ(address->octet(3), 1);
+}
+
+TEST(Ipv4Address, ParsesBoundaryValues) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Address::parse(" 1.2.3.4"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Address::parse("01.2.3.4"));  // leading zero
+  EXPECT_FALSE(Ipv4Address::parse("-1.2.3.4"));
+}
+
+TEST(Ipv4Address, RoundTripsThroughString) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4Address address(static_cast<std::uint32_t>(rng()));
+    const auto reparsed = Ipv4Address::parse(address.to_string());
+    ASSERT_TRUE(reparsed.has_value()) << address.to_string();
+    EXPECT_EQ(*reparsed, address);
+  }
+}
+
+TEST(Ipv4Address, OrdersNumerically) {
+  EXPECT_LT(*Ipv4Address::parse("1.2.3.4"), *Ipv4Address::parse("1.2.3.5"));
+  EXPECT_LT(*Ipv4Address::parse("9.255.255.255"), *Ipv4Address::parse("10.0.0.0"));
+}
+
+TEST(Ipv4Address, StreamsAsDottedQuad) {
+  std::ostringstream os;
+  os << Ipv4Address::from_octets(10, 20, 30, 40);
+  EXPECT_EQ(os.str(), "10.20.30.40");
+}
+
+TEST(Ipv4Prefix, MasksHostBits) {
+  const Ipv4Prefix prefix(*Ipv4Address::parse("192.0.2.77"), 24);
+  EXPECT_EQ(prefix.network().to_string(), "192.0.2.0");
+  EXPECT_EQ(prefix.length(), 24);
+  EXPECT_EQ(prefix.to_string(), "192.0.2.0/24");
+}
+
+TEST(Ipv4Prefix, ParsesCidrAndBareAddress) {
+  const auto cidr = Ipv4Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(cidr.has_value());
+  EXPECT_EQ(cidr->length(), 8);
+  const auto bare = Ipv4Prefix::parse("10.1.2.3");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->length(), 32);
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/-1"));
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Ipv4Prefix::parse("/24"));
+}
+
+TEST(Ipv4Prefix, ContainsAddressesWithinBlock) {
+  const Ipv4Prefix prefix(*Ipv4Address::parse("198.51.100.0"), 24);
+  EXPECT_TRUE(prefix.contains(*Ipv4Address::parse("198.51.100.0")));
+  EXPECT_TRUE(prefix.contains(*Ipv4Address::parse("198.51.100.255")));
+  EXPECT_FALSE(prefix.contains(*Ipv4Address::parse("198.51.101.0")));
+  EXPECT_FALSE(prefix.contains(*Ipv4Address::parse("198.51.99.255")));
+}
+
+TEST(Ipv4Prefix, ContainsNestedPrefixes) {
+  const Ipv4Prefix big(*Ipv4Address::parse("10.0.0.0"), 8);
+  const Ipv4Prefix small(*Ipv4Address::parse("10.1.2.0"), 24);
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(Ipv4Prefix, SizeAndAddressAt) {
+  const Ipv4Prefix prefix(*Ipv4Address::parse("203.0.113.0"), 24);
+  EXPECT_EQ(prefix.size(), 256u);
+  EXPECT_EQ(prefix.address_at(0), prefix.network());
+  EXPECT_EQ(prefix.address_at(255), prefix.last_address());
+  EXPECT_EQ(Ipv4Prefix(Ipv4Address(0), 0).size(), std::uint64_t{1} << 32);
+}
+
+TEST(Ipv4Prefix, Slash24OfCoversAddress) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Ipv4Address address(static_cast<std::uint32_t>(rng()));
+    const Ipv4Prefix prefix = Ipv4Prefix::slash24_of(address);
+    EXPECT_EQ(prefix.length(), 24);
+    EXPECT_TRUE(prefix.contains(address));
+  }
+}
+
+TEST(Ipv4Prefix, EqualityIsCanonical) {
+  // Same block named via different interior addresses compares equal.
+  EXPECT_EQ(Ipv4Prefix(*Ipv4Address::parse("10.0.0.7"), 24),
+            Ipv4Prefix(*Ipv4Address::parse("10.0.0.200"), 24));
+  EXPECT_NE(Ipv4Prefix(*Ipv4Address::parse("10.0.0.0"), 24),
+            Ipv4Prefix(*Ipv4Address::parse("10.0.0.0"), 25));
+}
+
+TEST(Endpoint, HashesDistinctPorts) {
+  std::unordered_set<Endpoint> endpoints;
+  const Ipv4Address address = *Ipv4Address::parse("10.0.0.1");
+  for (std::uint32_t port = 0; port < 1000; ++port) {
+    endpoints.insert(Endpoint{address, static_cast<std::uint16_t>(port)});
+  }
+  EXPECT_EQ(endpoints.size(), 1000u);
+}
+
+TEST(Endpoint, ToStringIncludesPort) {
+  EXPECT_EQ(to_string(Endpoint{*Ipv4Address::parse("1.2.3.4"), 6881}),
+            "1.2.3.4:6881");
+}
+
+}  // namespace
+}  // namespace reuse::net

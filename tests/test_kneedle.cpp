@@ -1,0 +1,152 @@
+#include "netbase/kneedle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "netbase/rng.h"
+
+namespace reuse::net {
+namespace {
+
+TEST(Kneedle, FindsKneeOfConcaveIncreasingCurve) {
+  // y = x^(1/3): strongly concave; the knee sits in the lower-x region.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::cbrt(static_cast<double>(i)));
+  }
+  const auto knee = find_knee(xs, ys);
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_GT(knee->x, 1.0);
+  EXPECT_LT(knee->x, 40.0);
+}
+
+TEST(Kneedle, FindsKneeOfConvexDecreasingCurve) {
+  // y = 1/(x+1): convex decreasing, sharp bend near the origin.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 / (1.0 + static_cast<double>(i)));
+  }
+  const auto knee = find_knee(xs, ys);
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_LT(knee->x, 25.0);
+}
+
+TEST(Kneedle, StraightLineHasNoKnee) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 1.0);
+  }
+  EXPECT_FALSE(find_knee(xs, ys).has_value());
+}
+
+TEST(Kneedle, TooFewPointsReturnsNothing) {
+  const std::vector<double> xs{0.0, 1.0};
+  const std::vector<double> ys{0.0, 1.0};
+  EXPECT_FALSE(find_knee(xs, ys).has_value());
+}
+
+TEST(Kneedle, ConstantCurveReturnsNothing) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0, 5.0};
+  EXPECT_FALSE(find_knee(xs, ys).has_value());
+}
+
+TEST(Kneedle, IndexOverloadUsesPositions) {
+  std::vector<double> ys;
+  for (int i = 0; i <= 80; ++i) ys.push_back(std::sqrt(static_cast<double>(i)));
+  const auto knee = find_knee(ys);
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_EQ(knee->x, static_cast<double>(knee->index));
+}
+
+TEST(Kneedle, SmoothingRecoversNoisyKnee) {
+  Rng rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 200; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::cbrt(static_cast<double>(i)) + rng.normal(0.0, 0.05));
+  }
+  KneedleParams params;
+  params.smoothing_window = 5;
+  params.direction = CurveDirection::kIncreasing;
+  params.shape = CurveShape::kConcave;
+  const auto knee = find_knee(xs, ys, params);
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_LT(knee->x, 80.0);
+}
+
+// The Figure 2 shape: a sorted-descending allocation-count curve where most
+// probes have 1 allocation and a tail has hundreds. The knee's y-value is
+// the threshold the pipeline uses; it must land well between the tail and
+// the bulk.
+TEST(Kneedle, Figure2LikeCurveKneesNearTailBoundary) {
+  std::vector<double> ys;
+  for (int i = 0; i < 120; ++i) {
+    ys.push_back(600.0 / (1.0 + i * 0.8));  // churners: 600 down to ~6
+  }
+  for (int i = 0; i < 900; ++i) ys.push_back(1.0);  // stable probes
+  std::vector<double> xs(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  KneedleParams params;
+  params.direction = CurveDirection::kDecreasing;
+  params.shape = CurveShape::kConvex;
+  const auto knee = find_knee(xs, ys, params);
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_GE(knee->y, 2.0);
+  EXPECT_LE(knee->y, 40.0);
+}
+
+TEST(Kneedle, InvariantUnderAxisScaling) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::cbrt(static_cast<double>(i)));
+  }
+  const auto base = find_knee(xs, ys);
+  // Scale both axes by large constants; the knee index must not move.
+  std::vector<double> xs_scaled;
+  std::vector<double> ys_scaled;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs_scaled.push_back(xs[i] * 1000.0);
+    ys_scaled.push_back(ys[i] * 1e6);
+  }
+  const auto scaled = find_knee(xs_scaled, ys_scaled);
+  ASSERT_TRUE(base.has_value());
+  ASSERT_TRUE(scaled.has_value());
+  EXPECT_EQ(base->index, scaled->index);
+}
+
+// Sensitivity sweep: higher sensitivity can only make knee detection more
+// conservative (same knee or none), never an earlier spurious one.
+class KneedleSensitivity : public ::testing::TestWithParam<double> {};
+
+TEST_P(KneedleSensitivity, DetectsKneeOnCleanCurve) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 - std::exp(-i / 10.0));
+  }
+  KneedleParams params;
+  params.sensitivity = GetParam();
+  const auto knee = find_knee(xs, ys, params);
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_GT(knee->x, 2.0);
+  EXPECT_LT(knee->x, 40.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sensitivities, KneedleSensitivity,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0));
+
+}  // namespace
+}  // namespace reuse::net

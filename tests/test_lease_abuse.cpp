@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "internet/abuse.h"
+#include "internet/lease.h"
+#include "internet/world.h"
+
+namespace reuse::inet {
+namespace {
+
+DynamicPoolInfo make_pool(double mean_lease_seconds) {
+  DynamicPoolInfo pool;
+  pool.asn = 100;
+  pool.index = 0;
+  pool.prefixes = {*net::Ipv4Prefix::parse("10.0.0.0/24"),
+                   *net::Ipv4Prefix::parse("10.0.1.0/24")};
+  pool.mean_lease_seconds = mean_lease_seconds;
+  return pool;
+}
+
+TEST(LeaseTimeline, CoversWindowContiguously) {
+  const auto pool = make_pool(6 * 3600.0);
+  const net::TimeWindow window{net::SimTime(0), net::SimTime(30 * 86400)};
+  const LeaseTimeline timeline(pool, 99, window);
+  const auto& segments = timeline.segments();
+  ASSERT_FALSE(segments.empty());
+  EXPECT_EQ(segments.front().begin, window.begin);
+  EXPECT_EQ(segments.back().end, window.end);
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].begin, segments[i - 1].end);
+    EXPECT_NE(segments[i].address, segments[i - 1].address)
+        << "lease renewal must change the address";
+  }
+}
+
+TEST(LeaseTimeline, AddressesComeFromPool) {
+  const auto pool = make_pool(3600.0);
+  const LeaseTimeline timeline(pool, 5,
+                               {net::SimTime(0), net::SimTime(7 * 86400)});
+  for (const LeaseSegment& segment : timeline.segments()) {
+    const bool in_pool =
+        pool.prefixes[0].contains(segment.address) ||
+        pool.prefixes[1].contains(segment.address);
+    EXPECT_TRUE(in_pool) << segment.address.to_string();
+  }
+}
+
+TEST(LeaseTimeline, AddressAtFindsHolderAndRejectsOutside) {
+  const auto pool = make_pool(86400.0);
+  const net::TimeWindow window{net::SimTime(1000), net::SimTime(10 * 86400)};
+  const LeaseTimeline timeline(pool, 7, window);
+  EXPECT_FALSE(timeline.address_at(net::SimTime(999)).has_value());
+  EXPECT_FALSE(timeline.address_at(net::SimTime(10 * 86400)).has_value());
+  for (const LeaseSegment& segment : timeline.segments()) {
+    EXPECT_EQ(timeline.address_at(segment.begin), segment.address);
+    EXPECT_EQ(timeline.address_at(segment.end - net::Duration::seconds(1)),
+              segment.address);
+  }
+}
+
+TEST(LeaseTimeline, MeanChangeIntervalTracksPoolLease) {
+  const double mean = 12 * 3600.0;
+  const auto pool = make_pool(mean);
+  // Long window, so the empirical mean converges.
+  const LeaseTimeline timeline(pool, 11,
+                               {net::SimTime(0), net::SimTime(400 * 86400)});
+  const auto interval = timeline.mean_change_interval();
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_NEAR(static_cast<double>(interval->count()), mean, mean * 0.25);
+}
+
+TEST(LeaseTimeline, SlowPoolMayNeverChange) {
+  const auto pool = make_pool(3650.0 * 86400);  // ten-year leases
+  const LeaseTimeline timeline(pool, 13,
+                               {net::SimTime(0), net::SimTime(30 * 86400)});
+  EXPECT_EQ(timeline.change_count(), 0u);
+  EXPECT_FALSE(timeline.mean_change_interval().has_value());
+  EXPECT_EQ(timeline.distinct_addresses().size(), 1u);
+}
+
+TEST(LeaseTimeline, DeterministicPerSeed) {
+  const auto pool = make_pool(7200.0);
+  const net::TimeWindow window{net::SimTime(0), net::SimTime(5 * 86400)};
+  const LeaseTimeline a(pool, 21, window);
+  const LeaseTimeline b(pool, 21, window);
+  const LeaseTimeline c(pool, 22, window);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (std::size_t i = 0; i < a.segments().size(); ++i) {
+    EXPECT_EQ(a.segments()[i].address, b.segments()[i].address);
+  }
+  EXPECT_NE(a.segments().size(), c.segments().size());
+}
+
+class AbuseTest : public ::testing::Test {
+ protected:
+  static const World& world() {
+    static const World kWorld(test_world_config(5));
+    return kWorld;
+  }
+  static const std::vector<AbuseEvent>& events() {
+    static const std::vector<AbuseEvent> kEvents = [] {
+      AbuseGenConfig config;
+      config.window = {net::SimTime(0), net::SimTime(20 * 86400)};
+      config.seed = 17;
+      return generate_abuse(world(), config);
+    }();
+    return kEvents;
+  }
+};
+
+TEST_F(AbuseTest, EventsAreSortedAndInWindow) {
+  ASSERT_FALSE(events().empty());
+  for (std::size_t i = 0; i < events().size(); ++i) {
+    EXPECT_GE(events()[i].time_seconds, 0);
+    EXPECT_LT(events()[i].time_seconds, 20 * 86400);
+    if (i > 0) {
+      EXPECT_LE(events()[i - 1].time_seconds, events()[i].time_seconds);
+    }
+  }
+}
+
+TEST_F(AbuseTest, EventSourcesMatchActors) {
+  for (const AbuseEvent& event : events()) {
+    if (event.actor == 0) {
+      // Malicious server event: source must be a server address.
+      EXPECT_EQ(world().role_of(event.source), PrefixRole::kServerHosting);
+    } else {
+      const User& user = world().user(event.actor);
+      EXPECT_TRUE(user.infected);
+      EXPECT_TRUE(user.emits(event.category));
+      if (user.attachment == AttachmentKind::kDynamic) {
+        EXPECT_EQ(world().role_of(event.source), PrefixRole::kDynamicPool);
+      } else {
+        EXPECT_EQ(event.source, user.fixed_address);
+      }
+    }
+    EXPECT_EQ(world().asn_of(event.source), event.asn);
+  }
+}
+
+TEST_F(AbuseTest, DynamicActorsSmearAcrossAddresses) {
+  // At least one infected dynamic user on a fast pool must appear with
+  // several source addresses — the taint-smearing mechanism.
+  std::unordered_map<UserId, std::unordered_set<net::Ipv4Address>> sources;
+  for (const AbuseEvent& event : events()) {
+    if (event.actor != 0 &&
+        world().user(event.actor).attachment == AttachmentKind::kDynamic) {
+      sources[event.actor].insert(event.source);
+    }
+  }
+  std::size_t multi_address_actors = 0;
+  for (const auto& [actor, addresses] : sources) {
+    if (addresses.size() > 1) ++multi_address_actors;
+  }
+  EXPECT_GT(multi_address_actors, 0u);
+}
+
+TEST_F(AbuseTest, DeterministicGeneration) {
+  AbuseGenConfig config;
+  config.window = {net::SimTime(0), net::SimTime(20 * 86400)};
+  config.seed = 17;
+  const auto again = generate_abuse(world(), config);
+  ASSERT_EQ(again.size(), events().size());
+  for (std::size_t i = 0; i < again.size(); i += 97) {
+    EXPECT_EQ(again[i].source, events()[i].source);
+    EXPECT_EQ(again[i].time_seconds, events()[i].time_seconds);
+  }
+}
+
+TEST_F(AbuseTest, RatesScaleWithConfig) {
+  AbuseGenConfig config;
+  config.window = {net::SimTime(0), net::SimTime(20 * 86400)};
+  config.seed = 17;
+  config.user_events_per_day = 0.01;
+  config.server_events_per_day = 0.01;
+  const auto sparse = generate_abuse(world(), config);
+  EXPECT_LT(sparse.size(), events().size() / 10);
+}
+
+}  // namespace
+}  // namespace reuse::inet

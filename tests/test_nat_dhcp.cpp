@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "simnet/dhcp.h"
+#include "simnet/nat.h"
+
+namespace reuse::sim {
+namespace {
+
+net::Ipv4Address addr(const char* text) {
+  return *net::Ipv4Address::parse(text);
+}
+
+TEST(NatDevice, AssignsDistinctPortsPerHost) {
+  NatDevice nat(addr("100.64.0.1"));
+  const net::Endpoint a = nat.bind(1);
+  const net::Endpoint b = nat.bind(2);
+  const net::Endpoint c = nat.bind(3);
+  EXPECT_EQ(a.address, addr("100.64.0.1"));
+  std::unordered_set<std::uint16_t> ports{a.port, b.port, c.port};
+  EXPECT_EQ(ports.size(), 3u);
+  EXPECT_EQ(nat.active_hosts(), 3u);
+}
+
+TEST(NatDevice, RebindRetiresOldMapping) {
+  NatDevice nat(addr("100.64.0.1"));
+  const net::Endpoint first = nat.bind(1);
+  const net::Endpoint second = nat.bind(1);
+  EXPECT_NE(first.port, second.port);
+  EXPECT_EQ(nat.active_hosts(), 1u);
+  EXPECT_FALSE(nat.host_at(first.port).has_value());
+  EXPECT_EQ(nat.host_at(second.port), 1u);
+  EXPECT_EQ(nat.endpoint_of(1), second);
+}
+
+TEST(NatDevice, ReleaseFreesPort) {
+  NatDevice nat(addr("100.64.0.1"));
+  const net::Endpoint mapped = nat.bind(1);
+  nat.release(1);
+  EXPECT_EQ(nat.active_hosts(), 0u);
+  EXPECT_FALSE(nat.host_at(mapped.port).has_value());
+  EXPECT_FALSE(nat.endpoint_of(1).has_value());
+  nat.release(1);  // double release is harmless
+}
+
+TEST(NatDevice, PortAllocationSkipsBusyPorts) {
+  NatDevice nat(addr("100.64.0.1"), 65534);
+  const net::Endpoint a = nat.bind(1);  // 65534
+  const net::Endpoint b = nat.bind(2);  // 65535
+  const net::Endpoint c = nat.bind(3);  // wraps to 1024
+  EXPECT_EQ(a.port, 65534);
+  EXPECT_EQ(b.port, 65535);
+  EXPECT_EQ(c.port, 1024);
+  // Wrap again: 65534/65535 busy, so next free is 1025.
+  const net::Endpoint d = nat.bind(4);
+  EXPECT_EQ(d.port, 1025);
+}
+
+TEST(AddressPool, LeasesAreExclusive) {
+  AddressPool pool({*net::Ipv4Prefix::parse("10.0.0.0/28")},
+                   PoolPolicy::kRandom, net::Rng(1));
+  EXPECT_EQ(pool.size(), 16u);
+  std::unordered_set<net::Ipv4Address> held;
+  for (SubscriberId s = 1; s <= 16; ++s) {
+    const auto lease = pool.lease(s);
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_TRUE(held.insert(*lease).second) << "duplicate lease";
+    EXPECT_EQ(pool.holder_of(*lease), s);
+  }
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_FALSE(pool.lease(99).has_value());  // exhausted
+}
+
+TEST(AddressPool, RenewalReturnsDifferentAddressUsually) {
+  AddressPool pool({*net::Ipv4Prefix::parse("10.0.0.0/24")},
+                   PoolPolicy::kRandom, net::Rng(2));
+  const auto first = pool.lease(1);
+  const auto second = pool.lease(1);  // renewal: old address released first
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(pool.leased_count(), 1u);
+  EXPECT_FALSE(pool.holder_of(*first).has_value() &&
+               *pool.holder_of(*first) == 1 && *first != *second);
+}
+
+TEST(AddressPool, ReleaseMakesAddressAvailableAgain) {
+  AddressPool pool({*net::Ipv4Prefix::parse("10.0.0.0/30")},
+                   PoolPolicy::kMostRecently, net::Rng(3));
+  const auto lease = pool.lease(1);
+  ASSERT_TRUE(lease.has_value());
+  pool.release(1);
+  EXPECT_EQ(pool.free_count(), 4u);
+  // LIFO policy hands the just-released address straight back — the exact
+  // hazard that re-taints a new subscriber fastest.
+  const auto next = pool.lease(2);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, *lease);
+}
+
+TEST(AddressPool, FifoPolicyDelaysReuse) {
+  AddressPool pool({*net::Ipv4Prefix::parse("10.0.0.0/30")},
+                   PoolPolicy::kLeastRecently, net::Rng(4));
+  const auto a = pool.lease(1);
+  pool.release(1);
+  // Three other addresses are older in the free list, so the released one
+  // comes back last.
+  std::unordered_set<net::Ipv4Address> next_three;
+  for (SubscriberId s = 2; s <= 4; ++s) next_three.insert(*pool.lease(s));
+  EXPECT_FALSE(next_three.contains(*a));
+  EXPECT_EQ(*pool.lease(5), *a);
+}
+
+TEST(AddressPool, EmptyPrefixSetThrows) {
+  EXPECT_THROW(AddressPool({}, PoolPolicy::kRandom, net::Rng(5)),
+               std::invalid_argument);
+}
+
+TEST(AddressPool, AddressOfTracksCurrentLease) {
+  AddressPool pool({*net::Ipv4Prefix::parse("10.0.0.0/29")},
+                   PoolPolicy::kRandom, net::Rng(6));
+  EXPECT_FALSE(pool.address_of(1).has_value());
+  const auto lease = pool.lease(1);
+  EXPECT_EQ(pool.address_of(1), lease);
+}
+
+}  // namespace
+}  // namespace reuse::sim

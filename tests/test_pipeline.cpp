@@ -1,0 +1,195 @@
+#include "dynadetect/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reuse::dynadetect {
+namespace {
+
+using atlas::ConnectionRecord;
+
+net::Ipv4Address addr(const char* text) { return *net::Ipv4Address::parse(text); }
+
+constexpr std::int64_t kDay = 86400;
+
+// Builds a record list for one probe with allocations at fixed times.
+void add_history(std::vector<ConnectionRecord>& records, atlas::ProbeId probe,
+                 inet::Asn asn,
+                 const std::vector<std::pair<std::int64_t, const char*>>& hops) {
+  for (const auto& [time, address] : hops) {
+    records.push_back(ConnectionRecord{time, probe, addr(address), asn});
+  }
+}
+
+TEST(BuildHistories, CollapsesKeepalivesAndSortsTime) {
+  std::vector<ConnectionRecord> records;
+  // Out-of-order input with duplicate consecutive addresses once sorted.
+  add_history(records, 1, 10,
+              {{2 * kDay, "10.0.0.2"},
+               {0, "10.0.0.1"},
+               {1 * kDay, "10.0.0.1"},  // keepalive, collapses
+               {3 * kDay, "10.0.0.1"}});
+  const auto histories = build_histories(records);
+  ASSERT_EQ(histories.size(), 1u);
+  ASSERT_EQ(histories[0].allocation_count(), 3u);  // .1, .2, .1
+  EXPECT_EQ(histories[0].allocations[0].address, addr("10.0.0.1"));
+  EXPECT_EQ(histories[0].allocations[1].address, addr("10.0.0.2"));
+  EXPECT_EQ(histories[0].allocations[2].address, addr("10.0.0.1"));
+  EXPECT_EQ(histories[0].distinct_addresses(), 2u);
+}
+
+TEST(BuildHistories, SeparatesProbes) {
+  std::vector<ConnectionRecord> records;
+  add_history(records, 2, 10, {{0, "10.0.0.1"}});
+  add_history(records, 1, 10, {{0, "10.0.1.1"}});
+  const auto histories = build_histories(records);
+  ASSERT_EQ(histories.size(), 2u);
+  EXPECT_EQ(histories[0].probe_id, 1u);
+  EXPECT_EQ(histories[1].probe_id, 2u);
+}
+
+TEST(ProbeHistory, MultiAsDetection) {
+  std::vector<ConnectionRecord> records;
+  add_history(records, 1, 10, {{0, "10.0.0.1"}});
+  records.push_back(ConnectionRecord{kDay, 1, addr("10.0.0.2"), 20});
+  const auto histories = build_histories(records);
+  EXPECT_TRUE(histories[0].multi_as());
+}
+
+TEST(ProbeHistory, MeanChangeInterval) {
+  std::vector<ConnectionRecord> records;
+  add_history(records, 1, 10,
+              {{0, "10.0.0.1"}, {kDay, "10.0.0.2"}, {4 * kDay, "10.0.0.3"}});
+  const auto histories = build_histories(records);
+  const auto interval = histories[0].mean_change_interval();
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_EQ(interval->count(), 2 * kDay);  // 4 days / 2 changes
+}
+
+// A handcrafted pipeline scenario with every probe archetype.
+class PipelineScenario : public ::testing::Test {
+ protected:
+  static std::vector<ConnectionRecord> records() {
+    std::vector<ConnectionRecord> records;
+    // Probe 1: fast churner, 10 allocations, 12h apart, single AS.
+    for (int i = 0; i < 10; ++i) {
+      records.push_back(ConnectionRecord{
+          i * kDay / 2, 1,
+          net::Ipv4Address(addr("10.1.0.0").value() + static_cast<std::uint32_t>(i)),
+          10});
+    }
+    // Probe 2: slow churner — 10 allocations but 10 days apart (fails daily).
+    for (int i = 0; i < 10; ++i) {
+      records.push_back(ConnectionRecord{
+          i * 10 * kDay, 2,
+          net::Ipv4Address(addr("10.2.0.0").value() + static_cast<std::uint32_t>(i)),
+          10});
+    }
+    // Probe 3: relocated — allocations across two ASes (fails same-AS).
+    for (int i = 0; i < 10; ++i) {
+      records.push_back(ConnectionRecord{
+          i * kDay / 2, 3,
+          net::Ipv4Address(addr("10.3.0.0").value() + static_cast<std::uint32_t>(i)),
+          static_cast<inet::Asn>(i < 5 ? 10 : 20)});
+    }
+    // Probe 4: stable, one address the whole time.
+    for (int i = 0; i < 20; ++i) {
+      records.push_back(ConnectionRecord{i * kDay, 4, addr("10.4.0.1"), 10});
+    }
+    // Probe 5: two allocations only (below any sensible knee).
+    records.push_back(ConnectionRecord{0, 5, addr("10.5.0.1"), 10});
+    records.push_back(ConnectionRecord{kDay / 2, 5, addr("10.5.0.2"), 10});
+    return records;
+  }
+
+  static PipelineResult run(int min_allocations = 8) {
+    PipelineConfig config;
+    config.min_allocations = min_allocations;  // fixed: tiny curves have no knee
+    return run_pipeline(records(), config);
+  }
+};
+
+TEST_F(PipelineScenario, FunnelCountsAreExact) {
+  const PipelineResult result = run();
+  EXPECT_EQ(result.probes_total, 5u);
+  EXPECT_EQ(result.probes_multi_as, 1u);   // probe 3
+  EXPECT_EQ(result.probes_single_as, 4u);
+  EXPECT_EQ(result.probes_with_changes, 3u);  // probes 1, 2, 5
+  EXPECT_EQ(result.knee_allocations, 8);
+  EXPECT_EQ(result.probes_above_knee, 2u);  // probes 1, 2
+  EXPECT_EQ(result.probes_daily, 1u);       // probe 1 only
+  ASSERT_EQ(result.qualifying_probes.size(), 1u);
+  EXPECT_EQ(result.qualifying_probes[0], 1u);
+  EXPECT_EQ(result.qualifying_addresses, 10u);
+}
+
+TEST_F(PipelineScenario, EmitsOnlyQualifyingPrefixes) {
+  const PipelineResult result = run();
+  EXPECT_EQ(result.dynamic_prefixes.size(), 1u);  // all of probe 1 in 10.1.0/24
+  EXPECT_TRUE(result.dynamic_prefixes.contains_prefix(
+      *net::Ipv4Prefix::parse("10.1.0.0/24")));
+  EXPECT_FALSE(result.dynamic_prefixes.contains_prefix(
+      *net::Ipv4Prefix::parse("10.2.0.0/24")));
+  EXPECT_FALSE(result.dynamic_prefixes.contains_prefix(
+      *net::Ipv4Prefix::parse("10.3.0.0/24")));
+}
+
+TEST_F(PipelineScenario, StagePrefixSetsAreMonotone) {
+  const PipelineResult result = run();
+  // dynamic ⊆ above-knee ⊆ single-as-with-changes ⊆ all.
+  for (const auto& prefix : result.dynamic_prefixes.to_vector()) {
+    EXPECT_TRUE(result.above_knee_prefixes.contains_prefix(prefix));
+  }
+  for (const auto& prefix : result.above_knee_prefixes.to_vector()) {
+    EXPECT_TRUE(result.single_as_change_prefixes.contains_prefix(prefix));
+  }
+  for (const auto& prefix : result.single_as_change_prefixes.to_vector()) {
+    EXPECT_TRUE(result.all_probe_prefixes.contains_prefix(prefix));
+  }
+  EXPECT_EQ(result.all_probe_prefixes.size(), 5u);
+}
+
+TEST_F(PipelineScenario, KneeOfTwoSelectsSlowChurnersToo) {
+  const PipelineResult relaxed = run(2);
+  EXPECT_EQ(relaxed.probes_above_knee, 3u);       // probes 1, 2, 5
+  EXPECT_EQ(relaxed.probes_daily, 2u);            // probes 1 and 5 change daily
+}
+
+TEST_F(PipelineScenario, WiderExpansionCoversMore) {
+  PipelineConfig config;
+  config.min_allocations = 8;
+  config.expand_prefix_length = 16;
+  const PipelineResult result = run_pipeline(records(), config);
+  EXPECT_TRUE(result.dynamic_prefixes.contains_prefix(
+      *net::Ipv4Prefix::parse("10.1.0.0/16")));
+  EXPECT_TRUE(result.dynamic_prefixes.contains_address(addr("10.1.200.1")));
+}
+
+TEST(KneeThreshold, FallsBackOnDegenerateCurves) {
+  const std::vector<double> tiny{5.0, 1.0};
+  EXPECT_EQ(knee_allocation_threshold(tiny, 1.0, 8), 8);
+  const std::vector<double> flat(100, 1.0);
+  EXPECT_EQ(knee_allocation_threshold(flat, 1.0, 8), 8);
+}
+
+TEST(KneeThreshold, FindsChurnerBoundaryOnSyntheticCurve) {
+  // 100 churners with counts 300..~10, then 900 stable probes at 1: the
+  // threshold must land near the churner/stable junction, far below the
+  // churner maximum.
+  std::vector<double> curve;
+  for (int i = 0; i < 100; ++i) curve.push_back(300.0 / (1.0 + 0.3 * i));
+  for (int i = 0; i < 900; ++i) curve.push_back(1.0);
+  const int threshold = knee_allocation_threshold(curve, 1.0, 8);
+  EXPECT_GE(threshold, 2);
+  EXPECT_LE(threshold, 30);
+}
+
+TEST(Pipeline, EmptyInputIsSafe) {
+  const PipelineResult result = run_pipeline({});
+  EXPECT_EQ(result.probes_total, 0u);
+  EXPECT_EQ(result.dynamic_prefixes.size(), 0u);
+}
+
+}  // namespace
+}  // namespace reuse::dynadetect

@@ -1,0 +1,72 @@
+// Integration: the fleet log survives a CSV round trip and yields the exact
+// same pipeline result — the guarantee behind the `dynadetect` CLI, which
+// consumes externally produced logs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "atlas/fleet.h"
+#include "dynadetect/pipeline.h"
+#include "internet/world.h"
+
+namespace reuse::dynadetect {
+namespace {
+
+TEST(PipelineCsvIntegration, CsvRoundTripPreservesPipelineResult) {
+  const inet::World world(inet::test_world_config(17));
+  atlas::FleetConfig fleet_config;
+  fleet_config.seed = 3;
+  fleet_config.probe_count = 300;
+  const atlas::AtlasFleet fleet(world, fleet_config);
+
+  std::stringstream csv;
+  atlas::write_csv(csv, fleet.log());
+  const auto reloaded = atlas::read_csv(csv);
+  ASSERT_TRUE(reloaded.has_value());
+  ASSERT_EQ(reloaded->size(), fleet.log().size());
+
+  const PipelineResult direct = run_pipeline(fleet.log());
+  const PipelineResult via_csv = run_pipeline(*reloaded);
+
+  EXPECT_EQ(direct.probes_total, via_csv.probes_total);
+  EXPECT_EQ(direct.probes_multi_as, via_csv.probes_multi_as);
+  EXPECT_EQ(direct.probes_with_changes, via_csv.probes_with_changes);
+  EXPECT_EQ(direct.knee_allocations, via_csv.knee_allocations);
+  EXPECT_EQ(direct.probes_daily, via_csv.probes_daily);
+  EXPECT_EQ(direct.qualifying_probes, via_csv.qualifying_probes);
+  EXPECT_EQ(direct.dynamic_prefixes.size(), via_csv.dynamic_prefixes.size());
+  for (const auto& prefix : direct.dynamic_prefixes.to_vector()) {
+    EXPECT_TRUE(via_csv.dynamic_prefixes.contains_prefix(prefix))
+        << prefix.to_string();
+  }
+}
+
+TEST(PipelineCsvIntegration, QualifyingProbesAreOnFastPools) {
+  const inet::World world(inet::test_world_config(17));
+  atlas::FleetConfig fleet_config;
+  fleet_config.seed = 3;
+  fleet_config.probe_count = 600;
+  const atlas::AtlasFleet fleet(world, fleet_config);
+  const PipelineResult result = run_pipeline(fleet.log());
+  for (const atlas::ProbeId id : result.qualifying_probes) {
+    const atlas::ProbeTruth& truth = fleet.truth(id);
+    EXPECT_TRUE(truth.on_dynamic_pool) << "probe " << id;
+    EXPECT_FALSE(truth.relocated) << "probe " << id;
+  }
+}
+
+TEST(PipelineCsvIntegration, EmittedPrefixesBelongToQualifyingPools) {
+  const inet::World world(inet::test_world_config(19));
+  atlas::FleetConfig fleet_config;
+  fleet_config.seed = 5;
+  fleet_config.probe_count = 600;
+  const atlas::AtlasFleet fleet(world, fleet_config);
+  const PipelineResult result = run_pipeline(fleet.log());
+  for (const auto& prefix : result.dynamic_prefixes.to_vector()) {
+    EXPECT_TRUE(world.dynamic_prefixes().contains_prefix(prefix))
+        << prefix.to_string() << " not a pool prefix";
+  }
+}
+
+}  // namespace
+}  // namespace reuse::dynadetect

@@ -1,0 +1,109 @@
+#include "analysis/policy_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/scenario.h"
+
+namespace reuse::analysis {
+namespace {
+
+class PolicySimTest : public ::testing::Test {
+ protected:
+  static const Scenario& scenario() {
+    static const Scenario kScenario = [] {
+      ScenarioConfig config;
+      config.seed = 7;
+      config.world = inet::test_world_config(7);
+      config.world.as_count = 60;
+      config.crawl_days = 1;
+      config.fleet.probe_count = 400;
+      config.run_census = false;
+      config.finalize();
+      return run_scenario(config);
+    }();
+    return kScenario;
+  }
+
+  static std::vector<PolicyOutcome> outcomes() {
+    return simulate_policies(scenario().world, scenario().ecosystem.store,
+                             scenario().crawl.nated_set,
+                             scenario().pipeline.dynamic_prefixes,
+                             PolicySimConfig{});
+  }
+};
+
+TEST_F(PolicySimTest, ReturnsAllThreePolicies) {
+  const auto results = outcomes();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].policy, FilterPolicy::kAllowAll);
+  EXPECT_EQ(results[1].policy, FilterPolicy::kBlockListed);
+  EXPECT_EQ(results[2].policy, FilterPolicy::kGreylistReused);
+}
+
+TEST_F(PolicySimTest, TrafficVolumeIsPolicyIndependent) {
+  const auto results = outcomes();
+  // Common random numbers: every policy faces the same sessions.
+  EXPECT_EQ(results[0].legit_sessions, results[1].legit_sessions);
+  EXPECT_EQ(results[0].legit_sessions, results[2].legit_sessions);
+  EXPECT_EQ(results[0].abuse_sessions, results[1].abuse_sessions);
+  EXPECT_EQ(results[0].abuse_sessions, results[2].abuse_sessions);
+  EXPECT_GT(results[0].legit_sessions, 0u);
+  EXPECT_GT(results[0].abuse_sessions, 0u);
+}
+
+TEST_F(PolicySimTest, AllowAllHasNoHarmAndFullEscape) {
+  const auto results = outcomes();
+  EXPECT_EQ(results[0].legit_blocked, 0u);
+  EXPECT_EQ(results[0].legit_delayed, 0u);
+  EXPECT_DOUBLE_EQ(results[0].abuse_escape_rate(), 1.0);
+}
+
+TEST_F(PolicySimTest, HardBlockingHarmsEveryBystander) {
+  const auto results = outcomes();
+  EXPECT_EQ(results[1].legit_blocked, results[1].legit_sessions);
+  EXPECT_EQ(results[1].abuse_admitted, 0u);
+  EXPECT_DOUBLE_EQ(results[1].bystander_harm_rate(), 1.0);
+}
+
+TEST_F(PolicySimTest, GreylistingSitsStrictlyBetween) {
+  const auto results = outcomes();
+  const auto& greylist = results[2];
+  // Less harm than hard blocking, more than allowing everything.
+  EXPECT_LT(greylist.legit_blocked, results[1].legit_blocked);
+  EXPECT_GT(greylist.legit_delayed, 0u);
+  // Some abuse leaks through retries, but far less than allow-all.
+  EXPECT_LT(greylist.abuse_admitted, results[0].abuse_admitted);
+  EXPECT_LT(greylist.abuse_escape_rate(), 0.2);
+}
+
+TEST_F(PolicySimTest, DeterministicForSeed) {
+  const auto a = outcomes();
+  const auto b = outcomes();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].legit_blocked, b[i].legit_blocked);
+    EXPECT_EQ(a[i].abuse_admitted, b[i].abuse_admitted);
+  }
+}
+
+TEST_F(PolicySimTest, RetryRatesShapeTheGreylistOutcome) {
+  PolicySimConfig generous;
+  generous.legit_retry_rate = 1.0;
+  generous.abuse_retry_rate = 0.0;
+  const auto results = simulate_policies(
+      scenario().world, scenario().ecosystem.store, scenario().crawl.nated_set,
+      scenario().pipeline.dynamic_prefixes, generous);
+  const auto& greylist = results[2];
+  // Perfect retry split: greylisted legit sessions all pass (only the
+  // non-reused listings still block), and no greylisted abuse leaks.
+  EXPECT_EQ(greylist.abuse_admitted, 0u);
+  EXPECT_LT(greylist.bystander_harm_rate(), 1.0);
+}
+
+TEST(PolicySimHelpers, PolicyNames) {
+  EXPECT_EQ(to_string(FilterPolicy::kAllowAll), "allow all");
+  EXPECT_EQ(to_string(FilterPolicy::kBlockListed), "block listed");
+  EXPECT_EQ(to_string(FilterPolicy::kGreylistReused), "greylist reused");
+}
+
+}  // namespace
+}  // namespace reuse::analysis

@@ -1,0 +1,137 @@
+#include "netbase/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netbase/rng.h"
+
+namespace reuse::net {
+namespace {
+
+Ipv4Address addr(const char* text) { return *Ipv4Address::parse(text); }
+Ipv4Prefix pfx(const char* text) { return *Ipv4Prefix::parse(text); }
+
+TEST(PrefixTrie, EmptyLookupsMissEverything) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.lookup(addr("1.2.3.4")).has_value());
+  EXPECT_FALSE(trie.contains(addr("0.0.0.0")));
+}
+
+TEST(PrefixTrie, LongestPrefixMatchWins) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  trie.insert(pfx("10.1.2.0/24"), 24);
+  EXPECT_EQ(trie.lookup(addr("10.1.2.3")), 24);
+  EXPECT_EQ(trie.lookup(addr("10.1.9.1")), 16);
+  EXPECT_EQ(trie.lookup(addr("10.9.9.9")), 8);
+  EXPECT_FALSE(trie.lookup(addr("11.0.0.0")).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 1);
+  EXPECT_EQ(trie.lookup(addr("255.255.255.255")), 1);
+  EXPECT_EQ(trie.lookup(addr("0.0.0.0")), 1);
+}
+
+TEST(PrefixTrie, InsertOverwritesSamePrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.lookup(addr("10.0.0.1")), 2);
+}
+
+TEST(PrefixTrie, ExactIgnoresCoveringPrefixes) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  EXPECT_NE(trie.exact(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(trie.exact(pfx("10.1.0.0/16")), nullptr);
+  EXPECT_EQ(trie.exact(pfx("0.0.0.0/0")), nullptr);
+}
+
+TEST(PrefixTrie, HostRoutesWork) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("1.2.3.4/32"), 42);
+  EXPECT_EQ(trie.lookup(addr("1.2.3.4")), 42);
+  EXPECT_FALSE(trie.lookup(addr("1.2.3.5")).has_value());
+}
+
+TEST(PrefixTrie, ForEachVisitsInAddressOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("20.0.0.0/8"), 2);
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  trie.insert(pfx("10.5.0.0/16"), 3);
+  std::vector<Ipv4Prefix> visited;
+  trie.for_each([&](Ipv4Prefix prefix, int) { visited.push_back(prefix); });
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0], pfx("10.0.0.0/8"));
+  EXPECT_EQ(visited[1], pfx("10.5.0.0/16"));
+  EXPECT_EQ(visited[2], pfx("20.0.0.0/8"));
+}
+
+// Property sweep: trie LPM agrees with a brute-force linear scan, across
+// random prefix sets of several sizes.
+class PrefixTrieProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixTrieProperty, AgreesWithLinearScan) {
+  const int prefix_count = GetParam();
+  Rng rng(static_cast<std::uint64_t>(prefix_count) * 7919);
+  PrefixTrie<std::size_t> trie;
+  std::vector<Ipv4Prefix> reference;
+  for (int i = 0; i < prefix_count; ++i) {
+    const Ipv4Address base(static_cast<std::uint32_t>(rng()));
+    const int length = static_cast<int>(rng.uniform(33));
+    const Ipv4Prefix prefix(base, length);
+    // Keep the reference free of duplicates so values stay well defined.
+    if (std::find(reference.begin(), reference.end(), prefix) !=
+        reference.end()) {
+      continue;
+    }
+    reference.push_back(prefix);
+    trie.insert(prefix, reference.size() - 1);
+  }
+  EXPECT_EQ(trie.size(), reference.size());
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Address probe(static_cast<std::uint32_t>(rng()));
+    // Linear-scan longest match.
+    int best_length = -1;
+    std::size_t best_index = 0;
+    for (std::size_t j = 0; j < reference.size(); ++j) {
+      if (reference[j].contains(probe) && reference[j].length() > best_length) {
+        best_length = reference[j].length();
+        best_index = j;
+      }
+    }
+    const auto result = trie.lookup(probe);
+    if (best_length < 0) {
+      EXPECT_FALSE(result.has_value());
+    } else {
+      ASSERT_TRUE(result.has_value());
+      EXPECT_EQ(*result, best_index);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixTrieProperty,
+                         ::testing::Values(1, 4, 16, 64, 256, 1024));
+
+TEST(PrefixSet, ContainmentQueries) {
+  PrefixSet set;
+  set.insert(pfx("10.1.2.0/24"));
+  set.insert(pfx("10.1.3.0/24"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains_address(addr("10.1.2.200")));
+  EXPECT_FALSE(set.contains_address(addr("10.1.4.1")));
+  EXPECT_TRUE(set.contains_prefix(pfx("10.1.2.0/24")));
+  EXPECT_FALSE(set.contains_prefix(pfx("10.1.2.0/25")));
+  const auto prefixes = set.to_vector();
+  EXPECT_EQ(prefixes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace reuse::net

@@ -1,0 +1,29 @@
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+namespace reuse::analysis {
+namespace {
+
+TEST(PaperComparison, RendersTitleAndRows) {
+  PaperComparison report("Figure X");
+  report.row("metric one", "42", "40", "close")
+      .row("metric two", "7%", "9%");
+  const std::string out = report.to_string();
+  EXPECT_NE(out.find("== Figure X =="), std::string::npos);
+  EXPECT_NE(out.find("metric one"), std::string::npos);
+  EXPECT_NE(out.find("paper"), std::string::npos);
+  EXPECT_NE(out.find("measured"), std::string::npos);
+  EXPECT_NE(out.find("close"), std::string::npos);
+  EXPECT_NE(out.find("9%"), std::string::npos);
+}
+
+TEST(PaperComparison, EmptyReportStillRendersHeader) {
+  PaperComparison report("Empty");
+  const std::string out = report.to_string();
+  EXPECT_NE(out.find("== Empty =="), std::string::npos);
+  EXPECT_NE(out.find("metric"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reuse::analysis

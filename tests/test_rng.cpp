@@ -1,0 +1,184 @@
+#include "netbase/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace reuse::net {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child1 = parent1.fork(42);
+  Rng child2 = parent2.fork(42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1(), child2());
+  Rng other = parent1.fork(43);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) equal += child1() == other();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  // All residues reachable.
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(10);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t draw = rng.uniform_int(-3, 3);
+    EXPECT_GE(draw, -3);
+    EXPECT_LE(draw, 3);
+    saw_low |= draw == -3;
+    saw_high |= draw == 3;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double draw = rng.uniform_real();
+    EXPECT_GE(draw, 0.0);
+    EXPECT_LT(draw, 1.0);
+    sum += draw;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(12);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double draw = rng.normal(10.0, 2.0);
+    sum += draw;
+    sum_sq += draw * draw;
+  }
+  const double mean = sum / kN;
+  const double variance = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(variance), 2.0, 0.1);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(14);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(15);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  const double p = 0.4;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.geometric(p));
+  }
+  EXPECT_NEAR(sum / kN, (1 - p) / p, 0.05);
+  EXPECT_EQ(Rng(1).geometric(1.0), 0u);
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng(16);
+  for (const double mean : {0.5, 5.0, 80.0}) {
+    double sum = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / kN, mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfStaysInRangeAndFavorsLowRanks) {
+  Rng rng(17);
+  std::uint64_t ones = 0;
+  std::uint64_t top_half = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const std::uint64_t draw = rng.zipf(100, 1.2);
+    ASSERT_GE(draw, 1u);
+    ASSERT_LE(draw, 100u);
+    ones += draw == 1;
+    top_half += draw > 50;
+  }
+  EXPECT_GT(ones, top_half);  // rank 1 alone beats the entire top half
+  EXPECT_EQ(rng.zipf(1, 1.0), 1u);
+}
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  Rng rng(18);
+  const double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+  EXPECT_THROW((void)rng.weighted_index(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(19);
+  for (const std::size_t n : {std::size_t{10}, std::size_t{100}, std::size_t{1000}}) {
+    for (const std::size_t k : {std::size_t{0}, std::size_t{1}, n / 2, n}) {
+      const auto sample = rng.sample_indices(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::unordered_set<std::size_t> seen(sample.begin(), sample.end());
+      EXPECT_EQ(seen.size(), k);
+      for (const std::size_t index : sample) EXPECT_LT(index, n);
+    }
+  }
+  EXPECT_THROW((void)rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(20);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+}  // namespace
+}  // namespace reuse::net

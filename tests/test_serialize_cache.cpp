@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/cache.h"
+#include "netbase/serialize.h"
+
+namespace reuse {
+namespace {
+
+TEST(BinarySerialize, IntegerRoundTripAllWidths) {
+  std::stringstream stream;
+  net::BinaryWriter writer(stream);
+  writer.write(std::uint8_t{0xAB});
+  writer.write(std::uint16_t{0xBEEF});
+  writer.write(std::uint32_t{0xDEADBEEF});
+  writer.write(std::uint64_t{0x0123456789ABCDEFULL});
+  writer.write(std::int64_t{-42});
+  writer.write(3.14159);
+  writer.write(std::string("hello"));
+  ASSERT_TRUE(writer.ok());
+
+  net::BinaryReader reader(stream);
+  EXPECT_EQ(reader.read<std::uint8_t>(), 0xAB);
+  EXPECT_EQ(reader.read<std::uint16_t>(), 0xBEEF);
+  EXPECT_EQ(reader.read<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.read<std::uint64_t>(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.read<std::int64_t>(), -42);
+  EXPECT_DOUBLE_EQ(reader.read_double(), 3.14159);
+  EXPECT_EQ(reader.read_string(), "hello");
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(BinarySerialize, WriteSequenceRoundTrips) {
+  std::stringstream stream;
+  net::BinaryWriter writer(stream);
+  const std::vector<std::uint32_t> values{3, 1, 4, 1, 5, 9, 2, 6};
+  writer.write_sequence(values, [](net::BinaryWriter& w, std::uint32_t v) {
+    w.write(v);
+  });
+  net::BinaryReader reader(stream);
+  const auto count = reader.read_size(1 << 10);
+  ASSERT_EQ(count, values.size());
+  for (const std::uint32_t expected : values) {
+    EXPECT_EQ(reader.read<std::uint32_t>(), expected);
+  }
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(BinarySerialize, OversizedStringIsRejected) {
+  std::stringstream stream;
+  net::BinaryWriter writer(stream);
+  writer.write(std::uint64_t{1ULL << 40});  // bogus string length
+  net::BinaryReader reader(stream);
+  EXPECT_EQ(reader.read_string(), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BinarySerialize, CorruptLengthPoisonsStream) {
+  std::stringstream stream;
+  net::BinaryWriter writer(stream);
+  writer.write(std::uint64_t{1ULL << 60});  // absurd length prefix
+  net::BinaryReader reader(stream);
+  EXPECT_EQ(reader.read_size(1 << 20), 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BinarySerialize, TruncatedStreamFailsCleanly) {
+  std::stringstream stream;
+  net::BinaryWriter writer(stream);
+  writer.write(std::uint32_t{7});
+  net::BinaryReader reader(stream);
+  (void)reader.read<std::uint32_t>();
+  (void)reader.read<std::uint64_t>();  // past the end
+  EXPECT_FALSE(reader.ok());
+}
+
+class CacheRoundTrip : public ::testing::Test {
+ protected:
+  static analysis::ScenarioConfig tiny_config() {
+    analysis::ScenarioConfig config;
+    config.seed = 5;
+    config.world = inet::test_world_config(5);
+    config.world.as_count = 30;
+    config.crawl_days = 1;
+    config.fleet.probe_count = 100;
+    config.run_census = false;
+    config.finalize();
+    return config;
+  }
+  void SetUp() override {
+    // Unique file per test: ctest runs cases in parallel processes.
+    path_ = std::string("test_cache_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".cache";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CacheRoundTrip, SaveThenLoadPreservesEverything) {
+  const auto config = tiny_config();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  const auto loaded = analysis::load_scenario_cache(path_, config);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->crawl.evidence.size(), original.crawl.evidence.size());
+  EXPECT_EQ(loaded->crawl.nated, original.crawl.nated);
+  EXPECT_EQ(loaded->crawl.stats.pings_sent, original.crawl.stats.pings_sent);
+  EXPECT_EQ(loaded->crawl.distinct_node_ids, original.crawl.distinct_node_ids);
+  for (const auto& [address, evidence] : original.crawl.evidence) {
+    const auto it = loaded->crawl.evidence.find(address);
+    ASSERT_NE(it, loaded->crawl.evidence.end());
+    EXPECT_EQ(it->second.ports, evidence.ports);
+    EXPECT_EQ(it->second.max_concurrent_users, evidence.max_concurrent_users);
+  }
+
+  EXPECT_EQ(loaded->ecosystem.store.listing_count(),
+            original.ecosystem.store.listing_count());
+  EXPECT_EQ(loaded->ecosystem.store.addresses().size(),
+            original.ecosystem.store.addresses().size());
+  original.ecosystem.store.for_each_listing(
+      [&](blocklist::ListId list, net::Ipv4Address address,
+          const net::IntervalSet& intervals) {
+        const net::IntervalSet* other =
+            loaded->ecosystem.store.presence(list, address);
+        ASSERT_NE(other, nullptr);
+        EXPECT_EQ(other->intervals(), intervals.intervals());
+      });
+}
+
+TEST_F(CacheRoundTrip, MismatchedConfigIsRejected) {
+  const auto config = tiny_config();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  auto other_seed = config;
+  other_seed.seed = 6;
+  EXPECT_FALSE(analysis::load_scenario_cache(path_, other_seed).has_value());
+  auto other_scale = config;
+  other_scale.world.as_count = 31;
+  EXPECT_FALSE(analysis::load_scenario_cache(path_, other_scale).has_value());
+  EXPECT_FALSE(
+      analysis::load_scenario_cache("nonexistent.cache", config).has_value());
+}
+
+TEST_F(CacheRoundTrip, RunScenarioCachedHitsOnSecondCall) {
+  const auto config = tiny_config();
+  const analysis::CachedScenario first =
+      analysis::run_scenario_cached(config, path_);
+  EXPECT_FALSE(first.cache_hit);
+  const analysis::CachedScenario second =
+      analysis::run_scenario_cached(config, path_);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.crawl.nated, second.crawl.nated);
+  EXPECT_EQ(first.ecosystem.store.listing_count(),
+            second.ecosystem.store.listing_count());
+  EXPECT_EQ(first.pipeline.probes_daily, second.pipeline.probes_daily);
+}
+
+TEST_F(CacheRoundTrip, GarbageFileIsRejected) {
+  {
+    std::ofstream os(path_, std::ios::binary);
+    os << "this is not a cache file at all, just text";
+  }
+  EXPECT_FALSE(
+      analysis::load_scenario_cache(path_, tiny_config()).has_value());
+}
+
+}  // namespace
+}  // namespace reuse

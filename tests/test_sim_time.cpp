@@ -1,0 +1,60 @@
+#include "netbase/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace reuse::net {
+namespace {
+
+TEST(Duration, FactoryUnits) {
+  EXPECT_EQ(Duration::seconds(90).count(), 90);
+  EXPECT_EQ(Duration::minutes(20).count(), 1200);
+  EXPECT_EQ(Duration::hours(2).count(), 7200);
+  EXPECT_EQ(Duration::days(3).count(), 259200);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((Duration::hours(1) + Duration::minutes(30)).count(), 5400);
+  EXPECT_EQ((Duration::days(1) - Duration::hours(1)).count(), 82800);
+  EXPECT_EQ((Duration::minutes(10) * 6).count(), 3600);
+  EXPECT_EQ((Duration::days(1) / 4).count(), 21600);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::days(2).as_days(), 2.0);
+  EXPECT_DOUBLE_EQ(Duration::minutes(90).as_hours(), 1.5);
+}
+
+TEST(Duration, ToStringShowsComponents) {
+  EXPECT_EQ(Duration(2 * 86400 + 3 * 3600 + 15 * 60 + 7).to_string(),
+            "2d 03:15:07");
+  EXPECT_EQ(Duration(-3661).to_string(), "-0d 01:01:01");
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::epoch() + Duration::days(2) + Duration::hours(5);
+  EXPECT_EQ(t.seconds(), 2 * 86400 + 5 * 3600);
+  EXPECT_EQ(t.day(), 2);
+  EXPECT_EQ((t - SimTime::epoch()).count(), t.seconds());
+  EXPECT_EQ((t - Duration::hours(5)).day(), 2);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime(100), SimTime(101));
+  EXPECT_EQ(SimTime(5), SimTime::epoch() + Duration::seconds(5));
+}
+
+TEST(SimTime, ToStringShowsDayAndClock) {
+  EXPECT_EQ(SimTime(86400 + 3600 + 61).to_string(), "day 1 01:01:01");
+}
+
+TEST(TimeWindow, ContainsHalfOpen) {
+  const TimeWindow window{SimTime(10), SimTime(20)};
+  EXPECT_FALSE(window.contains(SimTime(9)));
+  EXPECT_TRUE(window.contains(SimTime(10)));
+  EXPECT_TRUE(window.contains(SimTime(19)));
+  EXPECT_FALSE(window.contains(SimTime(20)));
+  EXPECT_EQ(window.length().count(), 10);
+}
+
+}  // namespace
+}  // namespace reuse::net

@@ -1,0 +1,117 @@
+#include "netbase/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace reuse::net {
+namespace {
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  OnlineStats stats;
+  const double samples[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double s : samples) stats.add(s);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(EmpiricalCdf, FractionAtMostIsAStepFunction) {
+  const EmpiricalCdf cdf({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2.5), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantilesUseNearestRank) {
+  const EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 50.0);
+}
+
+TEST(EmpiricalCdf, EmptyIsSafe) {
+  const EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.fraction_at_most(1.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(EmpiricalCdf, CurveEndsAtOne) {
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(i);
+  const EmpiricalCdf cdf(std::move(samples));
+  const auto curve = cdf.curve(50);
+  ASSERT_FALSE(curve.empty());
+  EXPECT_LE(curve.size(), 60u);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 999.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.add(0.5);
+  histogram.add(9.5);
+  histogram.add(-5.0);   // clamps into bin 0
+  histogram.add(100.0);  // clamps into last bin
+  EXPECT_DOUBLE_EQ(histogram.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.count(9), 2.0);
+  EXPECT_DOUBLE_EQ(histogram.total(), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.bin_low(3), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.bin_high(3), 4.0);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(IntDistribution, CumulativeFractions) {
+  IntDistribution distribution;
+  distribution.add(2, 70);
+  distribution.add(3, 20);
+  distribution.add(10, 10);
+  EXPECT_EQ(distribution.total(), 100);
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(1), 0.0);
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(2), 0.7);
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(9), 0.9);
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(10), 1.0);
+  EXPECT_EQ(distribution.max_value(), 10);
+}
+
+TEST(RoundSignificant, KeepsRequestedDigits) {
+  EXPECT_DOUBLE_EQ(round_significant(12345.0, 3), 12300.0);
+  EXPECT_DOUBLE_EQ(round_significant(0.0123456, 2), 0.012);
+  EXPECT_DOUBLE_EQ(round_significant(0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(round_significant(-98765.0, 2), -99000.0);
+}
+
+TEST(Percent, Formats) {
+  EXPECT_EQ(percent(0.613), "61.3%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.005, 2), "0.50%");
+}
+
+}  // namespace
+}  // namespace reuse::net

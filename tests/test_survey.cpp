@@ -1,0 +1,130 @@
+// The survey tabulators must reproduce the paper's Table 1 marginals
+// EXACTLY from the embedded dataset — these are the strictest paper-vs-code
+// assertions in the suite.
+#include "survey/survey.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace reuse::survey {
+namespace {
+
+class SurveyTest : public ::testing::Test {
+ protected:
+  static SurveySummary summary() { return summarize(embedded_survey()); }
+};
+
+TEST_F(SurveyTest, SixtyFiveRespondents) {
+  EXPECT_EQ(embedded_survey().size(), 65u);
+  EXPECT_EQ(summary().respondents, 65u);
+}
+
+TEST_F(SurveyTest, ExternalBlocklistUsageIs85Percent) {
+  EXPECT_NEAR(summary().external_usage_fraction, 0.85, 0.005);
+}
+
+TEST_F(SurveyTest, InternalBlocklistUsageIs70Percent) {
+  EXPECT_NEAR(summary().internal_usage_fraction, 0.70, 0.01);
+}
+
+TEST_F(SurveyTest, DirectBlockingIs59Percent) {
+  EXPECT_NEAR(summary().direct_block_fraction, 0.59, 0.006);
+}
+
+TEST_F(SurveyTest, ThreatIntelIsUnder35Percent) {
+  EXPECT_LT(summary().threat_intel_fraction, 0.35);
+  EXPECT_GT(summary().threat_intel_fraction, 0.30);
+}
+
+TEST_F(SurveyTest, PaidListsAverageTwoMaxThirtyNine) {
+  EXPECT_DOUBLE_EQ(summary().paid_lists_mean, 2.0);
+  EXPECT_EQ(summary().paid_lists_max, 39);
+}
+
+TEST_F(SurveyTest, PublicListsAverageTenMaxSixtyEight) {
+  EXPECT_DOUBLE_EQ(summary().public_lists_mean, 10.0);
+  EXPECT_EQ(summary().public_lists_max, 68);
+}
+
+TEST_F(SurveyTest, ThirtyFourAnsweredReuseQuestions) {
+  EXPECT_EQ(summary().reuse_question_respondents, 34u);
+}
+
+TEST_F(SurveyTest, CgnConcernIs56Percent) {
+  // 19 of 34.
+  EXPECT_NEAR(summary().cgn_concern_fraction, 19.0 / 34.0, 1e-9);
+}
+
+TEST_F(SurveyTest, DynamicConcernIs76Percent) {
+  // 26 of 34.
+  EXPECT_NEAR(summary().dynamic_concern_fraction, 26.0 / 34.0, 1e-9);
+}
+
+TEST_F(SurveyTest, MultiTypeUsageIs55Percent) {
+  EXPECT_NEAR(summary().multi_type_fraction, 36.0 / 65.0, 1e-9);
+}
+
+TEST_F(SurveyTest, NonExternalUsersHaveNoPublicLists) {
+  for (const SurveyResponse& r : embedded_survey()) {
+    if (!r.uses_external) {
+      EXPECT_EQ(r.public_lists, 0);
+      EXPECT_EQ(r.list_types_used, 0);
+    }
+  }
+}
+
+TEST_F(SurveyTest, Figure9IsSortedAscendingWithSpamOnTop) {
+  const auto usage = reuse_issue_type_usage(embedded_survey());
+  ASSERT_EQ(usage.size(), static_cast<std::size_t>(kOperatorListTypeCount));
+  for (std::size_t i = 1; i < usage.size(); ++i) {
+    EXPECT_LE(usage[i - 1].second, usage[i].second);
+  }
+  EXPECT_EQ(usage.back().first, "Spam");
+  EXPECT_EQ(usage.front().first, "VOIP");
+  // Spam usage among reuse-issue operators is very high, VOIP low.
+  EXPECT_GT(usage.back().second, 0.85);
+  EXPECT_LT(usage.front().second, 0.30);
+}
+
+TEST_F(SurveyTest, ReuseIssueGroupSize) {
+  std::size_t issues = 0;
+  for (const SurveyResponse& r : embedded_survey()) {
+    issues += r.faced_reuse_issue();
+  }
+  EXPECT_EQ(issues, 26u);  // the dynamic-concern group subsumes the CGN group
+}
+
+TEST(SurveyHelpers, TypeCountCountsBits) {
+  SurveyResponse r;
+  EXPECT_EQ(r.type_count(), 0);
+  r.list_types_used = 0b101;
+  EXPECT_EQ(r.type_count(), 2);
+  EXPECT_TRUE(r.uses_type(static_cast<OperatorListType>(0)));
+  EXPECT_FALSE(r.uses_type(static_cast<OperatorListType>(1)));
+}
+
+TEST(SurveyHelpers, UnansweredReuseQuestionsDoNotCountAsIssues) {
+  SurveyResponse r;
+  EXPECT_FALSE(r.faced_reuse_issue());
+  r.cgn_hurts_accuracy = false;
+  r.dynamic_hurts_accuracy = false;
+  EXPECT_FALSE(r.faced_reuse_issue());
+  r.dynamic_hurts_accuracy = true;
+  EXPECT_TRUE(r.faced_reuse_issue());
+}
+
+TEST(SurveyHelpers, SummarizeEmptyIsSafe) {
+  const SurveySummary summary = summarize({});
+  EXPECT_EQ(summary.respondents, 0u);
+  EXPECT_EQ(summary.paid_lists_max, 0);
+}
+
+TEST(SurveyHelpers, ToStringCoversAllTypes) {
+  for (int t = 0; t < kOperatorListTypeCount; ++t) {
+    EXPECT_NE(to_string(static_cast<OperatorListType>(t)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace reuse::survey

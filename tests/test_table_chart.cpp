@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "netbase/chart.h"
+#include "netbase/table.h"
+
+namespace reuse::net {
+namespace {
+
+TEST(Formatting, WithThousands) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(-1234), "-1,234");
+}
+
+TEST(Formatting, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Formatting, CompactCount) {
+  EXPECT_EQ(compact_count(512), "512");
+  EXPECT_EQ(compact_count(29700), "29.7K");
+  EXPECT_EQ(compact_count(2.0e6), "2.0M");
+  EXPECT_EQ(compact_count(1.6e9), "1.6B");
+}
+
+TEST(Formatting, CsvEscape) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable table({"name", "count"});
+  table.add_row({"alpha", "1,000"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Numeric cells right-align: "22" should be preceded by spaces up to the
+  // width of "1,000".
+  EXPECT_NE(out.find("   22"), std::string::npos);
+}
+
+TEST(AsciiTable, ShortRowsArePadded) {
+  AsciiTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NO_THROW((void)table.to_string());
+  EXPECT_NO_THROW((void)table.to_csv());
+}
+
+TEST(AsciiTable, CsvOutput) {
+  AsciiTable table({"name", "note"});
+  table.add_row({"x,y", "plain"});
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(csv, "name,note\n\"x,y\",plain\n");
+}
+
+TEST(Chart, RendersSeriesGlyphs) {
+  ChartSeries series;
+  series.label = "cdf";
+  series.glyph = 'o';
+  for (int i = 0; i <= 10; ++i) {
+    series.points.emplace_back(i, i * i);
+  }
+  const std::string out = render_chart({series});
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("cdf"), std::string::npos);
+}
+
+TEST(Chart, LogAxesHandleWideRanges) {
+  ChartSeries series;
+  series.label = "wide";
+  for (int i = 0; i <= 6; ++i) {
+    series.points.emplace_back(std::pow(10.0, i), std::pow(10.0, 6 - i));
+  }
+  ChartOptions options;
+  options.log_x = true;
+  options.log_y = true;
+  EXPECT_NO_THROW((void)render_chart({series}, options));
+}
+
+TEST(Chart, EmptySeriesListIsSafe) {
+  EXPECT_NO_THROW((void)render_chart({}));
+}
+
+TEST(Bars, RendersProportionalBars) {
+  const std::string out = render_bars({{"spam", 90.0}, {"voip", 30.0}}, 30, "%");
+  EXPECT_NE(out.find("spam"), std::string::npos);
+  // spam's bar must be longer than voip's.
+  const auto spam_hashes = std::count(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(out.find('\n')), '#');
+  EXPECT_EQ(spam_hashes, 30);
+}
+
+TEST(Bars, ZeroValuesAreSafe) {
+  EXPECT_NO_THROW((void)render_bars({{"a", 0.0}, {"b", 0.0}}));
+}
+
+}  // namespace
+}  // namespace reuse::net

@@ -1,0 +1,181 @@
+#include "simnet/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "simnet/event_queue.h"
+
+namespace reuse::sim {
+namespace {
+
+using StringTransport = Transport<std::string, std::string>;
+
+net::Endpoint ep(std::uint32_t host, std::uint16_t port) {
+  return net::Endpoint{net::Ipv4Address(host), port};
+}
+
+TransportConfig lossless() {
+  TransportConfig config;
+  config.request_loss = 0.0;
+  config.response_loss = 0.0;
+  config.min_delay = net::Duration::seconds(1);
+  config.max_delay = net::Duration::seconds(1);
+  return config;
+}
+
+TEST(Transport, DeliversRequestAndResponse) {
+  EventQueue events;
+  StringTransport transport(events, net::Rng(1), lossless());
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string& request) {
+    return std::optional<std::string>("re:" + request);
+  });
+  std::string received;
+  net::SimTime when;
+  transport.send_request(ep(2, 1000), ep(1, 80), "hello",
+                         [&](const net::Endpoint& from, const std::string& r) {
+                           received = r;
+                           when = events.now();
+                           EXPECT_EQ(from, ep(1, 80));
+                         });
+  events.run_all();
+  EXPECT_EQ(received, "re:hello");
+  EXPECT_EQ(when, net::SimTime(2));  // 1s out + 1s back
+  EXPECT_EQ(transport.stats().requests_sent, 1u);
+  EXPECT_EQ(transport.stats().responses_delivered, 1u);
+  EXPECT_DOUBLE_EQ(transport.stats().response_rate(), 1.0);
+}
+
+TEST(Transport, UnboundEndpointIsSilent) {
+  EventQueue events;
+  StringTransport transport(events, net::Rng(2), lossless());
+  bool called = false;
+  transport.send_request(ep(2, 1), ep(9, 9), "x",
+                         [&](const net::Endpoint&, const std::string&) {
+                           called = true;
+                         });
+  events.run_all();
+  EXPECT_FALSE(called);
+  EXPECT_EQ(transport.stats().requests_unroutable, 1u);
+}
+
+TEST(Transport, HandlerMayDeclineToAnswer) {
+  EventQueue events;
+  StringTransport transport(events, net::Rng(3), lossless());
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>();  // offline application
+  });
+  bool called = false;
+  transport.send_request(ep(2, 1), ep(1, 80), "x",
+                         [&](const net::Endpoint&, const std::string&) {
+                           called = true;
+                         });
+  events.run_all();
+  EXPECT_FALSE(called);
+  EXPECT_EQ(transport.stats().requests_delivered, 1u);
+  EXPECT_EQ(transport.stats().responses_sent, 0u);
+}
+
+TEST(Transport, FullRequestLossDropsEverything) {
+  EventQueue events;
+  TransportConfig config = lossless();
+  config.request_loss = 1.0;
+  StringTransport transport(events, net::Rng(4), config);
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>("never");
+  });
+  bool called = false;
+  for (int i = 0; i < 10; ++i) {
+    transport.send_request(ep(2, 1), ep(1, 80), "x",
+                           [&](const net::Endpoint&, const std::string&) {
+                             called = true;
+                           });
+  }
+  events.run_all();
+  EXPECT_FALSE(called);
+  EXPECT_EQ(transport.stats().requests_lost, 10u);
+  EXPECT_EQ(transport.stats().requests_delivered, 0u);
+}
+
+TEST(Transport, LossRateIsApproximatelyConfigured) {
+  EventQueue events;
+  TransportConfig config = lossless();
+  config.request_loss = 0.3;
+  config.response_loss = 0.3;
+  StringTransport transport(events, net::Rng(5), config);
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>("y");
+  });
+  int received = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    transport.send_request(ep(2, 1), ep(1, 80), "x",
+                           [&](const net::Endpoint&, const std::string&) {
+                             ++received;
+                           });
+  }
+  events.run_all();
+  EXPECT_NEAR(static_cast<double>(received) / kN, 0.49, 0.03);  // 0.7 * 0.7
+}
+
+TEST(Transport, RebindReplacesHandler) {
+  EventQueue events;
+  StringTransport transport(events, net::Rng(6), lossless());
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>("old");
+  });
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>("new");
+  });
+  EXPECT_EQ(transport.bound_endpoints(), 1u);
+  std::string received;
+  transport.send_request(ep(2, 1), ep(1, 80), "x",
+                         [&](const net::Endpoint&, const std::string& r) {
+                           received = r;
+                         });
+  events.run_all();
+  EXPECT_EQ(received, "new");
+}
+
+TEST(Transport, UnbindMakesEndpointStale) {
+  EventQueue events;
+  StringTransport transport(events, net::Rng(7), lossless());
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>("y");
+  });
+  EXPECT_TRUE(transport.is_bound(ep(1, 80)));
+  transport.unbind(ep(1, 80));
+  EXPECT_FALSE(transport.is_bound(ep(1, 80)));
+  bool called = false;
+  transport.send_request(ep(2, 1), ep(1, 80), "x",
+                         [&](const net::Endpoint&, const std::string&) {
+                           called = true;
+                         });
+  events.run_all();
+  EXPECT_FALSE(called);
+}
+
+TEST(Transport, DelayStaysWithinBounds) {
+  EventQueue events;
+  TransportConfig config;
+  config.request_loss = 0.0;
+  config.response_loss = 0.0;
+  config.min_delay = net::Duration::seconds(2);
+  config.max_delay = net::Duration::seconds(5);
+  StringTransport transport(events, net::Rng(8), config);
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>("y");
+  });
+  for (int i = 0; i < 200; ++i) {
+    transport.send_request(ep(2, 1), ep(1, 80), "x",
+                           [&](const net::Endpoint&, const std::string&) {
+                             const std::int64_t rtt = events.now().seconds();
+                             EXPECT_GE(rtt, 4);
+                             EXPECT_LE(rtt, 10);
+                           });
+  }
+  events.run_all();
+}
+
+}  // namespace
+}  // namespace reuse::sim

@@ -1,0 +1,207 @@
+#include "internet/world.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace reuse::inet {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static const World& world() {
+    static const World kWorld(test_world_config(7));
+    return kWorld;
+  }
+};
+
+TEST_F(WorldTest, BuildsRequestedAsCount) {
+  EXPECT_EQ(world().ases().size(), test_world_config(7).as_count);
+  EXPECT_GT(world().prefix_count(), 0u);
+  EXPECT_GT(world().user_count(), 0u);
+}
+
+TEST_F(WorldTest, FlagshipAsIs4134) {
+  EXPECT_EQ(world().ases().front().asn, 4134u);
+  EXPECT_NE(world().find_as(4134), nullptr);
+  EXPECT_EQ(world().find_as(999999), nullptr);
+}
+
+TEST_F(WorldTest, AsnsAreUnique) {
+  std::unordered_set<Asn> asns;
+  for (const AsInfo& as_info : world().ases()) {
+    EXPECT_TRUE(asns.insert(as_info.asn).second) << as_info.asn;
+  }
+}
+
+TEST_F(WorldTest, PrefixRolesAreConsistentWithRecords) {
+  for (const AsInfo& as_info : world().ases()) {
+    ASSERT_EQ(as_info.prefixes.size(), as_info.roles.size());
+    for (std::size_t i = 0; i < as_info.prefixes.size(); ++i) {
+      const PrefixRecord* record =
+          world().prefix_record(as_info.prefixes[i].network());
+      ASSERT_NE(record, nullptr);
+      EXPECT_EQ(record->asn, as_info.asn);
+      EXPECT_EQ(record->role, as_info.roles[i]);
+    }
+  }
+}
+
+TEST_F(WorldTest, UserAddressesSitInOwnAsWithMatchingRole) {
+  int checked = 0;
+  for (const User& user : world().users()) {
+    if (user.attachment == AttachmentKind::kDynamic) continue;
+    EXPECT_EQ(world().asn_of(user.fixed_address), user.asn);
+    const PrefixRole role = world().role_of(user.fixed_address);
+    switch (user.attachment) {
+      case AttachmentKind::kStatic:
+        EXPECT_EQ(role, PrefixRole::kStaticResidential);
+        break;
+      case AttachmentKind::kHomeNat:
+        EXPECT_EQ(role, PrefixRole::kHomeNatResidential);
+        break;
+      case AttachmentKind::kCgn:
+        EXPECT_EQ(role, PrefixRole::kCgnPool);
+        break;
+      default:
+        break;
+    }
+    if (++checked > 5000) break;  // sampling is plenty
+  }
+}
+
+TEST_F(WorldTest, UserIdsAreDense) {
+  for (std::size_t i = 0; i < std::min<std::size_t>(world().users().size(), 1000); ++i) {
+    EXPECT_EQ(world().users()[i].id, i + 1);
+    EXPECT_EQ(world().user(i + 1).id, i + 1);
+  }
+}
+
+TEST_F(WorldTest, NatGroupsMatchFanoutGroundTruth) {
+  for (const NatGroup& group : world().nat_groups()) {
+    EXPECT_FALSE(group.members.empty());
+    EXPECT_EQ(world().users_behind(group.public_address), group.members.size());
+    EXPECT_EQ(world().nat_group_fanout(group.public_address),
+              group.members.size());
+    for (const UserId id : group.members) {
+      const User& member = world().user(id);
+      EXPECT_EQ(member.fixed_address, group.public_address);
+      EXPECT_EQ(member.asn, group.asn);
+      EXPECT_EQ(member.attachment, group.carrier_grade
+                                       ? AttachmentKind::kCgn
+                                       : AttachmentKind::kHomeNat);
+    }
+  }
+}
+
+TEST_F(WorldTest, CgnGroupsHaveAtLeastTwoMembers) {
+  for (const NatGroup& group : world().nat_groups()) {
+    if (group.carrier_grade) {
+      EXPECT_GE(group.members.size(), 2u);
+    }
+    EXPECT_LE(group.members.size(),
+              world().config().cgn_users_cap);
+  }
+}
+
+TEST_F(WorldTest, StaticOccupancyCountsAsOneUser) {
+  int checked = 0;
+  for (const User& user : world().users()) {
+    if (user.attachment != AttachmentKind::kStatic) continue;
+    EXPECT_EQ(world().users_behind(user.fixed_address), 1u);
+    EXPECT_TRUE(world().is_static_occupied(user.fixed_address));
+    EXPECT_FALSE(world().is_shared_address(user.fixed_address));
+    if (++checked > 2000) break;
+  }
+}
+
+TEST_F(WorldTest, UnassignedSpaceHasNoUsers) {
+  EXPECT_EQ(world().users_behind(net::Ipv4Address(42)), 0u);
+  EXPECT_EQ(world().asn_of(net::Ipv4Address(42)), 0u);
+  EXPECT_EQ(world().role_of(net::Ipv4Address(42)), PrefixRole::kUnused);
+}
+
+TEST_F(WorldTest, DynamicPoolsAreInternallyConsistent) {
+  std::size_t total_subscribers = 0;
+  for (const DynamicPoolInfo& pool : world().pools()) {
+    EXPECT_FALSE(pool.prefixes.empty());
+    EXPECT_GT(pool.mean_lease_seconds, 0.0);
+    total_subscribers += pool.subscribers.size();
+    // Pool must be over-provisioned so leases can rotate.
+    EXPECT_LE(pool.subscribers.size(), pool.prefixes.size() * 256);
+    for (const net::Ipv4Prefix& prefix : pool.prefixes) {
+      EXPECT_TRUE(world().dynamic_prefixes().contains_prefix(prefix));
+      const PrefixRecord* record = world().prefix_record(prefix.network());
+      ASSERT_NE(record, nullptr);
+      EXPECT_EQ(record->role, PrefixRole::kDynamicPool);
+      EXPECT_EQ(&world().pool(record->pool_index), &pool);
+    }
+    for (const UserId id : pool.subscribers) {
+      EXPECT_EQ(world().user(id).attachment, AttachmentKind::kDynamic);
+      EXPECT_EQ(world().user(id).asn, pool.asn);
+    }
+  }
+  std::size_t dynamic_users = 0;
+  for (const User& user : world().users()) {
+    dynamic_users += user.attachment == AttachmentKind::kDynamic;
+  }
+  EXPECT_EQ(total_subscribers, dynamic_users);
+}
+
+TEST_F(WorldTest, FastDynamicPrefixesAreSubsetOfDynamic) {
+  for (const net::Ipv4Prefix& prefix :
+       world().fast_dynamic_prefixes().to_vector()) {
+    EXPECT_TRUE(world().dynamic_prefixes().contains_prefix(prefix));
+  }
+  EXPECT_LT(world().fast_dynamic_prefixes().size(),
+            world().dynamic_prefixes().size());
+  EXPECT_GT(world().fast_dynamic_prefixes().size(), 0u);
+}
+
+TEST_F(WorldTest, BittorrentAndInfectedIndexesMatchFlags) {
+  std::size_t bt = 0;
+  std::size_t infected = 0;
+  for (const User& user : world().users()) {
+    bt += user.uses_bittorrent;
+    infected += user.infected;
+    if (user.infected) {
+      EXPECT_NE(user.abuse_mask, 0);
+    }
+  }
+  EXPECT_EQ(bt, world().bittorrent_users().size());
+  EXPECT_EQ(infected, world().infected_users().size());
+  for (const UserId id : world().bittorrent_users()) {
+    EXPECT_TRUE(world().user(id).uses_bittorrent);
+  }
+}
+
+TEST_F(WorldTest, MaliciousServersLiveInServerSpace) {
+  for (const MaliciousServer& server : world().malicious_servers()) {
+    EXPECT_EQ(world().role_of(server.address), PrefixRole::kServerHosting);
+    EXPECT_EQ(world().asn_of(server.address), server.asn);
+    EXPECT_NE(server.abuse_mask, 0);
+  }
+  EXPECT_GT(world().malicious_servers().size(), 0u);
+}
+
+TEST(WorldDeterminism, SameSeedSameWorld) {
+  const World a(test_world_config(3));
+  const World b(test_world_config(3));
+  EXPECT_EQ(a.user_count(), b.user_count());
+  EXPECT_EQ(a.prefix_count(), b.prefix_count());
+  EXPECT_EQ(a.nat_groups().size(), b.nat_groups().size());
+  EXPECT_EQ(a.malicious_servers().size(), b.malicious_servers().size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(a.user_count(), 500); ++i) {
+    EXPECT_EQ(a.users()[i].fixed_address, b.users()[i].fixed_address);
+    EXPECT_EQ(a.users()[i].seed, b.users()[i].seed);
+  }
+}
+
+TEST(WorldDeterminism, DifferentSeedsDiffer) {
+  const World a(test_world_config(3));
+  const World b(test_world_config(4));
+  EXPECT_NE(a.user_count(), b.user_count());
+}
+
+}  // namespace
+}  // namespace reuse::inet
