@@ -3,8 +3,12 @@
 // Every binary regenerates one table or figure of the paper from the same
 // bench-scale scenario (seed 42). The first binary to run simulates the
 // expensive parts (crawl + blocklist ecosystem, ~2 minutes) and caches them
-// next to the working directory; the rest reload in about a second. Delete
-// reuse_scenario_*.cache to force a fresh simulation.
+// in a file keyed by the full config fingerprint (see analysis/cache.h),
+// placed in $REUSE_CACHE_DIR or the working directory; the rest reload in
+// about a second. Saves are atomic, so running several binaries
+// concurrently is safe. Delete reuse_scenario_*.cache to force a fresh
+// simulation; stale files from older configs or calibrations are simply
+// never loaded (distinct fingerprint, distinct name).
 #pragma once
 
 #include <iostream>

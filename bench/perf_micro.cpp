@@ -8,6 +8,7 @@
 
 #include "blocklist/catalogue.h"
 #include "blocklist/ecosystem.h"
+#include "blocklist/store.h"
 #include "dht/node_id.h"
 #include "dht/routing_table.h"
 #include "netbase/interval_set.h"
@@ -111,6 +112,90 @@ void BM_Kneedle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Kneedle);
+
+// The two cache-restore strategies for the blocklist presence store. The
+// cache loader used to replay every listed day through record(); it now
+// inserts whole intervals through record_span(). Synthetic listings mirror
+// the bench-scale store: a few multi-week presence intervals per listing.
+std::vector<std::pair<std::int64_t, std::int64_t>> listing_spans(
+    net::Rng& rng) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+  std::int64_t day = static_cast<std::int64_t>(rng.uniform(10));
+  const std::size_t intervals = 1 + rng.uniform(3);
+  for (std::size_t i = 0; i < intervals; ++i) {
+    const auto length = 3 + static_cast<std::int64_t>(rng.uniform(28));
+    spans.emplace_back(day, day + length);
+    day += length + 2 + static_cast<std::int64_t>(rng.uniform(10));
+  }
+  return spans;
+}
+
+void BM_StoreRestorePerDay(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  net::Rng rng(9);
+  std::int64_t listed_days = 0;
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> listings;
+  for (std::size_t i = 0; i < count; ++i) {
+    listings.push_back(listing_spans(rng));
+    for (const auto& [begin, end] : listings.back()) listed_days += end - begin;
+  }
+  for (auto _ : state) {
+    blocklist::SnapshotStore store;
+    for (std::size_t i = 0; i < count; ++i) {
+      const net::Ipv4Address address(static_cast<std::uint32_t>(i));
+      for (const auto& [begin, end] : listings[i]) {
+        for (std::int64_t day = begin; day < end; ++day) {
+          store.record(1, address, day);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(store.listing_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          listed_days);
+}
+BENCHMARK(BM_StoreRestorePerDay)->Arg(10000);
+
+void BM_StoreRestoreSpan(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  net::Rng rng(9);
+  std::int64_t listed_days = 0;
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> listings;
+  for (std::size_t i = 0; i < count; ++i) {
+    listings.push_back(listing_spans(rng));
+    for (const auto& [begin, end] : listings.back()) listed_days += end - begin;
+  }
+  for (auto _ : state) {
+    blocklist::SnapshotStore store;
+    for (std::size_t i = 0; i < count; ++i) {
+      const net::Ipv4Address address(static_cast<std::uint32_t>(i));
+      for (const auto& [begin, end] : listings[i]) {
+        store.record_span(1, address, begin, end);
+      }
+    }
+    benchmark::DoNotOptimize(store.listing_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          listed_days);
+}
+BENCHMARK(BM_StoreRestoreSpan)->Arg(10000);
+
+void BM_IntDistributionCdfSweep(benchmark::State& state) {
+  // One fraction_at_most() query per x value, as the Figure 8 chart does.
+  net::Rng rng(10);
+  net::IntDistribution distribution;
+  for (int i = 0; i < 100000; ++i) {
+    distribution.add(2 + static_cast<std::int64_t>(rng.pareto(2.0, 1.7)));
+  }
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::int64_t v = 1; v <= distribution.max_value(); ++v) {
+      sum += distribution.fraction_at_most(v);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_IntDistributionCdfSweep);
 
 void BM_EmpiricalCdfBuild(benchmark::State& state) {
   net::Rng rng(5);

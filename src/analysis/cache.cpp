@@ -1,7 +1,16 @@
 #include "analysis/cache.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <limits>
+#include <sstream>
+#include <system_error>
+#include <tuple>
 
 #include "blocklist/catalogue.h"
 #include "netbase/serialize.h"
@@ -10,7 +19,16 @@ namespace reuse::analysis {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x52455553454341ULL;  // "REUSECA"
-constexpr std::uint32_t kVersion = 3;
+constexpr std::uint32_t kVersion = 4;
+
+// Decoder bounds: a corrupt length prefix must fail the load immediately,
+// not drive a multi-billion-iteration read loop. All generously above
+// anything a real scenario produces.
+constexpr std::uint64_t kMaxEvidenceEntries = 1ULL << 32;
+constexpr std::uint64_t kMaxPortsPerIp = 65536;
+constexpr std::uint64_t kMaxListings = 1ULL << 33;
+constexpr std::uint64_t kMaxIntervalsPerListing = 1ULL << 22;
+constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 34;
 
 void write_crawl(net::BinaryWriter& writer, const CrawlOutput& crawl) {
   const crawler::CrawlStats& stats = crawl.stats;
@@ -25,11 +43,25 @@ void write_crawl(net::BinaryWriter& writer, const CrawlOutput& crawl) {
   writer.write(static_cast<std::uint64_t>(crawl.dht_peers));
   writer.write(static_cast<std::uint64_t>(crawl.dht_addresses));
 
-  writer.write(static_cast<std::uint64_t>(crawl.evidence.size()));
+  // Addresses and per-address ports are written sorted so the same crawl
+  // always serializes to the same bytes (the in-memory containers are
+  // unordered); deterministic bytes make save idempotent and testable.
+  std::vector<net::Ipv4Address> addresses;
+  addresses.reserve(crawl.evidence.size());
   for (const auto& [address, evidence] : crawl.evidence) {
+    addresses.push_back(address);
+  }
+  std::sort(addresses.begin(), addresses.end());
+
+  writer.write(static_cast<std::uint64_t>(addresses.size()));
+  for (const net::Ipv4Address address : addresses) {
+    const crawler::IpEvidence& evidence = crawl.evidence.at(address);
     writer.write(address.value());
-    writer.write(static_cast<std::uint32_t>(evidence.ports.size()));
-    for (const std::uint16_t port : evidence.ports) writer.write(port);
+    std::vector<std::uint16_t> ports(evidence.ports.begin(),
+                                     evidence.ports.end());
+    std::sort(ports.begin(), ports.end());
+    writer.write(static_cast<std::uint64_t>(ports.size()));
+    for (const std::uint16_t port : ports) writer.write(port);
     writer.write(static_cast<std::uint32_t>(evidence.max_concurrent_users));
     writer.write(evidence.verification_rounds);
     writer.write(evidence.first_seen.seconds());
@@ -50,12 +82,12 @@ bool read_crawl(net::BinaryReader& reader, CrawlOutput& crawl) {
   crawl.dht_peers = reader.read<std::uint64_t>();
   crawl.dht_addresses = reader.read<std::uint64_t>();
 
-  const std::uint64_t evidence_count = reader.read_size(1ULL << 32);
+  const std::uint64_t evidence_count = reader.read_size(kMaxEvidenceEntries);
   for (std::uint64_t i = 0; i < evidence_count && reader.ok(); ++i) {
     const net::Ipv4Address address(reader.read<std::uint32_t>());
     crawler::IpEvidence evidence;
-    const auto port_count = reader.read<std::uint32_t>();
-    for (std::uint32_t p = 0; p < port_count && reader.ok(); ++p) {
+    const std::uint64_t port_count = reader.read_size(kMaxPortsPerIp);
+    for (std::uint64_t p = 0; p < port_count && reader.ok(); ++p) {
       evidence.ports.insert(reader.read<std::uint16_t>());
     }
     evidence.max_concurrent_users = reader.read<std::uint32_t>();
@@ -66,8 +98,13 @@ bool read_crawl(net::BinaryReader& reader, CrawlOutput& crawl) {
       crawl.nated.emplace_back(address, evidence.max_concurrent_users);
       crawl.nated_set.insert(address);
     }
-    crawl.evidence.emplace(address, std::move(evidence));
+    if (!crawl.evidence.emplace(address, std::move(evidence)).second) {
+      reader.fail();  // duplicate address: not a product of write_crawl
+    }
   }
+  // The live Crawler::nated() returns (address, users) pairs sorted by
+  // address; addresses are unique, so this sort reproduces its exact
+  // ordering and cache-hit runs match cache-miss runs byte for byte.
   std::sort(crawl.nated.begin(), crawl.nated.end());
   return reader.ok();
 }
@@ -77,23 +114,35 @@ void write_store(net::BinaryWriter& writer,
   writer.write(ecosystem.stats.events_seen);
   writer.write(ecosystem.stats.events_picked_up);
   writer.write(ecosystem.stats.snapshots_taken);
-  std::uint64_t listings = 0;
-  ecosystem.store.for_each_listing(
-      [&](blocklist::ListId, net::Ipv4Address, const net::IntervalSet&) {
-        ++listings;
-      });
-  writer.write(listings);
+
+  // Listings sorted by (list, address) for deterministic bytes.
+  struct ListingRef {
+    blocklist::ListId list;
+    net::Ipv4Address address;
+    const net::IntervalSet* intervals;
+  };
+  std::vector<ListingRef> listings;
+  listings.reserve(ecosystem.store.listing_count());
   ecosystem.store.for_each_listing([&](blocklist::ListId list,
                                        net::Ipv4Address address,
                                        const net::IntervalSet& intervals) {
-    writer.write(list);
-    writer.write(address.value());
-    writer.write(static_cast<std::uint32_t>(intervals.interval_count()));
-    for (const auto& interval : intervals.intervals()) {
+    listings.push_back(ListingRef{list, address, &intervals});
+  });
+  std::sort(listings.begin(), listings.end(),
+            [](const ListingRef& a, const ListingRef& b) {
+              return std::tie(a.list, a.address) < std::tie(b.list, b.address);
+            });
+
+  writer.write(static_cast<std::uint64_t>(listings.size()));
+  for (const ListingRef& listing : listings) {
+    writer.write(listing.list);
+    writer.write(listing.address.value());
+    writer.write(static_cast<std::uint64_t>(listing.intervals->interval_count()));
+    for (const auto& interval : listing.intervals->intervals()) {
       writer.write(interval.begin);
       writer.write(interval.end);
     }
-  });
+  }
 }
 
 bool read_store(net::BinaryReader& reader,
@@ -101,17 +150,25 @@ bool read_store(net::BinaryReader& reader,
   ecosystem.stats.events_seen = reader.read<std::uint64_t>();
   ecosystem.stats.events_picked_up = reader.read<std::uint64_t>();
   ecosystem.stats.snapshots_taken = reader.read<std::uint64_t>();
-  const std::uint64_t listings = reader.read_size(1ULL << 33);
+  const std::uint64_t listings = reader.read_size(kMaxListings);
   for (std::uint64_t i = 0; i < listings && reader.ok(); ++i) {
     const auto list = reader.read<blocklist::ListId>();
     const net::Ipv4Address address(reader.read<std::uint32_t>());
-    const auto interval_count = reader.read<std::uint32_t>();
-    for (std::uint32_t k = 0; k < interval_count && reader.ok(); ++k) {
+    const std::uint64_t interval_count =
+        reader.read_size(kMaxIntervalsPerListing);
+    // write_store emits each listing's intervals sorted, disjoint and
+    // coalesced; enforce that here so record_span's appends stay O(1) and
+    // corrupted interval data fails instead of silently merging.
+    std::int64_t previous_end = std::numeric_limits<std::int64_t>::min();
+    for (std::uint64_t k = 0; k < interval_count && reader.ok(); ++k) {
       const auto begin = reader.read<std::int64_t>();
       const auto end = reader.read<std::int64_t>();
-      for (std::int64_t day = begin; day < end; ++day) {
-        ecosystem.store.record(list, address, day);
+      if (begin >= end || begin <= previous_end) {
+        reader.fail();
+        break;
       }
+      previous_end = end;
+      ecosystem.store.record_span(list, address, begin, end);
     }
   }
   return reader.ok();
@@ -122,18 +179,52 @@ bool read_store(net::BinaryReader& reader,
 bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
                          const CrawlOutput& crawl,
                          const blocklist::EcosystemResult& ecosystem) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) return false;
-  net::BinaryWriter writer(os);
-  writer.write(kMagic);
-  writer.write(kVersion);
-  writer.write(kCalibrationVersion);
-  writer.write(config.seed);
-  writer.write(static_cast<std::uint64_t>(config.world.as_count));
-  writer.write(static_cast<std::int64_t>(config.crawl_days));
-  write_crawl(writer, crawl);
-  write_store(writer, ecosystem);
-  return writer.ok();
+  // Serialize the payload up front so the header can carry its size and
+  // checksum, and so a failed serialization never touches the filesystem.
+  std::ostringstream payload_stream;
+  net::BinaryWriter payload_writer(payload_stream);
+  write_crawl(payload_writer, crawl);
+  write_store(payload_writer, ecosystem);
+  if (!payload_writer.ok()) return false;
+  const std::string payload = payload_stream.str();
+  if (payload.size() > kMaxPayloadBytes) return false;
+
+  // Assemble under a pid-unique temporary name, then rename() into place.
+  // rename() replaces atomically, so a reader racing with this save sees
+  // either the previous complete file or the new one — never a torn write.
+  // Two concurrent savers of the same config write equivalent bytes and the
+  // last rename wins (accept-last-rename; no lock needed).
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    net::BinaryWriter writer(os);
+    writer.write(kMagic);
+    writer.write(kVersion);
+    writer.write(kCalibrationVersion);
+    writer.write(config_fingerprint(config));
+    writer.write(config.seed);
+    writer.write(static_cast<std::uint64_t>(config.world.as_count));
+    writer.write(static_cast<std::uint64_t>(payload.size()));
+    writer.write(net::fnv1a_64(payload));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::error_code cleanup_ec;
+    std::filesystem::remove(tmp_path, cleanup_ec);
+    return false;
+  }
+  return true;
 }
 
 std::optional<CachedCore> load_scenario_cache(const std::string& path,
@@ -144,18 +235,46 @@ std::optional<CachedCore> load_scenario_cache(const std::string& path,
   if (reader.read<std::uint64_t>() != kMagic) return std::nullopt;
   if (reader.read<std::uint32_t>() != kVersion) return std::nullopt;
   if (reader.read<std::uint32_t>() != kCalibrationVersion) return std::nullopt;
+  if (reader.read<std::uint64_t>() != config_fingerprint(config)) {
+    return std::nullopt;
+  }
   if (reader.read<std::uint64_t>() != config.seed) return std::nullopt;
-  if (reader.read<std::uint64_t>() != config.world.as_count) return std::nullopt;
-  if (reader.read<std::int64_t>() != config.crawl_days) return std::nullopt;
+  if (reader.read<std::uint64_t>() !=
+      static_cast<std::uint64_t>(config.world.as_count)) {
+    return std::nullopt;
+  }
+  const std::uint64_t payload_size = reader.read_size(kMaxPayloadBytes);
+  const std::uint64_t expected_checksum = reader.read<std::uint64_t>();
+  if (!reader.ok()) return std::nullopt;
+
+  // Pull the whole payload and checksum it before decoding anything: a
+  // truncated file (crashed writer on a non-atomic filesystem, partial
+  // copy) or a bit flip is rejected here, in one bounded pass.
+  std::string payload(payload_size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::uint64_t>(is.gcount()) != payload_size) {
+    return std::nullopt;
+  }
+  if (net::fnv1a_64(payload) != expected_checksum) return std::nullopt;
+
+  std::istringstream payload_stream(std::move(payload));
+  net::BinaryReader payload_reader(payload_stream);
   CachedCore core;
-  if (!read_crawl(reader, core.crawl)) return std::nullopt;
-  if (!read_store(reader, core.ecosystem)) return std::nullopt;
+  if (!read_crawl(payload_reader, core.crawl)) return std::nullopt;
+  if (!read_store(payload_reader, core.ecosystem)) return std::nullopt;
   return core;
 }
 
 std::string default_cache_path(const ScenarioConfig& config) {
-  return "reuse_scenario_" + std::to_string(config.seed) + "_" +
-         std::to_string(config.world.as_count) + ".cache";
+  char name[80];
+  std::snprintf(name, sizeof(name), "reuse_scenario_%llu_%016llx.cache",
+                static_cast<unsigned long long>(config.seed),
+                static_cast<unsigned long long>(config_fingerprint(config)));
+  const char* cache_dir = std::getenv("REUSE_CACHE_DIR");
+  if (cache_dir != nullptr && *cache_dir != '\0') {
+    return (std::filesystem::path(cache_dir) / name).string();
+  }
+  return name;
 }
 
 CachedScenario run_scenario_cached(ScenarioConfig config,

@@ -3,8 +3,20 @@
 // The bench suite is one binary per table/figure; without a cache each
 // binary would redo the same multi-minute simulation. The cache stores the
 // two costly products — the crawl output and the blocklist presence store —
-// keyed by the scenario seed and scale; everything else (world, fleet,
-// pipeline, catalogue) is deterministic and cheap to rebuild.
+// keyed by an FNV-1a fingerprint of the full scenario configuration;
+// everything else (world, fleet, pipeline, catalogue) is deterministic and
+// cheap to rebuild.
+//
+// File format (little-endian; see DESIGN.md "Scenario cache format"):
+//   magic, format version, calibration version, config fingerprint,
+//   seed, as_count, payload size, payload FNV-1a checksum, payload.
+// The payload holds the crawl output and the presence store, both written
+// in sorted order so the same configuration always produces byte-identical
+// files. Writers publish atomically: the file is assembled under
+// `<path>.tmp.<pid>` and rename()d into place, so concurrent readers see
+// either the previous complete cache or the new one, never a partial write.
+// Concurrent writers race benignly — every candidate is complete and
+// equivalent, and the last rename wins.
 #pragma once
 
 #include <optional>
@@ -20,13 +32,15 @@ struct CachedCore {
   blocklist::EcosystemResult ecosystem;
 };
 
-/// Writes the cache; returns false on I/O failure.
+/// Writes the cache atomically (tmp file + rename); returns false on I/O
+/// failure, in which case no partial file is left at `path`.
 bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
                          const CrawlOutput& crawl,
                          const blocklist::EcosystemResult& ecosystem);
 
-/// Loads the cache if the file exists, parses, and matches `config`'s seed
-/// and world scale; nullopt otherwise.
+/// Loads the cache if the file exists, parses, passes the payload checksum,
+/// and matches `config`'s fingerprint; nullopt otherwise. Truncated or
+/// bit-flipped files are rejected without unbounded reads.
 [[nodiscard]] std::optional<CachedCore> load_scenario_cache(
     const std::string& path, const ScenarioConfig& config);
 
@@ -46,7 +60,11 @@ struct CachedScenario {
   bool cache_hit = false;
 };
 
-/// Standard cache location for the bench binaries.
+/// Standard cache location for the bench binaries:
+/// `reuse_scenario_<seed>_<fingerprint>.cache`, placed in $REUSE_CACHE_DIR
+/// when that environment variable is set, else the working directory.
+/// Distinct configurations map to distinct files, so two benches with
+/// different knobs never share or evict each other's cache.
 [[nodiscard]] std::string default_cache_path(const ScenarioConfig& config);
 
 [[nodiscard]] CachedScenario run_scenario_cached(ScenarioConfig config,

@@ -1,9 +1,11 @@
 #include "analysis/scenario.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "blocklist/catalogue.h"
 #include "internet/abuse.h"
+#include "netbase/serialize.h"
 #include "simnet/event_queue.h"
 
 namespace reuse::analysis {
@@ -69,7 +71,113 @@ CrawlOutput run_crawl(const inet::World& world,
   return output;
 }
 
+// Serializes every field that influences the cached products, in a fixed
+// order with explicit widths (std::size_t and bool are cast) so the
+// resulting fingerprint is identical across platforms. New knobs that feed
+// the crawl or the ecosystem MUST be appended here — forgetting one
+// re-creates the silent cache-sharing bug this fingerprint exists to fix.
+void write_fingerprint_fields(net::BinaryWriter& w,
+                              const ScenarioConfig& c) {
+  w.write(c.seed);
+
+  const inet::WorldConfig& world = c.world;
+  w.write(world.seed);
+  w.write(static_cast<std::uint64_t>(world.as_count));
+  w.write(world.prefix_pareto_alpha);
+  w.write(static_cast<std::uint64_t>(world.min_prefixes_per_as));
+  w.write(static_cast<std::uint64_t>(world.max_prefixes_per_as));
+  w.write(world.weight_unused);
+  w.write(world.weight_server);
+  w.write(world.weight_static_residential);
+  w.write(world.weight_home_nat);
+  w.write(world.cgn_as_fraction);
+  w.write(world.cgn_prefix_share);
+  w.write(world.dynamic_as_fraction);
+  w.write(world.dynamic_prefix_share);
+  w.write(static_cast<std::uint64_t>(world.max_pools_per_as));
+  w.write(world.static_occupancy);
+  w.write(world.home_nat_occupancy);
+  w.write(world.home_nat_extra_member_p);
+  w.write(world.cgn_users_min);
+  w.write(world.cgn_users_alpha);
+  w.write(static_cast<std::uint64_t>(world.cgn_users_cap));
+  w.write(world.dynamic_subscription_ratio);
+  w.write(world.min_mean_lease_seconds);
+  w.write(world.max_mean_lease_seconds);
+  w.write(world.bt_adoption_min);
+  w.write(world.bt_adoption_max);
+  w.write(world.bt_blocked_as_fraction);
+  w.write(world.infection_rate_base);
+  w.write(world.infection_rate_p2p);
+  w.write(world.malicious_server_fraction);
+  w.write(world.icmp_filtered_as_fraction);
+  w.write(world.abuse_events_per_day_user);
+  w.write(world.abuse_events_per_day_server);
+
+  w.write(static_cast<std::int64_t>(c.crawl_days));
+
+  const dht::DhtNetworkConfig& dht = c.dht;
+  w.write(dht.seed);
+  w.write(static_cast<std::uint64_t>(dht.contacts_per_peer));
+  w.write(dht.stale_endpoint_fraction);
+  w.write(dht.stale_link_share);
+  w.write(dht.behavior.always_on_fraction);
+  w.write(dht.behavior.duty_min);
+  w.write(dht.behavior.duty_max);
+  w.write(dht.transport.request_loss);
+  w.write(dht.transport.response_loss);
+  w.write(dht.transport.min_delay.count());
+  w.write(dht.transport.max_delay.count());
+  w.write(dht.reboot_rate_per_day);
+  w.write(dht.port_change_on_reboot);
+  w.write(static_cast<std::uint8_t>(dht.dynamic_address_churn));
+  w.write(static_cast<std::uint64_t>(dht.bootstrap_contacts));
+
+  const crawler::CrawlerConfig& crawl = c.crawl;
+  w.write(crawl.ip_cooldown.count());
+  w.write(crawl.reping_interval.count());
+  w.write(crawl.verification_window.count());
+  w.write(static_cast<std::uint64_t>(crawl.messages_per_second));
+  w.write(static_cast<std::uint64_t>(crawl.get_nodes_per_endpoint));
+  w.write(static_cast<std::uint8_t>(crawl.restricted));
+  std::vector<net::Ipv4Prefix> restrict_to = crawl.restrict_to.to_vector();
+  std::sort(restrict_to.begin(), restrict_to.end());
+  w.write(static_cast<std::uint64_t>(restrict_to.size()));
+  for (const net::Ipv4Prefix& prefix : restrict_to) {
+    w.write(prefix.network().value());
+    w.write(static_cast<std::uint8_t>(prefix.length()));
+  }
+  w.write(static_cast<std::uint64_t>(crawl.partition_count));
+  w.write(static_cast<std::uint64_t>(crawl.partition_index));
+  w.write(crawl.seed);
+
+  w.write(static_cast<std::uint8_t>(c.restrict_crawler_to_blocklisted));
+
+  const blocklist::EcosystemConfig& eco = c.ecosystem;
+  w.write(eco.seed);
+  w.write(static_cast<std::uint64_t>(eco.periods.size()));
+  for (const net::TimeWindow& period : eco.periods) {
+    w.write(period.begin.seconds());
+    w.write(period.end.seconds());
+  }
+  w.write(eco.short_retention_fraction);
+  w.write(eco.short_retention_mean_days);
+  w.write(eco.long_retention_factor);
+  w.write(eco.reobservation_extend_rate);
+}
+
 }  // namespace
+
+std::uint64_t config_fingerprint(const ScenarioConfig& config) {
+  // Fingerprint what the scenario runner will actually see: finalize() wires
+  // sub-seeds and default periods, and is idempotent.
+  ScenarioConfig finalized_config = config;
+  finalized_config.finalize();
+  std::ostringstream buffer;
+  net::BinaryWriter writer(buffer);
+  write_fingerprint_fields(writer, finalized_config);
+  return net::fnv1a_64(buffer.str());
+}
 
 void ScenarioConfig::finalize() {
   world.seed = seed;

@@ -52,6 +52,17 @@ struct ScenarioConfig {
 [[nodiscard]] ScenarioConfig test_scenario_config(std::uint64_t seed = 7);
 [[nodiscard]] ScenarioConfig bench_scenario_config(std::uint64_t seed = 42);
 
+/// FNV-1a fingerprint of every configuration field that feeds the cached
+/// scenario products (crawl + blocklist ecosystem): seed, the full world
+/// generator config, crawl length, DHT, crawler, the crawler-restriction
+/// flag, and the ecosystem knobs — serialized field-by-field through
+/// `netbase/serialize.h` and hashed. Fields the cache loader replays fresh
+/// on every load (`fleet`, `pipeline`, `census`, `run_census`) are
+/// deliberately excluded so e.g. census and census-less benches keep
+/// sharing one cache file. The config is finalized internally, so callers
+/// may pass it before or after `finalize()`.
+[[nodiscard]] std::uint64_t config_fingerprint(const ScenarioConfig& config);
+
 /// Crawl outputs copied into plain data (the crawler itself dies with the
 /// event queue).
 struct CrawlOutput {

@@ -6,7 +6,13 @@ namespace reuse::blocklist {
 
 void SnapshotStore::record(ListId list, net::Ipv4Address address,
                            std::int64_t day) {
-  presence_[make_key(list, address)].insert(day, day + 1);
+  record_span(list, address, day, day + 1);
+}
+
+void SnapshotStore::record_span(ListId list, net::Ipv4Address address,
+                                std::int64_t begin, std::int64_t end) {
+  if (begin >= end) return;
+  presence_[make_key(list, address)].insert(begin, end);
   per_list_[list].insert(address);
   all_addresses_.insert(address);
 }

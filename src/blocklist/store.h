@@ -22,6 +22,13 @@ class SnapshotStore {
   /// Marks `address` present on `list` for day index `day` (one day long).
   void record(ListId list, net::Ipv4Address address, std::int64_t day);
 
+  /// Marks `address` present on `list` for every day in [begin, end) in one
+  /// interval insertion — O(intervals), not O(days). The cache loader
+  /// restores multi-week listings through this path; `record()` is the
+  /// one-day special case. No-op when begin >= end.
+  void record_span(ListId list, net::Ipv4Address address, std::int64_t begin,
+                   std::int64_t end);
+
   /// Presence intervals (in day units) of one listing, or nullptr.
   [[nodiscard]] const net::IntervalSet* presence(ListId list,
                                                  net::Ipv4Address address) const;

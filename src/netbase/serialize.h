@@ -11,10 +11,26 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
 namespace reuse::net {
+
+/// 64-bit FNV-1a over a byte range. The scenario cache uses it twice: to
+/// fingerprint the serialized scenario configuration (cache keying) and to
+/// checksum the payload (corruption detection). Stable across platforms.
+inline constexpr std::uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_64(
+    std::string_view bytes, std::uint64_t hash = kFnv64OffsetBasis) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnv64Prime;
+  }
+  return hash;
+}
 
 class BinaryWriter {
  public:
@@ -104,6 +120,10 @@ class BinaryReader {
     }
     return size;
   }
+
+  /// Poisons the stream; decoders call this on semantic violations (values
+  /// that decoded fine but cannot be valid) so `ok()` reports the failure.
+  void fail() { is_.setstate(std::ios::failbit); }
 
   [[nodiscard]] bool ok() const { return is_.good(); }
 

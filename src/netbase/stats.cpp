@@ -34,7 +34,11 @@ std::vector<std::pair<double, double>> EmpiricalCdf::curve(
   std::vector<std::pair<double, double>> points;
   if (sorted_.empty()) return points;
   const std::size_t n = sorted_.size();
-  const std::size_t stride = std::max<std::size_t>(1, n / max_points);
+  // Ceiling division: a floor stride of n / max_points emits up to twice
+  // max_points when n is slightly above it (e.g. n = 399, max = 200 gives
+  // stride 1 and 399 points).
+  max_points = std::max<std::size_t>(1, max_points);
+  const std::size_t stride = (n + max_points - 1) / max_points;
   for (std::size_t i = 0; i < n; i += stride) {
     points.emplace_back(sorted_[i],
                         static_cast<double>(i + 1) / static_cast<double>(n));
@@ -53,6 +57,7 @@ Histogram::Histogram(double low, double high, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) {
+  if (std::isnan(x)) return;  // no meaningful bin; see header
   const double span = high_ - low_;
   auto index = static_cast<std::ptrdiff_t>((x - low_) / span *
                                            static_cast<double>(counts_.size()));
@@ -69,14 +74,25 @@ double Histogram::bin_low(std::size_t i) const {
 
 double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
 
+void IntDistribution::rebuild_cumulative() const {
+  cumulative_.clear();
+  cumulative_.reserve(counts_.size());
+  std::int64_t running = 0;
+  for (const auto& [value, count] : counts_) {
+    running += count;
+    cumulative_.emplace_back(value, running);
+  }
+  cumulative_stale_ = false;
+}
+
 double IntDistribution::fraction_at_most(std::int64_t v) const {
   if (total_ == 0) return 0.0;
-  std::int64_t cumulative = 0;
-  for (const auto& [value, count] : counts_) {
-    if (value > v) break;
-    cumulative += count;
-  }
-  return static_cast<double>(cumulative) / static_cast<double>(total_);
+  if (cumulative_stale_) rebuild_cumulative();
+  const auto it = std::upper_bound(
+      cumulative_.begin(), cumulative_.end(), v,
+      [](std::int64_t x, const auto& entry) { return x < entry.first; });
+  if (it == cumulative_.begin()) return 0.0;
+  return static_cast<double>((it - 1)->second) / static_cast<double>(total_);
 }
 
 double round_significant(double value, int digits) {

@@ -94,6 +94,30 @@ TEST(SnapshotStore, RecordsPresenceIntervals) {
   EXPECT_EQ(store.active_lists().size(), 2u);
 }
 
+TEST(SnapshotStore, RecordSpanMatchesPerDayRecording) {
+  // The cache loader restores listings through record_span; it must build
+  // exactly the store that per-day record() calls would.
+  const std::pair<std::int64_t, std::int64_t> spans[] = {
+      {0, 14}, {20, 21}, {25, 60}};
+  SnapshotStore per_day;
+  SnapshotStore bulk;
+  for (const auto& [begin, end] : spans) {
+    for (std::int64_t day = begin; day < end; ++day) {
+      per_day.record(1, addr("1.2.3.4"), day);
+    }
+    bulk.record_span(1, addr("1.2.3.4"), begin, end);
+  }
+  bulk.record_span(2, addr("9.9.9.9"), 5, 5);  // empty span: no-op
+  EXPECT_EQ(bulk.listing_count(), per_day.listing_count());
+  EXPECT_EQ(bulk.addresses(), per_day.addresses());
+  EXPECT_EQ(bulk.address_count_of(2), 0u);
+  const net::IntervalSet* expected = per_day.presence(1, addr("1.2.3.4"));
+  const net::IntervalSet* actual = bulk.presence(1, addr("1.2.3.4"));
+  ASSERT_NE(expected, nullptr);
+  ASSERT_NE(actual, nullptr);
+  EXPECT_EQ(actual->intervals(), expected->intervals());
+}
+
 TEST(SnapshotStore, Slash24Aggregation) {
   SnapshotStore store;
   store.record(1, addr("1.2.3.4"), 0);

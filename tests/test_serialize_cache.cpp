@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -170,6 +173,161 @@ TEST_F(CacheRoundTrip, GarbageFileIsRejected) {
   }
   EXPECT_FALSE(
       analysis::load_scenario_cache(path_, tiny_config()).has_value());
+}
+
+TEST_F(CacheRoundTrip, NatedOrderingMatchesLiveScenario) {
+  const auto config = tiny_config();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  const auto loaded = analysis::load_scenario_cache(path_, config);
+  ASSERT_TRUE(loaded.has_value());
+  // Exact sequence equality, not just set equality: benches iterate
+  // `nated` in order, so cache-hit runs must replay the live ordering.
+  ASSERT_FALSE(original.crawl.nated.empty());
+  EXPECT_EQ(loaded->crawl.nated, original.crawl.nated);
+  EXPECT_EQ(loaded->crawl.nated_set, original.crawl.nated_set);
+}
+
+TEST_F(CacheRoundTrip, SavedBytesAreDeterministic) {
+  const auto config = tiny_config();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  const std::string second_path = path_ + ".second";
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  ASSERT_TRUE(analysis::save_scenario_cache(second_path, config,
+                                            original.crawl,
+                                            original.ecosystem));
+  const auto read_all = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  const std::string first_bytes = read_all(path_);
+  EXPECT_FALSE(first_bytes.empty());
+  EXPECT_EQ(first_bytes, read_all(second_path));
+  std::remove(second_path.c_str());
+}
+
+TEST_F(CacheRoundTrip, ConfigsDifferingInUnkeyedKnobsAreRejected) {
+  const auto config = tiny_config();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  // Each of these knobs changes the simulated crawl or ecosystem but was
+  // invisible to the pre-fingerprint header check.
+  auto other_crawl = config;
+  other_crawl.crawl.get_nodes_per_endpoint += 1;
+  EXPECT_FALSE(analysis::load_scenario_cache(path_, other_crawl).has_value());
+  auto other_dht = config;
+  other_dht.dht.reboot_rate_per_day += 0.01;
+  EXPECT_FALSE(analysis::load_scenario_cache(path_, other_dht).has_value());
+  auto other_eco = config;
+  other_eco.ecosystem.reobservation_extend_rate += 0.01;
+  EXPECT_FALSE(analysis::load_scenario_cache(path_, other_eco).has_value());
+  auto other_world = config;
+  other_world.world.infection_rate_base += 0.001;
+  EXPECT_FALSE(analysis::load_scenario_cache(path_, other_world).has_value());
+  auto other_restrict = config;
+  other_restrict.restrict_crawler_to_blocklisted =
+      !config.restrict_crawler_to_blocklisted;
+  EXPECT_FALSE(
+      analysis::load_scenario_cache(path_, other_restrict).has_value());
+}
+
+TEST_F(CacheRoundTrip, DistinctConfigsGetDistinctDefaultPaths) {
+  const auto config = tiny_config();
+  auto other = config;
+  other.ecosystem.short_retention_fraction += 0.05;
+  EXPECT_NE(analysis::config_fingerprint(config),
+            analysis::config_fingerprint(other));
+  EXPECT_NE(analysis::default_cache_path(config),
+            analysis::default_cache_path(other));
+  // Same config, fingerprinted before or after finalize(): same value (the
+  // fingerprint finalizes a copy internally).
+  analysis::ScenarioConfig unfinalized;
+  unfinalized.seed = config.seed;
+  unfinalized.world = config.world;
+  unfinalized.crawl_days = config.crawl_days;
+  unfinalized.fleet.probe_count = config.fleet.probe_count;
+  unfinalized.census = config.census;
+  unfinalized.run_census = config.run_census;
+  EXPECT_EQ(analysis::config_fingerprint(config),
+            analysis::config_fingerprint(unfinalized));
+}
+
+TEST_F(CacheRoundTrip, TruncatedFilesAreRejectedFast) {
+  const auto config = tiny_config();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  std::string bytes;
+  {
+    std::ifstream is(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  // Cut inside the header, just after it, mid-payload, and one byte short —
+  // the loader must reject each without looping over a corrupt count.
+  for (const std::size_t keep :
+       {std::size_t{10}, std::size_t{63}, std::size_t{64},
+        bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(keep));
+    os.close();
+    EXPECT_FALSE(analysis::load_scenario_cache(path_, config).has_value())
+        << "truncation at " << keep << " bytes was not rejected";
+  }
+}
+
+TEST_F(CacheRoundTrip, BitFlippedFilesAreRejected) {
+  const auto config = tiny_config();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  std::string bytes;
+  {
+    std::ifstream is(path_, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  // Every header byte, then a sample of payload offsets. The payload
+  // checksum must catch every single-bit flip.
+  std::vector<std::size_t> offsets;
+  for (std::size_t i = 0; i < 64; ++i) offsets.push_back(i);
+  for (std::size_t i = 64; i < bytes.size(); i += 131) offsets.push_back(i);
+  offsets.push_back(bytes.size() - 1);
+  for (const std::size_t offset : offsets) {
+    std::string corrupt = bytes;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x40);
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    os.close();
+    EXPECT_FALSE(analysis::load_scenario_cache(path_, config).has_value())
+        << "bit flip at offset " << offset << " was not rejected";
+  }
+}
+
+TEST_F(CacheRoundTrip, SaveIsAtomicAgainstStaleTmpAndRereadable) {
+  const auto config = tiny_config();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  // A stale tmp file from a crashed writer must not break a fresh save.
+  const std::string stale_tmp = path_ + ".tmp.424242";
+  {
+    std::ofstream os(stale_tmp, std::ios::binary);
+    os << "half-written garbage from a kill -9'd process";
+  }
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  EXPECT_TRUE(analysis::load_scenario_cache(path_, config).has_value());
+  // Saving over an existing cache is a whole-file replace, not an append.
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  EXPECT_TRUE(analysis::load_scenario_cache(path_, config).has_value());
+  // No temporary of this process survives a successful save.
+  const auto pid_tmp =
+      path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  EXPECT_FALSE(std::filesystem::exists(pid_tmp));
+  std::remove(stale_tmp.c_str());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace reuse::net {
 namespace {
@@ -72,6 +73,29 @@ TEST(EmpiricalCdf, CurveEndsAtOne) {
   }
 }
 
+TEST(EmpiricalCdf, CurveRespectsMaxPointsNearTheBoundary) {
+  // Floor-stride thinning used to emit up to 2x max_points when n was
+  // slightly above max_points (n = 399, max = 200 gave stride 1).
+  for (const std::size_t n : {201u, 250u, 399u, 400u, 401u}) {
+    std::vector<double> samples;
+    for (std::size_t i = 0; i < n; ++i) samples.push_back(static_cast<double>(i));
+    const EmpiricalCdf cdf(std::move(samples));
+    const auto curve = cdf.curve(200);
+    EXPECT_LE(curve.size(), 201u) << "n = " << n;  // max_points + closing point
+    EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+    EXPECT_DOUBLE_EQ(curve.back().first, static_cast<double>(n - 1));
+  }
+}
+
+TEST(EmpiricalCdf, CurveHandlesDegenerateMaxPoints) {
+  const EmpiricalCdf cdf({1.0, 2.0, 3.0});
+  const auto curve = cdf.curve(0);  // clamped to 1 point + closing point
+  ASSERT_FALSE(curve.empty());
+  EXPECT_LE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.back().first, 3.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
 TEST(Histogram, BinsAndClamps) {
   Histogram histogram(0.0, 10.0, 10);
   histogram.add(0.5);
@@ -87,6 +111,15 @@ TEST(Histogram, BinsAndClamps) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Histogram, NanSamplesAreDropped) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.add(0.5);
+  histogram.add(std::nan(""));
+  histogram.add(std::numeric_limits<double>::quiet_NaN(), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.count(0), 1.0);  // NaN no longer lands in bin 0
+  EXPECT_DOUBLE_EQ(histogram.total(), 1.0);
+}
+
 TEST(IntDistribution, CumulativeFractions) {
   IntDistribution distribution;
   distribution.add(2, 70);
@@ -98,6 +131,34 @@ TEST(IntDistribution, CumulativeFractions) {
   EXPECT_DOUBLE_EQ(distribution.fraction_at_most(9), 0.9);
   EXPECT_DOUBLE_EQ(distribution.fraction_at_most(10), 1.0);
   EXPECT_EQ(distribution.max_value(), 10);
+}
+
+TEST(IntDistribution, FastPathSurvivesInterleavedMutation) {
+  // fraction_at_most caches prefix sums; adds must invalidate the cache
+  // even when they touch an existing key (map size unchanged).
+  IntDistribution distribution;
+  distribution.add(2, 70);
+  distribution.add(3, 30);
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(2), 0.7);
+  distribution.add(2, 100);  // existing key
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(2), 0.85);
+  distribution.add(1, 800);  // new key below
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(1), 0.8);
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(0), 0.0);
+  EXPECT_DOUBLE_EQ(distribution.fraction_at_most(3), 1.0);
+}
+
+TEST(IntDistribution, SweepMatchesLinearRecomputation) {
+  IntDistribution distribution;
+  for (int i = 0; i < 200; ++i) distribution.add((i * 37) % 50, 1 + i % 7);
+  std::int64_t running = 0;
+  for (std::int64_t v = -1; v <= distribution.max_value() + 1; ++v) {
+    const auto it = distribution.counts().find(v);
+    if (it != distribution.counts().end()) running += it->second;
+    EXPECT_DOUBLE_EQ(distribution.fraction_at_most(v),
+                     static_cast<double>(running) /
+                         static_cast<double>(distribution.total()));
+  }
 }
 
 TEST(RoundSignificant, KeepsRequestedDigits) {

@@ -3,11 +3,12 @@
 // prefix list, and a machine-readable summary.
 //
 //   reuse_study [--seed N] [--ases N] [--crawl-days N] [--probes N]
-//               [--out-dir DIR] [--census]
+//               [--out-dir DIR] [--census] [--cache [--cache-file PATH]]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
+#include "analysis/cache.h"
 #include "analysis/greylist.h"
 #include "analysis/impact.h"
 #include "analysis/scenario.h"
@@ -25,6 +26,10 @@ int main(int argc, char** argv) {
   flags.define("probes", "Atlas-style probes", "2000");
   flags.define("out-dir", "directory for exported artifacts", ".");
   flags.define_bool("census", "also run the ICMP census baseline");
+  flags.define_bool("cache",
+                    "reuse the on-disk scenario cache (fingerprint-keyed "
+                    "file, honours $REUSE_CACHE_DIR)");
+  flags.define("cache-file", "explicit cache file path (implies --cache)");
   flags.define_bool("help", "show this help");
 
   if (!flags.parse(argc, argv) || flags.get_bool("help")) {
@@ -48,7 +53,26 @@ int main(int argc, char** argv) {
 
   std::cerr << "simulating (seed " << config.seed << ", "
             << config.world.as_count << " ASes)...\n";
-  const analysis::Scenario s = analysis::run_scenario(config);
+  const bool use_cache = flags.get_bool("cache") || flags.has("cache-file");
+  const analysis::CachedScenario s = [&] {
+    if (use_cache) {
+      return analysis::run_scenario_cached(config, flags.get("cache-file"));
+    }
+    analysis::Scenario fresh = analysis::run_scenario(config);
+    return analysis::CachedScenario{std::move(fresh.config),
+                                    std::move(fresh.world),
+                                    std::move(fresh.catalogue),
+                                    std::move(fresh.ecosystem),
+                                    std::move(fresh.crawl),
+                                    std::move(fresh.fleet),
+                                    std::move(fresh.pipeline),
+                                    std::move(fresh.census),
+                                    /*cache_hit=*/false};
+  }();
+  if (use_cache) {
+    std::cerr << (s.cache_hit ? "loaded crawl+ecosystem from cache\n"
+                              : "simulated fresh and wrote cache\n");
+  }
 
   const analysis::ReuseImpact impact = analysis::compute_reuse_impact(
       s.ecosystem.store, s.catalogue, s.crawl.nated_set,
