@@ -19,7 +19,7 @@ namespace reuse::analysis {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x52455553454341ULL;  // "REUSECA"
-constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kVersion = 5;
 
 // Decoder bounds: a corrupt length prefix must fail the load immediately,
 // not drive a multi-billion-iteration read loop. All generously above
@@ -29,6 +29,7 @@ constexpr std::uint64_t kMaxPortsPerIp = 65536;
 constexpr std::uint64_t kMaxListings = 1ULL << 33;
 constexpr std::uint64_t kMaxIntervalsPerListing = 1ULL << 22;
 constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 34;
+constexpr std::uint64_t kMaxLists = 1ULL << 20;
 
 void write_crawl(net::BinaryWriter& writer, const CrawlOutput& crawl) {
   const crawler::CrawlStats& stats = crawl.stats;
@@ -39,9 +40,15 @@ void write_crawl(net::BinaryWriter& writer, const CrawlOutput& crawl) {
   writer.write(stats.endpoints_discovered);
   writer.write(stats.endpoints_skipped_restricted);
   writer.write(stats.verification_rounds);
+  writer.write(stats.bootstrap_retries);
+  writer.write(stats.bootstrap_recoveries);
+  writer.write(stats.verification_retries);
+  writer.write(stats.verification_recoveries);
   writer.write(static_cast<std::uint64_t>(crawl.distinct_node_ids));
   writer.write(static_cast<std::uint64_t>(crawl.dht_peers));
   writer.write(static_cast<std::uint64_t>(crawl.dht_addresses));
+  writer.write(crawl.transport_fault_request_drops);
+  writer.write(crawl.transport_fault_response_drops);
 
   // Addresses and per-address ports are written sorted so the same crawl
   // always serializes to the same bytes (the in-memory containers are
@@ -78,9 +85,15 @@ bool read_crawl(net::BinaryReader& reader, CrawlOutput& crawl) {
   stats.endpoints_discovered = reader.read<std::uint64_t>();
   stats.endpoints_skipped_restricted = reader.read<std::uint64_t>();
   stats.verification_rounds = reader.read<std::uint64_t>();
+  stats.bootstrap_retries = reader.read<std::uint64_t>();
+  stats.bootstrap_recoveries = reader.read<std::uint64_t>();
+  stats.verification_retries = reader.read<std::uint64_t>();
+  stats.verification_recoveries = reader.read<std::uint64_t>();
   crawl.distinct_node_ids = reader.read<std::uint64_t>();
   crawl.dht_peers = reader.read<std::uint64_t>();
   crawl.dht_addresses = reader.read<std::uint64_t>();
+  crawl.transport_fault_request_drops = reader.read<std::uint64_t>();
+  crawl.transport_fault_response_drops = reader.read<std::uint64_t>();
 
   const std::uint64_t evidence_count = reader.read_size(kMaxEvidenceEntries);
   for (std::uint64_t i = 0; i < evidence_count && reader.ok(); ++i) {
@@ -114,6 +127,46 @@ void write_store(net::BinaryWriter& writer,
   writer.write(ecosystem.stats.events_seen);
   writer.write(ecosystem.stats.events_picked_up);
   writer.write(ecosystem.stats.snapshots_taken);
+  writer.write(ecosystem.stats.snapshots_missed);
+  writer.write(ecosystem.stats.feeds_quarantined);
+  writer.write(ecosystem.stats.feeds_salvaged);
+  writer.write(ecosystem.stats.entries_discarded);
+  writer.write(ecosystem.stats.feed_lines_skipped);
+
+  writer.write(static_cast<std::uint64_t>(ecosystem.stats.per_list.size()));
+  for (const blocklist::FeedHealth& health : ecosystem.stats.per_list) {
+    writer.write(health.list);
+    writer.write(health.days_recorded);
+    writer.write(health.days_missed);
+    writer.write(health.days_quarantined);
+    writer.write(health.days_salvaged);
+    writer.write(health.lines_skipped);
+    writer.write(health.entries_discarded);
+  }
+
+  // Observed-day records, sorted by list id for deterministic bytes.
+  struct ObservedRef {
+    blocklist::ListId list;
+    const net::IntervalSet* days;
+  };
+  std::vector<ObservedRef> observed;
+  ecosystem.store.for_each_observed(
+      [&](blocklist::ListId list, const net::IntervalSet& days) {
+        observed.push_back(ObservedRef{list, &days});
+      });
+  std::sort(observed.begin(), observed.end(),
+            [](const ObservedRef& a, const ObservedRef& b) {
+              return a.list < b.list;
+            });
+  writer.write(static_cast<std::uint64_t>(observed.size()));
+  for (const ObservedRef& record : observed) {
+    writer.write(record.list);
+    writer.write(static_cast<std::uint64_t>(record.days->interval_count()));
+    for (const auto& interval : record.days->intervals()) {
+      writer.write(interval.begin);
+      writer.write(interval.end);
+    }
+  }
 
   // Listings sorted by (list, address) for deterministic bytes.
   struct ListingRef {
@@ -150,6 +203,44 @@ bool read_store(net::BinaryReader& reader,
   ecosystem.stats.events_seen = reader.read<std::uint64_t>();
   ecosystem.stats.events_picked_up = reader.read<std::uint64_t>();
   ecosystem.stats.snapshots_taken = reader.read<std::uint64_t>();
+  ecosystem.stats.snapshots_missed = reader.read<std::uint64_t>();
+  ecosystem.stats.feeds_quarantined = reader.read<std::uint64_t>();
+  ecosystem.stats.feeds_salvaged = reader.read<std::uint64_t>();
+  ecosystem.stats.entries_discarded = reader.read<std::uint64_t>();
+  ecosystem.stats.feed_lines_skipped = reader.read<std::uint64_t>();
+
+  const std::uint64_t health_count = reader.read_size(kMaxLists);
+  ecosystem.stats.per_list.reserve(health_count);
+  for (std::uint64_t i = 0; i < health_count && reader.ok(); ++i) {
+    blocklist::FeedHealth health;
+    health.list = reader.read<blocklist::ListId>();
+    health.days_recorded = reader.read<std::int64_t>();
+    health.days_missed = reader.read<std::int64_t>();
+    health.days_quarantined = reader.read<std::int64_t>();
+    health.days_salvaged = reader.read<std::int64_t>();
+    health.lines_skipped = reader.read<std::uint64_t>();
+    health.entries_discarded = reader.read<std::uint64_t>();
+    ecosystem.stats.per_list.push_back(health);
+  }
+
+  const std::uint64_t observed_count = reader.read_size(kMaxLists);
+  for (std::uint64_t i = 0; i < observed_count && reader.ok(); ++i) {
+    const auto list = reader.read<blocklist::ListId>();
+    const std::uint64_t interval_count =
+        reader.read_size(kMaxIntervalsPerListing);
+    std::int64_t previous_end = std::numeric_limits<std::int64_t>::min();
+    for (std::uint64_t k = 0; k < interval_count && reader.ok(); ++k) {
+      const auto begin = reader.read<std::int64_t>();
+      const auto end = reader.read<std::int64_t>();
+      if (begin >= end || begin <= previous_end) {
+        reader.fail();
+        break;
+      }
+      previous_end = end;
+      ecosystem.store.mark_observed_span(list, begin, end);
+    }
+  }
+
   const std::uint64_t listings = reader.read_size(kMaxListings);
   for (std::uint64_t i = 0; i < listings && reader.ok(); ++i) {
     const auto list = reader.read<blocklist::ListId>();
@@ -174,17 +265,38 @@ bool read_store(net::BinaryReader& reader,
   return reader.ok();
 }
 
+void write_faults(net::BinaryWriter& writer, const sim::FaultStats& injected) {
+  writer.write(injected.burst_request_drops);
+  writer.write(injected.burst_response_drops);
+  writer.write(injected.bootstrap_blackholes);
+  writer.write(injected.feed_snapshots_suppressed);
+  writer.write(injected.feeds_corrupted);
+  writer.write(injected.atlas_records_suppressed);
+}
+
+bool read_faults(net::BinaryReader& reader, sim::FaultStats& injected) {
+  injected.burst_request_drops = reader.read<std::uint64_t>();
+  injected.burst_response_drops = reader.read<std::uint64_t>();
+  injected.bootstrap_blackholes = reader.read<std::uint64_t>();
+  injected.feed_snapshots_suppressed = reader.read<std::uint64_t>();
+  injected.feeds_corrupted = reader.read<std::uint64_t>();
+  injected.atlas_records_suppressed = reader.read<std::uint64_t>();
+  return reader.ok();
+}
+
 }  // namespace
 
 bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
                          const CrawlOutput& crawl,
-                         const blocklist::EcosystemResult& ecosystem) {
+                         const blocklist::EcosystemResult& ecosystem,
+                         const sim::FaultStats& injected) {
   // Serialize the payload up front so the header can carry its size and
   // checksum, and so a failed serialization never touches the filesystem.
   std::ostringstream payload_stream;
   net::BinaryWriter payload_writer(payload_stream);
   write_crawl(payload_writer, crawl);
   write_store(payload_writer, ecosystem);
+  write_faults(payload_writer, injected);
   if (!payload_writer.ok()) return false;
   const std::string payload = payload_stream.str();
   if (payload.size() > kMaxPayloadBytes) return false;
@@ -262,7 +374,40 @@ std::optional<CachedCore> load_scenario_cache(const std::string& path,
   CachedCore core;
   if (!read_crawl(payload_reader, core.crawl)) return std::nullopt;
   if (!read_store(payload_reader, core.ecosystem)) return std::nullopt;
+  if (!read_faults(payload_reader, core.injected)) return std::nullopt;
   return core;
+}
+
+std::optional<std::string> preflight_cache_path(const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::file_status status = fs::status(path, ec);
+  if (!ec && fs::exists(status)) {
+    if (fs::is_directory(status)) {
+      return "cache path is a directory: " + path;
+    }
+    if (!fs::is_regular_file(status)) {
+      return "cache path is not a regular file: " + path;
+    }
+    if (::access(path.c_str(), R_OK) != 0) {
+      return "cache file is not readable: " + path;
+    }
+    return std::nullopt;
+  }
+  // Missing file: a later save must be able to create it.
+  fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  const fs::file_status parent_status = fs::status(parent, ec);
+  if (ec || !fs::exists(parent_status)) {
+    return "cache directory does not exist: " + parent.string();
+  }
+  if (!fs::is_directory(parent_status)) {
+    return "cache directory is not a directory: " + parent.string();
+  }
+  if (::access(parent.c_str(), W_OK) != 0) {
+    return "cache directory is not writable: " + parent.string();
+  }
+  return std::nullopt;
 }
 
 std::string default_cache_path(const ScenarioConfig& config) {
@@ -286,10 +431,23 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
   if (auto cached = load_scenario_cache(cache_path, config)) {
     inet::World world(config.world);
     auto catalogue = blocklist::build_catalogue(config.seed ^ 0xca7aULL);
-    atlas::AtlasFleet fleet(world, config.fleet);
+    // The fleet is recomputed on every load, so atlas faults are re-injected
+    // fresh; the deterministic fleet makes the fresh suppression count equal
+    // the one cached, and overwriting keeps the ledger consistent even if a
+    // fleet knob changed (fleet is outside the cache fingerprint).
+    sim::FaultInjector fleet_injector(config.faults);
+    atlas::AtlasFleet fleet(world, config.fleet, &fleet_injector);
     auto pipeline = dynadetect::run_pipeline(fleet.log(), config.pipeline);
     auto census = config.run_census ? census::run_census(world, config.census)
                                     : census::CensusResult{};
+    sim::FaultStats injected = cached->injected;
+    injected.atlas_records_suppressed =
+        fleet_injector.stats().atlas_records_suppressed;
+    DegradationReport degradation = build_degradation_report(
+        injected, cached->crawl.stats,
+        cached->crawl.transport_fault_request_drops,
+        cached->crawl.transport_fault_response_drops, cached->ecosystem.stats,
+        fleet.records_suppressed(), pipeline);
     return CachedScenario{std::move(config),
                           std::move(world),
                           std::move(catalogue),
@@ -298,12 +456,13 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
                           std::move(fleet),
                           std::move(pipeline),
                           std::move(census),
+                          std::move(degradation),
                           /*cache_hit=*/true};
   }
 
   Scenario scenario = run_scenario(config);
   save_scenario_cache(cache_path, scenario.config, scenario.crawl,
-                      scenario.ecosystem);
+                      scenario.ecosystem, scenario.injector->stats());
   return CachedScenario{std::move(scenario.config),
                         std::move(scenario.world),
                         std::move(scenario.catalogue),
@@ -312,6 +471,7 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
                         std::move(scenario.fleet),
                         std::move(scenario.pipeline),
                         std::move(scenario.census),
+                        std::move(scenario.degradation),
                         /*cache_hit=*/false};
 }
 

@@ -30,13 +30,18 @@ namespace reuse::analysis {
 struct CachedCore {
   CrawlOutput crawl;
   blocklist::EcosystemResult ecosystem;
+  /// Injector-side fault ledger of the run that produced the cache. The
+  /// atlas counter is refreshed from the (recomputed) fleet on load.
+  sim::FaultStats injected;
 };
 
 /// Writes the cache atomically (tmp file + rename); returns false on I/O
-/// failure, in which case no partial file is left at `path`.
+/// failure, in which case no partial file is left at `path`. `injected` is
+/// the fault ledger of the producing run (empty for fault-free runs).
 bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
                          const CrawlOutput& crawl,
-                         const blocklist::EcosystemResult& ecosystem);
+                         const blocklist::EcosystemResult& ecosystem,
+                         const sim::FaultStats& injected = {});
 
 /// Loads the cache if the file exists, parses, passes the payload checksum,
 /// and matches `config`'s fingerprint; nullopt otherwise. Truncated or
@@ -57,6 +62,7 @@ struct CachedScenario {
   atlas::AtlasFleet fleet;
   dynadetect::PipelineResult pipeline;
   census::CensusResult census;
+  DegradationReport degradation;
   bool cache_hit = false;
 };
 
@@ -69,5 +75,13 @@ struct CachedScenario {
 
 [[nodiscard]] CachedScenario run_scenario_cached(ScenarioConfig config,
                                                  const std::string& path = {});
+
+/// Checks whether `path` can serve as a cache file before any simulation
+/// work is spent: an existing path must be a readable regular file, and a
+/// missing one needs an existing, writable parent directory. Returns a
+/// human-readable error, or nullopt when the path is usable. The CLI fails
+/// fast on this instead of silently simulating afresh.
+[[nodiscard]] std::optional<std::string> preflight_cache_path(
+    const std::string& path);
 
 }  // namespace reuse::analysis

@@ -1,0 +1,122 @@
+#include "analysis/degradation.h"
+
+#include <sstream>
+
+#include "netbase/table.h"
+
+namespace reuse::analysis {
+namespace {
+
+void check(std::vector<std::string>& failures, bool ok, const char* law,
+           std::uint64_t lhs, std::uint64_t rhs) {
+  if (ok) return;
+  std::ostringstream message;
+  message << law << ": " << lhs << " != " << rhs;
+  failures.push_back(message.str());
+}
+
+}  // namespace
+
+bool DegradationReport::degraded() const {
+  // Only counters that cannot fire without an injector count: the retry and
+  // gap-cap machinery also runs under natural loss and churn, and a
+  // fault-free run must never read as degraded.
+  return injected.total() > 0 || transport_request_drops > 0 ||
+         transport_response_drops > 0 || feed_snapshots_missed > 0 ||
+         feeds_quarantined > 0 || feeds_salvaged > 0 ||
+         feed_entries_discarded > 0 || atlas_records_suppressed > 0;
+}
+
+std::vector<std::string> DegradationReport::reconciliation_failures() const {
+  std::vector<std::string> failures;
+  const std::uint64_t injected_requests =
+      injected.burst_request_drops + injected.bootstrap_blackholes;
+  check(failures, transport_request_drops == injected_requests,
+        "transport request drops vs injected", transport_request_drops,
+        injected_requests);
+  check(failures, transport_response_drops == injected.burst_response_drops,
+        "transport response drops vs injected", transport_response_drops,
+        injected.burst_response_drops);
+  check(failures, feed_snapshots_missed == injected.feed_snapshots_suppressed,
+        "feed snapshots missed vs suppressed", feed_snapshots_missed,
+        injected.feed_snapshots_suppressed);
+  check(failures,
+        feeds_quarantined + feeds_salvaged == injected.feeds_corrupted,
+        "quarantined+salvaged vs corrupted",
+        feeds_quarantined + feeds_salvaged, injected.feeds_corrupted);
+  check(failures, atlas_records_suppressed == injected.atlas_records_suppressed,
+        "atlas records suppressed vs injected", atlas_records_suppressed,
+        injected.atlas_records_suppressed);
+  return failures;
+}
+
+std::string DegradationReport::to_string() const {
+  net::AsciiTable table({"Subsystem", "Counter", "Injected", "Observed"});
+  auto row = [&](const char* subsystem, const char* counter,
+                 std::uint64_t injected_count, std::uint64_t observed) {
+    table.add_row({subsystem, counter,
+                   net::with_thousands(static_cast<std::int64_t>(injected_count)),
+                   net::with_thousands(static_cast<std::int64_t>(observed))});
+  };
+  row("transport", "request drops (burst+bootstrap)",
+      injected.burst_request_drops + injected.bootstrap_blackholes,
+      transport_request_drops);
+  row("transport", "response drops (burst)", injected.burst_response_drops,
+      transport_response_drops);
+  row("crawler", "bootstrap retries / recoveries", bootstrap_retries,
+      bootstrap_recoveries);
+  row("crawler", "verification retries / recoveries", verification_retries,
+      verification_recoveries);
+  row("blocklist", "snapshots missed", injected.feed_snapshots_suppressed,
+      feed_snapshots_missed);
+  row("blocklist", "feeds quarantined / salvaged", feeds_quarantined,
+      feeds_salvaged);
+  row("blocklist", "entries discarded / lines skipped", feed_entries_discarded,
+      feed_lines_skipped);
+  row("atlas", "records suppressed", injected.atlas_records_suppressed,
+      atlas_records_suppressed);
+  row("dynadetect", "gaps capped / probes affected", change_gaps_capped,
+      probes_gap_affected);
+
+  std::ostringstream out;
+  out << table.to_string();
+  const std::vector<std::string> failures = reconciliation_failures();
+  if (failures.empty()) {
+    out << "reconciliation: OK ("
+        << net::with_thousands(static_cast<std::int64_t>(injected.total()))
+        << " faults injected, all accounted for)\n";
+  } else {
+    out << "reconciliation: FAILED\n";
+    for (const std::string& failure : failures) {
+      out << "  " << failure << "\n";
+    }
+  }
+  return out.str();
+}
+
+DegradationReport build_degradation_report(
+    const sim::FaultStats& injected, const crawler::CrawlStats& crawl,
+    std::uint64_t transport_request_drops,
+    std::uint64_t transport_response_drops,
+    const blocklist::EcosystemStats& ecosystem, std::uint64_t atlas_suppressed,
+    const dynadetect::PipelineResult& pipeline) {
+  DegradationReport report;
+  report.injected = injected;
+  report.transport_request_drops = transport_request_drops;
+  report.transport_response_drops = transport_response_drops;
+  report.bootstrap_retries = crawl.bootstrap_retries;
+  report.bootstrap_recoveries = crawl.bootstrap_recoveries;
+  report.verification_retries = crawl.verification_retries;
+  report.verification_recoveries = crawl.verification_recoveries;
+  report.feed_snapshots_missed = ecosystem.snapshots_missed;
+  report.feeds_quarantined = ecosystem.feeds_quarantined;
+  report.feeds_salvaged = ecosystem.feeds_salvaged;
+  report.feed_entries_discarded = ecosystem.entries_discarded;
+  report.feed_lines_skipped = ecosystem.feed_lines_skipped;
+  report.atlas_records_suppressed = atlas_suppressed;
+  report.change_gaps_capped = pipeline.change_gaps_capped;
+  report.probes_gap_affected = pipeline.probes_gap_affected;
+  return report;
+}
+
+}  // namespace reuse::analysis

@@ -1,0 +1,78 @@
+// Per-subsystem degradation accounting for fault-injected scenario runs.
+//
+// The FaultInjector keeps a ledger of everything it broke; each hardened
+// consumer keeps its own ledger of what it noticed and how it coped. A
+// DegradationReport places the two side by side and checks the conservation
+// laws that tie them together — any mismatch means a fault was injected that
+// no consumer accounted for (or double-counted), which is exactly the class
+// of silent data loss the chaos suite exists to catch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blocklist/ecosystem.h"
+#include "crawler/crawler.h"
+#include "dynadetect/pipeline.h"
+#include "simnet/faults.h"
+
+namespace reuse::analysis {
+
+struct DegradationReport {
+  /// Injector-side ledger: faults actually applied.
+  sim::FaultStats injected;
+
+  // Consumer-side ledgers, one block per subsystem.
+  std::uint64_t transport_request_drops = 0;   ///< datagrams eaten by faults
+  std::uint64_t transport_response_drops = 0;
+  std::uint64_t bootstrap_retries = 0;
+  std::uint64_t bootstrap_recoveries = 0;
+  std::uint64_t verification_retries = 0;
+  std::uint64_t verification_recoveries = 0;
+  std::uint64_t feed_snapshots_missed = 0;
+  std::uint64_t feeds_quarantined = 0;
+  std::uint64_t feeds_salvaged = 0;
+  std::uint64_t feed_entries_discarded = 0;
+  std::uint64_t feed_lines_skipped = 0;
+  std::uint64_t atlas_records_suppressed = 0;
+  std::uint64_t change_gaps_capped = 0;
+  std::uint64_t probes_gap_affected = 0;
+
+  /// True when any fault landed. Routine-coping counters (bootstrap and
+  /// verification retries, gap caps) do NOT count: they also fire under
+  /// natural datagram loss and churn, and a fault-free run must never read
+  /// as degraded.
+  [[nodiscard]] bool degraded() const;
+
+  /// Conservation laws between the injector and consumer ledgers. Empty
+  /// means every injected fault is accounted for exactly:
+  ///   transport request drops == burst request drops + bootstrap blackholes
+  ///   transport response drops == burst response drops
+  ///   feed snapshots missed    == feed snapshots suppressed
+  ///   quarantined + salvaged   == feeds corrupted
+  ///   atlas records (consumer) == atlas records (injector)
+  [[nodiscard]] std::vector<std::string> reconciliation_failures() const;
+  [[nodiscard]] bool reconciles() const {
+    return reconciliation_failures().empty();
+  }
+
+  /// Human-readable table, one row per counter pair.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const DegradationReport&,
+                         const DegradationReport&) = default;
+};
+
+/// Assembles the report from each subsystem's stats. `transport_request_drops`
+/// and `transport_response_drops` come from TransportStats (the transport
+/// object itself dies with the event queue, so the counters travel as plain
+/// integers); `atlas_suppressed` is AtlasFleet::records_suppressed().
+[[nodiscard]] DegradationReport build_degradation_report(
+    const sim::FaultStats& injected, const crawler::CrawlStats& crawl,
+    std::uint64_t transport_request_drops,
+    std::uint64_t transport_response_drops,
+    const blocklist::EcosystemStats& ecosystem, std::uint64_t atlas_suppressed,
+    const dynadetect::PipelineResult& pipeline);
+
+}  // namespace reuse::analysis

@@ -5,6 +5,7 @@
 
 #include "blocklist/catalogue.h"
 #include "internet/abuse.h"
+#include "netbase/rng.h"
 #include "netbase/serialize.h"
 #include "simnet/event_queue.h"
 
@@ -27,7 +28,7 @@ ScenarioConfig finalized(ScenarioConfig config) {
 
 blocklist::EcosystemResult build_ecosystem(
     const inet::World& world, const std::vector<blocklist::BlocklistInfo>& catalogue,
-    const ScenarioConfig& config) {
+    const ScenarioConfig& config, sim::FaultInjector* faults) {
   // Abuse generation starts before the first snapshot so lists are warm.
   const net::TimeWindow span = overall_window(config.ecosystem.periods);
   inet::AbuseGenConfig abuse;
@@ -36,14 +37,19 @@ blocklist::EcosystemResult build_ecosystem(
   abuse.server_events_per_day = world.config().abuse_events_per_day_server;
   abuse.seed = config.seed ^ 0xab5eULL;
   const std::vector<inet::AbuseEvent> events = generate_abuse(world, abuse);
-  return simulate_ecosystem(catalogue, events, config.ecosystem);
+  return simulate_ecosystem(catalogue, events, config.ecosystem, faults);
 }
 
 CrawlOutput run_crawl(const inet::World& world,
                       const blocklist::SnapshotStore& store,
-                      const ScenarioConfig& config) {
+                      const ScenarioConfig& config,
+                      sim::FaultInjector* faults) {
   sim::EventQueue events;
   dht::DhtNetwork network(world, events, config.dht);
+  if (faults != nullptr) {
+    faults->designate_bootstrap(network.bootstrap_endpoint());
+    network.transport().attach_faults(faults);
+  }
   const net::TimeWindow window{
       net::SimTime(0), net::SimTime(config.crawl_days * std::int64_t{86400})};
   network.schedule_churn(window);
@@ -68,6 +74,10 @@ CrawlOutput run_crawl(const inet::World& world,
   output.distinct_node_ids = crawler.distinct_node_ids();
   output.dht_peers = network.peer_count();
   output.dht_addresses = network.distinct_addresses();
+  output.transport_fault_request_drops =
+      network.transport().stats().requests_lost_fault;
+  output.transport_fault_response_drops =
+      network.transport().stats().responses_lost_fault;
   return output;
 }
 
@@ -164,6 +174,24 @@ void write_fingerprint_fields(net::BinaryWriter& w,
   w.write(eco.short_retention_mean_days);
   w.write(eco.long_retention_factor);
   w.write(eco.reobservation_extend_rate);
+
+  // The fault plan perturbs both cached products (crawl and ecosystem), so
+  // every knob of it is part of the cache identity — except when there are
+  // no episodes: an empty plan is behaviourally identical to no plan at all
+  // (whatever its seed), so both fingerprints coincide and a fault-free
+  // cache keeps serving empty-plan configs.
+  const sim::FaultPlan& faults = c.faults;
+  w.write(static_cast<std::uint64_t>(faults.episodes.size()));
+  if (!faults.episodes.empty()) {
+    w.write(faults.seed);
+    for (const sim::FaultEpisode& episode : faults.episodes) {
+      w.write(static_cast<std::uint8_t>(episode.kind));
+      w.write(episode.window.begin.seconds());
+      w.write(episode.window.end.seconds());
+      w.write(episode.severity);
+      w.write(episode.salt);
+    }
+  }
 }
 
 }  // namespace
@@ -221,16 +249,93 @@ ScenarioConfig bench_scenario_config(std::uint64_t seed) {
   return config;
 }
 
+sim::FaultPlan default_chaos_plan(const ScenarioConfig& config,
+                                  std::uint64_t chaos_seed) {
+  ScenarioConfig cfg = config;
+  cfg.finalize();
+  sim::FaultPlan plan;
+  plan.seed = chaos_seed;
+  net::Rng rng(chaos_seed ^ 0xc4a05ULL);
+
+  // Bootstrap outage covering the crawl start: the watchdog has to carry
+  // discovery through it.
+  const std::int64_t outage_end =
+      1800 + static_cast<std::int64_t>(rng.uniform(1800));
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kBootstrapOutage,
+      net::TimeWindow{net::SimTime(0), net::SimTime(outage_end)}, 1.0, 1});
+
+  // Loss burst somewhere after the outage, inside the crawl.
+  const std::int64_t crawl_end = cfg.crawl_days * std::int64_t{86400};
+  const std::int64_t burst_length =
+      std::max<std::int64_t>(3600, crawl_end / 12);
+  const std::int64_t burst_slack =
+      std::max<std::int64_t>(1, crawl_end - outage_end - burst_length);
+  const std::int64_t burst_begin =
+      outage_end + static_cast<std::int64_t>(
+                       rng.uniform(static_cast<std::uint64_t>(burst_slack)));
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kBurstLoss,
+      net::TimeWindow{net::SimTime(burst_begin),
+                      net::SimTime(burst_begin + burst_length)},
+      0.5, 2});
+
+  // A 3-day feed outage and a 2-day corruption spell inside the first
+  // collection period, each hitting ~35% of the lists.
+  const net::TimeWindow period = cfg.ecosystem.periods.front();
+  const std::int64_t first_day = period.begin.day();
+  const std::int64_t period_days =
+      std::max<std::int64_t>(6, period.end.day() - first_day);
+  const std::int64_t outage_day =
+      first_day + static_cast<std::int64_t>(
+                      rng.uniform(static_cast<std::uint64_t>(period_days - 3)));
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kFeedOutage,
+      net::TimeWindow{net::SimTime(outage_day * 86400),
+                      net::SimTime((outage_day + 3) * 86400)},
+      0.35, 3});
+  const std::int64_t corrupt_day =
+      first_day + static_cast<std::int64_t>(
+                      rng.uniform(static_cast<std::uint64_t>(period_days - 2)));
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kFeedCorruption,
+      net::TimeWindow{net::SimTime(corrupt_day * 86400),
+                      net::SimTime((corrupt_day + 2) * 86400)},
+      0.35, 4});
+
+  // Atlas controller gap somewhere in the fleet window.
+  const std::int64_t fleet_begin = cfg.fleet.window.begin.seconds();
+  const std::int64_t fleet_length = cfg.fleet.window.end.seconds() - fleet_begin;
+  const std::int64_t gap_length =
+      std::max<std::int64_t>(86400, fleet_length / 40);
+  const std::int64_t gap_slack = std::max<std::int64_t>(1, fleet_length - gap_length);
+  const std::int64_t gap_begin =
+      fleet_begin + static_cast<std::int64_t>(
+                        rng.uniform(static_cast<std::uint64_t>(gap_slack)));
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kAtlasGap,
+      net::TimeWindow{net::SimTime(gap_begin),
+                      net::SimTime(gap_begin + gap_length)},
+      1.0, 5});
+  return plan;
+}
+
 Scenario::Scenario(ScenarioConfig cfg)
     : config(finalized(std::move(cfg))),
+      injector(std::make_unique<sim::FaultInjector>(config.faults)),
       world(config.world),
       catalogue(blocklist::build_catalogue(config.seed ^ 0xca7aULL)),
-      ecosystem(build_ecosystem(world, catalogue, config)),
-      crawl(run_crawl(world, ecosystem.store, config)),
-      fleet(world, config.fleet),
+      ecosystem(build_ecosystem(world, catalogue, config, injector.get())),
+      crawl(run_crawl(world, ecosystem.store, config, injector.get())),
+      fleet(world, config.fleet, injector.get()),
       pipeline(dynadetect::run_pipeline(fleet.log(), config.pipeline)),
       census(config.run_census
                  ? census::run_census(world, config.census)
-                 : census::CensusResult{}) {}
+                 : census::CensusResult{}) {
+  degradation = build_degradation_report(
+      injector->stats(), crawl.stats, crawl.transport_fault_request_drops,
+      crawl.transport_fault_response_drops, ecosystem.stats,
+      fleet.records_suppressed(), pipeline);
+}
 
 }  // namespace reuse::analysis

@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/degradation.h"
 #include "atlas/fleet.h"
 #include "blocklist/ecosystem.h"
 #include "census/census.h"
@@ -21,6 +22,7 @@
 #include "dht/network.h"
 #include "dynadetect/pipeline.h"
 #include "internet/world.h"
+#include "simnet/faults.h"
 
 namespace reuse::analysis {
 
@@ -43,6 +45,10 @@ struct ScenarioConfig {
   blocklist::EcosystemConfig ecosystem;
   census::CensusConfig census;
   bool run_census = true;
+  /// Fault schedule injected across the whole run (transport, feeds, Atlas).
+  /// Empty (the default) keeps every subsystem byte-identical to a run with
+  /// no injector at all.
+  sim::FaultPlan faults;
 
   /// Wires sub-seeds and paper-default windows from the master seed.
   void finalize();
@@ -51,6 +57,14 @@ struct ScenarioConfig {
 /// Small preset for tests; big preset for bench binaries.
 [[nodiscard]] ScenarioConfig test_scenario_config(std::uint64_t seed = 7);
 [[nodiscard]] ScenarioConfig bench_scenario_config(std::uint64_t seed = 42);
+
+/// A representative chaos schedule for `config`: one episode of every
+/// FaultKind, placed deterministically from `chaos_seed` — a bootstrap
+/// outage at crawl start, a loss burst mid-crawl, a multi-day feed outage
+/// and a corruption spell inside the first collection period, and an Atlas
+/// controller gap inside the fleet window.
+[[nodiscard]] sim::FaultPlan default_chaos_plan(const ScenarioConfig& config,
+                                                std::uint64_t chaos_seed);
 
 /// FNV-1a fingerprint of every configuration field that feeds the cached
 /// scenario products (crawl + blocklist ecosystem): seed, the full world
@@ -73,10 +87,19 @@ struct CrawlOutput {
   std::size_t distinct_node_ids = 0;
   std::size_t dht_peers = 0;
   std::size_t dht_addresses = 0;
+  /// Datagrams consumed by fault episodes (TransportStats counters, carried
+  /// out of the event-queue scope for the degradation report).
+  std::uint64_t transport_fault_request_drops = 0;
+  std::uint64_t transport_fault_response_drops = 0;
 };
 
 struct Scenario {
   ScenarioConfig config;
+  /// One injector shared by every subsystem so its ledger spans the whole
+  /// run. Heap-allocated: subsystems keep raw pointers to it, which must
+  /// stay valid when the Scenario is moved. Declared before the subsystems
+  /// it feeds (member-init order).
+  std::unique_ptr<sim::FaultInjector> injector;
   inet::World world;
   std::vector<blocklist::BlocklistInfo> catalogue;
   blocklist::EcosystemResult ecosystem;
@@ -84,6 +107,7 @@ struct Scenario {
   atlas::AtlasFleet fleet;
   dynadetect::PipelineResult pipeline;
   census::CensusResult census;
+  DegradationReport degradation;
 
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;

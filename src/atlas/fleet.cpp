@@ -7,7 +7,9 @@
 
 namespace reuse::atlas {
 
-AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config) {
+AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
+                       sim::FaultInjector* faults)
+    : faults_(faults) {
   net::Rng rng(config.seed);
   const auto& users = world.users();
   if (users.empty()) return;
@@ -74,6 +76,10 @@ void AtlasFleet::emit_for_host(ProbeId probe, const inet::World& world,
   if (span.begin >= span.end) return;
   const inet::User& host = world.user(host_id);
   auto emit = [&](net::SimTime t, net::Ipv4Address address) {
+    if (faults_ != nullptr && faults_->atlas_record_suppressed(t)) {
+      ++records_suppressed_;
+      return;
+    }
     log_.push_back(ConnectionRecord{t.seconds(), probe, address, host.asn});
   };
   if (host.attachment == inet::AttachmentKind::kDynamic) {

@@ -16,6 +16,7 @@
 #include "atlas/connection_log.h"
 #include "internet/world.h"
 #include "netbase/sim_time.h"
+#include "simnet/faults.h"
 
 namespace reuse::atlas {
 
@@ -43,7 +44,13 @@ struct ProbeTruth {
 
 class AtlasFleet {
  public:
-  AtlasFleet(const inet::World& world, const FleetConfig& config);
+  /// An optional fault injector models controller-side collection gaps:
+  /// records falling inside an atlas-gap episode never reach the log (the
+  /// probe stayed connected; the controller lost the data). nullptr or an
+  /// empty plan leaves the log bit-identical. The injector is consulted
+  /// during construction only — it need not outlive the fleet.
+  AtlasFleet(const inet::World& world, const FleetConfig& config,
+             sim::FaultInjector* faults = nullptr);
 
   /// All connection records, sorted by (time, probe).
   [[nodiscard]] const std::vector<ConnectionRecord>& log() const {
@@ -59,11 +66,18 @@ class AtlasFleet {
 
   [[nodiscard]] std::size_t probe_count() const { return truths_.size(); }
 
+  /// Records swallowed by controller gaps (0 without faults).
+  [[nodiscard]] std::uint64_t records_suppressed() const {
+    return records_suppressed_;
+  }
+
  private:
   void emit_for_host(ProbeId probe, const inet::World& world,
                      inet::UserId host, net::TimeWindow span,
                      net::Duration keepalive);
 
+  sim::FaultInjector* faults_ = nullptr;  ///< not owned; may be null
+  std::uint64_t records_suppressed_ = 0;
   std::vector<ConnectionRecord> log_;
   std::vector<ProbeTruth> truths_;
 };

@@ -80,6 +80,9 @@ std::optional<DumpStats> read_daily_dumps(
       buffer << is.rdbuf();
       const ParsedList parsed = parse_list_text(buffer.str());
       stats.skipped_lines += parsed.skipped_lines;
+      if (parsed.skipped_lines > 0) {
+        stats.skipped_by_list[it->second] += parsed.skipped_lines;
+      }
       for (const net::Ipv4Address address : parsed.addresses) {
         store.record(it->second, address, day);
         ++stats.entries;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <filesystem>
+#include <map>
 #include <span>
 #include <string>
 
@@ -21,6 +22,9 @@ struct DumpStats {
   std::size_t files = 0;
   std::size_t entries = 0;
   std::size_t skipped_lines = 0;  ///< malformed lines on import
+  /// Import-time skip counts per list, so one rotting feed stands out
+  /// instead of drowning in the aggregate (ordered: deterministic output).
+  std::map<ListId, std::size_t> skipped_by_list;
 };
 
 /// Writes one file per (list, day) with the addresses present that day.

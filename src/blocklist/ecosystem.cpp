@@ -1,8 +1,10 @@
 #include "blocklist/ecosystem.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
+#include "blocklist/parse.h"
 #include "netbase/rng.h"
 
 namespace reuse::blocklist {
@@ -32,9 +34,14 @@ std::vector<net::TimeWindow> paper_periods() {
 
 EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
                                    std::span<const inet::AbuseEvent> events,
-                                   const EcosystemConfig& config) {
+                                   const EcosystemConfig& config,
+                                   sim::FaultInjector* faults) {
   EcosystemResult result;
   net::Rng rng(config.seed);
+  result.stats.per_list.resize(catalogue.size());
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    result.stats.per_list[i].list = catalogue[i].id;
+  }
 
   // Listening sets per abuse category (reputation lists listen to all), so
   // each event only touches the lists that could ingest it.
@@ -60,18 +67,69 @@ EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
   std::sort(snapshot_days.begin(), snapshot_days.end());
   std::size_t next_snapshot = 0;
 
+  // Ingest a corrupted dump: the maintainer published *something*, but not
+  // what the live set says. Mostly-garbage dumps are quarantined outright
+  // (treated like a missed day, so presence bridging can ride over them);
+  // lightly damaged dumps are salvaged line by line.
+  auto ingest_corrupted = [&](std::size_t i, std::int64_t day,
+                              const LiveMap& entries) {
+    FeedHealth& health = result.stats.per_list[i];
+    std::vector<net::Ipv4Address> addresses;
+    addresses.reserve(entries.size());
+    for (const auto& [address, expiry] : entries) addresses.push_back(address);
+    std::sort(addresses.begin(), addresses.end());  // stable render order
+    std::string text;
+    for (const net::Ipv4Address address : addresses) {
+      text += address.to_string();
+      text += '\n';
+    }
+    text = faults->corrupt_feed_text(std::move(text), i, day);
+    const ParsedList parsed = parse_list_text(text);
+    health.lines_skipped += parsed.skipped_lines;
+    result.stats.feed_lines_skipped += parsed.skipped_lines;
+    // Quarantine rule: more than 10% of the live set's lines unparseable
+    // means the dump as a whole cannot be trusted.
+    if (parsed.skipped_lines * 10 > entries.size()) {
+      ++health.days_quarantined;
+      ++result.stats.feeds_quarantined;
+      return;
+    }
+    for (const net::Ipv4Address address : parsed.addresses) {
+      result.store.record(catalogue[i].id, address, day);
+    }
+    result.store.mark_observed(catalogue[i].id, day);
+    ++health.days_salvaged;
+    ++result.stats.feeds_salvaged;
+    // Corruption never adds lines, so parsed entries <= live entries and the
+    // difference is exactly what the damage cost us.
+    const std::uint64_t discarded = entries.size() - parsed.addresses.size();
+    health.entries_discarded += discarded;
+    result.stats.entries_discarded += discarded;
+  };
+
   auto take_snapshot = [&](std::int64_t day) {
     const std::int64_t moment = day * 86400;  // snapshot at 00:00
     for (std::size_t i = 0; i < catalogue.size(); ++i) {
       auto& entries = live[i];
+      // Expiry runs on every path: list state evolves whether or not the
+      // dump reaches us that day.
       for (auto it = entries.begin(); it != entries.end();) {
-        if (it->second <= moment) {
-          it = entries.erase(it);
-          continue;
-        }
-        result.store.record(catalogue[i].id, it->first, day);
-        ++it;
+        it = it->second <= moment ? entries.erase(it) : std::next(it);
       }
+      if (faults != nullptr && faults->feed_snapshot_missing(i, day)) {
+        ++result.stats.per_list[i].days_missed;
+        ++result.stats.snapshots_missed;
+        continue;
+      }
+      if (faults != nullptr && faults->feed_corrupted(i, day)) {
+        ingest_corrupted(i, day, entries);
+        continue;
+      }
+      for (const auto& [address, expiry] : entries) {
+        result.store.record(catalogue[i].id, address, day);
+      }
+      result.store.mark_observed(catalogue[i].id, day);
+      ++result.stats.per_list[i].days_recorded;
     }
     ++result.stats.snapshots_taken;
   };

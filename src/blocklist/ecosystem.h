@@ -15,6 +15,7 @@
 #include "blocklist/types.h"
 #include "internet/types.h"
 #include "netbase/sim_time.h"
+#include "simnet/faults.h"
 
 namespace reuse::blocklist {
 
@@ -45,10 +46,33 @@ struct EcosystemConfig {
 /// days 60–104 (a 21-day gap standing in for 10 Sep 2019 → 29 Mar 2020).
 [[nodiscard]] std::vector<net::TimeWindow> paper_periods();
 
+/// Per-feed collection health over the whole run. On a fault-free run every
+/// snapshot day lands in `days_recorded` and everything else stays zero. The
+/// per-list invariant `days_recorded + days_missed + days_quarantined +
+/// days_salvaged == snapshots_taken` holds exactly.
+struct FeedHealth {
+  ListId list = 0;
+  std::int64_t days_recorded = 0;     ///< clean daily dumps
+  std::int64_t days_missed = 0;       ///< feed outage: no dump at all
+  std::int64_t days_quarantined = 0;  ///< dump too mangled to trust
+  std::int64_t days_salvaged = 0;     ///< mangled dump, clean lines kept
+  std::uint64_t lines_skipped = 0;    ///< unparseable lines across all days
+  std::uint64_t entries_discarded = 0;  ///< live entries lost to corruption
+
+  friend bool operator==(const FeedHealth&, const FeedHealth&) = default;
+};
+
 struct EcosystemStats {
   std::uint64_t events_seen = 0;
   std::uint64_t events_picked_up = 0;
   std::uint64_t snapshots_taken = 0;
+  // Degradation accounting (zero on a fault-free run):
+  std::uint64_t snapshots_missed = 0;    ///< (list, day) dumps suppressed
+  std::uint64_t feeds_quarantined = 0;   ///< corrupted dumps rejected
+  std::uint64_t feeds_salvaged = 0;      ///< corrupted dumps partially kept
+  std::uint64_t entries_discarded = 0;   ///< live entries lost to corruption
+  std::uint64_t feed_lines_skipped = 0;  ///< unparseable lines seen
+  std::vector<FeedHealth> per_list;      ///< one entry per catalogue list
 };
 
 struct EcosystemResult {
@@ -58,9 +82,11 @@ struct EcosystemResult {
 
 /// Runs the ecosystem over `events` (must be time-sorted). Events before the
 /// first period warm the lists up; events after the last snapshot are
-/// ignored.
+/// ignored. An optional fault injector suppresses or corrupts individual
+/// (list, day) dumps; nullptr (or an empty plan) leaves the run untouched.
 [[nodiscard]] EcosystemResult simulate_ecosystem(
     std::span<const BlocklistInfo> catalogue,
-    std::span<const inet::AbuseEvent> events, const EcosystemConfig& config);
+    std::span<const inet::AbuseEvent> events, const EcosystemConfig& config,
+    sim::FaultInjector* faults = nullptr);
 
 }  // namespace reuse::blocklist

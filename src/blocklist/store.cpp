@@ -23,6 +23,41 @@ const net::IntervalSet* SnapshotStore::presence(ListId list,
   return it == presence_.end() ? nullptr : &it->second;
 }
 
+void SnapshotStore::mark_observed(ListId list, std::int64_t day) {
+  mark_observed_span(list, day, day + 1);
+}
+
+void SnapshotStore::mark_observed_span(ListId list, std::int64_t begin,
+                                       std::int64_t end) {
+  if (begin >= end) return;
+  observed_[list].insert(begin, end);
+}
+
+const net::IntervalSet* SnapshotStore::observed_days(ListId list) const {
+  const auto it = observed_.find(list);
+  return it == observed_.end() ? nullptr : &it->second;
+}
+
+net::IntervalSet SnapshotStore::bridged_presence(
+    ListId list, net::Ipv4Address address) const {
+  net::IntervalSet bridged;
+  const net::IntervalSet* raw = presence(list, address);
+  if (raw == nullptr) return bridged;
+  const net::IntervalSet* observed = observed_days(list);
+  const auto& intervals = raw->intervals();
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    bridged.insert(intervals[i].begin, intervals[i].end);
+    if (i + 1 == intervals.size() || observed == nullptr) continue;
+    // The listing vanished over [end, next.begin). If the feed was never
+    // snapshotted on any of those days, the absence was unobservable —
+    // fill the hole so the two runs merge.
+    if (observed->overlap(intervals[i].end, intervals[i + 1].begin) == 0) {
+      bridged.insert(intervals[i].end, intervals[i + 1].begin);
+    }
+  }
+  return bridged;
+}
+
 std::vector<net::Ipv4Address> SnapshotStore::addresses_of(ListId list) const {
   const auto it = per_list_.find(list);
   if (it == per_list_.end()) return {};

@@ -33,6 +33,25 @@ class SnapshotStore {
   [[nodiscard]] const net::IntervalSet* presence(ListId list,
                                                  net::Ipv4Address address) const;
 
+  /// Records that `list` was actually snapshotted on `day` — the feed was
+  /// fetched and parsed, whether or not it held entries. Days never marked
+  /// are gaps: absence of a listing on them is "unknown", not "delisted".
+  void mark_observed(ListId list, std::int64_t day);
+  void mark_observed_span(ListId list, std::int64_t begin, std::int64_t end);
+
+  /// Days on which `list` was snapshotted, or nullptr if never marked.
+  [[nodiscard]] const net::IntervalSet* observed_days(ListId list) const;
+
+  /// Presence of one listing with unobservable holes bridged: two presence
+  /// intervals separated only by days the list was never snapshotted merge
+  /// into one (the address may well have stayed listed through the outage;
+  /// splitting the listing would fabricate a delist/relist cycle). A gap
+  /// containing even one observed absence stays a gap. Lists with no
+  /// observed-day record (stores built before gap tracking) pass through
+  /// unchanged.
+  [[nodiscard]] net::IntervalSet bridged_presence(ListId list,
+                                                  net::Ipv4Address address) const;
+
   /// Number of distinct (list, address) pairs ever present.
   [[nodiscard]] std::size_t listing_count() const { return presence_.size(); }
 
@@ -60,6 +79,14 @@ class SnapshotStore {
     }
   }
 
+  /// Visits every list's observed-day record: fn(ListId, const IntervalSet&).
+  template <typename Fn>
+  void for_each_observed(Fn&& fn) const {
+    for (const auto& [list, days] : observed_) {
+      fn(list, days);
+    }
+  }
+
  private:
   using Key = std::uint64_t;
   static constexpr Key make_key(ListId list, net::Ipv4Address address) {
@@ -74,6 +101,7 @@ class SnapshotStore {
 
   std::unordered_map<Key, net::IntervalSet> presence_;
   std::unordered_map<ListId, std::unordered_set<net::Ipv4Address>> per_list_;
+  std::unordered_map<ListId, net::IntervalSet> observed_;
   std::unordered_set<net::Ipv4Address> all_addresses_;
 };
 

@@ -12,7 +12,8 @@ Crawler::Crawler(dht::DhtNetwork::DhtTransport& transport,
       events_(events),
       bootstrap_(bootstrap),
       config_(std::move(config)),
-      rng_(config_.seed) {}
+      rng_(config_.seed),
+      retry_rng_(config_.seed ^ 0x8e774aULL) {}
 
 void Crawler::start(net::TimeWindow window) {
   window_ = window;
@@ -25,8 +26,31 @@ void Crawler::start(net::TimeWindow window) {
     seen_endpoints_.insert(bootstrap_);
     dispatch_tick();
     schedule_reping();
+    events_.schedule_after(config_.bootstrap_retry_initial, [this] {
+      bootstrap_watchdog(config_.bootstrap_retry_initial);
+    });
   });
   events_.schedule_at(window.end, [this] { running_ = false; });
+}
+
+void Crawler::bootstrap_watchdog(net::Duration delay) {
+  if (!running_) return;
+  // Any get_nodes response ever means discovery is (or was) alive; the
+  // watchdog retires and the hourly re-seed takes over from here.
+  if (stats_.get_nodes_responses > 0) return;
+  if (bootstrap_attempts_ >= config_.bootstrap_max_retries) return;
+  ++bootstrap_attempts_;
+  ++stats_.bootstrap_retries;
+  // The front door overrides its own cooldown: a dark bootstrap would
+  // otherwise keep the retry parked for 20 minutes per attempt.
+  next_contact_ok_.erase(bootstrap_.address);
+  get_nodes_queue_.push_front(
+      PendingGetNodes{bootstrap_, config_.get_nodes_per_endpoint});
+  const std::int64_t base = delay.count() * 2;
+  const net::Duration next(
+      base + static_cast<std::int64_t>(retry_rng_.uniform(
+                 static_cast<std::uint64_t>(base / 4 + 1))));
+  events_.schedule_after(next, [this, next] { bootstrap_watchdog(next); });
 }
 
 bool Crawler::allowed(net::Ipv4Address address) const {
@@ -111,6 +135,11 @@ void Crawler::send_get_nodes(const net::Endpoint& endpoint) {
 
 void Crawler::on_get_nodes_response(const net::Endpoint& from,
                                     const dht::DhtResponse& response) {
+  if (stats_.get_nodes_responses == 0 && stats_.bootstrap_retries > 0 &&
+      !bootstrap_recovered_) {
+    bootstrap_recovered_ = true;
+    ++stats_.bootstrap_recoveries;
+  }
   ++stats_.get_nodes_responses;
   node_ids_seen_.insert(response.responder_id);
   learn_endpoint(from);
@@ -179,10 +208,33 @@ void Crawler::close_verification(net::Ipv4Address address) {
   // replies sharing a port cannot happen within a round).
   const std::size_t concurrent = std::min(it->second.responding_ports.size(),
                                           it->second.responding_ids.size());
+  const bool got_replies = !it->second.responding_ports.empty();
   IpEvidence& evidence = evidence_[address];
   evidence.max_concurrent_users =
       std::max(evidence.max_concurrent_users, concurrent);
   open_rounds_.erase(it);
+
+  if (got_replies) {
+    if (const auto retried = verify_retries_.find(address);
+        retried != verify_retries_.end()) {
+      ++stats_.verification_recoveries;
+      verify_retries_.erase(retried);
+    }
+    return;
+  }
+  // Every known port went silent at once on an address that answered
+  // before — an outage pattern, not proof the clients left. Re-queue the
+  // round (bounded); the cooldown spaces the retry out naturally.
+  if (!running_) return;
+  std::uint32_t& retries = verify_retries_[address];
+  if (retries >= config_.verification_retry_limit) return;
+  ++retries;
+  ++stats_.verification_retries;
+  if (!queued_for_verify_.contains(address) &&
+      !open_rounds_.contains(address)) {
+    verify_queue_.push_back(address);
+    queued_for_verify_.insert(address);
+  }
 }
 
 void Crawler::schedule_reping() {

@@ -52,6 +52,17 @@ struct CrawlerConfig {
   /// hash falls in its partition (see crawler/vantage.h). 1/0 = everything.
   std::size_t partition_count = 1;
   std::size_t partition_index = 0;
+  /// Bootstrap watchdog: while no get_nodes response has ever arrived, the
+  /// bootstrap is re-queued with exponential backoff (initial delay doubled
+  /// each attempt, plus up to 25% jitter) at most this many times. Outages
+  /// of the front door otherwise starve the whole crawl.
+  std::size_t bootstrap_max_retries = 6;
+  net::Duration bootstrap_retry_initial = net::Duration::seconds(30);
+  /// A verification round that ends with zero ping replies (the IP was
+  /// previously responsive — silence suggests an outage, not absence) is
+  /// re-queued at most this many times per address; the hourly re-ping
+  /// covers the long tail.
+  std::size_t verification_retry_limit = 2;
   std::uint64_t seed = 3;
 };
 
@@ -63,6 +74,11 @@ struct CrawlStats {
   std::uint64_t endpoints_discovered = 0;
   std::uint64_t endpoints_skipped_restricted = 0;
   std::uint64_t verification_rounds = 0;
+  // Degradation accounting (all zero on a healthy crawl):
+  std::uint64_t bootstrap_retries = 0;     ///< watchdog re-queues of bootstrap
+  std::uint64_t bootstrap_recoveries = 0;  ///< first response after a retry
+  std::uint64_t verification_retries = 0;  ///< zero-reply rounds re-queued
+  std::uint64_t verification_recoveries = 0;  ///< retried IPs that replied
 
   [[nodiscard]] double ping_response_rate() const {
     return pings_sent == 0 ? 0.0
@@ -128,6 +144,7 @@ class Crawler {
   };
 
   void dispatch_tick();
+  void bootstrap_watchdog(net::Duration delay);
   void send_get_nodes(const net::Endpoint& endpoint);
   void on_get_nodes_response(const net::Endpoint& from,
                              const dht::DhtResponse& response);
@@ -144,8 +161,13 @@ class Crawler {
   net::Endpoint bootstrap_;
   CrawlerConfig config_;
   net::Rng rng_;
+  /// Backoff jitter comes from its own stream so retries never perturb the
+  /// main generator (fault-free runs stay byte-identical).
+  net::Rng retry_rng_;
   net::TimeWindow window_{};
   bool running_ = false;
+  std::size_t bootstrap_attempts_ = 0;
+  bool bootstrap_recovered_ = false;
 
   std::deque<PendingGetNodes> get_nodes_queue_;
   std::deque<net::Ipv4Address> verify_queue_;
@@ -154,6 +176,8 @@ class Crawler {
   std::unordered_map<net::Ipv4Address, net::SimTime> next_contact_ok_;
   std::unordered_map<net::Ipv4Address, VerificationRound> open_rounds_;
   std::unordered_set<net::Ipv4Address> queued_for_verify_;
+  /// Zero-reply re-queues spent per address; reset on a replying round.
+  std::unordered_map<net::Ipv4Address, std::uint32_t> verify_retries_;
   std::unordered_set<dht::NodeId> node_ids_seen_;
   CrawlStats stats_;
 };

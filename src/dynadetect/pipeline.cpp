@@ -30,6 +30,26 @@ std::optional<net::Duration> ProbeHistory::mean_change_interval() const {
                        static_cast<std::int64_t>(allocations.size() - 1));
 }
 
+std::optional<net::Duration> ProbeHistory::mean_change_interval(
+    net::Duration max_gap, std::size_t* excluded) const {
+  if (excluded != nullptr) *excluded = 0;
+  if (allocations.size() < 2) return std::nullopt;
+  std::int64_t sum = 0;
+  std::int64_t kept = 0;
+  for (std::size_t i = 1; i < allocations.size(); ++i) {
+    const std::int64_t gap =
+        allocations[i].time_seconds - allocations[i - 1].time_seconds;
+    if (max_gap.count() > 0 && gap > max_gap.count()) {
+      if (excluded != nullptr) ++*excluded;
+      continue;
+    }
+    sum += gap;
+    ++kept;
+  }
+  if (kept == 0) return std::nullopt;
+  return net::Duration(sum / kept);
+}
+
 std::vector<ProbeHistory> build_histories(
     std::span<const atlas::ConnectionRecord> records) {
   // Group by probe, then sort each group by time and collapse consecutive
@@ -150,7 +170,13 @@ PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
       result.above_knee_prefixes.insert(
           net::Ipv4Prefix(record.address, config.expand_prefix_length));
     }
-    const auto interval = history->mean_change_interval();
+    std::size_t gaps_excluded = 0;
+    const auto interval =
+        history->mean_change_interval(config.max_change_gap, &gaps_excluded);
+    if (gaps_excluded > 0) {
+      result.change_gaps_capped += gaps_excluded;
+      ++result.probes_gap_affected;
+    }
     if (!interval || *interval > config.daily_threshold) continue;
     ++result.probes_daily;
     result.qualifying_probes.push_back(history->probe_id);

@@ -41,6 +41,15 @@ struct ProbeHistory {
   [[nodiscard]] std::size_t distinct_addresses() const;
   /// Mean gap between consecutive allocation events; nullopt with < 2.
   [[nodiscard]] std::optional<net::Duration> mean_change_interval() const;
+  /// Gap-capped variant: gaps longer than `max_gap` are excluded from the
+  /// mean (a monitoring outage looks like one absurdly long "lease" and
+  /// would otherwise disqualify a genuinely fast-churning probe). `max_gap`
+  /// of 0 disables the cap — then this equals mean_change_interval(), since
+  /// the plain mean is span/(n-1) == sum of consecutive gaps/(n-1). Returns
+  /// nullopt when < 2 allocations or every gap was excluded; `excluded`
+  /// (optional) receives the number of gaps dropped.
+  [[nodiscard]] std::optional<net::Duration> mean_change_interval(
+      net::Duration max_gap, std::size_t* excluded = nullptr) const;
 };
 
 /// Groups raw (time-sorted or unsorted) records into per-probe histories.
@@ -56,6 +65,10 @@ struct PipelineConfig {
   int expand_prefix_length = 24;
   /// Kneedle sensitivity for the automatic threshold.
   double knee_sensitivity = 1.0;
+  /// Inter-change gaps longer than this are treated as log gaps and excluded
+  /// from the mean-change-interval (step 4); 0 disables the cap and keeps
+  /// the published pipeline exactly.
+  net::Duration max_change_gap = net::Duration(0);
 };
 
 struct PipelineResult {
@@ -66,6 +79,9 @@ struct PipelineResult {
   std::size_t probes_with_changes = 0;   ///< single-AS, >= 2 allocations
   std::size_t probes_above_knee = 0;     ///< step 3 survivors
   std::size_t probes_daily = 0;          ///< step 4 survivors (qualifying)
+  /// Gap-cap accounting (zero when max_change_gap is 0 or logs are whole).
+  std::size_t change_gaps_capped = 0;    ///< gaps excluded from step-4 means
+  std::size_t probes_gap_affected = 0;   ///< above-knee probes with a gap cut
   int knee_allocations = 0;              ///< detected (or configured) threshold
   /// Total addresses allocated to qualifying probes / all single-AS probes.
   std::size_t qualifying_addresses = 0;

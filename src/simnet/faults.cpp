@@ -1,0 +1,175 @@
+#include "simnet/faults.h"
+
+#include <algorithm>
+
+namespace reuse::sim {
+namespace {
+
+/// Stateless hash of (seed, salt, a, b) to a double in [0, 1). Feed-level
+/// fault decisions go through this so they are independent of call order.
+double hash01(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+              std::uint64_t b) {
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  (void)net::splitmix64(state);
+  state ^= a * 0xbf58476d1ce4e5b9ULL;
+  (void)net::splitmix64(state);
+  state ^= b * 0x94d049bb133111ebULL;
+  const std::uint64_t mixed = net::splitmix64(state);
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+/// Bytes injected by the binary-garbage corruption mode. No '\n' (line
+/// counts must not grow) and no '/' (a garbled address must not turn into a
+/// parseable CIDR line).
+// The leading NUL means the length must be explicit — strlen-style
+// construction would stop at byte 0 and leave the alphabet empty.
+constexpr char kGarbageBytes[] =
+    "\x00\x01\x02\xff\xfe\x7f\t \r#;abcxyzABC!@$%^&*()[]{}<>?,|~`\"'";
+constexpr std::string_view kGarbageAlphabet(kGarbageBytes,
+                                            sizeof(kGarbageBytes) - 1);
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBurstLoss:
+      return "burst-loss";
+    case FaultKind::kBootstrapOutage:
+      return "bootstrap-outage";
+    case FaultKind::kFeedOutage:
+      return "feed-outage";
+    case FaultKind::kFeedCorruption:
+      return "feed-corruption";
+    case FaultKind::kAtlasGap:
+      return "atlas-gap";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), burst_rng_(plan_.seed ^ 0xfa017ULL) {
+  for (const FaultEpisode& episode : plan_.episodes) {
+    by_kind_[static_cast<std::size_t>(episode.kind)].push_back(episode);
+  }
+  for (auto& episodes : by_kind_) {
+    std::sort(episodes.begin(), episodes.end(),
+              [](const FaultEpisode& a, const FaultEpisode& b) {
+                return a.window.begin < b.window.begin;
+              });
+  }
+}
+
+const FaultEpisode* FaultInjector::covering(FaultKind kind,
+                                            net::SimTime t) const {
+  for (const FaultEpisode& episode : by_kind_[static_cast<std::size_t>(kind)]) {
+    if (episode.window.contains(t)) return &episode;
+    if (episode.window.begin > t) break;  // sorted: nothing later covers t
+  }
+  return nullptr;
+}
+
+const FaultEpisode* FaultInjector::feed_episode(FaultKind kind,
+                                                std::size_t list_index,
+                                                std::int64_t day) const {
+  const net::SimTime midnight(day * 86400);
+  for (const FaultEpisode& episode : by_kind_[static_cast<std::size_t>(kind)]) {
+    if (!episode.window.contains(midnight)) continue;
+    if (hash01(plan_.seed, episode.salt,
+               static_cast<std::uint64_t>(kind) + 1, list_index) <
+        episode.severity) {
+      return &episode;
+    }
+  }
+  return nullptr;
+}
+
+bool FaultInjector::drop_request(const net::Endpoint& to, net::SimTime now) {
+  if (!active()) return false;
+  if (bootstrap_set_ && to == bootstrap_ &&
+      covering(FaultKind::kBootstrapOutage, now) != nullptr) {
+    ++stats_.bootstrap_blackholes;
+    return true;
+  }
+  if (const FaultEpisode* burst = covering(FaultKind::kBurstLoss, now);
+      burst != nullptr && burst_rng_.bernoulli(burst->severity)) {
+    ++stats_.burst_request_drops;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::drop_response(net::SimTime now) {
+  if (!active()) return false;
+  if (const FaultEpisode* burst = covering(FaultKind::kBurstLoss, now);
+      burst != nullptr && burst_rng_.bernoulli(burst->severity)) {
+    ++stats_.burst_response_drops;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::feed_snapshot_missing(std::size_t list_index,
+                                          std::int64_t day) {
+  if (!active()) return false;
+  if (feed_episode(FaultKind::kFeedOutage, list_index, day) == nullptr) {
+    return false;
+  }
+  ++stats_.feed_snapshots_suppressed;
+  return true;
+}
+
+bool FaultInjector::feed_corrupted(std::size_t list_index, std::int64_t day) {
+  if (!active()) return false;
+  if (feed_episode(FaultKind::kFeedCorruption, list_index, day) == nullptr) {
+    return false;
+  }
+  ++stats_.feeds_corrupted;
+  return true;
+}
+
+std::string FaultInjector::corrupt_feed_text(std::string text,
+                                             std::size_t list_index,
+                                             std::int64_t day) const {
+  if (text.empty()) return text;
+  std::uint64_t state = plan_.seed ^
+                        (static_cast<std::uint64_t>(day) *
+                         0x9e3779b97f4a7c15ULL) ^
+                        (list_index + 0xc0bb1edULL);
+  net::Rng rng(net::splitmix64(state));
+  switch (rng.uniform(3)) {
+    case 0: {
+      // Truncated download: the tail of the feed never arrived.
+      text.resize(1 + rng.uniform(text.size()));
+      break;
+    }
+    case 1: {
+      // A run of binary garbage overwrote part of the feed.
+      const std::size_t begin = rng.uniform(text.size());
+      const std::size_t length =
+          std::min(text.size() - begin, 1 + rng.uniform(text.size() / 2 + 1));
+      for (std::size_t i = begin; i < begin + length; ++i) {
+        text[i] = kGarbageAlphabet[rng.uniform(kGarbageAlphabet.size())];
+      }
+      break;
+    }
+    default: {
+      // Line endings mangled to bare '\r' over a region: lines merge into
+      // unparseable runs (a CRLF-only feed seen through a broken proxy).
+      const std::size_t begin = rng.uniform(text.size());
+      for (std::size_t i = begin; i < text.size(); ++i) {
+        if (text[i] == '\n') text[i] = '\r';
+      }
+      break;
+    }
+  }
+  return text;
+}
+
+bool FaultInjector::atlas_record_suppressed(net::SimTime t) {
+  if (!active()) return false;
+  if (covering(FaultKind::kAtlasGap, t) == nullptr) return false;
+  ++stats_.atlas_records_suppressed;
+  return true;
+}
+
+}  // namespace reuse::sim

@@ -1,0 +1,153 @@
+// Deterministic fault injection for the measurement pipeline.
+//
+// The paper's infrastructure survived real, *correlated* failures — a 48.6%
+// UDP response rate compensated by hourly re-pings, and a blocklist
+// collection split into two periods (39 + 44 days) by an outage — yet i.i.d.
+// datagram loss in Transport is the only failure the simulation modelled.
+// A FaultPlan is a seeded set of time-windowed episodes injected at the
+// substrate layer (Transport datagrams, blocklist feed snapshots, Atlas
+// connection records); the consumers above are expected to degrade
+// gracefully, and the chaos suite reconciles the injector-side counters
+// here against each consumer's retry/recovery/discard accounting.
+//
+// Determinism contract: every decision is a pure function of (plan, call
+// site). Burst-loss draws come from the injector's private generator (never
+// a subsystem's), and per-(list, day) feed decisions are stateless hashes,
+// so call order cannot perturb them. An empty plan makes every hook a
+// constant `false` with zero generator draws — the fault-free baseline is
+// byte-identical to a run without any injector attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "netbase/rng.h"
+#include "netbase/sim_time.h"
+
+namespace reuse::sim {
+
+enum class FaultKind : std::uint8_t {
+  /// Correlated packet loss: datagrams in the window drop with `severity`.
+  kBurstLoss = 0,
+  /// The crawler's bootstrap node is unreachable for the whole window.
+  kBootstrapOutage = 1,
+  /// Daily feed snapshots are missing for a `severity` fraction of lists.
+  kFeedOutage = 2,
+  /// Daily feed text is corrupted/truncated for a `severity` fraction of
+  /// lists; consumers salvage what parses or quarantine the day.
+  kFeedCorruption = 3,
+  /// Atlas controller gap: connection-log records in the window are lost.
+  kAtlasGap = 4,
+};
+inline constexpr int kFaultKindCount = 5;
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+struct FaultEpisode {
+  FaultKind kind = FaultKind::kBurstLoss;
+  /// Simulation-time window the episode covers (half-open). Feed episodes
+  /// affect snapshot days whose midnight falls inside the window.
+  net::TimeWindow window;
+  /// kBurstLoss: per-datagram drop probability. kFeedOutage/kFeedCorruption:
+  /// fraction of lists affected. Total for the endpoint/record kinds.
+  double severity = 1.0;
+  /// Distinguishes deterministic sub-streams of same-kind episodes.
+  std::uint64_t salt = 0;
+
+  friend bool operator==(const FaultEpisode&, const FaultEpisode&) = default;
+};
+
+/// A seeded schedule of fault episodes. Value type: hashable into the
+/// scenario-config fingerprint and comparable in tests.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEpisode> episodes;
+
+  [[nodiscard]] bool empty() const { return episodes.empty(); }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Injector-side accounting: every fault actually injected, by kind. The
+/// chaos suite reconciles these exactly against consumer-side counters.
+struct FaultStats {
+  std::uint64_t burst_request_drops = 0;
+  std::uint64_t burst_response_drops = 0;
+  std::uint64_t bootstrap_blackholes = 0;
+  std::uint64_t feed_snapshots_suppressed = 0;
+  std::uint64_t feeds_corrupted = 0;
+  std::uint64_t atlas_records_suppressed = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return burst_request_drops + burst_response_drops + bootstrap_blackholes +
+           feed_snapshots_suppressed + feeds_corrupted +
+           atlas_records_suppressed;
+  }
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// Evaluates a FaultPlan at each injection site and keeps the injected-fault
+/// ledger. One injector is shared by every subsystem of a scenario run so
+/// the ledger spans the whole pipeline. A default-constructed injector is
+/// inert (empty plan).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] bool active() const { return !plan_.empty(); }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+
+  /// Marks the crawler's front door so bootstrap outages know whom to
+  /// blackhole; without it kBootstrapOutage episodes are inert.
+  void designate_bootstrap(const net::Endpoint& endpoint) {
+    bootstrap_ = endpoint;
+    bootstrap_set_ = true;
+  }
+
+  // --- Transport hooks ----------------------------------------------------
+  /// True when the outbound datagram to `to` at `now` is consumed by a
+  /// bootstrap outage or a loss burst. Counts what it drops.
+  [[nodiscard]] bool drop_request(const net::Endpoint& to, net::SimTime now);
+  /// True when a response datagram at `now` is consumed by a loss burst.
+  [[nodiscard]] bool drop_response(net::SimTime now);
+
+  // --- Blocklist-feed hooks (stateless per (list, day)) -------------------
+  [[nodiscard]] bool feed_snapshot_missing(std::size_t list_index,
+                                           std::int64_t day);
+  [[nodiscard]] bool feed_corrupted(std::size_t list_index, std::int64_t day);
+  /// Deterministically garbles feed text for (list, day): truncation, binary
+  /// byte runs, or newline mangling. Never inserts '\n' and never grows the
+  /// text, so the line count — and hence the parsed entry count — cannot
+  /// increase. Pure: same inputs, same garbling.
+  [[nodiscard]] std::string corrupt_feed_text(std::string text,
+                                              std::size_t list_index,
+                                              std::int64_t day) const;
+
+  // --- Atlas hooks --------------------------------------------------------
+  /// True when a connection-log record at `t` falls in a controller gap.
+  [[nodiscard]] bool atlas_record_suppressed(net::SimTime t);
+
+ private:
+  [[nodiscard]] const FaultEpisode* covering(FaultKind kind,
+                                             net::SimTime t) const;
+  /// The episode of `kind` covering day `day` whose list-selection hash
+  /// puts `list_index` inside its severity fraction; nullptr otherwise.
+  [[nodiscard]] const FaultEpisode* feed_episode(FaultKind kind,
+                                                 std::size_t list_index,
+                                                 std::int64_t day) const;
+
+  FaultPlan plan_;
+  std::vector<FaultEpisode> by_kind_[kFaultKindCount];
+  bool bootstrap_set_ = false;
+  net::Endpoint bootstrap_{};
+  net::Rng burst_rng_{0};  ///< private stream: burst draws only
+  FaultStats stats_;
+};
+
+}  // namespace reuse::sim

@@ -16,6 +16,7 @@
 #include "netbase/rng.h"
 #include "netbase/sim_time.h"
 #include "simnet/event_queue.h"
+#include "simnet/faults.h"
 
 namespace reuse::sim {
 
@@ -37,6 +38,11 @@ struct TransportStats {
   std::uint64_t responses_sent = 0;
   std::uint64_t responses_delivered = 0;
   std::uint64_t responses_lost = 0;
+  /// Datagrams consumed by an attached FaultInjector (loss bursts and
+  /// bootstrap outages), separate from the i.i.d. loss above so the chaos
+  /// suite can reconcile them exactly against the injector's ledger.
+  std::uint64_t requests_lost_fault = 0;
+  std::uint64_t responses_lost_fault = 0;
 
   [[nodiscard]] double response_rate() const {
     return requests_sent == 0
@@ -72,6 +78,11 @@ class Transport {
 
   void unbind(const net::Endpoint& endpoint) { handlers_.erase(endpoint); }
 
+  /// Attaches a fault injector consulted on every datagram. The injector is
+  /// not owned and must outlive the transport; nullptr detaches. With no
+  /// injector (or an empty plan) behaviour is bit-identical to before.
+  void attach_faults(FaultInjector* faults) { faults_ = faults; }
+
   [[nodiscard]] bool is_bound(const net::Endpoint& endpoint) const {
     return handlers_.contains(endpoint);
   }
@@ -82,6 +93,10 @@ class Transport {
   void send_request(const net::Endpoint& from, const net::Endpoint& to,
                     Payload payload, ResponseCallback on_response) {
     ++stats_.requests_sent;
+    if (faults_ != nullptr && faults_->drop_request(to, events_.now())) {
+      ++stats_.requests_lost_fault;
+      return;
+    }
     if (rng_.bernoulli(config_.request_loss)) {
       ++stats_.requests_lost;
       return;
@@ -109,6 +124,10 @@ class Transport {
     std::optional<Response> response = it->second(from, payload);
     if (!response) return;
     ++stats_.responses_sent;
+    if (faults_ != nullptr && faults_->drop_response(events_.now())) {
+      ++stats_.responses_lost_fault;
+      return;
+    }
     if (rng_.bernoulli(config_.response_loss)) {
       ++stats_.responses_lost;
       return;
@@ -132,6 +151,7 @@ class Transport {
   EventQueue& events_;
   net::Rng rng_;
   TransportConfig config_;
+  FaultInjector* faults_ = nullptr;  ///< not owned
   std::unordered_map<net::Endpoint, Handler> handlers_;
   TransportStats stats_;
 };

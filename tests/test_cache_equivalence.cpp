@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "analysis/cache.h"
 #include "analysis/impact.h"
@@ -133,6 +134,61 @@ TEST(CacheEquivalence, DistinctConfigsNeverShareOrEvict) {
 
   ASSERT_EQ(::unsetenv("REUSE_CACHE_DIR"), 0);
   std::filesystem::remove_all(dir);
+}
+
+// Preflight: an unusable cache path must be diagnosed before any simulation
+// work is spent. (No chmod-based cases here — the test user may be root, for
+// whom permission bits are advisory.)
+TEST(CachePreflight, DirectoryAsCacheFileIsRejected) {
+  const std::filesystem::path dir = "test_cache_preflight_dir";
+  std::filesystem::create_directories(dir);
+  const auto error = analysis::preflight_cache_path(dir.string());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("directory"), std::string::npos) << *error;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CachePreflight, MissingParentDirectoryIsRejected) {
+  const auto error = analysis::preflight_cache_path(
+      "test_cache_preflight_no_such_dir/sub/file.cache");
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST(CachePreflight, FileAsParentDirectoryIsRejected) {
+  const std::string parent = "test_cache_preflight_file_parent";
+  {
+    std::ofstream os(parent);
+    os << "not a directory";
+  }
+  const auto error =
+      analysis::preflight_cache_path(parent + "/file.cache");
+  ASSERT_TRUE(error.has_value());
+  std::remove(parent.c_str());
+}
+
+TEST(CachePreflight, NewFileInWritableDirectoryIsAccepted) {
+  const std::filesystem::path dir = "test_cache_preflight_ok_dir";
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(
+      analysis::preflight_cache_path((dir / "new.cache").string()).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CachePreflight, ExistingReadableFileIsAccepted) {
+  const std::string path = "test_cache_preflight_existing.cache";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "stale bytes are fine; preflight only checks access";
+  }
+  EXPECT_FALSE(analysis::preflight_cache_path(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CachePreflight, RelativePathInCwdIsAccepted) {
+  // The CLI default (no $REUSE_CACHE_DIR) lands in the working directory.
+  EXPECT_FALSE(
+      analysis::preflight_cache_path("test_cache_preflight_plain.cache")
+          .has_value());
 }
 
 }  // namespace

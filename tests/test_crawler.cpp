@@ -246,5 +246,91 @@ TEST(Crawler, SurvivesHeavyLossViaRepings) {
   EXPECT_LT(crawler.stats().ping_response_rate(), 0.7);
 }
 
+// Bootstrap blackholed for the first 10 minutes of the crawl: the watchdog's
+// backed-off retries must eventually get through and the crawl proceed.
+TEST(Crawler, RecoversFromBootstrapOutage) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint peer{addr(10), 2000};
+  harness.add_peer(bootstrap, {make_id(1), {{peer, make_id(10)}}});
+  harness.add_peer(peer, {make_id(10), {}});
+
+  sim::FaultPlan plan;
+  plan.seed = 9;
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kBootstrapOutage,
+      net::TimeWindow{net::SimTime(0), net::SimTime(600)}, 1.0, 1});
+  sim::FaultInjector injector(plan);
+  injector.designate_bootstrap(bootstrap);
+  harness.transport_.attach_faults(&injector);
+
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  EXPECT_GT(injector.stats().bootstrap_blackholes, 0u);
+  EXPECT_GT(crawler.stats().bootstrap_retries, 0u);
+  EXPECT_EQ(crawler.stats().bootstrap_recoveries, 1u);
+  EXPECT_TRUE(crawler.discovered().contains(addr(10)));
+}
+
+// A permanent outage exhausts the retry budget without recovery — and
+// without the watchdog spinning forever.
+TEST(Crawler, BootstrapRetriesAreBounded) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  harness.add_peer(bootstrap, {make_id(1), {}});
+
+  sim::FaultPlan plan;
+  plan.seed = 9;
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kBootstrapOutage,
+      net::TimeWindow{net::SimTime(0), net::SimTime(86400)}, 1.0, 1});
+  sim::FaultInjector injector(plan);
+  injector.designate_bootstrap(bootstrap);
+  harness.transport_.attach_faults(&injector);
+
+  CrawlerConfig config;
+  Crawler& crawler = harness.crawl(bootstrap, 1, config);
+  EXPECT_EQ(crawler.stats().bootstrap_retries, config.bootstrap_max_retries);
+  EXPECT_EQ(crawler.stats().bootstrap_recoveries, 0u);
+  EXPECT_TRUE(crawler.discovered().empty());
+}
+
+// Fault-free runs never touch the retry machinery: its counters must stay
+// zero so the degradation report's "degraded()" stays false.
+TEST(Crawler, NoRetriesWithoutFaults) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint peer{addr(10), 2000};
+  harness.add_peer(bootstrap, {make_id(1), {{peer, make_id(10)}}});
+  harness.add_peer(peer, {make_id(10), {}});
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  EXPECT_EQ(crawler.stats().bootstrap_retries, 0u);
+  EXPECT_EQ(crawler.stats().bootstrap_recoveries, 0u);
+  EXPECT_EQ(crawler.stats().verification_retries, 0u);
+  EXPECT_EQ(crawler.stats().verification_recoveries, 0u);
+}
+
+// Two advertised ports on one IP, both dead until minute 90: the zero-reply
+// verification rounds are retried, and once the clients come alive a later
+// round both recovers the address and completes the NAT verdict.
+TEST(Crawler, RetriesZeroReplyVerificationRounds) {
+  CrawlerHarness harness;
+  const net::Endpoint bootstrap{addr(1), 6881};
+  const net::Endpoint a{addr(10), 2000};
+  const net::Endpoint b{addr(10), 3000};
+  harness.add_peer(bootstrap,
+                   {make_id(1), {{a, make_id(10)}, {b, make_id(11)}}});
+  harness.events_.schedule_after(net::Duration::minutes(90), [&] {
+    harness.add_peer(a, {make_id(10), {}});
+    harness.add_peer(b, {make_id(11), {}});
+  });
+
+  Crawler& crawler = harness.crawl(bootstrap, 1);
+  EXPECT_GT(crawler.stats().verification_retries, 0u);
+  EXPECT_GT(crawler.stats().verification_recoveries, 0u);
+  const auto nated = crawler.nated();
+  ASSERT_EQ(nated.size(), 1u);
+  EXPECT_EQ(nated[0].first, addr(10));
+}
+
 }  // namespace
 }  // namespace reuse::crawler

@@ -1,0 +1,257 @@
+#include "simnet/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocklist/parse.h"
+#include "simnet/event_queue.h"
+#include "simnet/transport.h"
+
+namespace reuse::sim {
+namespace {
+
+net::Endpoint ep(std::uint32_t host, std::uint16_t port) {
+  return net::Endpoint{net::Ipv4Address(host), port};
+}
+
+net::TimeWindow window(std::int64_t begin_s, std::int64_t end_s) {
+  return net::TimeWindow{net::SimTime(begin_s), net::SimTime(end_s)};
+}
+
+FaultPlan one_episode(FaultKind kind, net::TimeWindow w, double severity,
+                      std::uint64_t salt = 1, std::uint64_t seed = 7) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.episodes.push_back(FaultEpisode{kind, w, severity, salt});
+  return plan;
+}
+
+TEST(FaultInjector, DefaultConstructedIsInert) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.active());
+  injector.designate_bootstrap(ep(1, 80));
+  EXPECT_FALSE(injector.drop_request(ep(1, 80), net::SimTime(0)));
+  EXPECT_FALSE(injector.drop_response(net::SimTime(0)));
+  EXPECT_FALSE(injector.feed_snapshot_missing(0, 0));
+  EXPECT_FALSE(injector.feed_corrupted(0, 0));
+  EXPECT_FALSE(injector.atlas_record_suppressed(net::SimTime(0)));
+  EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+TEST(FaultInjector, BootstrapOutageBlackholesOnlyTheBootstrapInWindow) {
+  FaultInjector injector(
+      one_episode(FaultKind::kBootstrapOutage, window(100, 200), 1.0));
+  injector.designate_bootstrap(ep(1, 80));
+  // Outside the window and to other endpoints nothing drops.
+  EXPECT_FALSE(injector.drop_request(ep(1, 80), net::SimTime(99)));
+  EXPECT_FALSE(injector.drop_request(ep(1, 80), net::SimTime(200)));
+  EXPECT_FALSE(injector.drop_request(ep(2, 80), net::SimTime(150)));
+  // Inside the window the bootstrap is gone.
+  EXPECT_TRUE(injector.drop_request(ep(1, 80), net::SimTime(100)));
+  EXPECT_TRUE(injector.drop_request(ep(1, 80), net::SimTime(199)));
+  EXPECT_EQ(injector.stats().bootstrap_blackholes, 2u);
+  EXPECT_EQ(injector.stats().total(), 2u);
+}
+
+TEST(FaultInjector, BootstrapOutageInertWithoutDesignation) {
+  FaultInjector injector(
+      one_episode(FaultKind::kBootstrapOutage, window(0, 100), 1.0));
+  EXPECT_FALSE(injector.drop_request(ep(1, 80), net::SimTime(50)));
+  EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+TEST(FaultInjector, BurstLossSeverityOneDropsEverythingInWindow) {
+  FaultInjector injector(
+      one_episode(FaultKind::kBurstLoss, window(10, 20), 1.0));
+  for (int t = 10; t < 20; ++t) {
+    EXPECT_TRUE(injector.drop_request(ep(3, 1), net::SimTime(t)));
+    EXPECT_TRUE(injector.drop_response(net::SimTime(t)));
+  }
+  EXPECT_FALSE(injector.drop_request(ep(3, 1), net::SimTime(20)));
+  EXPECT_FALSE(injector.drop_response(net::SimTime(9)));
+  EXPECT_EQ(injector.stats().burst_request_drops, 10u);
+  EXPECT_EQ(injector.stats().burst_response_drops, 10u);
+}
+
+TEST(FaultInjector, FeedDecisionsAreOrderIndependent) {
+  // Per-(list, day) decisions are stateless hashes: two injectors queried in
+  // opposite orders must agree on every single decision.
+  const FaultPlan plan =
+      one_episode(FaultKind::kFeedOutage, window(0, 10 * 86400), 0.5);
+  FaultInjector forward(plan);
+  FaultInjector backward(plan);
+  std::map<std::pair<std::size_t, std::int64_t>, bool> fwd, bwd;
+  for (std::size_t list = 0; list < 40; ++list) {
+    for (std::int64_t day = 0; day < 10; ++day) {
+      fwd[{list, day}] = forward.feed_snapshot_missing(list, day);
+    }
+  }
+  for (std::size_t list = 40; list-- > 0;) {
+    for (std::int64_t day = 10; day-- > 0;) {
+      bwd[{list, day}] = backward.feed_snapshot_missing(list, day);
+    }
+  }
+  EXPECT_EQ(fwd, bwd);
+  EXPECT_EQ(forward.stats().feed_snapshots_suppressed,
+            backward.stats().feed_snapshots_suppressed);
+}
+
+TEST(FaultInjector, FeedSeverityPicksRoughlyThatFractionOfLists) {
+  FaultInjector injector(
+      one_episode(FaultKind::kFeedOutage, window(0, 86400), 0.3));
+  int missing = 0;
+  constexpr int kLists = 2000;
+  for (int list = 0; list < kLists; ++list) {
+    if (injector.feed_snapshot_missing(static_cast<std::size_t>(list), 0)) {
+      ++missing;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(missing) / kLists, 0.3, 0.05);
+  EXPECT_EQ(injector.stats().feed_snapshots_suppressed,
+            static_cast<std::uint64_t>(missing));
+}
+
+TEST(FaultInjector, CorruptFeedTextNeverGrowsOrAddsLines) {
+  FaultInjector injector(
+      one_episode(FaultKind::kFeedCorruption, window(0, 100 * 86400), 1.0));
+  const std::string feed =
+      "# header\n10.0.0.1\n10.0.0.2\n10.0.0.3\n192.168.1.1\n10.9.8.7\n";
+  const auto newlines = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '\n');
+  };
+  for (std::int64_t day = 0; day < 50; ++day) {
+    for (std::size_t list = 0; list < 8; ++list) {
+      const std::string garbled = injector.corrupt_feed_text(feed, list, day);
+      EXPECT_LE(garbled.size(), feed.size());
+      EXPECT_LE(newlines(garbled), newlines(feed));
+      EXPECT_EQ(garbled.find("10.0.0.0/"), std::string::npos)
+          << "corruption must not synthesise CIDR lines";
+      // Parsed entries can only shrink: each surviving line is at most one
+      // entry, and no new lines appear.
+      const blocklist::ParsedList parsed = blocklist::parse_list_text(garbled);
+      EXPECT_LE(parsed.addresses.size() + parsed.prefixes.size(), 5u);
+    }
+  }
+}
+
+TEST(FaultInjector, CorruptFeedTextIsPure) {
+  FaultInjector a(
+      one_episode(FaultKind::kFeedCorruption, window(0, 86400), 1.0));
+  FaultInjector b(
+      one_episode(FaultKind::kFeedCorruption, window(0, 86400), 1.0));
+  const std::string feed = "10.0.0.1\n10.0.0.2\n10.0.0.3\n";
+  // Same (list, day) garbles identically across injectors and repeat calls;
+  // different coordinates garble independently.
+  EXPECT_EQ(a.corrupt_feed_text(feed, 3, 1), b.corrupt_feed_text(feed, 3, 1));
+  EXPECT_EQ(a.corrupt_feed_text(feed, 3, 1), a.corrupt_feed_text(feed, 3, 1));
+  EXPECT_EQ(a.corrupt_feed_text("", 3, 1), "");
+}
+
+TEST(FaultInjector, AtlasGapSuppressesOnlyInsideWindow) {
+  FaultInjector injector(
+      one_episode(FaultKind::kAtlasGap, window(1000, 2000), 1.0));
+  EXPECT_FALSE(injector.atlas_record_suppressed(net::SimTime(999)));
+  EXPECT_TRUE(injector.atlas_record_suppressed(net::SimTime(1000)));
+  EXPECT_TRUE(injector.atlas_record_suppressed(net::SimTime(1999)));
+  EXPECT_FALSE(injector.atlas_record_suppressed(net::SimTime(2000)));
+  EXPECT_EQ(injector.stats().atlas_records_suppressed, 2u);
+}
+
+TEST(FaultInjector, TransportDatagramConservationWithFaults) {
+  using StringTransport = Transport<std::string, std::string>;
+  EventQueue events;
+  TransportConfig config;
+  config.request_loss = 0.2;
+  config.response_loss = 0.2;
+  config.min_delay = net::Duration::seconds(1);
+  config.max_delay = net::Duration::seconds(1);
+  StringTransport transport(events, net::Rng(11), config);
+
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.episodes.push_back(
+      FaultEpisode{FaultKind::kBurstLoss, window(0, 3000), 0.5, 1});
+  plan.episodes.push_back(
+      FaultEpisode{FaultKind::kBootstrapOutage, window(0, 3000), 1.0, 2});
+  FaultInjector injector(plan);
+  injector.designate_bootstrap(ep(9, 9));
+  transport.attach_faults(&injector);
+
+  transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>("y");
+  });
+  transport.bind(ep(9, 9), [](const net::Endpoint&, const std::string&) {
+    return std::optional<std::string>("boot");
+  });
+  int bootstrap_replies = 0;
+  for (int i = 0; i < 2000; ++i) {
+    transport.send_request(ep(2, 1), ep(1, 80), "x",
+                           [](const net::Endpoint&, const std::string&) {});
+    transport.send_request(
+        ep(2, 1), ep(9, 9), "boot?",
+        [&](const net::Endpoint&, const std::string&) { ++bootstrap_replies; });
+    events.run_all();
+  }
+
+  const TransportStats& stats = transport.stats();
+  // The bootstrap was blackholed for the whole run.
+  EXPECT_EQ(bootstrap_replies, 0);
+  EXPECT_EQ(injector.stats().bootstrap_blackholes, 2000u);
+  // Every datagram is accounted for exactly once.
+  EXPECT_EQ(stats.requests_sent, stats.requests_delivered +
+                                     stats.requests_lost +
+                                     stats.requests_unroutable +
+                                     stats.requests_lost_fault);
+  EXPECT_EQ(stats.responses_sent, stats.responses_delivered +
+                                      stats.responses_lost +
+                                      stats.responses_lost_fault);
+  // Transport's fault counters mirror the injector's ledger exactly.
+  EXPECT_EQ(stats.requests_lost_fault, injector.stats().burst_request_drops +
+                                           injector.stats().bootstrap_blackholes);
+  EXPECT_EQ(stats.responses_lost_fault, injector.stats().burst_response_drops);
+  EXPECT_GT(injector.stats().burst_request_drops, 0u);
+  EXPECT_GT(injector.stats().burst_response_drops, 0u);
+}
+
+TEST(FaultInjector, EmptyPlanLeavesTransportByteIdentical) {
+  using StringTransport = Transport<std::string, std::string>;
+  const auto run = [](FaultInjector* injector) {
+    EventQueue events;
+    TransportConfig config;
+    config.request_loss = 0.3;
+    config.response_loss = 0.3;
+    StringTransport transport(events, net::Rng(21), config);
+    if (injector != nullptr) transport.attach_faults(injector);
+    transport.bind(ep(1, 80), [](const net::Endpoint&, const std::string&) {
+      return std::optional<std::string>("y");
+    });
+    std::vector<std::int64_t> reply_times;
+    for (int i = 0; i < 500; ++i) {
+      transport.send_request(ep(2, 1), ep(1, 80), "x",
+                             [&](const net::Endpoint&, const std::string&) {
+                               reply_times.push_back(events.now().seconds());
+                             });
+    }
+    events.run_all();
+    return reply_times;
+  };
+  FaultInjector inert;  // empty plan: hooks must not draw from any RNG
+  EXPECT_EQ(run(nullptr), run(&inert));
+  EXPECT_EQ(inert.stats().total(), 0u);
+}
+
+TEST(FaultKindNames, AllKindsHaveNames) {
+  EXPECT_EQ(to_string(FaultKind::kBurstLoss), "burst-loss");
+  EXPECT_EQ(to_string(FaultKind::kBootstrapOutage), "bootstrap-outage");
+  EXPECT_EQ(to_string(FaultKind::kFeedOutage), "feed-outage");
+  EXPECT_EQ(to_string(FaultKind::kFeedCorruption), "feed-corruption");
+  EXPECT_EQ(to_string(FaultKind::kAtlasGap), "atlas-gap");
+}
+
+}  // namespace
+}  // namespace reuse::sim

@@ -1,0 +1,264 @@
+// Robustness of the blocklist ingestion path: hostile feed text through
+// parse_list_text, corrupted/missing dumps through simulate_ecosystem, and
+// gap-aware presence bridging in the snapshot store.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "blocklist/ecosystem.h"
+#include "blocklist/parse.h"
+#include "blocklist/store.h"
+#include "internet/types.h"
+#include "simnet/faults.h"
+
+namespace reuse::blocklist {
+namespace {
+
+// --- parse_list_text fuzz-style cases --------------------------------------
+
+TEST(ParseRobustness, EmptyAndWhitespaceOnly) {
+  EXPECT_EQ(parse_list_text("").addresses.size(), 0u);
+  EXPECT_EQ(parse_list_text("").skipped_lines, 0u);
+  const ParsedList blank = parse_list_text("\n\n   \n\t\n");
+  EXPECT_EQ(blank.addresses.size(), 0u);
+  EXPECT_EQ(blank.prefixes.size(), 0u);
+}
+
+TEST(ParseRobustness, CommentOnlyFeed) {
+  const ParsedList parsed =
+      parse_list_text("# header\n; another style\n#10.0.0.1\n");
+  EXPECT_EQ(parsed.addresses.size(), 0u);
+  EXPECT_EQ(parsed.prefixes.size(), 0u);
+}
+
+TEST(ParseRobustness, TruncatedMidAddress) {
+  // A download cut off inside the last address: everything before survives,
+  // the stub is counted, nothing throws.
+  const ParsedList parsed = parse_list_text("10.0.0.1\n10.0.0.2\n10.0.");
+  EXPECT_EQ(parsed.addresses.size(), 2u);
+  EXPECT_EQ(parsed.skipped_lines, 1u);
+}
+
+TEST(ParseRobustness, BinaryGarbage) {
+  std::string junk;
+  for (int i = 0; i < 256; ++i) {
+    junk.push_back(static_cast<char>(i));
+  }
+  const ParsedList parsed = parse_list_text(junk);
+  EXPECT_EQ(parsed.addresses.size(), 0u);
+  EXPECT_GT(parsed.skipped_lines, 0u);
+}
+
+TEST(ParseRobustness, EmbeddedNulBytes) {
+  const std::string text{"10.0.0.1\n10\0.0.2\n10.0.0.3\n", 26};
+  const ParsedList parsed = parse_list_text(text);
+  EXPECT_EQ(parsed.addresses.size(), 2u);
+  EXPECT_EQ(parsed.skipped_lines, 1u);
+}
+
+TEST(ParseRobustness, CrlfOnlyFeed) {
+  // Bare '\r' line endings (broken proxy): lines merge into one unparseable
+  // run — no entries, no crash.
+  const ParsedList parsed = parse_list_text("10.0.0.1\r10.0.0.2\r10.0.0.3\r");
+  EXPECT_EQ(parsed.addresses.size(), 0u);
+  EXPECT_GE(parsed.skipped_lines, 1u);
+}
+
+TEST(ParseRobustness, HugeSingleLine) {
+  std::string line(1 << 20, 'x');
+  line += '\n';
+  const ParsedList parsed = parse_list_text(line);
+  EXPECT_EQ(parsed.addresses.size(), 0u);
+  EXPECT_EQ(parsed.skipped_lines, 1u);
+}
+
+TEST(ParseRobustness, MixedValidAndGarbage) {
+  const ParsedList parsed = parse_list_text(
+      "10.0.0.1\n"
+      "999.0.0.1\n"
+      "10.0.0.0/24\n"
+      "10.0.0.2 trailing junk\n"
+      "10.0.0.3\n");
+  EXPECT_EQ(parsed.addresses.size(), 2u);  // .1 and .3
+  EXPECT_EQ(parsed.prefixes.size(), 1u);
+  EXPECT_GE(parsed.skipped_lines, 2u);
+}
+
+// --- ecosystem under feed faults -------------------------------------------
+
+std::vector<BlocklistInfo> tiny_catalogue() {
+  std::vector<BlocklistInfo> catalogue;
+  for (int i = 0; i < 6; ++i) {
+    BlocklistInfo info;
+    info.id = static_cast<ListId>(i + 1);
+    info.name = "list-" + std::to_string(i + 1);
+    info.maintainer = "maintainer";
+    info.category = ListCategory::kReputation;  // listens to every category
+    info.pickup_rate = 0.8;
+    info.removal_mean_days = 20.0;
+    catalogue.push_back(info);
+  }
+  return catalogue;
+}
+
+std::vector<inet::AbuseEvent> dense_events(int days) {
+  std::vector<inet::AbuseEvent> events;
+  for (int day = 0; day < days; ++day) {
+    for (int k = 0; k < 40; ++k) {
+      inet::AbuseEvent event;
+      event.time_seconds = day * 86400 + 1000 + k * 300;
+      event.source = net::Ipv4Address(0x0a000000u + static_cast<unsigned>(k));
+      event.category = inet::AbuseCategory::kScan;
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+EcosystemConfig eco_config(int days) {
+  EcosystemConfig config;
+  config.seed = 17;
+  config.periods = {net::TimeWindow{net::SimTime(0), net::SimTime(days * 86400)}};
+  return config;
+}
+
+TEST(EcosystemFaults, FaultFreeRunHasCleanHealth) {
+  const auto catalogue = tiny_catalogue();
+  const auto events = dense_events(10);
+  const auto result = simulate_ecosystem(catalogue, events, eco_config(10));
+  EXPECT_EQ(result.stats.snapshots_missed, 0u);
+  EXPECT_EQ(result.stats.feeds_quarantined, 0u);
+  EXPECT_EQ(result.stats.feeds_salvaged, 0u);
+  ASSERT_EQ(result.stats.per_list.size(), catalogue.size());
+  for (const FeedHealth& health : result.stats.per_list) {
+    EXPECT_EQ(health.days_recorded,
+              static_cast<std::int64_t>(result.stats.snapshots_taken));
+    EXPECT_EQ(health.days_missed + health.days_quarantined +
+                  health.days_salvaged,
+              0);
+    EXPECT_EQ(health.entries_discarded, 0u);
+  }
+}
+
+TEST(EcosystemFaults, OutageDaysAreMissedAndDayAccountingBalances) {
+  const auto catalogue = tiny_catalogue();
+  const auto events = dense_events(10);
+  sim::FaultPlan plan;
+  plan.seed = 3;
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kFeedOutage,
+      net::TimeWindow{net::SimTime(2 * 86400), net::SimTime(5 * 86400)}, 1.0,
+      1});
+  sim::FaultInjector injector(plan);
+  const auto result =
+      simulate_ecosystem(catalogue, events, eco_config(10), &injector);
+  // Severity 1.0 over 3 days x 6 lists: every dump in the window is missed.
+  EXPECT_EQ(result.stats.snapshots_missed, 3u * catalogue.size());
+  EXPECT_EQ(result.stats.snapshots_missed,
+            injector.stats().feed_snapshots_suppressed);
+  for (const FeedHealth& health : result.stats.per_list) {
+    EXPECT_EQ(health.days_missed, 3);
+    EXPECT_EQ(health.days_recorded + health.days_missed +
+                  health.days_quarantined + health.days_salvaged,
+              static_cast<std::int64_t>(result.stats.snapshots_taken));
+  }
+}
+
+TEST(EcosystemFaults, CorruptionQuarantinesOrSalvagesExactly) {
+  const auto catalogue = tiny_catalogue();
+  const auto events = dense_events(12);
+  sim::FaultPlan plan;
+  plan.seed = 8;
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kFeedCorruption,
+      net::TimeWindow{net::SimTime(3 * 86400), net::SimTime(9 * 86400)}, 0.7,
+      1});
+  sim::FaultInjector injector(plan);
+  const auto result =
+      simulate_ecosystem(catalogue, events, eco_config(12), &injector);
+  EXPECT_GT(injector.stats().feeds_corrupted, 0u);
+  // Every corrupted dump was either quarantined or salvaged — nothing lost.
+  EXPECT_EQ(result.stats.feeds_quarantined + result.stats.feeds_salvaged,
+            injector.stats().feeds_corrupted);
+  std::uint64_t per_list_discarded = 0;
+  for (const FeedHealth& health : result.stats.per_list) {
+    EXPECT_EQ(health.days_recorded + health.days_missed +
+                  health.days_quarantined + health.days_salvaged,
+              static_cast<std::int64_t>(result.stats.snapshots_taken));
+    per_list_discarded += health.entries_discarded;
+  }
+  EXPECT_EQ(per_list_discarded, result.stats.entries_discarded);
+}
+
+TEST(EcosystemFaults, SameSeedSamePlanIsDeterministic) {
+  const auto catalogue = tiny_catalogue();
+  const auto events = dense_events(8);
+  sim::FaultPlan plan;
+  plan.seed = 4;
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kFeedCorruption,
+      net::TimeWindow{net::SimTime(86400), net::SimTime(6 * 86400)}, 0.5, 1});
+  sim::FaultInjector a(plan);
+  sim::FaultInjector b(plan);
+  const auto first = simulate_ecosystem(catalogue, events, eco_config(8), &a);
+  const auto second = simulate_ecosystem(catalogue, events, eco_config(8), &b);
+  EXPECT_EQ(first.stats.per_list, second.stats.per_list);
+  EXPECT_EQ(a.stats(), b.stats());
+  EXPECT_EQ(first.store.listing_count(), second.store.listing_count());
+}
+
+// --- gap-aware presence bridging -------------------------------------------
+
+TEST(StoreBridging, UnobservedGapMerges) {
+  SnapshotStore store;
+  const net::Ipv4Address addr(0x0a000001u);
+  store.record(1, addr, 3);
+  store.record(1, addr, 5);
+  store.mark_observed(1, 3);
+  store.mark_observed(1, 5);  // day 4 was never snapshotted
+  const net::IntervalSet bridged = store.bridged_presence(1, addr);
+  ASSERT_EQ(bridged.interval_count(), 1u);
+  EXPECT_EQ(bridged.intervals().front().begin, 3);
+  EXPECT_EQ(bridged.intervals().front().end, 6);
+}
+
+TEST(StoreBridging, ObservedAbsenceStaysAGap) {
+  SnapshotStore store;
+  const net::Ipv4Address addr(0x0a000001u);
+  store.record(1, addr, 3);
+  store.record(1, addr, 5);
+  store.mark_observed_span(1, 3, 6);  // day 4 observed, address absent
+  const net::IntervalSet bridged = store.bridged_presence(1, addr);
+  EXPECT_EQ(bridged.interval_count(), 2u);
+}
+
+TEST(StoreBridging, NoObservedRecordPassesThroughUnchanged) {
+  SnapshotStore store;
+  const net::Ipv4Address addr(0x0a000001u);
+  store.record(1, addr, 3);
+  store.record(1, addr, 5);
+  // Stores built before gap tracking (or via raw record()) bridge nothing.
+  const net::IntervalSet bridged = store.bridged_presence(1, addr);
+  EXPECT_EQ(bridged.interval_count(), 2u);
+  EXPECT_EQ(store.observed_days(1), nullptr);
+}
+
+TEST(StoreBridging, PartiallyObservedGapStaysSplit) {
+  SnapshotStore store;
+  const net::Ipv4Address addr(0x0a000001u);
+  store.record(1, addr, 2);
+  store.record(1, addr, 8);
+  store.mark_observed(1, 2);
+  store.mark_observed(1, 5);  // one observed absence inside [3, 8)
+  store.mark_observed(1, 8);
+  EXPECT_EQ(store.bridged_presence(1, addr).interval_count(), 2u);
+}
+
+TEST(StoreBridging, UnknownListingIsEmpty) {
+  SnapshotStore store;
+  EXPECT_TRUE(store.bridged_presence(7, net::Ipv4Address(1)).empty());
+}
+
+}  // namespace
+}  // namespace reuse::blocklist

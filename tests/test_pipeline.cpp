@@ -191,5 +191,89 @@ TEST(Pipeline, EmptyInputIsSafe) {
   EXPECT_EQ(result.dynamic_prefixes.size(), 0u);
 }
 
+// --- gap-capped mean change interval (log-outage robustness) ---------------
+
+TEST(ProbeHistory, GapCapZeroMatchesLegacyMean) {
+  std::vector<ConnectionRecord> records;
+  add_history(records, 1, 10,
+              {{0, "10.0.0.1"}, {kDay, "10.0.0.2"}, {4 * kDay, "10.0.0.3"}});
+  const auto histories = build_histories(records);
+  std::size_t excluded = 99;
+  const auto capped =
+      histories[0].mean_change_interval(net::Duration(0), &excluded);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->count(), histories[0].mean_change_interval()->count());
+  EXPECT_EQ(excluded, 0u);
+}
+
+TEST(ProbeHistory, LongGapIsExcludedFromTheMean) {
+  // Daily churn interrupted by a 28-day hole (controller outage): the plain
+  // mean is dominated by the hole; the capped mean sees the real cadence.
+  std::vector<ConnectionRecord> records;
+  add_history(records, 1, 10,
+              {{0, "10.0.0.1"},
+               {kDay, "10.0.0.2"},
+               {2 * kDay, "10.0.0.3"},
+               {30 * kDay, "10.0.0.4"}});
+  const auto histories = build_histories(records);
+  EXPECT_EQ(histories[0].mean_change_interval()->count(), 10 * kDay);
+  std::size_t excluded = 0;
+  const auto capped =
+      histories[0].mean_change_interval(net::Duration::days(7), &excluded);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->count(), kDay);
+  EXPECT_EQ(excluded, 1u);
+}
+
+TEST(ProbeHistory, AllGapsExcludedIsNullopt) {
+  std::vector<ConnectionRecord> records;
+  add_history(records, 1, 10, {{0, "10.0.0.1"}, {30 * kDay, "10.0.0.2"}});
+  const auto histories = build_histories(records);
+  std::size_t excluded = 0;
+  EXPECT_FALSE(histories[0]
+                   .mean_change_interval(net::Duration::days(7), &excluded)
+                   .has_value());
+  EXPECT_EQ(excluded, 1u);
+}
+
+TEST(PipelineGapCap, RescuesAProbeSplitByALogGap) {
+  // Probe 1: daily churn, but a 40-day hole mid-history. Probe 2: a slow
+  // probe that stays slow either way.
+  std::vector<ConnectionRecord> records;
+  std::vector<std::pair<std::int64_t, const char*>> hops;
+  const char* addresses[] = {"10.1.0.1", "10.1.0.2", "10.1.0.3", "10.1.0.4",
+                             "10.1.0.5", "10.1.0.6", "10.1.0.7", "10.1.0.8"};
+  for (int i = 0; i < 4; ++i) hops.push_back({i * kDay, addresses[i]});
+  for (int i = 4; i < 8; ++i) {
+    hops.push_back({(40 + i) * kDay, addresses[i]});
+  }
+  add_history(records, 1, 10, hops);
+  add_history(records, 2, 20,
+              {{0, "10.2.0.1"},
+               {5 * kDay, "10.2.0.2"},
+               {10 * kDay, "10.2.0.3"},
+               {15 * kDay, "10.2.0.4"},
+               {20 * kDay, "10.2.0.5"},
+               {25 * kDay, "10.2.0.6"},
+               {30 * kDay, "10.2.0.7"},
+               {35 * kDay, "10.2.0.8"}});
+
+  PipelineConfig published;
+  published.min_allocations = 8;
+  const PipelineResult strict = run_pipeline(records, published);
+  // The hole inflates probe 1's mean change interval past a day: dropped.
+  EXPECT_EQ(strict.probes_daily, 0u);
+  EXPECT_EQ(strict.change_gaps_capped, 0u);
+
+  PipelineConfig capped = published;
+  capped.max_change_gap = net::Duration::days(7);
+  const PipelineResult tolerant = run_pipeline(records, capped);
+  EXPECT_EQ(tolerant.probes_daily, 1u);
+  EXPECT_EQ(tolerant.probes_gap_affected, 1u);  // probe 2's gaps fit the cap
+  EXPECT_GE(tolerant.change_gaps_capped, 1u);
+  ASSERT_EQ(tolerant.qualifying_probes.size(), 1u);
+  EXPECT_EQ(tolerant.qualifying_probes[0], 1u);
+}
+
 }  // namespace
 }  // namespace reuse::dynadetect

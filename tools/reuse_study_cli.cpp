@@ -4,6 +4,7 @@
 //
 //   reuse_study [--seed N] [--ases N] [--crawl-days N] [--probes N]
 //               [--out-dir DIR] [--census] [--cache [--cache-file PATH]]
+//               [--chaos [--chaos-seed N]]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -30,6 +31,11 @@ int main(int argc, char** argv) {
                     "reuse the on-disk scenario cache (fingerprint-keyed "
                     "file, honours $REUSE_CACHE_DIR)");
   flags.define("cache-file", "explicit cache file path (implies --cache)");
+  flags.define_bool("chaos",
+                    "inject the default fault plan (loss bursts, bootstrap "
+                    "and feed outages, corrupted feeds, Atlas gaps) and "
+                    "print the degradation report");
+  flags.define("chaos-seed", "seed for the chaos fault plan", "1");
   flags.define_bool("help", "show this help");
 
   if (!flags.parse(argc, argv) || flags.get_bool("help")) {
@@ -49,11 +55,32 @@ int main(int argc, char** argv) {
   config.fleet.probe_count =
       static_cast<std::size_t>(flags.get_int("probes").value_or(2000));
   config.run_census = flags.get_bool("census");
+  const bool chaos = flags.get_bool("chaos");
+  if (chaos) {
+    const auto chaos_seed =
+        static_cast<std::uint64_t>(flags.get_int("chaos-seed").value_or(1));
+    config.faults = analysis::default_chaos_plan(config, chaos_seed);
+    // Under injected Atlas gaps, cap inter-change inference across the holes
+    // so step 4 of the pipeline keeps judging churn, not outages.
+    config.pipeline.max_change_gap = net::Duration::days(7);
+  }
   config.finalize();
+
+  const bool use_cache = flags.get_bool("cache") || flags.has("cache-file");
+  if (use_cache) {
+    // Fail fast on an unusable cache path — silently simulating for minutes
+    // and then failing (or quietly not caching) helps nobody.
+    const std::string cache_path = flags.has("cache-file")
+                                       ? flags.get("cache-file")
+                                       : analysis::default_cache_path(config);
+    if (const auto error = analysis::preflight_cache_path(cache_path)) {
+      std::cerr << "error: " << *error << '\n';
+      return 1;
+    }
+  }
 
   std::cerr << "simulating (seed " << config.seed << ", "
             << config.world.as_count << " ASes)...\n";
-  const bool use_cache = flags.get_bool("cache") || flags.has("cache-file");
   const analysis::CachedScenario s = [&] {
     if (use_cache) {
       return analysis::run_scenario_cached(config, flags.get("cache-file"));
@@ -67,6 +94,7 @@ int main(int argc, char** argv) {
                                     std::move(fresh.fleet),
                                     std::move(fresh.pipeline),
                                     std::move(fresh.census),
+                                    std::move(fresh.degradation),
                                     /*cache_hit=*/false};
   }();
   if (use_cache) {
@@ -133,6 +161,14 @@ int main(int argc, char** argv) {
   summary.add_row({"reused-address list size",
                    net::with_thousands(static_cast<std::int64_t>(reused.size()))});
   std::cout << summary.to_string();
+
+  if (chaos || s.degradation.degraded()) {
+    std::cout << "\nDegradation report\n" << s.degradation.to_string();
+    if (!s.degradation.reconciles()) {
+      std::cerr << "error: fault ledger does not reconcile\n";
+      return 1;
+    }
+  }
   std::cerr << "artifacts written to " << out_dir.string() << "/\n";
   return 0;
 }
