@@ -11,6 +11,7 @@
 // never loaded (distinct fingerprint, distinct name).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -25,6 +26,16 @@ namespace bench {
 
 inline constexpr std::uint64_t kBenchSeed = 42;
 
+/// Worker threads for the parallel scenario stages, from $REUSE_JOBS
+/// (0 = all hardware threads; unset or invalid = 1). Results are identical
+/// for every value, so this is purely a wall-clock knob.
+inline int jobs_from_env() {
+  const char* raw = std::getenv("REUSE_JOBS");
+  if (raw == nullptr || *raw == '\0') return 1;
+  const int jobs = std::atoi(raw);
+  return jobs < 0 ? 1 : jobs;
+}
+
 /// Loads (or simulates and caches) the standard bench scenario.
 /// `with_census` additionally runs the ICMP census baseline (~30 s, only
 /// Figure 6 needs it).
@@ -32,6 +43,7 @@ inline reuse::analysis::CachedScenario load_bench_scenario(
     bool with_census = false) {
   auto config = reuse::analysis::bench_scenario_config(kBenchSeed);
   config.run_census = with_census;
+  config.jobs = jobs_from_env();
   std::cerr << "[bench] preparing scenario (seed " << kBenchSeed << ")...\n";
   auto scenario = reuse::analysis::run_scenario_cached(std::move(config));
   std::cerr << (scenario.cache_hit

@@ -16,6 +16,7 @@
 #include "netbase/prefix_trie.h"
 #include "netbase/rng.h"
 #include "netbase/stats.h"
+#include "netbase/thread_pool.h"
 
 namespace {
 
@@ -219,18 +220,24 @@ void BM_RngDistributions(benchmark::State& state) {
 }
 BENCHMARK(BM_RngDistributions);
 
-void BM_EcosystemThroughput(benchmark::State& state) {
-  // Event-processing rate of the blocklist ecosystem (events/second).
-  const auto catalogue = blocklist::build_catalogue(7);
+std::vector<inet::AbuseEvent> synthetic_abuse_events(std::size_t count) {
   net::Rng rng(8);
   std::vector<inet::AbuseEvent> events;
-  for (int i = 0; i < 50000; ++i) {
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     inet::AbuseEvent event;
-    event.time_seconds = i * 10;
+    event.time_seconds = static_cast<std::int64_t>(i) * 10;
     event.source = net::Ipv4Address(static_cast<std::uint32_t>(rng.uniform(1 << 20)));
     event.category = static_cast<inet::AbuseCategory>(rng.uniform(5));
     events.push_back(event);
   }
+  return events;
+}
+
+void BM_EcosystemThroughput(benchmark::State& state) {
+  // Event-processing rate of the blocklist ecosystem (events/second).
+  const auto catalogue = blocklist::build_catalogue(7);
+  const auto events = synthetic_abuse_events(50000);
   blocklist::EcosystemConfig config;
   config.periods = {{net::SimTime(0), net::SimTime(10 * 86400)}};
   for (auto _ : state) {
@@ -240,6 +247,63 @@ void BM_EcosystemThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50000);
 }
 BENCHMARK(BM_EcosystemThroughput);
+
+void BM_EcosystemThroughputParallel(benchmark::State& state) {
+  // Per-feed parallel evolution at a given pool size; Arg(1) is the serial
+  // baseline (no pool). Throughput is effective events/second across feeds.
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const auto catalogue = blocklist::build_catalogue(7);
+  const auto events = synthetic_abuse_events(50000);
+  blocklist::EcosystemConfig config;
+  config.periods = {{net::SimTime(0), net::SimTime(10 * 86400)}};
+  net::ThreadPool pool(jobs);
+  net::ThreadPool* handle = jobs > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocklist::simulate_ecosystem(
+        catalogue, events, config, nullptr, handle));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 50000);
+}
+BENCHMARK(BM_EcosystemThroughputParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<int>(reuse::net::ThreadPool::hardware_jobs()));
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // Dispatch + join cost of parallel_for against a trivial body, at 1, 10
+  // and 100k items: the crossover where fan-out starts paying for itself.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  net::ThreadPool pool(jobs);
+  std::vector<std::uint64_t> sink(count, 0);
+  for (auto _ : state) {
+    pool.parallel_for(count, [&](std::size_t i) { sink[i] += i; });
+    benchmark::DoNotOptimize(sink.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ParallelForOverhead)
+    ->Args({1, 1})
+    ->Args({10, 1})
+    ->Args({100000, 1})
+    ->Args({1, 4})
+    ->Args({10, 4})
+    ->Args({100000, 4});
+
+void BM_ParallelForSerialBaseline(benchmark::State& state) {
+  // The same trivial body as BM_ParallelForOverhead run as a plain loop —
+  // the zero-overhead reference line.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> sink(count, 0);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < count; ++i) sink[i] += i;
+    benchmark::DoNotOptimize(sink.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ParallelForSerialBaseline)->Arg(1)->Arg(10)->Arg(100000);
 
 }  // namespace
 

@@ -428,18 +428,33 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
   const std::string cache_path =
       path.empty() ? default_cache_path(config) : path;
 
-  if (auto cached = load_scenario_cache(cache_path, config)) {
-    inet::World world(config.world);
+  StageTimer stage_times;
+  auto cached = stage_times.time(
+      "cache-load", [&] { return load_scenario_cache(cache_path, config); });
+  if (cached) {
+    // Recomputed stages share the scenario's threading policy.
+    std::unique_ptr<net::ThreadPool> pool = make_scenario_pool(config.jobs);
+    inet::World world = stage_times.time(
+        "world", [&] { return inet::World(config.world); });
     auto catalogue = blocklist::build_catalogue(config.seed ^ 0xca7aULL);
     // The fleet is recomputed on every load, so atlas faults are re-injected
     // fresh; the deterministic fleet makes the fresh suppression count equal
     // the one cached, and overwriting keeps the ledger consistent even if a
     // fleet knob changed (fleet is outside the cache fingerprint).
     sim::FaultInjector fleet_injector(config.faults);
-    atlas::AtlasFleet fleet(world, config.fleet, &fleet_injector);
-    auto pipeline = dynadetect::run_pipeline(fleet.log(), config.pipeline);
-    auto census = config.run_census ? census::run_census(world, config.census)
-                                    : census::CensusResult{};
+    atlas::AtlasFleet fleet = stage_times.time("fleet", [&] {
+      sim::StageGuard guard(&fleet_injector, sim::FaultStage::kFleet);
+      return atlas::AtlasFleet(world, config.fleet, &fleet_injector,
+                               pool.get());
+    });
+    auto pipeline = stage_times.time("pipeline", [&] {
+      return dynadetect::run_pipeline(fleet.log(), config.pipeline, pool.get());
+    });
+    auto census = stage_times.time("census", [&] {
+      return config.run_census
+                 ? census::run_census(world, config.census, {}, pool.get())
+                 : census::CensusResult{};
+    });
     sim::FaultStats injected = cached->injected;
     injected.atlas_records_suppressed =
         fleet_injector.stats().atlas_records_suppressed;
@@ -448,7 +463,7 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
         cached->crawl.transport_fault_request_drops,
         cached->crawl.transport_fault_response_drops, cached->ecosystem.stats,
         fleet.records_suppressed(), pipeline);
-    return CachedScenario{std::move(config),
+    CachedScenario result{std::move(config),
                           std::move(world),
                           std::move(catalogue),
                           std::move(cached->ecosystem),
@@ -458,12 +473,14 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
                           std::move(census),
                           std::move(degradation),
                           /*cache_hit=*/true};
+    result.stage_times = std::move(stage_times);
+    return result;
   }
 
   Scenario scenario = run_scenario(config);
   save_scenario_cache(cache_path, scenario.config, scenario.crawl,
                       scenario.ecosystem, scenario.injector->stats());
-  return CachedScenario{std::move(scenario.config),
+  CachedScenario result{std::move(scenario.config),
                         std::move(scenario.world),
                         std::move(scenario.catalogue),
                         std::move(scenario.ecosystem),
@@ -473,6 +490,10 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
                         std::move(scenario.census),
                         std::move(scenario.degradation),
                         /*cache_hit=*/false};
+  result.stage_times = std::move(scenario.stage_times);
+  // Fold in the (missed) cache probe so hit and miss timings are comparable.
+  result.stage_times.record("cache-load", stage_times.millis("cache-load"));
+  return result;
 }
 
 }  // namespace reuse::analysis

@@ -64,6 +64,11 @@ struct CachedScenario {
   census::CensusResult census;
   DegradationReport degradation;
   bool cache_hit = false;
+  /// Wall-clock per stage of this load-or-run (cache hits report
+  /// "cache-load" plus the recomputed stages; misses report the full run).
+  /// Appended after `cache_hit` so the positional aggregate initializers
+  /// stay valid; assigned after construction.
+  StageTimer stage_times;
 };
 
 /// Standard cache location for the bench binaries:

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <map>
 
+#include "netbase/thread_pool.h"
+
 namespace reuse::analysis {
 
 ReuseImpact compute_reuse_impact(
     const blocklist::SnapshotStore& store,
     const std::vector<blocklist::BlocklistInfo>& catalogue,
     const std::unordered_set<net::Ipv4Address>& nated,
-    const net::PrefixSet& dynamic_prefixes) {
+    const net::PrefixSet& dynamic_prefixes, net::ThreadPool* pool) {
   ReuseImpact impact;
   impact.lists_total = catalogue.size();
   std::unordered_map<blocklist::ListId, ListReuseCounts> per_list;
@@ -17,24 +19,51 @@ ReuseImpact compute_reuse_impact(
     per_list[info.id].list = info.id;
   }
 
-  std::unordered_set<net::Ipv4Address> nated_blocklisted;
-  std::unordered_set<net::Ipv4Address> dynamic_blocklisted;
+  // Materialize the listings, probe the two membership structures in
+  // parallel (pure lookups), then fold serially in listing order.
+  struct ListingRef {
+    blocklist::ListId list;
+    net::Ipv4Address address;
+  };
+  std::vector<ListingRef> listings;
+  listings.reserve(store.listing_count());
   store.for_each_listing([&](blocklist::ListId list, net::Ipv4Address address,
                              const net::IntervalSet&) {
+    listings.push_back(ListingRef{list, address});
+  });
+
+  constexpr std::uint8_t kNated = 1;
+  constexpr std::uint8_t kDynamic = 2;
+  std::vector<std::uint8_t> flags(listings.size(), 0);
+  net::for_each_index(
+      pool, listings.size(),
+      [&](std::size_t i) {
+        std::uint8_t flag = 0;
+        if (nated.contains(listings[i].address)) flag |= kNated;
+        if (dynamic_prefixes.contains_address(listings[i].address)) {
+          flag |= kDynamic;
+        }
+        flags[i] = flag;
+      },
+      /*grain=*/1024);
+
+  std::unordered_set<net::Ipv4Address> nated_blocklisted;
+  std::unordered_set<net::Ipv4Address> dynamic_blocklisted;
+  for (std::size_t i = 0; i < listings.size(); ++i) {
     ++impact.total_listings;
-    ListReuseCounts& counts = per_list[list];
+    ListReuseCounts& counts = per_list[listings[i].list];
     ++counts.total_addresses;
-    if (nated.contains(address)) {
+    if ((flags[i] & kNated) != 0) {
       ++counts.nated_addresses;
       ++impact.nated_listings;
-      nated_blocklisted.insert(address);
+      nated_blocklisted.insert(listings[i].address);
     }
-    if (dynamic_prefixes.contains_address(address)) {
+    if ((flags[i] & kDynamic) != 0) {
       ++counts.dynamic_addresses;
       ++impact.dynamic_listings;
-      dynamic_blocklisted.insert(address);
+      dynamic_blocklisted.insert(listings[i].address);
     }
-  });
+  }
 
   impact.nated_blocklisted_addresses = nated_blocklisted.size();
   impact.dynamic_blocklisted_addresses = dynamic_blocklisted.size();

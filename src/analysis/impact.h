@@ -20,6 +20,10 @@
 #include "netbase/prefix_trie.h"
 #include "netbase/stats.h"
 
+namespace reuse::net {
+class ThreadPool;
+}
+
 namespace reuse::analysis {
 
 /// Classification of one blocklisted address.
@@ -58,12 +62,15 @@ struct ReuseImpact {
 };
 
 /// Joins the store with detector outputs. `nated` comes from the crawler;
-/// `dynamic_prefixes` from the pipeline (already /24-expanded).
+/// `dynamic_prefixes` from the pipeline (already /24-expanded). The
+/// per-listing membership probes are pure lookups, so with a thread pool
+/// they run in parallel and fold in listing order — byte-identical results
+/// for any pool size (nullptr = serial).
 [[nodiscard]] ReuseImpact compute_reuse_impact(
     const blocklist::SnapshotStore& store,
     const std::vector<blocklist::BlocklistInfo>& catalogue,
     const std::unordered_set<net::Ipv4Address>& nated,
-    const net::PrefixSet& dynamic_prefixes);
+    const net::PrefixSet& dynamic_prefixes, net::ThreadPool* pool = nullptr);
 
 /// Figure 7 inputs: listing durations (days present) by class. One sample
 /// per (list, address, period-spell).

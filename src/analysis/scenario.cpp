@@ -28,7 +28,8 @@ ScenarioConfig finalized(ScenarioConfig config) {
 
 blocklist::EcosystemResult build_ecosystem(
     const inet::World& world, const std::vector<blocklist::BlocklistInfo>& catalogue,
-    const ScenarioConfig& config, sim::FaultInjector* faults) {
+    const ScenarioConfig& config, sim::FaultInjector* faults,
+    net::ThreadPool* pool) {
   // Abuse generation starts before the first snapshot so lists are warm.
   const net::TimeWindow span = overall_window(config.ecosystem.periods);
   inet::AbuseGenConfig abuse;
@@ -37,7 +38,7 @@ blocklist::EcosystemResult build_ecosystem(
   abuse.server_events_per_day = world.config().abuse_events_per_day_server;
   abuse.seed = config.seed ^ 0xab5eULL;
   const std::vector<inet::AbuseEvent> events = generate_abuse(world, abuse);
-  return simulate_ecosystem(catalogue, events, config.ecosystem, faults);
+  return simulate_ecosystem(catalogue, events, config.ecosystem, faults, pool);
 }
 
 CrawlOutput run_crawl(const inet::World& world,
@@ -320,22 +321,238 @@ sim::FaultPlan default_chaos_plan(const ScenarioConfig& config,
   return plan;
 }
 
+std::unique_ptr<net::ThreadPool> make_scenario_pool(int jobs) {
+  const std::size_t resolved =
+      jobs == 0 ? net::ThreadPool::hardware_jobs()
+                : static_cast<std::size_t>(std::max(1, jobs));
+  if (resolved <= 1) return nullptr;
+  return std::make_unique<net::ThreadPool>(resolved);
+}
+
 Scenario::Scenario(ScenarioConfig cfg)
     : config(finalized(std::move(cfg))),
       injector(std::make_unique<sim::FaultInjector>(config.faults)),
-      world(config.world),
+      pool(make_scenario_pool(config.jobs)),
+      world(stage_times.time("world",
+                            [&] { return inet::World(config.world); })),
       catalogue(blocklist::build_catalogue(config.seed ^ 0xca7aULL)),
-      ecosystem(build_ecosystem(world, catalogue, config, injector.get())),
-      crawl(run_crawl(world, ecosystem.store, config, injector.get())),
-      fleet(world, config.fleet, injector.get()),
-      pipeline(dynadetect::run_pipeline(fleet.log(), config.pipeline)),
-      census(config.run_census
-                 ? census::run_census(world, config.census)
-                 : census::CensusResult{}) {
+      ecosystem(stage_times.time("ecosystem",
+                                 [&] {
+                                   sim::StageGuard guard(
+                                       injector.get(),
+                                       sim::FaultStage::kEcosystem);
+                                   return build_ecosystem(world, catalogue,
+                                                          config,
+                                                          injector.get(),
+                                                          pool.get());
+                                 })),
+      crawl(stage_times.time("crawl",
+                             [&] {
+                               sim::StageGuard guard(injector.get(),
+                                                     sim::FaultStage::kCrawl);
+                               return run_crawl(world, ecosystem.store, config,
+                                                injector.get());
+                             })),
+      fleet(stage_times.time("fleet",
+                             [&] {
+                               sim::StageGuard guard(injector.get(),
+                                                     sim::FaultStage::kFleet);
+                               return atlas::AtlasFleet(world, config.fleet,
+                                                        injector.get(),
+                                                        pool.get());
+                             })),
+      pipeline(stage_times.time("pipeline",
+                                [&] {
+                                  return dynadetect::run_pipeline(
+                                      fleet.log(), config.pipeline,
+                                      pool.get());
+                                })),
+      census(stage_times.time("census",
+                              [&] {
+                                return config.run_census
+                                           ? census::run_census(world,
+                                                                config.census,
+                                                                {}, pool.get())
+                                           : census::CensusResult{};
+                              })) {
   degradation = build_degradation_report(
       injector->stats(), crawl.stats, crawl.transport_fault_request_drops,
       crawl.transport_fault_response_drops, ecosystem.stats,
       fleet.records_suppressed(), pipeline);
+  // The products are plain values now; the workers have nothing left to do.
+  pool.reset();
+}
+
+std::uint64_t products_fingerprint(const CrawlOutput& crawl,
+                                   const blocklist::EcosystemResult& ecosystem,
+                                   const atlas::AtlasFleet& fleet,
+                                   const dynadetect::PipelineResult& pipeline,
+                                   const census::CensusResult& census) {
+  std::ostringstream buffer;
+  net::BinaryWriter w(buffer);
+
+  auto write_prefix = [&](const net::Ipv4Prefix& prefix) {
+    w.write(prefix.network().value());
+    w.write(static_cast<std::uint8_t>(prefix.length()));
+  };
+  auto write_prefix_set = [&](const net::PrefixSet& set) {
+    std::vector<net::Ipv4Prefix> prefixes = set.to_vector();
+    std::sort(prefixes.begin(), prefixes.end());
+    w.write(static_cast<std::uint64_t>(prefixes.size()));
+    for (const net::Ipv4Prefix& prefix : prefixes) write_prefix(prefix);
+  };
+  auto write_intervals = [&](const net::IntervalSet& set) {
+    w.write(static_cast<std::uint64_t>(set.interval_count()));
+    for (const net::IntervalSet::Interval& span : set.intervals()) {
+      w.write(span.begin);
+      w.write(span.end);
+    }
+  };
+
+  // Ecosystem: the store in canonical (list, address) order, plus stats.
+  struct Listing {
+    blocklist::ListId list;
+    net::Ipv4Address address;
+    const net::IntervalSet* intervals;
+  };
+  std::vector<Listing> listings;
+  listings.reserve(ecosystem.store.listing_count());
+  ecosystem.store.for_each_listing(
+      [&](blocklist::ListId list, net::Ipv4Address address,
+          const net::IntervalSet& intervals) {
+        listings.push_back(Listing{list, address, &intervals});
+      });
+  std::sort(listings.begin(), listings.end(),
+            [](const Listing& a, const Listing& b) {
+              if (a.list != b.list) return a.list < b.list;
+              return a.address < b.address;
+            });
+  w.write(static_cast<std::uint64_t>(listings.size()));
+  for (const Listing& listing : listings) {
+    w.write(static_cast<std::uint32_t>(listing.list));
+    w.write(listing.address.value());
+    write_intervals(*listing.intervals);
+  }
+  std::vector<std::pair<blocklist::ListId, const net::IntervalSet*>> observed;
+  ecosystem.store.for_each_observed(
+      [&](blocklist::ListId list, const net::IntervalSet& days) {
+        observed.emplace_back(list, &days);
+      });
+  std::sort(observed.begin(), observed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.write(static_cast<std::uint64_t>(observed.size()));
+  for (const auto& [list, days] : observed) {
+    w.write(static_cast<std::uint32_t>(list));
+    write_intervals(*days);
+  }
+  const blocklist::EcosystemStats& eco = ecosystem.stats;
+  w.write(eco.events_seen);
+  w.write(eco.events_picked_up);
+  w.write(eco.snapshots_taken);
+  w.write(eco.snapshots_missed);
+  w.write(eco.feeds_quarantined);
+  w.write(eco.feeds_salvaged);
+  w.write(eco.entries_discarded);
+  w.write(eco.feed_lines_skipped);
+  for (const blocklist::FeedHealth& health : eco.per_list) {
+    w.write(static_cast<std::uint32_t>(health.list));
+    w.write(health.days_recorded);
+    w.write(health.days_missed);
+    w.write(health.days_quarantined);
+    w.write(health.days_salvaged);
+    w.write(health.lines_skipped);
+    w.write(health.entries_discarded);
+  }
+
+  // Crawl: stats, the NATed roster, and the evidence set (sorted).
+  w.write(crawl.stats.get_nodes_sent);
+  w.write(crawl.stats.get_nodes_responses);
+  w.write(crawl.stats.pings_sent);
+  w.write(crawl.stats.ping_responses);
+  w.write(crawl.stats.endpoints_discovered);
+  w.write(crawl.stats.endpoints_skipped_restricted);
+  w.write(crawl.stats.verification_rounds);
+  w.write(static_cast<std::uint64_t>(crawl.distinct_node_ids));
+  w.write(static_cast<std::uint64_t>(crawl.dht_peers));
+  w.write(static_cast<std::uint64_t>(crawl.dht_addresses));
+  w.write(crawl.transport_fault_request_drops);
+  w.write(crawl.transport_fault_response_drops);
+  std::vector<std::pair<net::Ipv4Address, std::size_t>> nated = crawl.nated;
+  std::sort(nated.begin(), nated.end());
+  w.write(static_cast<std::uint64_t>(nated.size()));
+  for (const auto& [address, users] : nated) {
+    w.write(address.value());
+    w.write(static_cast<std::uint64_t>(users));
+  }
+  std::vector<std::pair<net::Ipv4Address, std::size_t>> evidence;
+  evidence.reserve(crawl.evidence.size());
+  for (const auto& [address, info] : crawl.evidence) {
+    evidence.emplace_back(address, info.max_concurrent_users);
+  }
+  std::sort(evidence.begin(), evidence.end());
+  w.write(static_cast<std::uint64_t>(evidence.size()));
+  for (const auto& [address, users] : evidence) {
+    w.write(address.value());
+    w.write(static_cast<std::uint64_t>(users));
+  }
+
+  // Fleet: the full log in its (time, probe) order, truths, suppression.
+  w.write(static_cast<std::uint64_t>(fleet.log().size()));
+  for (const atlas::ConnectionRecord& record : fleet.log()) {
+    w.write(record.time_seconds);
+    w.write(static_cast<std::uint32_t>(record.probe_id));
+    w.write(record.address.value());
+    w.write(static_cast<std::uint32_t>(record.asn));
+  }
+  w.write(static_cast<std::uint64_t>(fleet.truths().size()));
+  for (const atlas::ProbeTruth& truth : fleet.truths()) {
+    w.write(static_cast<std::uint32_t>(truth.probe_id));
+    w.write(static_cast<std::uint64_t>(truth.host));
+    w.write(static_cast<std::uint64_t>(truth.second_host));
+    w.write(static_cast<std::uint8_t>(truth.on_dynamic_pool));
+    w.write(static_cast<std::uint8_t>(truth.on_fast_pool));
+    w.write(static_cast<std::uint8_t>(truth.relocated));
+  }
+  w.write(fleet.records_suppressed());
+
+  // Pipeline: the funnel, the curve, and every prefix footprint.
+  w.write(static_cast<std::uint64_t>(pipeline.probes_total));
+  w.write(static_cast<std::uint64_t>(pipeline.probes_multi_as));
+  w.write(static_cast<std::uint64_t>(pipeline.probes_single_as));
+  w.write(static_cast<std::uint64_t>(pipeline.probes_with_changes));
+  w.write(static_cast<std::uint64_t>(pipeline.probes_above_knee));
+  w.write(static_cast<std::uint64_t>(pipeline.probes_daily));
+  w.write(static_cast<std::uint64_t>(pipeline.change_gaps_capped));
+  w.write(static_cast<std::uint64_t>(pipeline.probes_gap_affected));
+  w.write(static_cast<std::int64_t>(pipeline.knee_allocations));
+  w.write(static_cast<std::uint64_t>(pipeline.qualifying_addresses));
+  w.write(static_cast<std::uint64_t>(pipeline.single_as_addresses));
+  w.write(static_cast<std::uint64_t>(pipeline.allocation_curve.size()));
+  for (const double count : pipeline.allocation_curve) w.write(count);
+  w.write(static_cast<std::uint64_t>(pipeline.qualifying_probes.size()));
+  for (const atlas::ProbeId probe : pipeline.qualifying_probes) {
+    w.write(static_cast<std::uint32_t>(probe));
+  }
+  write_prefix_set(pipeline.dynamic_prefixes);
+  write_prefix_set(pipeline.all_probe_prefixes);
+  write_prefix_set(pipeline.single_as_change_prefixes);
+  write_prefix_set(pipeline.above_knee_prefixes);
+
+  // Census: totals, per-block metrics in survey order, dynamic blocks.
+  w.write(static_cast<std::uint64_t>(census.blocks_surveyed));
+  w.write(census.probes_sent);
+  w.write(census.responses);
+  w.write(static_cast<std::uint64_t>(census.blocks.size()));
+  for (const census::BlockMetrics& block : census.blocks) {
+    write_prefix(block.block);
+    w.write(block.responsive_addresses);
+    w.write(block.mean_availability);
+    w.write(block.mean_volatility);
+    w.write(block.median_uptime_seconds);
+  }
+  write_prefix_set(census.dynamic_blocks);
+
+  return net::fnv1a_64(buffer.str());
 }
 
 }  // namespace reuse::analysis

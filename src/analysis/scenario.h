@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/degradation.h"
+#include "analysis/stage_timer.h"
 #include "atlas/fleet.h"
 #include "blocklist/ecosystem.h"
 #include "census/census.h"
@@ -22,13 +23,16 @@
 #include "dht/network.h"
 #include "dynadetect/pipeline.h"
 #include "internet/world.h"
+#include "netbase/thread_pool.h"
 #include "simnet/faults.h"
 
 namespace reuse::analysis {
 
 /// Bumped whenever generator/ecosystem calibration constants change, so
 /// stale scenario caches are rejected (the cache header records it).
-inline constexpr std::uint32_t kCalibrationVersion = 13;
+/// 14: per-feed / per-probe RNG substreams (deterministic parallelism)
+/// changed the ecosystem and fleet products.
+inline constexpr std::uint32_t kCalibrationVersion = 14;
 
 struct ScenarioConfig {
   std::uint64_t seed = 42;
@@ -49,10 +53,20 @@ struct ScenarioConfig {
   /// Empty (the default) keeps every subsystem byte-identical to a run with
   /// no injector at all.
   sim::FaultPlan faults;
+  /// Worker threads for the parallel stages (ecosystem, fleet, pipeline,
+  /// census): 1 = serial, 0 = one per hardware thread. Deliberately NOT part
+  /// of `config_fingerprint` (like `run_census`): products are byte-identical
+  /// for every value, so every jobs setting shares one cache file.
+  int jobs = 1;
 
   /// Wires sub-seeds and paper-default windows from the master seed.
   void finalize();
 };
+
+/// The thread pool a scenario with `jobs` uses: nullptr for serial (jobs
+/// <= 1 after resolving 0 to the hardware thread count). Exposed so cache
+/// replays and CLI joins can share the scenario's threading policy.
+[[nodiscard]] std::unique_ptr<net::ThreadPool> make_scenario_pool(int jobs);
 
 /// Small preset for tests; big preset for bench binaries.
 [[nodiscard]] ScenarioConfig test_scenario_config(std::uint64_t seed = 7);
@@ -95,11 +109,18 @@ struct CrawlOutput {
 
 struct Scenario {
   ScenarioConfig config;
+  /// Wall-clock per stage; filled as the constructor runs the stages.
+  /// Declared before the subsystems so the timing wrappers in the
+  /// member-init list may record into it.
+  StageTimer stage_times;
   /// One injector shared by every subsystem so its ledger spans the whole
   /// run. Heap-allocated: subsystems keep raw pointers to it, which must
   /// stay valid when the Scenario is moved. Declared before the subsystems
   /// it feeds (member-init order).
   std::unique_ptr<sim::FaultInjector> injector;
+  /// Worker pool for the parallel stages (nullptr = serial). Released at
+  /// the end of construction — the products keep no reference to it.
+  std::unique_ptr<net::ThreadPool> pool;
   inet::World world;
   std::vector<blocklist::BlocklistInfo> catalogue;
   blocklist::EcosystemResult ecosystem;
@@ -120,5 +141,15 @@ struct Scenario {
 [[nodiscard]] inline Scenario run_scenario(ScenarioConfig config) {
   return Scenario(std::move(config));
 }
+
+/// FNV-1a fingerprint of every scenario *product* (ecosystem store and
+/// stats, crawl outputs, fleet log and truths, pipeline funnel and prefix
+/// sets, census metrics) in a canonical order. Two runs produced identical
+/// results iff their fingerprints match — the equivalence tests and
+/// bench_scenario use this to prove --jobs N is byte-identical to --jobs 1.
+[[nodiscard]] std::uint64_t products_fingerprint(
+    const CrawlOutput& crawl, const blocklist::EcosystemResult& ecosystem,
+    const atlas::AtlasFleet& fleet, const dynadetect::PipelineResult& pipeline,
+    const census::CensusResult& census);
 
 }  // namespace reuse::analysis

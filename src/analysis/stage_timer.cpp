@@ -1,0 +1,48 @@
+#include "analysis/stage_timer.h"
+
+#include <sstream>
+
+namespace reuse::analysis {
+
+void StageTimer::record(std::string_view stage, double millis) {
+  // Re-running a stage (e.g. a second scenario on the same timer) folds
+  // into the existing entry so the JSON stays one value per stage.
+  for (StageTiming& timing : timings_) {
+    if (timing.stage == stage) {
+      timing.millis += millis;
+      return;
+    }
+  }
+  timings_.push_back(StageTiming{std::string(stage), millis});
+}
+
+double StageTimer::total_millis() const {
+  double total = 0.0;
+  for (const StageTiming& timing : timings_) total += timing.millis;
+  return total;
+}
+
+double StageTimer::millis(std::string_view stage) const {
+  for (const StageTiming& timing : timings_) {
+    if (timing.stage == stage) return timing.millis;
+  }
+  return 0.0;
+}
+
+std::string StageTimer::to_json(int jobs) const {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "{\"jobs\": " << jobs << ", \"total_millis\": " << total_millis()
+      << ", \"stages\": {";
+  bool first = true;
+  for (const StageTiming& timing : timings_) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << timing.stage << "\": " << timing.millis;
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace reuse::analysis

@@ -1,0 +1,68 @@
+// Wall-clock accounting for the scenario runner's stages.
+//
+// Every stage of a scenario run (world build, ecosystem, crawl, fleet,
+// pipeline, census, cache load) records its duration here; the bench
+// binaries serialize the result as machine-readable JSON
+// (BENCH_scenario.json) so perf regressions across --jobs settings are
+// visible in CI artifacts, not just in someone's terminal scrollback.
+//
+// Timing is observability only: it never feeds back into the simulation, so
+// it cannot perturb determinism.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace reuse::analysis {
+
+struct StageTiming {
+  std::string stage;
+  double millis = 0.0;
+};
+
+class StageTimer {
+ public:
+  void record(std::string_view stage, double millis);
+
+  /// Timings in the order the stages ran.
+  [[nodiscard]] const std::vector<StageTiming>& timings() const {
+    return timings_;
+  }
+  [[nodiscard]] double total_millis() const;
+  /// Duration of one stage; 0 when it never ran.
+  [[nodiscard]] double millis(std::string_view stage) const;
+
+  /// One JSON object: {"jobs": N, "total_millis": ..., "stages": {...}}.
+  [[nodiscard]] std::string to_json(int jobs) const;
+
+  /// Runs `fn`, records its wall-clock under `stage`, and forwards its
+  /// return value (also works for void).
+  template <typename Fn>
+  auto time(std::string_view stage, Fn&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn>>) {
+      std::forward<Fn>(fn)();
+      record(stage, elapsed_millis(start));
+    } else {
+      auto result = std::forward<Fn>(fn)();
+      record(stage, elapsed_millis(start));
+      return result;
+    }
+  }
+
+ private:
+  [[nodiscard]] static double elapsed_millis(
+      std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+
+  std::vector<StageTiming> timings_;
+};
+
+}  // namespace reuse::analysis

@@ -4,61 +4,90 @@
 
 #include "internet/lease.h"
 #include "netbase/rng.h"
+#include "netbase/thread_pool.h"
 
 namespace reuse::atlas {
+namespace {
+
+/// Salt for the per-probe RNG substreams: probe p draws from
+/// substream(config.seed, kProbeStreamSalt, p), making its host choice,
+/// relocation and move time a pure function of (world, config, p) —
+/// independent of every other probe and of thread count.
+constexpr std::uint64_t kProbeStreamSalt = 0xa71a5ULL;
+
+}  // namespace
+
+AtlasFleet::ProbeOutcome AtlasFleet::simulate_probe(
+    std::size_t p, const inet::World& world, const FleetConfig& config,
+    sim::FaultInjector* faults) {
+  ProbeOutcome out;
+  net::Rng rng = net::substream(config.seed, kProbeStreamSalt, p);
+  const auto& users = world.users();
+  const auto probe_id = static_cast<ProbeId>(p + 1);
+  ProbeTruth& truth = out.truth;
+  truth.probe_id = probe_id;
+  // Hosts are drawn uniformly from the subscriber population — Atlas
+  // volunteers are ordinary broadband users.
+  truth.host = users[rng.uniform(users.size())].id;
+  const inet::User& host = world.user(truth.host);
+  if (host.attachment == inet::AttachmentKind::kDynamic) {
+    const auto& pool = world.pool(host.pool_index);
+    truth.on_dynamic_pool = true;
+    truth.on_fast_pool = pool.mean_lease_seconds <= 86400.0;
+  }
+  truth.relocated = rng.bernoulli(config.relocate_fraction);
+  if (truth.relocated) {
+    // The probe moves mid-window to a different host; resample until the
+    // new host sits in another AS so the move is observable.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const inet::UserId candidate = users[rng.uniform(users.size())].id;
+      if (world.user(candidate).asn != host.asn) {
+        truth.second_host = candidate;
+        break;
+      }
+    }
+    if (truth.second_host == 0) truth.relocated = false;
+  }
+
+  if (truth.relocated) {
+    const std::int64_t begin = config.window.begin.seconds();
+    const std::int64_t end = config.window.end.seconds();
+    const std::int64_t move_at =
+        begin + static_cast<std::int64_t>(
+                    rng.uniform(static_cast<std::uint64_t>(end - begin)));
+    emit_for_host(out, world, truth.host,
+                  net::TimeWindow{config.window.begin, net::SimTime(move_at)},
+                  config.keepalive, faults);
+    emit_for_host(out, world, truth.second_host,
+                  net::TimeWindow{net::SimTime(move_at), config.window.end},
+                  config.keepalive, faults);
+  } else {
+    emit_for_host(out, world, truth.host, config.window, config.keepalive,
+                  faults);
+  }
+  return out;
+}
 
 AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
-                       sim::FaultInjector* faults)
-    : faults_(faults) {
-  net::Rng rng(config.seed);
-  const auto& users = world.users();
-  if (users.empty()) return;
+                       sim::FaultInjector* faults, net::ThreadPool* pool) {
+  if (world.users().empty()) return;
 
+  std::vector<ProbeOutcome> outcomes(config.probe_count);
+  net::for_each_index(pool, config.probe_count, [&](std::size_t p) {
+    outcomes[p] = simulate_probe(p, world, config, faults);
+  });
+
+  // Merge in probe-index order, then apply the global (time, probe) sort —
+  // the same final order a serial run produces.
+  std::size_t total_records = 0;
+  for (const ProbeOutcome& out : outcomes) total_records += out.records.size();
+  log_.reserve(total_records);
   truths_.reserve(config.probe_count);
-  for (std::size_t p = 0; p < config.probe_count; ++p) {
-    const auto probe_id = static_cast<ProbeId>(p + 1);
-    ProbeTruth truth;
-    truth.probe_id = probe_id;
-    // Hosts are drawn uniformly from the subscriber population — Atlas
-    // volunteers are ordinary broadband users.
-    truth.host = users[rng.uniform(users.size())].id;
-    const inet::User& host = world.user(truth.host);
-    if (host.attachment == inet::AttachmentKind::kDynamic) {
-      const auto& pool = world.pool(host.pool_index);
-      truth.on_dynamic_pool = true;
-      truth.on_fast_pool = pool.mean_lease_seconds <= 86400.0;
-    }
-    truth.relocated = rng.bernoulli(config.relocate_fraction);
-    if (truth.relocated) {
-      // The probe moves mid-window to a different host; resample until the
-      // new host sits in another AS so the move is observable.
-      for (int attempt = 0; attempt < 64; ++attempt) {
-        const inet::UserId candidate = users[rng.uniform(users.size())].id;
-        if (world.user(candidate).asn != host.asn) {
-          truth.second_host = candidate;
-          break;
-        }
-      }
-      if (truth.second_host == 0) truth.relocated = false;
-    }
-
-    if (truth.relocated) {
-      const std::int64_t begin = config.window.begin.seconds();
-      const std::int64_t end = config.window.end.seconds();
-      const std::int64_t move_at =
-          begin + static_cast<std::int64_t>(
-                      rng.uniform(static_cast<std::uint64_t>(end - begin)));
-      emit_for_host(probe_id, world, truth.host,
-                    net::TimeWindow{config.window.begin, net::SimTime(move_at)},
-                    config.keepalive);
-      emit_for_host(probe_id, world, truth.second_host,
-                    net::TimeWindow{net::SimTime(move_at), config.window.end},
-                    config.keepalive);
-    } else {
-      emit_for_host(probe_id, world, truth.host, config.window,
-                    config.keepalive);
-    }
-    truths_.push_back(truth);
+  for (ProbeOutcome& out : outcomes) {
+    truths_.push_back(out.truth);
+    records_suppressed_ += out.suppressed;
+    log_.insert(log_.end(), out.records.begin(), out.records.end());
+    out.records = std::vector<ConnectionRecord>{};
   }
 
   std::sort(log_.begin(), log_.end(),
@@ -70,17 +99,19 @@ AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
             });
 }
 
-void AtlasFleet::emit_for_host(ProbeId probe, const inet::World& world,
+void AtlasFleet::emit_for_host(ProbeOutcome& out, const inet::World& world,
                                inet::UserId host_id, net::TimeWindow span,
-                               net::Duration keepalive) {
+                               net::Duration keepalive,
+                               sim::FaultInjector* faults) {
   if (span.begin >= span.end) return;
   const inet::User& host = world.user(host_id);
   auto emit = [&](net::SimTime t, net::Ipv4Address address) {
-    if (faults_ != nullptr && faults_->atlas_record_suppressed(t)) {
-      ++records_suppressed_;
+    if (faults != nullptr && faults->atlas_record_suppressed(t)) {
+      ++out.suppressed;
       return;
     }
-    log_.push_back(ConnectionRecord{t.seconds(), probe, address, host.asn});
+    out.records.push_back(
+        ConnectionRecord{t.seconds(), out.truth.probe_id, address, host.asn});
   };
   if (host.attachment == inet::AttachmentKind::kDynamic) {
     const inet::LeaseTimeline timeline(world.pool(host.pool_index), host.seed,

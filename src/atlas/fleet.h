@@ -18,6 +18,10 @@
 #include "netbase/sim_time.h"
 #include "simnet/faults.h"
 
+namespace reuse::net {
+class ThreadPool;
+}
+
 namespace reuse::atlas {
 
 struct FleetConfig {
@@ -49,8 +53,14 @@ class AtlasFleet {
   /// probe stayed connected; the controller lost the data). nullptr or an
   /// empty plan leaves the log bit-identical. The injector is consulted
   /// during construction only — it need not outlive the fleet.
+  ///
+  /// Probes are independent — each draws from its own counter-derived RNG
+  /// substream — so with a thread pool they simulate in parallel and merge
+  /// back in probe-index order. The log and truths are byte-identical for
+  /// any pool size (nullptr = serial).
   AtlasFleet(const inet::World& world, const FleetConfig& config,
-             sim::FaultInjector* faults = nullptr);
+             sim::FaultInjector* faults = nullptr,
+             net::ThreadPool* pool = nullptr);
 
   /// All connection records, sorted by (time, probe).
   [[nodiscard]] const std::vector<ConnectionRecord>& log() const {
@@ -72,11 +82,24 @@ class AtlasFleet {
   }
 
  private:
-  void emit_for_host(ProbeId probe, const inet::World& world,
-                     inet::UserId host, net::TimeWindow span,
-                     net::Duration keepalive);
+  /// One probe's entire simulated life: its truth, the records it produced,
+  /// and how many records controller gaps swallowed. Built independently per
+  /// probe, merged in probe-index order.
+  struct ProbeOutcome {
+    ProbeTruth truth;
+    std::vector<ConnectionRecord> records;
+    std::uint64_t suppressed = 0;
+  };
 
-  sim::FaultInjector* faults_ = nullptr;  ///< not owned; may be null
+  [[nodiscard]] static ProbeOutcome simulate_probe(std::size_t p,
+                                                   const inet::World& world,
+                                                   const FleetConfig& config,
+                                                   sim::FaultInjector* faults);
+  static void emit_for_host(ProbeOutcome& out, const inet::World& world,
+                            inet::UserId host, net::TimeWindow span,
+                            net::Duration keepalive,
+                            sim::FaultInjector* faults);
+
   std::uint64_t records_suppressed_ = 0;
   std::vector<ConnectionRecord> log_;
   std::vector<ProbeTruth> truths_;

@@ -6,12 +6,19 @@
 
 #include "blocklist/parse.h"
 #include "netbase/rng.h"
+#include "netbase/thread_pool.h"
 
 namespace reuse::blocklist {
 namespace {
 
 /// Live state of one list: address -> expiry time (seconds).
 using LiveMap = std::unordered_map<net::Ipv4Address, std::int64_t>;
+
+/// Salt for the per-feed RNG substreams (see net::substream): feed i draws
+/// from substream(config.seed, kFeedStreamSalt, i), so its evolution is a
+/// pure function of (config, catalogue, events, i) — independent of every
+/// other feed and of the number of worker threads.
+constexpr std::uint64_t kFeedStreamSalt = 0xfeedULL;
 
 /// Retention draw: short auto-expiry or sticky category retention.
 std::int64_t draw_retention(net::Rng& rng, const EcosystemConfig& config,
@@ -21,6 +28,114 @@ std::int64_t draw_retention(net::Rng& rng, const EcosystemConfig& config,
           ? config.short_retention_mean_days
           : info.removal_mean_days * config.long_retention_factor;
   return static_cast<std::int64_t>(rng.exponential(mean_days * 86400.0));
+}
+
+/// Everything one feed produces: a single-list store fragment plus its
+/// health counters. Fragments merge into the shared result in feed-index
+/// order, so the merged store is identical for every --jobs value.
+struct FeedOutcome {
+  SnapshotStore store;
+  FeedHealth health;
+  std::uint64_t events_picked_up = 0;
+};
+
+/// Evolves feed `i` over the whole event stream: pickups, retention expiry,
+/// daily snapshots, and (under faults) missed or corrupted dumps. Pure
+/// apart from the shared injector's atomic ledger.
+FeedOutcome evolve_feed(std::size_t i, const BlocklistInfo& info,
+                        std::span<const inet::AbuseEvent> events,
+                        std::span<const std::int64_t> snapshot_days,
+                        const EcosystemConfig& config,
+                        sim::FaultInjector* faults) {
+  FeedOutcome out;
+  out.health.list = info.id;
+  net::Rng rng = net::substream(config.seed, kFeedStreamSalt, i);
+  LiveMap live;
+  std::size_t next_snapshot = 0;
+
+  // Ingest a corrupted dump: the maintainer published *something*, but not
+  // what the live set says. Mostly-garbage dumps are quarantined outright
+  // (treated like a missed day, so presence bridging can ride over them);
+  // lightly damaged dumps are salvaged line by line.
+  auto ingest_corrupted = [&](std::int64_t day) {
+    std::vector<net::Ipv4Address> addresses;
+    addresses.reserve(live.size());
+    for (const auto& [address, expiry] : live) addresses.push_back(address);
+    std::sort(addresses.begin(), addresses.end());  // stable render order
+    std::string text;
+    for (const net::Ipv4Address address : addresses) {
+      text += address.to_string();
+      text += '\n';
+    }
+    text = faults->corrupt_feed_text(std::move(text), i, day);
+    const ParsedList parsed = parse_list_text(text);
+    out.health.lines_skipped += parsed.skipped_lines;
+    // Quarantine rule: more than 10% of the live set's lines unparseable
+    // means the dump as a whole cannot be trusted.
+    if (parsed.skipped_lines * 10 > live.size()) {
+      ++out.health.days_quarantined;
+      return;
+    }
+    for (const net::Ipv4Address address : parsed.addresses) {
+      out.store.record(info.id, address, day);
+    }
+    out.store.mark_observed(info.id, day);
+    ++out.health.days_salvaged;
+    // Corruption never adds lines, so parsed entries <= live entries and the
+    // difference is exactly what the damage cost us.
+    out.health.entries_discarded += live.size() - parsed.addresses.size();
+  };
+
+  auto take_snapshot = [&](std::int64_t day) {
+    const std::int64_t moment = day * 86400;  // snapshot at 00:00
+    // Expiry runs on every path: list state evolves whether or not the
+    // dump reaches us that day.
+    for (auto it = live.begin(); it != live.end();) {
+      it = it->second <= moment ? live.erase(it) : std::next(it);
+    }
+    if (faults != nullptr && faults->feed_snapshot_missing(i, day)) {
+      ++out.health.days_missed;
+      return;
+    }
+    if (faults != nullptr && faults->feed_corrupted(i, day)) {
+      ingest_corrupted(day);
+      return;
+    }
+    for (const auto& [address, expiry] : live) {
+      out.store.record(info.id, address, day);
+    }
+    out.store.mark_observed(info.id, day);
+    ++out.health.days_recorded;
+  };
+
+  for (const inet::AbuseEvent& event : events) {
+    // Take any snapshots due before this event.
+    while (next_snapshot < snapshot_days.size() &&
+           snapshot_days[next_snapshot] * 86400 <= event.time_seconds) {
+      take_snapshot(snapshot_days[next_snapshot++]);
+    }
+    if (!category_matches(info.category, event.category)) continue;
+    const auto existing = live.find(event.source);
+    if (existing != live.end() && existing->second > event.time_seconds) {
+      // Already listed: the maintainer is watching this address, so the
+      // event extends the listing with the (much higher) re-observation
+      // rate.
+      if (rng.bernoulli(config.reobservation_extend_rate)) {
+        const std::int64_t retention = draw_retention(rng, config, info);
+        existing->second =
+            std::max(existing->second, event.time_seconds + retention);
+      }
+      continue;
+    }
+    if (!rng.bernoulli(info.pickup_rate)) continue;
+    ++out.events_picked_up;
+    live[event.source] = event.time_seconds + draw_retention(rng, config, info);
+  }
+  // Snapshots after the last event.
+  while (next_snapshot < snapshot_days.size()) {
+    take_snapshot(snapshot_days[next_snapshot++]);
+  }
+  return out;
 }
 
 }  // namespace
@@ -35,27 +150,9 @@ std::vector<net::TimeWindow> paper_periods() {
 EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
                                    std::span<const inet::AbuseEvent> events,
                                    const EcosystemConfig& config,
-                                   sim::FaultInjector* faults) {
+                                   sim::FaultInjector* faults,
+                                   net::ThreadPool* pool) {
   EcosystemResult result;
-  net::Rng rng(config.seed);
-  result.stats.per_list.resize(catalogue.size());
-  for (std::size_t i = 0; i < catalogue.size(); ++i) {
-    result.stats.per_list[i].list = catalogue[i].id;
-  }
-
-  // Listening sets per abuse category (reputation lists listen to all), so
-  // each event only touches the lists that could ingest it.
-  std::vector<std::vector<std::size_t>> listeners(inet::kAbuseCategoryCount);
-  for (std::size_t i = 0; i < catalogue.size(); ++i) {
-    for (int c = 0; c < inet::kAbuseCategoryCount; ++c) {
-      if (category_matches(catalogue[i].category,
-                           static_cast<inet::AbuseCategory>(c))) {
-        listeners[static_cast<std::size_t>(c)].push_back(i);
-      }
-    }
-  }
-
-  std::vector<LiveMap> live(catalogue.size());
 
   // Snapshot days: every whole day inside each period.
   std::vector<std::int64_t> snapshot_days;
@@ -65,109 +162,50 @@ EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
     }
   }
   std::sort(snapshot_days.begin(), snapshot_days.end());
-  std::size_t next_snapshot = 0;
 
-  // Ingest a corrupted dump: the maintainer published *something*, but not
-  // what the live set says. Mostly-garbage dumps are quarantined outright
-  // (treated like a missed day, so presence bridging can ride over them);
-  // lightly damaged dumps are salvaged line by line.
-  auto ingest_corrupted = [&](std::size_t i, std::int64_t day,
-                              const LiveMap& entries) {
-    FeedHealth& health = result.stats.per_list[i];
-    std::vector<net::Ipv4Address> addresses;
-    addresses.reserve(entries.size());
-    for (const auto& [address, expiry] : entries) addresses.push_back(address);
-    std::sort(addresses.begin(), addresses.end());  // stable render order
-    std::string text;
-    for (const net::Ipv4Address address : addresses) {
-      text += address.to_string();
-      text += '\n';
-    }
-    text = faults->corrupt_feed_text(std::move(text), i, day);
-    const ParsedList parsed = parse_list_text(text);
-    health.lines_skipped += parsed.skipped_lines;
-    result.stats.feed_lines_skipped += parsed.skipped_lines;
-    // Quarantine rule: more than 10% of the live set's lines unparseable
-    // means the dump as a whole cannot be trusted.
-    if (parsed.skipped_lines * 10 > entries.size()) {
-      ++health.days_quarantined;
-      ++result.stats.feeds_quarantined;
-      return;
-    }
-    for (const net::Ipv4Address address : parsed.addresses) {
-      result.store.record(catalogue[i].id, address, day);
-    }
-    result.store.mark_observed(catalogue[i].id, day);
-    ++health.days_salvaged;
-    ++result.stats.feeds_salvaged;
-    // Corruption never adds lines, so parsed entries <= live entries and the
-    // difference is exactly what the damage cost us.
-    const std::uint64_t discarded = entries.size() - parsed.addresses.size();
-    health.entries_discarded += discarded;
-    result.stats.entries_discarded += discarded;
-  };
+  // Per-feed evolution: feeds are independent by construction (the paper
+  // collects each blocklist separately), so they run in parallel; each gets
+  // its own counter-derived RNG substream and its own store fragment.
+  std::vector<FeedOutcome> outcomes(catalogue.size());
+  net::for_each_index(
+      pool, catalogue.size(),
+      [&](std::size_t i) {
+        outcomes[i] =
+            evolve_feed(i, catalogue[i], events, snapshot_days, config, faults);
+      },
+      /*grain=*/1);
 
-  auto take_snapshot = [&](std::int64_t day) {
-    const std::int64_t moment = day * 86400;  // snapshot at 00:00
-    for (std::size_t i = 0; i < catalogue.size(); ++i) {
-      auto& entries = live[i];
-      // Expiry runs on every path: list state evolves whether or not the
-      // dump reaches us that day.
-      for (auto it = entries.begin(); it != entries.end();) {
-        it = it->second <= moment ? entries.erase(it) : std::next(it);
+  // Index-ordered merge: identical insertion sequence for every --jobs
+  // value, so downstream consumers that iterate the (unordered) store see
+  // the same order as a serial run.
+  result.stats.per_list.reserve(catalogue.size());
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    FeedOutcome& out = outcomes[i];
+    result.stats.per_list.push_back(out.health);
+    result.stats.events_picked_up += out.events_picked_up;
+    result.stats.snapshots_missed +=
+        static_cast<std::uint64_t>(out.health.days_missed);
+    result.stats.feeds_quarantined +=
+        static_cast<std::uint64_t>(out.health.days_quarantined);
+    result.stats.feeds_salvaged +=
+        static_cast<std::uint64_t>(out.health.days_salvaged);
+    result.stats.entries_discarded += out.health.entries_discarded;
+    result.stats.feed_lines_skipped += out.health.lines_skipped;
+    out.store.for_each_listing([&](ListId list, net::Ipv4Address address,
+                                   const net::IntervalSet& intervals) {
+      for (const net::IntervalSet::Interval& span : intervals.intervals()) {
+        result.store.record_span(list, address, span.begin, span.end);
       }
-      if (faults != nullptr && faults->feed_snapshot_missing(i, day)) {
-        ++result.stats.per_list[i].days_missed;
-        ++result.stats.snapshots_missed;
-        continue;
+    });
+    out.store.for_each_observed([&](ListId list, const net::IntervalSet& days) {
+      for (const net::IntervalSet::Interval& span : days.intervals()) {
+        result.store.mark_observed_span(list, span.begin, span.end);
       }
-      if (faults != nullptr && faults->feed_corrupted(i, day)) {
-        ingest_corrupted(i, day, entries);
-        continue;
-      }
-      for (const auto& [address, expiry] : entries) {
-        result.store.record(catalogue[i].id, address, day);
-      }
-      result.store.mark_observed(catalogue[i].id, day);
-      ++result.stats.per_list[i].days_recorded;
-    }
-    ++result.stats.snapshots_taken;
-  };
-
-  for (const inet::AbuseEvent& event : events) {
-    // Take any snapshots due before this event.
-    while (next_snapshot < snapshot_days.size() &&
-           snapshot_days[next_snapshot] * 86400 <= event.time_seconds) {
-      take_snapshot(snapshot_days[next_snapshot++]);
-    }
-    ++result.stats.events_seen;
-    const auto& interested =
-        listeners[static_cast<std::size_t>(event.category)];
-    for (const std::size_t i : interested) {
-      const BlocklistInfo& info = catalogue[i];
-      const auto existing = live[i].find(event.source);
-      if (existing != live[i].end() &&
-          existing->second > event.time_seconds) {
-        // Already listed: the maintainer is watching this address, so the
-        // event extends the listing with the (much higher) re-observation
-        // rate.
-        if (rng.bernoulli(config.reobservation_extend_rate)) {
-          const std::int64_t retention = draw_retention(rng, config, info);
-          existing->second =
-              std::max(existing->second, event.time_seconds + retention);
-        }
-        continue;
-      }
-      if (!rng.bernoulli(info.pickup_rate)) continue;
-      ++result.stats.events_picked_up;
-      live[i][event.source] =
-          event.time_seconds + draw_retention(rng, config, info);
-    }
+    });
+    out.store = SnapshotStore{};  // free the fragment as we go
   }
-  // Snapshots after the last event.
-  while (next_snapshot < snapshot_days.size()) {
-    take_snapshot(snapshot_days[next_snapshot++]);
-  }
+  result.stats.events_seen = events.size();
+  result.stats.snapshots_taken = snapshot_days.size();
   return result;
 }
 

@@ -17,6 +17,10 @@
 #include "netbase/sim_time.h"
 #include "simnet/faults.h"
 
+namespace reuse::net {
+class ThreadPool;
+}
+
 namespace reuse::blocklist {
 
 struct EcosystemConfig {
@@ -84,9 +88,13 @@ struct EcosystemResult {
 /// first period warm the lists up; events after the last snapshot are
 /// ignored. An optional fault injector suppresses or corrupts individual
 /// (list, day) dumps; nullptr (or an empty plan) leaves the run untouched.
+///
+/// Feeds are independent, so with a thread pool they evolve in parallel —
+/// each on its own counter-derived RNG substream, merged back in feed-index
+/// order. The result is byte-identical for any pool size (nullptr = serial).
 [[nodiscard]] EcosystemResult simulate_ecosystem(
     std::span<const BlocklistInfo> catalogue,
     std::span<const inet::AbuseEvent> events, const EcosystemConfig& config,
-    sim::FaultInjector* faults = nullptr);
+    sim::FaultInjector* faults = nullptr, net::ThreadPool* pool = nullptr);
 
 }  // namespace reuse::blocklist

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "netbase/rng.h"
+#include "netbase/thread_pool.h"
 
 namespace reuse::census {
 
@@ -43,13 +44,72 @@ bool is_dynamic_block(const BlockMetrics& metrics, const DynamicBlockRule& rule)
          metrics.median_uptime_seconds <= rule.max_median_uptime.count();
 }
 
+namespace {
+
+/// Survey of one sampled /24: the aggregate metrics plus the raw probe
+/// counters that fold into the result totals. Pure function of
+/// (model, config, block), so blocks survey in parallel and merge in
+/// sample order.
+struct BlockOutcome {
+  BlockMetrics metrics;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t responses = 0;
+  bool responsive = false;
+  bool dynamic_block = false;
+};
+
+BlockOutcome survey_block(const inet::PingModel& model,
+                          const CensusConfig& config,
+                          const DynamicBlockRule& rule,
+                          net::Ipv4Prefix block) {
+  const std::int64_t begin = config.window.begin.seconds();
+  const std::int64_t end = config.window.end.seconds();
+  const std::int64_t step = config.probe_interval.count();
+
+  BlockOutcome out;
+  BlockMetrics& aggregate = out.metrics;
+  aggregate.block = block;
+  double availability_sum = 0.0;
+  double volatility_sum = 0.0;
+  std::vector<bool> sequence;
+  std::vector<std::int64_t> block_uptimes;
+  for (std::uint64_t offset = 0; offset < block.size(); ++offset) {
+    const net::Ipv4Address address = block.address_at(offset);
+    sequence.clear();
+    for (std::int64_t t = begin; t < end; t += step) {
+      sequence.push_back(model.responds(address, net::SimTime(t)));
+    }
+    out.probes_sent += sequence.size();
+    const AddressMetrics metrics =
+        metrics_from_sequence(sequence, config.probe_interval);
+    out.responses += metrics.responses;
+    if (metrics.responses == 0) continue;
+    ++aggregate.responsive_addresses;
+    availability_sum += metrics.availability();
+    volatility_sum += metrics.volatility();
+    block_uptimes.push_back(metrics.median_uptime_seconds);
+  }
+  if (aggregate.responsive_addresses == 0) return out;
+  out.responsive = true;
+  aggregate.mean_availability =
+      availability_sum / aggregate.responsive_addresses;
+  aggregate.mean_volatility = volatility_sum / aggregate.responsive_addresses;
+  std::sort(block_uptimes.begin(), block_uptimes.end());
+  aggregate.median_uptime_seconds = block_uptimes[block_uptimes.size() / 2];
+  out.dynamic_block = is_dynamic_block(aggregate, rule);
+  return out;
+}
+
+}  // namespace
+
 CensusResult run_census(const inet::World& world, const CensusConfig& config,
-                        const DynamicBlockRule& rule) {
+                        const DynamicBlockRule& rule, net::ThreadPool* pool) {
   CensusResult result;
   net::Rng rng(config.seed);
   const inet::PingModel model(world, config.seed ^ 0x9137ULL);
 
-  // Collect every assigned /24, then sample.
+  // Collect every assigned /24, then sample. The sampling draw stays on the
+  // serial prologue's generator: the chosen set is independent of pool size.
   std::vector<net::Ipv4Prefix> all_blocks;
   for (const inet::AsInfo& as_info : world.ases()) {
     all_blocks.insert(all_blocks.end(), as_info.prefixes.begin(),
@@ -61,45 +121,18 @@ CensusResult run_census(const inet::World& world, const CensusConfig& config,
       rng.sample_indices(all_blocks.size(), sample_size);
   result.blocks_surveyed = chosen.size();
 
-  const std::int64_t begin = config.window.begin.seconds();
-  const std::int64_t end = config.window.end.seconds();
-  const std::int64_t step = config.probe_interval.count();
+  std::vector<BlockOutcome> outcomes(chosen.size());
+  net::for_each_index(pool, chosen.size(), [&](std::size_t i) {
+    outcomes[i] = survey_block(model, config, rule, all_blocks[chosen[i]]);
+  });
 
-  std::vector<bool> sequence;
-  std::vector<std::int64_t> block_uptimes;
-  for (const std::size_t index : chosen) {
-    const net::Ipv4Prefix block = all_blocks[index];
-    BlockMetrics aggregate;
-    aggregate.block = block;
-    double availability_sum = 0.0;
-    double volatility_sum = 0.0;
-    block_uptimes.clear();
-    for (std::uint64_t offset = 0; offset < block.size(); ++offset) {
-      const net::Ipv4Address address = block.address_at(offset);
-      sequence.clear();
-      for (std::int64_t t = begin; t < end; t += step) {
-        sequence.push_back(model.responds(address, net::SimTime(t)));
-      }
-      result.probes_sent += sequence.size();
-      const AddressMetrics metrics =
-          metrics_from_sequence(sequence, config.probe_interval);
-      result.responses += metrics.responses;
-      if (metrics.responses == 0) continue;
-      ++aggregate.responsive_addresses;
-      availability_sum += metrics.availability();
-      volatility_sum += metrics.volatility();
-      block_uptimes.push_back(metrics.median_uptime_seconds);
-    }
-    if (aggregate.responsive_addresses == 0) continue;
-    aggregate.mean_availability =
-        availability_sum / aggregate.responsive_addresses;
-    aggregate.mean_volatility = volatility_sum / aggregate.responsive_addresses;
-    std::sort(block_uptimes.begin(), block_uptimes.end());
-    aggregate.median_uptime_seconds = block_uptimes[block_uptimes.size() / 2];
-    if (is_dynamic_block(aggregate, rule)) {
-      result.dynamic_blocks.insert(block);
-    }
-    result.blocks.push_back(aggregate);
+  // Merge in sample order — identical block/insert order to a serial run.
+  for (const BlockOutcome& out : outcomes) {
+    result.probes_sent += out.probes_sent;
+    result.responses += out.responses;
+    if (!out.responsive) continue;
+    if (out.dynamic_block) result.dynamic_blocks.insert(out.metrics.block);
+    result.blocks.push_back(out.metrics);
   }
   return result;
 }

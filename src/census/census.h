@@ -20,6 +20,10 @@
 #include "netbase/prefix_trie.h"
 #include "netbase/sim_time.h"
 
+namespace reuse::net {
+class ThreadPool;
+}
+
 namespace reuse::census {
 
 struct CensusConfig {
@@ -92,10 +96,14 @@ struct CensusResult {
   net::PrefixSet dynamic_blocks;        ///< rule-qualifying /24s
 };
 
-/// Runs the survey against the deterministic ping model.
+/// Runs the survey against the deterministic ping model. The per-block
+/// measurement is a pure function of (world, config, block), so with a
+/// thread pool blocks are surveyed in parallel and merged in sample order —
+/// byte-identical results for any pool size (nullptr = serial).
 [[nodiscard]] CensusResult run_census(const inet::World& world,
                                       const CensusConfig& config,
-                                      const DynamicBlockRule& rule = {});
+                                      const DynamicBlockRule& rule = {},
+                                      net::ThreadPool* pool = nullptr);
 
 /// Computes per-address metrics from a raw response sequence (exposed for
 /// unit tests of the metric definitions). `interval` is the probe spacing.

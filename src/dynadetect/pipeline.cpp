@@ -6,8 +6,42 @@
 #include <unordered_set>
 
 #include "netbase/kneedle.h"
+#include "netbase/thread_pool.h"
 
 namespace reuse::dynadetect {
+namespace {
+
+/// Everything the funnel needs from one probe, precomputed: the per-history
+/// work (AS spread, distinct addresses, /24 expansion, gap-capped interval)
+/// is pure, so it runs in parallel; the funnel folds the summaries serially
+/// in probe order, which keeps every counter and prefix-insertion sequence
+/// identical to a serial run.
+struct HistorySummary {
+  bool multi_as = false;
+  std::size_t allocation_count = 0;
+  std::size_t distinct_addresses = 0;
+  /// Covering prefix per allocation, in allocation order.
+  std::vector<net::Ipv4Prefix> prefixes;
+  std::optional<net::Duration> capped_interval;
+  std::size_t gaps_excluded = 0;
+};
+
+HistorySummary summarize_history(const ProbeHistory& history,
+                                 const PipelineConfig& config) {
+  HistorySummary summary;
+  summary.multi_as = history.multi_as();
+  summary.allocation_count = history.allocation_count();
+  summary.distinct_addresses = history.distinct_addresses();
+  summary.prefixes.reserve(history.allocations.size());
+  for (const auto& record : history.allocations) {
+    summary.prefixes.emplace_back(record.address, config.expand_prefix_length);
+  }
+  summary.capped_interval = history.mean_change_interval(
+      config.max_change_gap, &summary.gaps_excluded);
+  return summary;
+}
+
+}  // namespace
 
 bool ProbeHistory::multi_as() const {
   for (const auto& record : allocations) {
@@ -110,32 +144,39 @@ int knee_allocation_threshold(std::span<const double> sorted_desc,
 }
 
 PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
-                            const PipelineConfig& config) {
+                            const PipelineConfig& config,
+                            net::ThreadPool* pool) {
   PipelineResult result;
   const std::vector<ProbeHistory> histories = build_histories(records);
   result.probes_total = histories.size();
 
+  // The per-history work, in parallel; everything after folds serially.
+  std::vector<HistorySummary> summaries(histories.size());
+  net::for_each_index(pool, histories.size(), [&](std::size_t i) {
+    summaries[i] = summarize_history(histories[i], config);
+  });
+
   // Step 2: same-AS filter.
-  std::vector<const ProbeHistory*> single_as;
+  std::vector<std::size_t> single_as;
   single_as.reserve(histories.size());
-  for (const ProbeHistory& history : histories) {
-    if (history.multi_as()) {
+  for (std::size_t i = 0; i < histories.size(); ++i) {
+    if (summaries[i].multi_as) {
       ++result.probes_multi_as;
     } else {
-      single_as.push_back(&history);
-      result.single_as_addresses += history.distinct_addresses();
+      single_as.push_back(i);
+      result.single_as_addresses += summaries[i].distinct_addresses;
     }
   }
   result.probes_single_as = single_as.size();
-  for (const ProbeHistory* history : single_as) {
-    if (history->allocation_count() >= 2) ++result.probes_with_changes;
+  for (const std::size_t i : single_as) {
+    if (summaries[i].allocation_count >= 2) ++result.probes_with_changes;
   }
 
   // Step 3: knee of the allocation-count curve (Figure 2).
   result.allocation_curve.reserve(single_as.size());
-  for (const ProbeHistory* history : single_as) {
+  for (const std::size_t i : single_as) {
     result.allocation_curve.push_back(
-        static_cast<double>(history->allocation_count()));
+        static_cast<double>(summaries[i].allocation_count));
   }
   std::sort(result.allocation_curve.rbegin(), result.allocation_curve.rend());
   result.knee_allocations =
@@ -145,45 +186,42 @@ PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
                                       config.knee_sensitivity);
 
   // Stage-0 prefix footprint: everything any probe held.
-  for (const ProbeHistory& history : histories) {
-    for (const auto& record : history.allocations) {
-      result.all_probe_prefixes.insert(
-          net::Ipv4Prefix(record.address, config.expand_prefix_length));
+  for (const HistorySummary& summary : summaries) {
+    for (const net::Ipv4Prefix prefix : summary.prefixes) {
+      result.all_probe_prefixes.insert(prefix);
     }
   }
 
   // Steps 3+4: thresholds, then /24 expansion; intermediate footprints are
   // kept for the Figure 4 funnel.
-  for (const ProbeHistory* history : single_as) {
-    if (history->allocation_count() >= 2) {
-      for (const auto& record : history->allocations) {
-        result.single_as_change_prefixes.insert(
-            net::Ipv4Prefix(record.address, config.expand_prefix_length));
+  for (const std::size_t i : single_as) {
+    const HistorySummary& summary = summaries[i];
+    if (summary.allocation_count >= 2) {
+      for (const net::Ipv4Prefix prefix : summary.prefixes) {
+        result.single_as_change_prefixes.insert(prefix);
       }
     }
-    if (history->allocation_count() <
+    if (summary.allocation_count <
         static_cast<std::size_t>(result.knee_allocations)) {
       continue;
     }
     ++result.probes_above_knee;
-    for (const auto& record : history->allocations) {
-      result.above_knee_prefixes.insert(
-          net::Ipv4Prefix(record.address, config.expand_prefix_length));
+    for (const net::Ipv4Prefix prefix : summary.prefixes) {
+      result.above_knee_prefixes.insert(prefix);
     }
-    std::size_t gaps_excluded = 0;
-    const auto interval =
-        history->mean_change_interval(config.max_change_gap, &gaps_excluded);
-    if (gaps_excluded > 0) {
-      result.change_gaps_capped += gaps_excluded;
+    if (summary.gaps_excluded > 0) {
+      result.change_gaps_capped += summary.gaps_excluded;
       ++result.probes_gap_affected;
     }
-    if (!interval || *interval > config.daily_threshold) continue;
+    if (!summary.capped_interval ||
+        *summary.capped_interval > config.daily_threshold) {
+      continue;
+    }
     ++result.probes_daily;
-    result.qualifying_probes.push_back(history->probe_id);
-    result.qualifying_addresses += history->distinct_addresses();
-    for (const auto& record : history->allocations) {
-      result.dynamic_prefixes.insert(
-          net::Ipv4Prefix(record.address, config.expand_prefix_length));
+    result.qualifying_probes.push_back(histories[i].probe_id);
+    result.qualifying_addresses += summary.distinct_addresses;
+    for (const net::Ipv4Prefix prefix : summary.prefixes) {
+      result.dynamic_prefixes.insert(prefix);
     }
   }
   return result;

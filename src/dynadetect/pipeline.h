@@ -25,6 +25,10 @@
 #include "netbase/prefix_trie.h"
 #include "netbase/sim_time.h"
 
+namespace reuse::net {
+class ThreadPool;
+}
+
 namespace reuse::dynadetect {
 
 /// One probe's deduplicated allocation history.
@@ -102,9 +106,14 @@ struct PipelineResult {
   net::PrefixSet above_knee_prefixes;       ///< ... with >= knee allocations
 };
 
+/// Runs steps 1–5. Per-probe summaries (AS spread, distinct addresses, /24
+/// expansion, gap-capped change interval) are pure per history, so with a
+/// thread pool they compute in parallel; the funnel itself then folds them
+/// serially in probe order — byte-identical results for any pool size
+/// (nullptr = serial).
 [[nodiscard]] PipelineResult run_pipeline(
     std::span<const atlas::ConnectionRecord> records,
-    const PipelineConfig& config = {});
+    const PipelineConfig& config = {}, net::ThreadPool* pool = nullptr);
 
 /// Step 3 in isolation: the knee of a descending allocation-count curve,
 /// returned as the allocation count at the knee. Returns fallback when the

@@ -23,6 +23,17 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+class Rng;
+
+/// Counter-derived RNG substream: an independent generator for unit `index`
+/// of the stream tagged `salt`, as a pure function of (seed, salt, index).
+/// Unlike Rng::fork(), no draws are taken from any parent generator, so unit
+/// k's stream is identical no matter how many units exist, in which order
+/// they run, or on which thread — the property the parallel simulation
+/// stages rely on for byte-identical results at any --jobs value.
+[[nodiscard]] Rng substream(std::uint64_t seed, std::uint64_t salt,
+                            std::uint64_t index);
+
 /// xoshiro256** generator with distribution helpers used across the
 /// simulators. Satisfies UniformRandomBitGenerator.
 class Rng {
@@ -165,5 +176,13 @@ class Rng {
 
   std::array<std::uint64_t, 4> state_{};
 };
+
+inline Rng substream(std::uint64_t seed, std::uint64_t salt,
+                     std::uint64_t index) {
+  std::uint64_t state = seed ^ (salt * 0x9e3779b97f4a7c15ULL);
+  (void)splitmix64(state);
+  state ^= index * 0xbf58476d1ce4e5b9ULL;
+  return Rng(splitmix64(state));
+}
 
 }  // namespace reuse::net

@@ -1,0 +1,115 @@
+#include "netbase/thread_pool.h"
+
+#include <algorithm>
+
+namespace reuse::net {
+namespace {
+
+// Set while a thread (worker or caller) executes a batch; a parallel_for
+// issued from inside a body then runs inline instead of deadlocking on the
+// pool that is already busy running it.
+thread_local bool t_in_batch = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t jobs) {
+  const std::size_t worker_count = jobs < 2 ? 0 : jobs - 1;
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  t_in_batch = true;
+  for (;;) {
+    const std::size_t begin =
+        batch.next.fetch_add(batch.grain, std::memory_order_relaxed);
+    if (begin >= batch.count) break;
+    const std::size_t end = std::min(batch.count, begin + batch.grain);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (batch.failed.load(std::memory_order_relaxed)) {
+        t_in_batch = false;
+        return;
+      }
+      try {
+        (*batch.body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.error_mutex);
+        if (batch.error == nullptr || i < batch.error_index) {
+          batch.error = std::current_exception();
+          batch.error_index = i;
+        }
+        batch.failed.store(true, std::memory_order_relaxed);
+        t_in_batch = false;
+        return;
+      }
+    }
+  }
+  t_in_batch = false;
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (count == 0) return;
+  if (grain == 0) {
+    // Fine enough to balance uneven units, coarse enough that the atomic
+    // counter is not contended; 8 grabs per participant on average.
+    grain = std::max<std::size_t>(1, count / (jobs() * 8));
+  }
+  if (t_in_batch || workers_.empty() || count == 1) {
+    // Serial path: exceptions propagate directly from the failing index.
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  Batch batch;
+  batch.count = count;
+  batch.grain = grain;
+  batch.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    current_ = &batch;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_batch(batch);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    current_ = nullptr;
+  }
+  if (batch.error != nullptr) std::rethrow_exception(batch.error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    Batch* batch = current_;
+    lock.unlock();
+    run_batch(*batch);
+    lock.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace reuse::net

@@ -1,0 +1,109 @@
+// Fixed-size thread pool for the embarrassingly-parallel simulation stages.
+//
+// The scenario runner's hot loops (per-feed blocklist evolution, per-probe
+// allocation simulation, per-sample census probing, per-/24 join work) are
+// independent by construction — the paper collects each blocklist and each
+// Atlas probe separately — so they parallelize without any cross-unit
+// communication. The pool provides the one primitive they need:
+// `parallel_for(count, body)` runs body(i) for every i in [0, count),
+// blocking until all complete.
+//
+// Determinism contract: the pool never influences results. Work is handed
+// out by an atomic index counter (dynamic load balancing), but each unit
+// writes only to its own index-addressed slot, so merged results are in
+// index order no matter how the units were scheduled. Combined with
+// counter-derived RNG substreams (net::substream), a run with N workers is
+// byte-identical to a serial run. Exceptions thrown by units are caught,
+// the batch drains, and the exception with the lowest index rethrows on the
+// caller — so error behaviour is deterministic too.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reuse::net {
+
+class ThreadPool {
+ public:
+  /// Total parallelism `jobs` (>= 1): the caller participates in every
+  /// batch, so `jobs - 1` worker threads are spawned. A pool with jobs == 1
+  /// spawns no threads and runs every batch inline on the caller — that is
+  /// the serial path, byte-identical by construction.
+  explicit ThreadPool(std::size_t jobs = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  [[nodiscard]] std::size_t jobs() const { return workers_.size() + 1; }
+
+  /// The machine's hardware thread count (>= 1); what `--jobs 0` resolves to.
+  [[nodiscard]] static std::size_t hardware_jobs();
+
+  /// Runs body(i) for every i in [0, count); returns when all completed.
+  /// `grain` is the number of consecutive indices claimed per grab (0 picks
+  /// one automatically). If any body throws, the batch stops claiming new
+  /// work and the exception with the lowest index is rethrown here. Nested
+  /// calls from inside a body run inline on that worker (no deadlock).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// parallel_for that collects fn(i) into a vector in index order — the
+  /// result is identical for every jobs value. T must be default-
+  /// constructible and move-assignable.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> parallel_map(std::size_t count, Fn&& fn,
+                                            std::size_t grain = 0) {
+    std::vector<T> results(count);
+    parallel_for(
+        count, [&](std::size_t i) { results[i] = fn(i); }, grain);
+    return results;
+  }
+
+ private:
+  struct Batch {
+    std::size_t count = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::size_t error_index = 0;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  static void run_batch(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+/// Serial-or-parallel helper for call sites holding a nullable pool: runs
+/// body(i) for i in [0, count) on the pool when one is given, else inline.
+inline void for_each_index(ThreadPool* pool, std::size_t count,
+                           const std::function<void(std::size_t)>& body,
+                           std::size_t grain = 0) {
+  if (pool != nullptr) {
+    pool->parallel_for(count, body, grain);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
+
+}  // namespace reuse::net

@@ -85,14 +85,16 @@ const FaultEpisode* FaultInjector::feed_episode(FaultKind kind,
 
 bool FaultInjector::drop_request(const net::Endpoint& to, net::SimTime now) {
   if (!active()) return false;
+  // Stateful burst_rng_ draw: single-threaded by the stage contract.
+  assert_stage(FaultStage::kCrawl);
   if (bootstrap_set_ && to == bootstrap_ &&
       covering(FaultKind::kBootstrapOutage, now) != nullptr) {
-    ++stats_.bootstrap_blackholes;
+    ledger_.bootstrap_blackholes.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   if (const FaultEpisode* burst = covering(FaultKind::kBurstLoss, now);
       burst != nullptr && burst_rng_.bernoulli(burst->severity)) {
-    ++stats_.burst_request_drops;
+    ledger_.burst_request_drops.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -100,9 +102,10 @@ bool FaultInjector::drop_request(const net::Endpoint& to, net::SimTime now) {
 
 bool FaultInjector::drop_response(net::SimTime now) {
   if (!active()) return false;
+  assert_stage(FaultStage::kCrawl);
   if (const FaultEpisode* burst = covering(FaultKind::kBurstLoss, now);
       burst != nullptr && burst_rng_.bernoulli(burst->severity)) {
-    ++stats_.burst_response_drops;
+    ledger_.burst_response_drops.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -111,19 +114,21 @@ bool FaultInjector::drop_response(net::SimTime now) {
 bool FaultInjector::feed_snapshot_missing(std::size_t list_index,
                                           std::int64_t day) {
   if (!active()) return false;
+  assert_stage(FaultStage::kEcosystem);
   if (feed_episode(FaultKind::kFeedOutage, list_index, day) == nullptr) {
     return false;
   }
-  ++stats_.feed_snapshots_suppressed;
+  ledger_.feed_snapshots_suppressed.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 bool FaultInjector::feed_corrupted(std::size_t list_index, std::int64_t day) {
   if (!active()) return false;
+  assert_stage(FaultStage::kEcosystem);
   if (feed_episode(FaultKind::kFeedCorruption, list_index, day) == nullptr) {
     return false;
   }
-  ++stats_.feeds_corrupted;
+  ledger_.feeds_corrupted.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -167,8 +172,9 @@ std::string FaultInjector::corrupt_feed_text(std::string text,
 
 bool FaultInjector::atlas_record_suppressed(net::SimTime t) {
   if (!active()) return false;
+  assert_stage(FaultStage::kFleet);
   if (covering(FaultKind::kAtlasGap, t) == nullptr) return false;
-  ++stats_.atlas_records_suppressed;
+  ledger_.atlas_records_suppressed.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

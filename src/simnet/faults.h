@@ -18,6 +18,8 @@
 // byte-identical to a run without any injector attached.
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -90,10 +92,31 @@ struct FaultStats {
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
 
+/// The pipeline stage that currently owns the injector. Hooks are grouped
+/// by stage (transport hooks fire only during the crawl, feed hooks only
+/// during the ecosystem, atlas hooks only during the fleet); with the
+/// parallel scenario runner the feed and atlas hooks are called from worker
+/// threads, so debug builds assert that every ledger mutation comes from the
+/// hook family of the stage declared active — a hook firing out of stage is
+/// exactly the cross-thread hazard that would silently skew reconciliation.
+enum class FaultStage : std::uint8_t {
+  kAny = 0,  ///< no stage declared (standalone use, unit tests)
+  kEcosystem,
+  kCrawl,
+  kFleet,
+};
+
 /// Evaluates a FaultPlan at each injection site and keeps the injected-fault
 /// ledger. One injector is shared by every subsystem of a scenario run so
 /// the ledger spans the whole pipeline. A default-constructed injector is
 /// inert (empty plan).
+///
+/// Thread safety: the ledger counters are atomic, so the per-(list, day)
+/// feed hooks and the atlas hook may be called concurrently from the
+/// parallel ecosystem/fleet stages — increments are order-independent sums,
+/// so the final ledger is deterministic for any --jobs value. The transport
+/// hooks draw from a private *stateful* generator and must stay
+/// single-threaded; the stage assertions enforce that in debug builds.
 class FaultInjector {
  public:
   FaultInjector() = default;
@@ -101,7 +124,23 @@ class FaultInjector {
 
   [[nodiscard]] bool active() const { return !plan_.empty(); }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
-  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  /// Snapshot of the ledger (by value: the live counters are atomic).
+  [[nodiscard]] FaultStats stats() const {
+    FaultStats out;
+    out.burst_request_drops = ledger_.burst_request_drops.load();
+    out.burst_response_drops = ledger_.burst_response_drops.load();
+    out.bootstrap_blackholes = ledger_.bootstrap_blackholes.load();
+    out.feed_snapshots_suppressed = ledger_.feed_snapshots_suppressed.load();
+    out.feeds_corrupted = ledger_.feeds_corrupted.load();
+    out.atlas_records_suppressed = ledger_.atlas_records_suppressed.load();
+    return out;
+  }
+
+  /// Declares the stage whose hooks may mutate the ledger until the next
+  /// call (kAny disables the check). Debug builds assert on out-of-stage
+  /// mutations; release builds compile the check away.
+  void begin_stage(FaultStage stage) { stage_ = stage; }
+  [[nodiscard]] FaultStage current_stage() const { return stage_; }
 
   /// Marks the crawler's front door so bootstrap outages know whom to
   /// blackhole; without it kBootstrapOutage episodes are inert.
@@ -134,6 +173,17 @@ class FaultInjector {
   [[nodiscard]] bool atlas_record_suppressed(net::SimTime t);
 
  private:
+  /// Atomic mirror of FaultStats: hooks on parallel stages increment
+  /// concurrently; stats() snapshots into the plain value type.
+  struct AtomicLedger {
+    std::atomic<std::uint64_t> burst_request_drops{0};
+    std::atomic<std::uint64_t> burst_response_drops{0};
+    std::atomic<std::uint64_t> bootstrap_blackholes{0};
+    std::atomic<std::uint64_t> feed_snapshots_suppressed{0};
+    std::atomic<std::uint64_t> feeds_corrupted{0};
+    std::atomic<std::uint64_t> atlas_records_suppressed{0};
+  };
+
   [[nodiscard]] const FaultEpisode* covering(FaultKind kind,
                                              net::SimTime t) const;
   /// The episode of `kind` covering day `day` whose list-selection hash
@@ -142,12 +192,38 @@ class FaultInjector {
                                                  std::size_t list_index,
                                                  std::int64_t day) const;
 
+  void assert_stage([[maybe_unused]] FaultStage expected) const {
+    assert(stage_ == FaultStage::kAny || stage_ == expected);
+  }
+
   FaultPlan plan_;
   std::vector<FaultEpisode> by_kind_[kFaultKindCount];
   bool bootstrap_set_ = false;
   net::Endpoint bootstrap_{};
-  net::Rng burst_rng_{0};  ///< private stream: burst draws only
-  FaultStats stats_;
+  net::Rng burst_rng_{0};  ///< private stream: burst draws only (crawl stage)
+  FaultStage stage_ = FaultStage::kAny;
+  AtomicLedger ledger_;
+};
+
+/// RAII stage-ownership marker: declares `stage` active on construction and
+/// restores the previous stage on destruction. A null injector is a no-op.
+class StageGuard {
+ public:
+  StageGuard(FaultInjector* injector, FaultStage stage)
+      : injector_(injector),
+        previous_(injector != nullptr ? injector->current_stage()
+                                      : FaultStage::kAny) {
+    if (injector_ != nullptr) injector_->begin_stage(stage);
+  }
+  ~StageGuard() {
+    if (injector_ != nullptr) injector_->begin_stage(previous_);
+  }
+  StageGuard(const StageGuard&) = delete;
+  StageGuard& operator=(const StageGuard&) = delete;
+
+ private:
+  FaultInjector* injector_;
+  FaultStage previous_;
 };
 
 }  // namespace reuse::sim

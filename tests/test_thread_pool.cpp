@@ -1,0 +1,165 @@
+// The thread pool's only promise is that parallelism never shows: results
+// land in index order, exceptions rethrow deterministically (lowest index
+// wins), and a jobs == 1 pool is the serial loop. These tests exercise the
+// scheduling corners — empty batches, counts far above the worker count,
+// grain sizes bigger than the batch, nested calls from inside a body — that
+// the scenario stages rely on implicitly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netbase/rng.h"
+#include "netbase/thread_pool.h"
+
+namespace reuse::net {
+namespace {
+
+std::vector<std::size_t> touched_indices(ThreadPool& pool, std::size_t count,
+                                         std::size_t grain = 0) {
+  std::vector<std::atomic<int>> hits(count);
+  pool.parallel_for(
+      count, [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    out.push_back(i);
+  }
+  return out;
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(jobs);
+    EXPECT_EQ(pool.jobs(), jobs);
+    for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{1000}}) {
+      EXPECT_EQ(touched_indices(pool, count).size(), count)
+          << "jobs=" << jobs << " count=" << count;
+    }
+  }
+}
+
+TEST(ThreadPool, GrainLargerThanCountStillCoversAll) {
+  ThreadPool pool(4);
+  EXPECT_EQ(touched_indices(pool, 5, /*grain=*/100).size(), 5u);
+  EXPECT_EQ(touched_indices(pool, 64, /*grain=*/7).size(), 64u);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(8);
+  const std::vector<int> squares =
+      pool.parallel_map<int>(257, [](std::size_t i) {
+        return static_cast<int>(i * i);
+      });
+  ASSERT_EQ(squares.size(), 257u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossJobCounts) {
+  // The determinism contract the scenario stages build on: per-index
+  // substreams + index-ordered collection give byte-identical output for
+  // every pool size.
+  auto run = [](std::size_t jobs) {
+    ThreadPool pool(jobs);
+    return pool.parallel_map<std::uint64_t>(500, [](std::size_t i) {
+      Rng rng = substream(/*seed=*/99, /*salt=*/0x7e57, i);
+      std::uint64_t sum = 0;
+      for (int draw = 0; draw < 10; ++draw) {
+        sum += rng.uniform(std::uint64_t{1} << 40);
+      }
+      return sum;
+    });
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+  ThreadPool pool(8);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    try {
+      pool.parallel_for(200, [&](std::size_t i) {
+        if (i % 3 == 1) {  // 1 is the smallest failing index.
+          throw std::runtime_error("unit " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected parallel_for to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "unit 1");
+    }
+  }
+}
+
+TEST(ThreadPool, PoolSurvivesExceptionAndRunsAgain) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   10, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The pool must be reusable after a failed batch.
+  EXPECT_EQ(touched_indices(pool, 100).size(), 100u);
+}
+
+TEST(ThreadPool, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    // A body that itself calls parallel_for must not wait on workers that
+    // are all busy running bodies — nested batches run inline.
+    pool.parallel_for(16, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SingleJobPoolSpawnsNoThreadsButWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(10, [&](std::size_t i) { order.push_back(i); });
+  // Serial path runs strictly in index order on the caller.
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, HardwareJobsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+TEST(ForEachIndex, NullPoolRunsSerial) {
+  std::vector<std::size_t> order;
+  for_each_index(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ForEachIndex, ForwardsToPool) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for_each_index(&pool, 300, [&](std::size_t i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 300u * 299u / 2u);
+}
+
+TEST(Substream, IsPureAndIndexSensitive) {
+  // substream() must be a pure function of (seed, salt, index): calling it
+  // twice gives the same stream, and adjacent indices give distinct streams.
+  Rng a = substream(7, 0xfeed, 3);
+  Rng b = substream(7, 0xfeed, 3);
+  Rng c = substream(7, 0xfeed, 4);
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t va = a();
+    EXPECT_EQ(va, b());
+    any_diff |= va != c();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace reuse::net

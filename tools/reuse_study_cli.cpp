@@ -3,8 +3,8 @@
 // prefix list, and a machine-readable summary.
 //
 //   reuse_study [--seed N] [--ases N] [--crawl-days N] [--probes N]
-//               [--out-dir DIR] [--census] [--cache [--cache-file PATH]]
-//               [--chaos [--chaos-seed N]]
+//               [--jobs N] [--out-dir DIR] [--census]
+//               [--cache [--cache-file PATH]] [--chaos [--chaos-seed N]]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -25,6 +25,10 @@ int main(int argc, char** argv) {
   flags.define("ases", "autonomous systems in the synthetic Internet", "300");
   flags.define("crawl-days", "simulated crawl length", "3");
   flags.define("probes", "Atlas-style probes", "2000");
+  flags.define("jobs",
+               "worker threads for the parallel stages (0 = all hardware "
+               "threads); results are identical for every value",
+               "1");
   flags.define("out-dir", "directory for exported artifacts", ".");
   flags.define_bool("census", "also run the ICMP census baseline");
   flags.define_bool("cache",
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   config.fleet.probe_count =
       static_cast<std::size_t>(flags.get_int("probes").value_or(2000));
   config.run_census = flags.get_bool("census");
+  config.jobs = static_cast<int>(flags.get_int("jobs").value_or(1));
   const bool chaos = flags.get_bool("chaos");
   if (chaos) {
     const auto chaos_seed =
@@ -86,25 +91,29 @@ int main(int argc, char** argv) {
       return analysis::run_scenario_cached(config, flags.get("cache-file"));
     }
     analysis::Scenario fresh = analysis::run_scenario(config);
-    return analysis::CachedScenario{std::move(fresh.config),
-                                    std::move(fresh.world),
-                                    std::move(fresh.catalogue),
-                                    std::move(fresh.ecosystem),
-                                    std::move(fresh.crawl),
-                                    std::move(fresh.fleet),
-                                    std::move(fresh.pipeline),
-                                    std::move(fresh.census),
-                                    std::move(fresh.degradation),
-                                    /*cache_hit=*/false};
+    analysis::CachedScenario wrapped{std::move(fresh.config),
+                                     std::move(fresh.world),
+                                     std::move(fresh.catalogue),
+                                     std::move(fresh.ecosystem),
+                                     std::move(fresh.crawl),
+                                     std::move(fresh.fleet),
+                                     std::move(fresh.pipeline),
+                                     std::move(fresh.census),
+                                     std::move(fresh.degradation),
+                                     /*cache_hit=*/false};
+    wrapped.stage_times = std::move(fresh.stage_times);
+    return wrapped;
   }();
   if (use_cache) {
     std::cerr << (s.cache_hit ? "loaded crawl+ecosystem from cache\n"
                               : "simulated fresh and wrote cache\n");
   }
 
+  const std::unique_ptr<net::ThreadPool> pool =
+      analysis::make_scenario_pool(config.jobs);
   const analysis::ReuseImpact impact = analysis::compute_reuse_impact(
       s.ecosystem.store, s.catalogue, s.crawl.nated_set,
-      s.pipeline.dynamic_prefixes);
+      s.pipeline.dynamic_prefixes, pool.get());
 
   const std::filesystem::path out_dir(flags.get("out-dir"));
   std::error_code ec;
@@ -169,6 +178,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  std::cerr << "stage times: " << s.stage_times.to_json(config.jobs) << '\n';
   std::cerr << "artifacts written to " << out_dir.string() << "/\n";
   return 0;
 }
