@@ -19,6 +19,7 @@
 #include "analysis/impact.h"
 #include "analysis/report.h"
 #include "netbase/chart.h"
+#include "netbase/flags.h"
 #include "netbase/stats.h"
 #include "netbase/table.h"
 
@@ -27,13 +28,22 @@ namespace bench {
 inline constexpr std::uint64_t kBenchSeed = 42;
 
 /// Worker threads for the parallel scenario stages, from $REUSE_JOBS
-/// (0 = all hardware threads; unset or invalid = 1). Results are identical
-/// for every value, so this is purely a wall-clock knob.
+/// (0 = all hardware threads; unset = 1). Results are identical for every
+/// value, so this is purely a wall-clock knob. An invalid value (negative,
+/// garbage, trailing characters) aborts with an error instead of silently
+/// running serial — a typo'd REUSE_JOBS=-8 benchmark would otherwise look
+/// like a real slowdown.
 inline int jobs_from_env() {
   const char* raw = std::getenv("REUSE_JOBS");
   if (raw == nullptr || *raw == '\0') return 1;
-  const int jobs = std::atoi(raw);
-  return jobs < 0 ? 1 : jobs;
+  const std::optional<int> jobs = reuse::net::parse_jobs(raw);
+  if (!jobs) {
+    std::cerr << "error: REUSE_JOBS must be a non-negative integer "
+                 "(0 = all hardware threads), got \""
+              << raw << "\"\n";
+    std::exit(2);
+  }
+  return *jobs;
 }
 
 /// Loads (or simulates and caches) the standard bench scenario.

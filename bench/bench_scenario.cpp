@@ -50,7 +50,14 @@ int main(int argc, char** argv) {
   config.run_census = true;
   config.finalize();
 
-  int jobs = static_cast<int>(flags.get_int("jobs").value_or(0));
+  const std::optional<int> parsed_jobs = net::parse_jobs(flags.get("jobs"));
+  if (!parsed_jobs) {
+    std::cerr << "error: --jobs must be a non-negative integer (0 = all "
+                 "hardware threads), got \""
+              << flags.get("jobs") << "\"\n";
+    return 2;
+  }
+  int jobs = *parsed_jobs;
   if (jobs == 0) jobs = static_cast<int>(net::ThreadPool::hardware_jobs());
 
   auto run_once = [&config](int run_jobs) {

@@ -286,6 +286,24 @@ bool read_faults(net::BinaryReader& reader, sim::FaultStats& injected) {
 
 }  // namespace
 
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m{
+      net::metrics::counter("cache_hits_total",
+                            "Scenario caches restored successfully"),
+      net::metrics::counter("cache_misses_total",
+                            "Cache probes that found no readable file"),
+      net::metrics::counter("cache_rejects_total",
+                            "Cache files present but rejected by validation "
+                            "(magic/version/fingerprint/checksum/decode)"),
+      net::metrics::counter("cache_saves_total", "Cache files written"),
+      net::metrics::counter("cache_bytes_read_total",
+                            "Payload bytes of restored cache files"),
+      net::metrics::counter("cache_bytes_written_total",
+                            "Payload bytes of saved cache files"),
+  };
+  return m;
+}
+
 bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
                          const CrawlOutput& crawl,
                          const blocklist::EcosystemResult& ecosystem,
@@ -336,28 +354,41 @@ bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
     std::filesystem::remove(tmp_path, cleanup_ec);
     return false;
   }
+  cache_metrics().saves.increment();
+  cache_metrics().bytes_written.add(payload.size());
   return true;
 }
 
 std::optional<CachedCore> load_scenario_cache(const std::string& path,
                                               const ScenarioConfig& config) {
+  CacheMetrics& metrics = cache_metrics();
   std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
-  net::BinaryReader reader(is);
-  if (reader.read<std::uint64_t>() != kMagic) return std::nullopt;
-  if (reader.read<std::uint32_t>() != kVersion) return std::nullopt;
-  if (reader.read<std::uint32_t>() != kCalibrationVersion) return std::nullopt;
-  if (reader.read<std::uint64_t>() != config_fingerprint(config)) {
+  if (!is) {
+    metrics.misses.increment();
     return std::nullopt;
   }
-  if (reader.read<std::uint64_t>() != config.seed) return std::nullopt;
+  // Anything readable-but-invalid from here on is a *reject*: the file
+  // exists but cannot be trusted (stale version, foreign config, torn or
+  // corrupted payload) and the scenario re-simulates.
+  const auto reject = [&metrics]() -> std::optional<CachedCore> {
+    metrics.rejects.increment();
+    return std::nullopt;
+  };
+  net::BinaryReader reader(is);
+  if (reader.read<std::uint64_t>() != kMagic) return reject();
+  if (reader.read<std::uint32_t>() != kVersion) return reject();
+  if (reader.read<std::uint32_t>() != kCalibrationVersion) return reject();
+  if (reader.read<std::uint64_t>() != config_fingerprint(config)) {
+    return reject();
+  }
+  if (reader.read<std::uint64_t>() != config.seed) return reject();
   if (reader.read<std::uint64_t>() !=
       static_cast<std::uint64_t>(config.world.as_count)) {
-    return std::nullopt;
+    return reject();
   }
   const std::uint64_t payload_size = reader.read_size(kMaxPayloadBytes);
   const std::uint64_t expected_checksum = reader.read<std::uint64_t>();
-  if (!reader.ok()) return std::nullopt;
+  if (!reader.ok()) return reject();
 
   // Pull the whole payload and checksum it before decoding anything: a
   // truncated file (crashed writer on a non-atomic filesystem, partial
@@ -365,16 +396,18 @@ std::optional<CachedCore> load_scenario_cache(const std::string& path,
   std::string payload(payload_size, '\0');
   is.read(payload.data(), static_cast<std::streamsize>(payload_size));
   if (static_cast<std::uint64_t>(is.gcount()) != payload_size) {
-    return std::nullopt;
+    return reject();
   }
-  if (net::fnv1a_64(payload) != expected_checksum) return std::nullopt;
+  if (net::fnv1a_64(payload) != expected_checksum) return reject();
 
   std::istringstream payload_stream(std::move(payload));
   net::BinaryReader payload_reader(payload_stream);
   CachedCore core;
-  if (!read_crawl(payload_reader, core.crawl)) return std::nullopt;
-  if (!read_store(payload_reader, core.ecosystem)) return std::nullopt;
-  if (!read_faults(payload_reader, core.injected)) return std::nullopt;
+  if (!read_crawl(payload_reader, core.crawl)) return reject();
+  if (!read_store(payload_reader, core.ecosystem)) return reject();
+  if (!read_faults(payload_reader, core.injected)) return reject();
+  metrics.hits.increment();
+  metrics.bytes_read.add(payload_size);
   return core;
 }
 
@@ -455,6 +488,11 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
                  ? census::run_census(world, config.census, {}, pool.get())
                  : census::CensusResult{};
     });
+    // The crawl and ecosystem were restored, not re-run, so their stage
+    // publishers never fired; publish from the cached products so the run
+    // manifest carries the numbers this run's products actually embody.
+    publish_crawl_metrics(cached->crawl);
+    blocklist::publish_feed_metrics(cached->ecosystem.stats);
     sim::FaultStats injected = cached->injected;
     injected.atlas_records_suppressed =
         fleet_injector.stats().atlas_records_suppressed;

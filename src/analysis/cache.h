@@ -23,6 +23,7 @@
 #include <string>
 
 #include "analysis/scenario.h"
+#include "netbase/metrics.h"
 
 namespace reuse::analysis {
 
@@ -80,6 +81,19 @@ struct CachedScenario {
 
 [[nodiscard]] CachedScenario run_scenario_cached(ScenarioConfig config,
                                                  const std::string& path = {});
+
+/// Registry handles for the cache_ metric family, registered on first use.
+/// Shared by the loader/saver and the run-manifest writer, so a run that
+/// never consults the cache still exports the family (at zero).
+struct CacheMetrics {
+  net::metrics::Counter& hits;           ///< valid cache files restored
+  net::metrics::Counter& misses;         ///< file absent or unreadable
+  net::metrics::Counter& rejects;        ///< present but failed validation
+  net::metrics::Counter& saves;          ///< cache files written
+  net::metrics::Counter& bytes_read;     ///< payload bytes of restored caches
+  net::metrics::Counter& bytes_written;  ///< payload bytes of saved caches
+};
+CacheMetrics& cache_metrics();
 
 /// Checks whether `path` can serve as a cache file before any simulation
 /// work is spent: an existing path must be a readable regular file, and a

@@ -1,0 +1,93 @@
+#include "analysis/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "analysis/cache.h"
+#include "netbase/json.h"
+#include "netbase/metrics.h"
+#include "netbase/thread_pool.h"
+#include "simnet/faults.h"
+
+namespace reuse::analysis {
+namespace {
+
+std::string hex_fingerprint(std::uint64_t fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+void append_fault_plan(std::ostringstream& out, const sim::FaultPlan& plan) {
+  out << "{\"seed\": " << plan.seed
+      << ", \"episodes\": " << plan.episodes.size() << ", \"by_kind\": {";
+  // std::map: kinds render in sorted order, so equal plans render equally.
+  std::map<std::string, std::size_t> by_kind;
+  for (const sim::FaultEpisode& episode : plan.episodes) {
+    ++by_kind[std::string(sim::to_string(episode.kind))];
+  }
+  bool first = true;
+  for (const auto& [kind, count] : by_kind) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << net::json_escape(kind) << "\": " << count;
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+std::string run_manifest_json(const RunManifestInfo& info) {
+  // Touch the registration hooks of families a run may never exercise, so
+  // the snapshot below always covers every instrumented subsystem.
+  (void)cache_metrics();
+  (void)sim::FaultInjector(sim::FaultPlan{});
+  net::detail::note_tasks_run(0);
+
+  std::ostringstream out;
+  out << "{\"schema_version\": 1";
+  out << ", \"tool\": \"" << net::json_escape(info.tool) << '"';
+  out << ", \"calibration_version\": " << kCalibrationVersion;
+  if (info.config != nullptr) {
+    out << ", \"config_fingerprint\": \""
+        << hex_fingerprint(config_fingerprint(*info.config)) << '"';
+    out << ", \"seed\": " << info.config->seed;
+    out << ", \"jobs\": " << info.config->jobs;
+    out << ", \"fault_plan\": ";
+    append_fault_plan(out, info.config->faults);
+  } else {
+    out << ", \"config_fingerprint\": null, \"seed\": null, \"jobs\": null"
+        << ", \"fault_plan\": null";
+  }
+  if (info.cache_hit.has_value()) {
+    out << ", \"cache\": {\"consulted\": true, \"hit\": "
+        << (*info.cache_hit ? "true" : "false") << '}';
+  } else {
+    out << ", \"cache\": null";
+  }
+  if (info.stage_times != nullptr) {
+    out << ", \"stages\": "
+        << info.stage_times->to_json(
+               info.config != nullptr ? info.config->jobs : 0);
+  } else {
+    out << ", \"stages\": null";
+  }
+  out << ", \"metrics\": " << net::metrics::Registry::global().to_json();
+  out << '}';
+  return out.str();
+}
+
+std::optional<std::string> write_run_manifest(const std::string& path,
+                                              const RunManifestInfo& info) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return "cannot open metrics output file: " + path;
+  os << run_manifest_json(info) << '\n';
+  os.flush();
+  if (!os.good()) return "failed writing metrics output file: " + path;
+  return std::nullopt;
+}
+
+}  // namespace reuse::analysis

@@ -1,0 +1,48 @@
+// Run manifest: one JSON document that explains a run.
+//
+// CI (and anyone debugging a drifted figure) gets a single artifact tying
+// together *what* ran — calibration version, config fingerprint, seed,
+// jobs, fault plan — with *what happened*: per-stage wall-clock and the
+// full metrics snapshot across all instrumented subsystems (crawler,
+// feeds, atlas, pipeline, cache, faults, pool). Written by the CLIs'
+// --metrics-out flag; schema documented in DESIGN.md §9 and smoke-checked
+// by the CI jq gate.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/scenario.h"
+#include "analysis/stage_timer.h"
+
+namespace reuse::analysis {
+
+/// Everything the manifest describes. `config` and `stage_times` are
+/// borrowed for the duration of the call; either may be nullptr for tools
+/// that run no scenario (their fields render as null).
+struct RunManifestInfo {
+  std::string tool;                         ///< e.g. "reuse_study"
+  const ScenarioConfig* config = nullptr;   ///< finalized scenario config
+  const StageTimer* stage_times = nullptr;  ///< per-stage wall clock
+  std::optional<bool> cache_hit;            ///< set iff a cache was consulted
+};
+
+/// Renders the manifest as one JSON object (schema_version 1):
+///   {"schema_version", "tool", "calibration_version",
+///    "config_fingerprint" (16-hex string | null), "seed" | null,
+///    "jobs" | null, "cache": {"consulted", "hit"} | null,
+///    "fault_plan": {"seed", "episodes", "by_kind"} | null,
+///    "stages": StageTimer JSON | null, "metrics": registry snapshot}
+/// Touches the cross-cutting families' registration hooks first (cache_,
+/// faults_, pool_), so a run that never consulted the cache or injected a
+/// fault still reports them at zero. The scenario stages (crawler_, feeds_,
+/// atlas_, pipeline_) publish their families when they run, so any manifest
+/// from a scenario-running tool covers all seven instrumented subsystems.
+[[nodiscard]] std::string run_manifest_json(const RunManifestInfo& info);
+
+/// Writes run_manifest_json(info) to `path` (plus a trailing newline).
+/// Returns a human-readable error on failure, nullopt on success.
+std::optional<std::string> write_run_manifest(const std::string& path,
+                                              const RunManifestInfo& info);
+
+}  // namespace reuse::analysis

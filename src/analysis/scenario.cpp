@@ -5,6 +5,7 @@
 
 #include "blocklist/catalogue.h"
 #include "internet/abuse.h"
+#include "netbase/metrics.h"
 #include "netbase/rng.h"
 #include "netbase/serialize.h"
 #include "simnet/event_queue.h"
@@ -79,6 +80,7 @@ CrawlOutput run_crawl(const inet::World& world,
       network.transport().stats().requests_lost_fault;
   output.transport_fault_response_drops =
       network.transport().stats().responses_lost_fault;
+  publish_crawl_metrics(output);
   return output;
 }
 
@@ -196,6 +198,44 @@ void write_fingerprint_fields(net::BinaryWriter& w,
 }
 
 }  // namespace
+
+void publish_crawl_metrics(const CrawlOutput& crawl) {
+  auto& registry = net::metrics::Registry::global();
+  const crawler::CrawlStats& stats = crawl.stats;
+  const auto count = [&registry](std::string_view name, std::string_view help,
+                                 std::uint64_t value) {
+    registry.counter(name, help).add(value);
+  };
+  count("crawler_get_nodes_sent_total", "get_nodes requests sent",
+        stats.get_nodes_sent);
+  count("crawler_get_nodes_responses_total", "get_nodes responses received",
+        stats.get_nodes_responses);
+  count("crawler_bt_pings_sent_total", "bt_ping requests sent",
+        stats.pings_sent);
+  count("crawler_bt_ping_responses_total", "bt_ping responses received",
+        stats.ping_responses);
+  count("crawler_endpoints_discovered_total",
+        "Distinct (IP, port) endpoints discovered", stats.endpoints_discovered);
+  count("crawler_endpoints_skipped_restricted_total",
+        "Endpoints skipped by the blocklisted-space restriction",
+        stats.endpoints_skipped_restricted);
+  count("crawler_verification_rounds_total",
+        "Multi-port verification rounds run", stats.verification_rounds);
+  count("crawler_verification_retries_total",
+        "Zero-reply verification rounds re-queued", stats.verification_retries);
+  count("crawler_verification_recoveries_total",
+        "Retried verifications that got a reply",
+        stats.verification_recoveries);
+  count("crawler_bootstrap_retries_total",
+        "Watchdog re-queues of the bootstrap contact", stats.bootstrap_retries);
+  count("crawler_bootstrap_recoveries_total",
+        "Bootstrap responses first seen after a retry",
+        stats.bootstrap_recoveries);
+  registry
+      .gauge("crawler_nated_addresses",
+             "Addresses verified as NATed (this crawl)")
+      .set(static_cast<std::int64_t>(crawl.nated.size()));
+}
 
 std::uint64_t config_fingerprint(const ScenarioConfig& config) {
   // Fingerprint what the scenario runner will actually see: finalize() wires

@@ -107,6 +107,12 @@ struct CrawlOutput {
   std::uint64_t transport_fault_response_drops = 0;
 };
 
+/// Publishes the crawler_ metric family from a finished crawl. Called by
+/// the scenario runner after the crawl stage, and by the cache loader when
+/// a hit restores the crawl instead of re-running it — either way the run
+/// manifest carries the same numbers the crawl actually produced.
+void publish_crawl_metrics(const CrawlOutput& crawl);
+
 struct Scenario {
   ScenarioConfig config;
   /// Wall-clock per stage; filled as the constructor runs the stages.

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "netbase/json.h"
+
 namespace reuse::analysis {
 
 void StageTimer::record(std::string_view stage, double millis) {
@@ -39,7 +41,7 @@ std::string StageTimer::to_json(int jobs) const {
   for (const StageTiming& timing : timings_) {
     if (!first) out << ", ";
     first = false;
-    out << '"' << timing.stage << "\": " << timing.millis;
+    out << '"' << net::json_escape(timing.stage) << "\": " << timing.millis;
   }
   out << "}}";
   return out.str();

@@ -40,18 +40,25 @@ class StageTimer {
   [[nodiscard]] std::string to_json(int jobs) const;
 
   /// Runs `fn`, records its wall-clock under `stage`, and forwards its
-  /// return value (also works for void).
+  /// return value (also works for void). The recording happens in a scope
+  /// guard, so a stage aborted by an exception (e.g. under fault
+  /// injection) still accounts for the time it spent before throwing.
   template <typename Fn>
   auto time(std::string_view stage, Fn&& fn) {
-    const auto start = std::chrono::steady_clock::now();
-    if constexpr (std::is_void_v<std::invoke_result_t<Fn>>) {
-      std::forward<Fn>(fn)();
-      record(stage, elapsed_millis(start));
-    } else {
-      auto result = std::forward<Fn>(fn)();
-      record(stage, elapsed_millis(start));
-      return result;
-    }
+    struct Guard {
+      StageTimer* timer;
+      std::string_view stage;
+      std::chrono::steady_clock::time_point start;
+      ~Guard() {
+        // record() may allocate; swallow rather than terminate if that
+        // fails while an exception is already unwinding through us.
+        try {
+          timer->record(stage, elapsed_millis(start));
+        } catch (...) {
+        }
+      }
+    } guard{this, stage, std::chrono::steady_clock::now()};
+    return std::forward<Fn>(fn)();
   }
 
  private:

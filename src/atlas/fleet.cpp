@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "internet/lease.h"
+#include "netbase/metrics.h"
 #include "netbase/rng.h"
 #include "netbase/thread_pool.h"
 
@@ -86,6 +87,8 @@ AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
   for (ProbeOutcome& out : outcomes) {
     truths_.push_back(out.truth);
     records_suppressed_ += out.suppressed;
+    allocations_ += out.allocations;
+    gap_bridged_days_ += out.suppressed_days;
     log_.insert(log_.end(), out.records.begin(), out.records.end());
     out.records = std::vector<ConnectionRecord>{};
   }
@@ -97,6 +100,30 @@ AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
               }
               return a.probe_id < b.probe_id;
             });
+
+  // End-of-stage metrics publish: one aggregation over the finished merge,
+  // nothing in the per-probe hot path.
+  auto& registry = net::metrics::Registry::global();
+  registry.gauge("atlas_probes", "Probes deployed in the fleet")
+      .set(static_cast<std::int64_t>(truths_.size()));
+  registry
+      .counter("atlas_allocations_total",
+               "Address allocations probes lived through (lease segments + "
+               "fixed-line attachments)")
+      .add(allocations_);
+  registry
+      .counter("atlas_records_emitted_total",
+               "Connection records that reached the controller log")
+      .add(log_.size());
+  registry
+      .counter("atlas_records_suppressed_total",
+               "Connection records swallowed by controller gaps")
+      .add(records_suppressed_);
+  registry
+      .counter("atlas_gap_bridged_days_total",
+               "Probe-days with records lost to a gap while the probe "
+               "stayed connected")
+      .add(gap_bridged_days_);
 }
 
 void AtlasFleet::emit_for_host(ProbeOutcome& out, const inet::World& world,
@@ -108,6 +135,10 @@ void AtlasFleet::emit_for_host(ProbeOutcome& out, const inet::World& world,
   auto emit = [&](net::SimTime t, net::Ipv4Address address) {
     if (faults != nullptr && faults->atlas_record_suppressed(t)) {
       ++out.suppressed;
+      if (t.day() != out.last_suppressed_day) {
+        ++out.suppressed_days;
+        out.last_suppressed_day = t.day();
+      }
       return;
     }
     out.records.push_back(
@@ -117,6 +148,7 @@ void AtlasFleet::emit_for_host(ProbeOutcome& out, const inet::World& world,
     const inet::LeaseTimeline timeline(world.pool(host.pool_index), host.seed,
                                        span);
     for (const inet::LeaseSegment& segment : timeline.segments()) {
+      ++out.allocations;
       emit(segment.begin, segment.address);
       // Keepalives within long segments.
       for (net::SimTime t = segment.begin + keepalive; t < segment.end;
@@ -125,6 +157,7 @@ void AtlasFleet::emit_for_host(ProbeOutcome& out, const inet::World& world,
       }
     }
   } else {
+    ++out.allocations;
     for (net::SimTime t = span.begin; t < span.end; t = t + keepalive) {
       emit(t, host.fixed_address);
     }

@@ -81,6 +81,19 @@ class AtlasFleet {
     return records_suppressed_;
   }
 
+  /// Address allocations the fleet lived through: one per lease segment for
+  /// probes on dynamic pools, one per (host, span) for fixed lines. Counted
+  /// at the allocation itself, so a controller gap that swallows the record
+  /// does not hide the allocation.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+
+  /// Probe-days bridged over controller gaps: (probe, day) pairs where the
+  /// probe stayed connected but an atlas-gap episode swallowed at least one
+  /// of its records that day, summed over probes (0 without faults).
+  [[nodiscard]] std::uint64_t gap_bridged_days() const {
+    return gap_bridged_days_;
+  }
+
  private:
   /// One probe's entire simulated life: its truth, the records it produced,
   /// and how many records controller gaps swallowed. Built independently per
@@ -89,6 +102,11 @@ class AtlasFleet {
     ProbeTruth truth;
     std::vector<ConnectionRecord> records;
     std::uint64_t suppressed = 0;
+    std::uint64_t allocations = 0;
+    /// Distinct days with >= 1 suppressed record; times are emitted in
+    /// increasing order, so a last-day watermark suffices.
+    std::uint64_t suppressed_days = 0;
+    std::int64_t last_suppressed_day = -1;
   };
 
   [[nodiscard]] static ProbeOutcome simulate_probe(std::size_t p,
@@ -101,6 +119,8 @@ class AtlasFleet {
                             sim::FaultInjector* faults);
 
   std::uint64_t records_suppressed_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t gap_bridged_days_ = 0;
   std::vector<ConnectionRecord> log_;
   std::vector<ProbeTruth> truths_;
 };

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "blocklist/parse.h"
+#include "netbase/metrics.h"
 #include "netbase/rng.h"
 #include "netbase/thread_pool.h"
 
@@ -147,6 +148,54 @@ std::vector<net::TimeWindow> paper_periods() {
   };
 }
 
+/// See ecosystem.h: one-shot aggregation of the finished EcosystemStats
+/// into the global metrics registry — end-of-stage publishing, zero cost
+/// in the per-feed hot loops, and deterministic because the stats are.
+void publish_feed_metrics(const EcosystemStats& stats) {
+  auto& registry = net::metrics::Registry::global();
+  registry
+      .counter("feeds_fetches_total",
+               "Daily (list, day) feed fetch attempts (clean + missed + "
+               "quarantined + salvaged)")
+      .add(stats.snapshots_taken *
+           static_cast<std::uint64_t>(stats.per_list.size()));
+  std::uint64_t recorded = 0;
+  for (const FeedHealth& health : stats.per_list) {
+    recorded += static_cast<std::uint64_t>(health.days_recorded);
+  }
+  registry
+      .counter("feeds_snapshots_recorded_total",
+               "Clean daily feed dumps ingested")
+      .add(recorded);
+  registry
+      .counter("feeds_snapshots_missed_total",
+               "Daily feed dumps suppressed by outages")
+      .add(stats.snapshots_missed);
+  registry
+      .counter("feeds_quarantines_total",
+               "Corrupted dumps rejected wholesale")
+      .add(stats.feeds_quarantined);
+  registry
+      .counter("feeds_salvages_total",
+               "Corrupted dumps partially kept line by line")
+      .add(stats.feeds_salvaged);
+  registry
+      .counter("feeds_lines_skipped_total",
+               "Unparseable feed lines skipped across all lists")
+      .add(stats.feed_lines_skipped);
+  registry
+      .counter("feeds_entries_discarded_total",
+               "Live entries lost to dump corruption")
+      .add(stats.entries_discarded);
+  auto& per_list = registry.histogram(
+      "feeds_lines_skipped_per_list",
+      "Distribution of skipped-line counts over the catalogue's lists",
+      {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  for (const FeedHealth& health : stats.per_list) {
+    per_list.observe(static_cast<std::int64_t>(health.lines_skipped));
+  }
+}
+
 EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
                                    std::span<const inet::AbuseEvent> events,
                                    const EcosystemConfig& config,
@@ -206,6 +255,7 @@ EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
   }
   result.stats.events_seen = events.size();
   result.stats.snapshots_taken = snapshot_days.size();
+  publish_feed_metrics(result.stats);
   return result;
 }
 

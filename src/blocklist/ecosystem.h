@@ -84,6 +84,12 @@ struct EcosystemResult {
   EcosystemStats stats;
 };
 
+/// Publishes the feeds_ metric family from finished ecosystem stats.
+/// simulate_ecosystem calls it itself; the scenario-cache loader calls it
+/// again when a hit restores the stats instead of re-simulating, so a
+/// cached run's manifest still carries the ecosystem's real numbers.
+void publish_feed_metrics(const EcosystemStats& stats);
+
 /// Runs the ecosystem over `events` (must be time-sorted). Events before the
 /// first period warm the lists up; events after the last snapshot are
 /// ignored. An optional fault injector suppresses or corrupts individual

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "netbase/kneedle.h"
+#include "netbase/metrics.h"
 #include "netbase/thread_pool.h"
 
 namespace reuse::dynadetect {
@@ -143,6 +144,65 @@ int knee_allocation_threshold(std::span<const double> sorted_desc,
   return std::max(2, static_cast<int>(std::llround(std::pow(10.0, knee->y))));
 }
 
+namespace {
+
+/// End-of-stage metrics publish: the funnel survivor counts become gauges
+/// (they are per-run totals, not accumulating events), the per-probe
+/// allocation counts feed one histogram. All values derive from the
+/// deterministic PipelineResult, so they are identical for every --jobs.
+void publish_pipeline_metrics(const PipelineResult& result,
+                              std::span<const ProbeHistory> histories) {
+  auto& registry = net::metrics::Registry::global();
+  registry
+      .counter("pipeline_probes_processed_total",
+               "Probe histories fed into the detection funnel")
+      .add(result.probes_total);
+  registry
+      .counter("pipeline_change_gaps_capped_total",
+               "Inter-change gaps excluded from step-4 means by the gap cap")
+      .add(result.change_gaps_capped);
+  const auto set = [&registry](std::string_view name, std::string_view help,
+                               std::size_t value) {
+    registry.gauge(name, help).set(static_cast<std::int64_t>(value));
+  };
+  set("pipeline_probes_total", "Funnel input probes (this run)",
+      result.probes_total);
+  set("pipeline_probes_multi_as", "Probes dropped by the same-AS filter",
+      result.probes_multi_as);
+  set("pipeline_probes_single_as", "Probes surviving the same-AS filter",
+      result.probes_single_as);
+  set("pipeline_probes_with_changes",
+      "Single-AS probes with >= 2 allocations", result.probes_with_changes);
+  set("pipeline_probes_above_knee", "Probes at or above the knee threshold",
+      result.probes_above_knee);
+  set("pipeline_probes_daily",
+      "Probes qualifying as daily churners (step-4 survivors)",
+      result.probes_daily);
+  set("pipeline_probes_gap_affected",
+      "Above-knee probes whose mean lost at least one capped gap",
+      result.probes_gap_affected);
+  set("pipeline_knee_allocations",
+      "Allocation-count threshold detected (or configured)",
+      static_cast<std::size_t>(result.knee_allocations));
+  set("pipeline_qualifying_addresses",
+      "Distinct addresses held by qualifying probes",
+      result.qualifying_addresses);
+  set("pipeline_single_as_addresses",
+      "Distinct addresses held by single-AS probes",
+      result.single_as_addresses);
+  set("pipeline_dynamic_prefixes", "Emitted dynamic /24 prefixes",
+      result.dynamic_prefixes.size());
+  auto& allocations = registry.histogram(
+      "pipeline_allocations_per_probe",
+      "Distribution of allocation counts over probe histories (Figure 2)",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  for (const ProbeHistory& history : histories) {
+    allocations.observe(static_cast<std::int64_t>(history.allocation_count()));
+  }
+}
+
+}  // namespace
+
 PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
                             const PipelineConfig& config,
                             net::ThreadPool* pool) {
@@ -224,6 +284,7 @@ PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
       result.dynamic_prefixes.insert(prefix);
     }
   }
+  publish_pipeline_metrics(result, histories);
   return result;
 }
 

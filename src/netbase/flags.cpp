@@ -106,4 +106,16 @@ std::string FlagParser::usage(const std::string& program,
   return out.str();
 }
 
+std::optional<int> parse_jobs(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  int jobs = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), jobs);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  if (jobs < 0) return std::nullopt;
+  return jobs;
+}
+
 }  // namespace reuse::net

@@ -53,4 +53,11 @@ class FlagParser {
   std::string error_;
 };
 
+/// Validates a jobs knob (--jobs flag or REUSE_JOBS environment variable).
+/// Accepts a base-10 integer >= 0 with nothing trailing; 0 means "one
+/// worker per hardware thread". Negative values, garbage, and empty text
+/// return nullopt so callers can fail fast with a clear error instead of
+/// casting whatever atoi produced into a thread-pool size.
+[[nodiscard]] std::optional<int> parse_jobs(const std::string& text);
+
 }  // namespace reuse::net

@@ -1,0 +1,47 @@
+// Minimal JSON string escaping, shared by every hand-rolled JSON emitter
+// (StageTimer::to_json, the metrics exporter, the run manifest).
+//
+// The repo deliberately has no JSON library dependency; emitters build
+// documents with ostringstream. That is fine as long as every string that
+// reaches the output passes through json_escape — a stray '"' or control
+// character in a stage or metric name must never produce invalid JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace reuse::net {
+
+/// Returns `text` with every character escaped as required inside a JSON
+/// string literal: '"', '\\', and all control characters below 0x20
+/// (common ones as two-character escapes, the rest as \u00XX). Bytes >= 0x20
+/// other than '"' and '\\' pass through untouched, so UTF-8 survives.
+inline std::string json_escape(std::string_view text) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (byte < 0x20) {
+          out += "\\u00";
+          out += kHex[byte >> 4];
+          out += kHex[byte & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace reuse::net

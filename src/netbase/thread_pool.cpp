@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netbase/metrics.h"
+
 namespace reuse::net {
 namespace {
 
@@ -10,7 +12,42 @@ namespace {
 // pool that is already busy running it.
 thread_local bool t_in_batch = false;
 
+// Registered on first use and cached; recording is one relaxed RMW per
+// claimed chunk, not per index. tasks_run is deterministic (it counts loop
+// indices); steals and max_queue_depth depend on OS scheduling and are
+// excluded from the determinism contract (DESIGN.md §9).
+struct PoolMetrics {
+  metrics::Counter& tasks_run;
+  metrics::Counter& steals;
+  metrics::Gauge& max_queue_depth;
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m{
+      metrics::counter("pool_tasks_run_total",
+                       "Parallel-loop indices executed (all paths, "
+                       "including serial)"),
+      metrics::counter("pool_steals_total",
+                       "Work chunks claimed by pool workers rather than the "
+                       "submitting caller (scheduling-dependent)"),
+      metrics::gauge("pool_max_queue_depth",
+                     "Largest batch (in work units) ever dispatched to the "
+                     "pool workers"),
+  };
+  return m;
+}
+
 }  // namespace
+
+namespace detail {
+
+void note_tasks_run(std::size_t count) {
+  // No count guard: a zero-count call still registers the pool_ family,
+  // which is exactly what the run manifest's registration touch relies on.
+  pool_metrics().tasks_run.add(count);
+}
+
+}  // namespace detail
 
 ThreadPool::ThreadPool(std::size_t jobs) {
   const std::size_t worker_count = jobs < 2 ? 0 : jobs - 1;
@@ -33,15 +70,18 @@ std::size_t ThreadPool::hardware_jobs() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-void ThreadPool::run_batch(Batch& batch) {
+void ThreadPool::run_batch(Batch& batch, bool stealing) {
+  PoolMetrics& metrics = pool_metrics();
   t_in_batch = true;
   for (;;) {
     const std::size_t begin =
         batch.next.fetch_add(batch.grain, std::memory_order_relaxed);
     if (begin >= batch.count) break;
+    if (stealing) metrics.steals.increment();
     const std::size_t end = std::min(batch.count, begin + batch.grain);
     for (std::size_t i = begin; i < end; ++i) {
       if (batch.failed.load(std::memory_order_relaxed)) {
+        metrics.tasks_run.add(i - begin);
         t_in_batch = false;
         return;
       }
@@ -54,10 +94,12 @@ void ThreadPool::run_batch(Batch& batch) {
           batch.error_index = i;
         }
         batch.failed.store(true, std::memory_order_relaxed);
+        metrics.tasks_run.add(i - begin + 1);
         t_in_batch = false;
         return;
       }
     }
+    metrics.tasks_run.add(end - begin);
   }
   t_in_batch = false;
 }
@@ -74,9 +116,11 @@ void ThreadPool::parallel_for(std::size_t count,
   if (t_in_batch || workers_.empty() || count == 1) {
     // Serial path: exceptions propagate directly from the failing index.
     for (std::size_t i = 0; i < count; ++i) body(i);
+    detail::note_tasks_run(count);
     return;
   }
 
+  pool_metrics().max_queue_depth.record_max(static_cast<std::int64_t>(count));
   Batch batch;
   batch.count = count;
   batch.grain = grain;
@@ -88,7 +132,7 @@ void ThreadPool::parallel_for(std::size_t count,
     ++generation_;
   }
   work_cv_.notify_all();
-  run_batch(batch);
+  run_batch(batch, /*stealing=*/false);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
@@ -106,7 +150,7 @@ void ThreadPool::worker_loop() {
     seen = generation_;
     Batch* batch = current_;
     lock.unlock();
-    run_batch(*batch);
+    run_batch(*batch, /*stealing=*/true);
     lock.lock();
     if (--pending_ == 0) done_cv_.notify_all();
   }

@@ -82,7 +82,9 @@ class ThreadPool {
   };
 
   void worker_loop();
-  static void run_batch(Batch& batch);
+  /// `stealing` marks a worker thread draining someone else's batch (vs the
+  /// submitting caller); it only feeds the pool_steals_total metric.
+  static void run_batch(Batch& batch, bool stealing);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -94,6 +96,13 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+namespace detail {
+/// Feeds pool_tasks_run_total for loop indices executed outside run_batch
+/// (serial paths), so the metric counts every unit of work at any --jobs
+/// value and the pool_ metric family exists even in all-serial runs.
+void note_tasks_run(std::size_t count);
+}  // namespace detail
+
 /// Serial-or-parallel helper for call sites holding a nullable pool: runs
 /// body(i) for i in [0, count) on the pool when one is given, else inline.
 inline void for_each_index(ThreadPool* pool, std::size_t count,
@@ -104,6 +113,7 @@ inline void for_each_index(ThreadPool* pool, std::size_t count,
     return;
   }
   for (std::size_t i = 0; i < count; ++i) body(i);
+  detail::note_tasks_run(count);
 }
 
 }  // namespace reuse::net

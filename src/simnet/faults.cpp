@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netbase/metrics.h"
+
 namespace reuse::sim {
 namespace {
 
@@ -28,6 +30,36 @@ constexpr char kGarbageBytes[] =
 constexpr std::string_view kGarbageAlphabet(kGarbageBytes,
                                             sizeof(kGarbageBytes) - 1);
 
+// Per-fault-kind injection counters, mirroring the FaultStats ledger so a
+// run manifest carries the same reconciliation-grade numbers. Incremented
+// only when a fault actually fires (rare), right next to the ledger RMW.
+struct FaultMetrics {
+  net::metrics::Counter& burst_request_drops;
+  net::metrics::Counter& burst_response_drops;
+  net::metrics::Counter& bootstrap_blackholes;
+  net::metrics::Counter& feed_snapshots_suppressed;
+  net::metrics::Counter& feeds_corrupted;
+  net::metrics::Counter& atlas_records_suppressed;
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics m{
+      net::metrics::counter("faults_burst_request_drops_total",
+                            "Requests dropped by burst-loss episodes"),
+      net::metrics::counter("faults_burst_response_drops_total",
+                            "Responses dropped by burst-loss episodes"),
+      net::metrics::counter("faults_bootstrap_blackholes_total",
+                            "Requests blackholed by bootstrap outages"),
+      net::metrics::counter("faults_feed_snapshots_suppressed_total",
+                            "Daily feed snapshots suppressed by feed outages"),
+      net::metrics::counter("faults_feeds_corrupted_total",
+                            "Daily feed snapshots corrupted in flight"),
+      net::metrics::counter("faults_atlas_records_suppressed_total",
+                            "Atlas connection records swallowed by gaps"),
+  };
+  return m;
+}
+
 }  // namespace
 
 std::string_view to_string(FaultKind kind) {
@@ -48,6 +80,9 @@ std::string_view to_string(FaultKind kind) {
 
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), burst_rng_(plan_.seed ^ 0xfa017ULL) {
+  // Register the faults_ metric family up front so a fault-free run still
+  // exports it (at zero) in its manifest.
+  (void)fault_metrics();
   for (const FaultEpisode& episode : plan_.episodes) {
     by_kind_[static_cast<std::size_t>(episode.kind)].push_back(episode);
   }
@@ -90,11 +125,13 @@ bool FaultInjector::drop_request(const net::Endpoint& to, net::SimTime now) {
   if (bootstrap_set_ && to == bootstrap_ &&
       covering(FaultKind::kBootstrapOutage, now) != nullptr) {
     ledger_.bootstrap_blackholes.fetch_add(1, std::memory_order_relaxed);
+    fault_metrics().bootstrap_blackholes.increment();
     return true;
   }
   if (const FaultEpisode* burst = covering(FaultKind::kBurstLoss, now);
       burst != nullptr && burst_rng_.bernoulli(burst->severity)) {
     ledger_.burst_request_drops.fetch_add(1, std::memory_order_relaxed);
+    fault_metrics().burst_request_drops.increment();
     return true;
   }
   return false;
@@ -106,6 +143,7 @@ bool FaultInjector::drop_response(net::SimTime now) {
   if (const FaultEpisode* burst = covering(FaultKind::kBurstLoss, now);
       burst != nullptr && burst_rng_.bernoulli(burst->severity)) {
     ledger_.burst_response_drops.fetch_add(1, std::memory_order_relaxed);
+    fault_metrics().burst_response_drops.increment();
     return true;
   }
   return false;
@@ -119,6 +157,7 @@ bool FaultInjector::feed_snapshot_missing(std::size_t list_index,
     return false;
   }
   ledger_.feed_snapshots_suppressed.fetch_add(1, std::memory_order_relaxed);
+  fault_metrics().feed_snapshots_suppressed.increment();
   return true;
 }
 
@@ -129,6 +168,7 @@ bool FaultInjector::feed_corrupted(std::size_t list_index, std::int64_t day) {
     return false;
   }
   ledger_.feeds_corrupted.fetch_add(1, std::memory_order_relaxed);
+  fault_metrics().feeds_corrupted.increment();
   return true;
 }
 
@@ -175,6 +215,7 @@ bool FaultInjector::atlas_record_suppressed(net::SimTime t) {
   assert_stage(FaultStage::kFleet);
   if (covering(FaultKind::kAtlasGap, t) == nullptr) return false;
   ledger_.atlas_records_suppressed.fetch_add(1, std::memory_order_relaxed);
+  fault_metrics().atlas_records_suppressed.increment();
   return true;
 }
 

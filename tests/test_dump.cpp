@@ -93,6 +93,56 @@ TEST_F(DumpTest, UnknownListsAndGarbageAreSkippedOnImport) {
   EXPECT_EQ(store.addresses().size(), 1u);
 }
 
+TEST_F(DumpTest, SkippedLinesAreAttributedPerList) {
+  // Two rotting feeds with different amounts of garbage: the per-list
+  // breakdown must attribute each malformed line to the list whose file it
+  // sat in, and the breakdown must sum to the aggregate skipped_lines.
+  std::filesystem::create_directories(dir_ / "0");
+  std::filesystem::create_directories(dir_ / "1");
+  {
+    std::ofstream os(dir_ / "0" / "alpha.txt");
+    os << "1.0.0.1\ngarbage one\ngarbage two\n";
+  }
+  {
+    std::ofstream os(dir_ / "0" / "beta.txt");
+    os << "2.0.0.1\nbroken\n";
+  }
+  {
+    std::ofstream os(dir_ / "1" / "alpha.txt");
+    os << "also broken\n1.0.0.2\n";
+  }
+  SnapshotStore store;
+  const auto stats = read_daily_dumps(dir_, catalogue(), store);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->skipped_lines, 4u);
+  ASSERT_EQ(stats->skipped_by_list.size(), 2u);
+  EXPECT_EQ(stats->skipped_by_list.at(1), 3u);  // alpha: days 0 and 1
+  EXPECT_EQ(stats->skipped_by_list.at(2), 1u);  // beta
+  std::size_t per_list_total = 0;
+  for (const auto& [list, skipped] : stats->skipped_by_list) {
+    per_list_total += skipped;
+  }
+  EXPECT_EQ(per_list_total, stats->skipped_lines);
+}
+
+TEST_F(DumpTest, CleanListsDoNotAppearInTheSkipBreakdown) {
+  std::filesystem::create_directories(dir_ / "0");
+  {
+    std::ofstream os(dir_ / "0" / "alpha.txt");
+    os << "1.0.0.1\n";
+  }
+  {
+    std::ofstream os(dir_ / "0" / "beta.txt");
+    os << "nonsense\n";
+  }
+  SnapshotStore store;
+  const auto stats = read_daily_dumps(dir_, catalogue(), store);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->skipped_lines, 1u);
+  EXPECT_EQ(stats->skipped_by_list.count(1), 0u);  // alpha was clean
+  EXPECT_EQ(stats->skipped_by_list.at(2), 1u);
+}
+
 TEST_F(DumpTest, MissingDirectoryIsAnError) {
   SnapshotStore store;
   EXPECT_FALSE(read_daily_dumps(dir_ / "nope", catalogue(), store).has_value());

@@ -191,6 +191,29 @@ TEST(EcosystemFaults, CorruptionQuarantinesOrSalvagesExactly) {
   EXPECT_EQ(per_list_discarded, result.stats.entries_discarded);
 }
 
+TEST(EcosystemFaults, PerListSkippedLinesSumToAggregateUnderCorruption) {
+  const auto catalogue = tiny_catalogue();
+  const auto events = dense_events(12);
+  sim::FaultPlan plan;
+  plan.seed = 8;
+  plan.episodes.push_back(sim::FaultEpisode{
+      sim::FaultKind::kFeedCorruption,
+      net::TimeWindow{net::SimTime(2 * 86400), net::SimTime(10 * 86400)}, 0.7,
+      1});
+  sim::FaultInjector injector(plan);
+  const auto result =
+      simulate_ecosystem(catalogue, events, eco_config(12), &injector);
+  // The window is wide enough that both outcomes occur, so the attribution
+  // below exercises the quarantine path and the salvage path.
+  EXPECT_GT(result.stats.feeds_quarantined + result.stats.feeds_salvaged, 0u);
+  EXPECT_GT(result.stats.feed_lines_skipped, 0u);
+  std::uint64_t per_list_skipped = 0;
+  for (const FeedHealth& health : result.stats.per_list) {
+    per_list_skipped += health.lines_skipped;
+  }
+  EXPECT_EQ(per_list_skipped, result.stats.feed_lines_skipped);
+}
+
 TEST(EcosystemFaults, SameSeedSamePlanIsDeterministic) {
   const auto catalogue = tiny_catalogue();
   const auto events = dense_events(8);

@@ -104,5 +104,22 @@ TEST(FlagParser, NegativeNumbersParse) {
   EXPECT_EQ(parser.get_int("n"), -5);
 }
 
+TEST(ParseJobs, AcceptsNonNegativeIntegersOnly) {
+  EXPECT_EQ(parse_jobs("0"), 0);  // 0 = all hardware threads
+  EXPECT_EQ(parse_jobs("1"), 1);
+  EXPECT_EQ(parse_jobs("8"), 8);
+  EXPECT_EQ(parse_jobs("64"), 64);
+  EXPECT_FALSE(parse_jobs("-1").has_value());
+  EXPECT_FALSE(parse_jobs("-8").has_value());
+  EXPECT_FALSE(parse_jobs("").has_value());
+  EXPECT_FALSE(parse_jobs("four").has_value());
+  EXPECT_FALSE(parse_jobs("4x").has_value());
+  EXPECT_FALSE(parse_jobs("4 ").has_value());
+  EXPECT_FALSE(parse_jobs(" 4").has_value());
+  EXPECT_FALSE(parse_jobs("4.5").has_value());
+  // Overflow must not wrap into a plausible value.
+  EXPECT_FALSE(parse_jobs("99999999999999999999").has_value());
+}
+
 }  // namespace
 }  // namespace reuse::net

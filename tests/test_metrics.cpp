@@ -1,0 +1,268 @@
+// Unit tests for the metrics registry (netbase/metrics), the shared JSON
+// escape helper, the StageTimer telemetry fixes, and the run manifest.
+//
+// The registry under test here is mostly a process-local instance so the
+// cases stay independent of what other code registered in the global
+// registry; the manifest tests use the global one (that is what the
+// manifest snapshots) and only assert properties that are stable however
+// many metrics exist.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/manifest.h"
+#include "analysis/stage_timer.h"
+#include "netbase/json.h"
+#include "netbase/metrics.h"
+
+namespace reuse {
+namespace {
+
+using net::metrics::Registry;
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(net::json_escape("plain"), "plain");
+  EXPECT_EQ(net::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(net::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(net::json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(net::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(net::json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(net::json_escape("\x01"), "\\u0001");
+  // Bytes >= 0x20 pass through untouched, so UTF-8 survives.
+  EXPECT_EQ(net::json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(Metrics, CounterAccumulates) {
+  Registry registry;
+  auto& hits = registry.counter("hits_total", "test counter");
+  EXPECT_EQ(hits.value(), 0u);
+  hits.increment();
+  hits.add(41);
+  EXPECT_EQ(hits.value(), 42u);
+  // Same name resolves to the same handle.
+  EXPECT_EQ(&registry.counter("hits_total", "test counter"), &hits);
+}
+
+TEST(Metrics, GaugeSetAddAndRecordMax) {
+  Registry registry;
+  auto& depth = registry.gauge("depth", "test gauge");
+  depth.set(7);
+  EXPECT_EQ(depth.value(), 7);
+  depth.add(-3);
+  EXPECT_EQ(depth.value(), 4);
+  depth.record_max(10);
+  EXPECT_EQ(depth.value(), 10);
+  depth.record_max(2);  // never lowers
+  EXPECT_EQ(depth.value(), 10);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperBounds) {
+  Registry registry;
+  auto& h = registry.histogram("latency", "test histogram", {1, 4, 16});
+  h.observe(0);
+  h.observe(1);   // boundary: lands in the le=1 bucket
+  h.observe(2);
+  h.observe(16);  // boundary: lands in the le=16 bucket
+  h.observe(99);  // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0 + 1 + 2 + 16 + 99);
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  Registry registry;
+  EXPECT_THROW(registry.histogram("empty", "h", {}), std::logic_error);
+  EXPECT_THROW(registry.histogram("nonmono", "h", {1, 1}), std::logic_error);
+  EXPECT_THROW(registry.histogram("decreasing", "h", {4, 2}),
+               std::logic_error);
+}
+
+TEST(Metrics, KindClashAndBadNamesThrow) {
+  Registry registry;
+  registry.counter("taken", "a counter");
+  EXPECT_THROW(registry.gauge("taken", "now a gauge?"), std::logic_error);
+  EXPECT_THROW(registry.histogram("taken", "now a histogram?", {1}),
+               std::logic_error);
+  EXPECT_THROW(registry.counter("", "empty name"), std::logic_error);
+  EXPECT_THROW(registry.counter("1starts_with_digit", "bad"),
+               std::logic_error);
+  EXPECT_THROW(registry.counter("has-dash", "bad"), std::logic_error);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
+  Registry registry;
+  auto& c = registry.counter("events_total", "c");
+  auto& g = registry.gauge("level", "g");
+  auto& h = registry.histogram("sizes", "h", {10});
+  c.add(5);
+  g.set(-2);
+  h.observe(3);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  // Handles stay valid and re-resolvable after reset.
+  EXPECT_EQ(&registry.counter("events_total", "c"), &c);
+}
+
+TEST(Metrics, JsonSnapshotIsSortedAndComplete) {
+  Registry registry;
+  registry.counter("zeta_total", "last alphabetically").add(2);
+  registry.counter("alpha_total", "first alphabetically").add(1);
+  registry.gauge("beta", "a gauge").set(-7);
+  registry.histogram("gamma", "a histogram", {1, 2}).observe(3);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha_total\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"zeta_total\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"beta\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"overflow\": 1"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 1, \"count\": 0}"), std::string::npos);
+  // Sorted export: alpha before zeta regardless of registration order.
+  EXPECT_LT(json.find("alpha_total"), json.find("zeta_total"));
+  // Snapshotting is pure: repeated calls are byte-identical.
+  EXPECT_EQ(registry.to_json(), json);
+}
+
+TEST(Metrics, PrometheusExpositionFormat) {
+  Registry registry;
+  registry.counter("reqs_total", "requests").add(3);
+  registry.gauge("temp", "temperature").set(21);
+  auto& h = registry.histogram("lat", "latency", {1, 4});
+  h.observe(0);
+  h.observe(2);
+  h.observe(9);
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# HELP reqs_total requests\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE reqs_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE temp gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("temp 21\n"), std::string::npos);
+  // Histogram buckets are cumulative and end in +Inf == _count.
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"4\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 11\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+}
+
+TEST(Metrics, FlatValuesExpandsHistogramsAndFiltersPrefix) {
+  Registry registry;
+  registry.counter("keep_total", "kept").add(4);
+  registry.counter("pool_steals_total", "excluded").add(9);
+  registry.histogram("keep_hist", "kept histogram", {2}).observe(5);
+  const auto values = registry.flat_values("pool_");
+  auto find = [&values](const std::string& name) -> const std::int64_t* {
+    for (const auto& [n, v] : values) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("keep_total"), nullptr);
+  EXPECT_EQ(*find("keep_total"), 4);
+  EXPECT_EQ(find("pool_steals_total"), nullptr);
+  ASSERT_NE(find("keep_hist_bucket_2"), nullptr);
+  EXPECT_EQ(*find("keep_hist_bucket_2"), 0);
+  ASSERT_NE(find("keep_hist_bucket_inf"), nullptr);
+  EXPECT_EQ(*find("keep_hist_bucket_inf"), 1);
+  ASSERT_NE(find("keep_hist_sum"), nullptr);
+  EXPECT_EQ(*find("keep_hist_sum"), 5);
+  ASSERT_NE(find("keep_hist_count"), nullptr);
+  // Sorted by name.
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LT(values[i - 1].first, values[i].first);
+  }
+}
+
+TEST(Metrics, ConcurrentIncrementsLoseNothing) {
+  Registry registry;
+  auto& c = registry.counter("contended_total", "hammered from 8 threads");
+  auto& h = registry.histogram("contended_hist", "hammered too", {100});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.increment();
+        h.observe(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket_count(0), static_cast<std::uint64_t>(kThreads) *
+                                   kPerThread);
+}
+
+TEST(StageTimer, JsonEscapesStageNames) {
+  analysis::StageTimer timer;
+  timer.record("quoted \"stage\"\n", 1.5);
+  const std::string json = timer.to_json(2);
+  EXPECT_NE(json.find("\"quoted \\\"stage\\\"\\n\": 1.500"),
+            std::string::npos);
+  // The raw (unescaped) name must not appear — it would break the JSON.
+  EXPECT_EQ(json.find("\"quoted \"stage\""), std::string::npos);
+}
+
+TEST(StageTimer, TimeRecordsEvenWhenTheCallableThrows) {
+  analysis::StageTimer timer;
+  EXPECT_THROW(timer.time("doomed", [] {
+    throw std::runtime_error("stage failed");
+    return 1;
+  }),
+               std::runtime_error);
+  ASSERT_EQ(timer.timings().size(), 1u);
+  EXPECT_EQ(timer.timings()[0].stage, "doomed");
+  EXPECT_GE(timer.timings()[0].millis, 0.0);
+  // A successful stage still records and forwards its return value.
+  EXPECT_EQ(timer.time("fine", [] { return 7; }), 7);
+  EXPECT_EQ(timer.timings().size(), 2u);
+}
+
+TEST(RunManifest, NullConfigRendersNullFieldsAndCrossCuttingFamilies) {
+  analysis::RunManifestInfo info;
+  info.tool = "unit \"test\"";
+  const std::string json = analysis::run_manifest_json(info);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tool\": \"unit \\\"test\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"config_fingerprint\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_plan\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"cache\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"calibration_version\": "), std::string::npos);
+  // The cross-cutting families are registered by the manifest itself even
+  // when the run never exercised them.
+  EXPECT_NE(json.find("cache_hits_total"), std::string::npos);
+  EXPECT_NE(json.find("faults_bootstrap_blackholes_total"),
+            std::string::npos);
+  EXPECT_NE(json.find("pool_tasks_run_total"), std::string::npos);
+}
+
+TEST(RunManifest, StageTimesAndCacheVerdictRender) {
+  analysis::StageTimer timer;
+  timer.record("world", 3.25);
+  analysis::RunManifestInfo info;
+  info.tool = "unit_test";
+  info.stage_times = &timer;
+  info.cache_hit = true;
+  const std::string json = analysis::run_manifest_json(info);
+  EXPECT_NE(json.find("\"cache\": {\"consulted\": true, \"hit\": true}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"world\": 3.250"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reuse

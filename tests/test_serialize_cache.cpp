@@ -166,6 +166,40 @@ TEST_F(CacheRoundTrip, RunScenarioCachedHitsOnSecondCall) {
   EXPECT_EQ(first.pipeline.probes_daily, second.pipeline.probes_daily);
 }
 
+TEST_F(CacheRoundTrip, FeedHealthPerListSurvivesTheRoundTrip) {
+  // Under a chaos plan the per-list health vector carries the interesting
+  // fields: quarantined/salvaged days and per-list skipped-line counts.
+  // All of it must survive the cache, and the per-list skip counts must
+  // keep summing to the aggregate on both sides of the round trip.
+  auto config = tiny_config();
+  config.faults = analysis::default_chaos_plan(config, /*chaos_seed=*/1);
+  config.finalize();
+  const analysis::Scenario original = analysis::run_scenario(config);
+  const blocklist::EcosystemStats& stats = original.ecosystem.stats;
+  EXPECT_GT(stats.feeds_quarantined + stats.feeds_salvaged, 0u);
+  std::uint64_t per_list_skipped = 0;
+  for (const blocklist::FeedHealth& health : stats.per_list) {
+    per_list_skipped += health.lines_skipped;
+  }
+  EXPECT_EQ(per_list_skipped, stats.feed_lines_skipped);
+  EXPECT_GT(stats.feed_lines_skipped, 0u);
+
+  ASSERT_TRUE(analysis::save_scenario_cache(path_, config, original.crawl,
+                                            original.ecosystem));
+  const auto loaded = analysis::load_scenario_cache(path_, config);
+  ASSERT_TRUE(loaded.has_value());
+  const blocklist::EcosystemStats& reloaded = loaded->ecosystem.stats;
+  EXPECT_EQ(reloaded.per_list, stats.per_list);
+  EXPECT_EQ(reloaded.feed_lines_skipped, stats.feed_lines_skipped);
+  EXPECT_EQ(reloaded.feeds_quarantined, stats.feeds_quarantined);
+  EXPECT_EQ(reloaded.feeds_salvaged, stats.feeds_salvaged);
+  std::uint64_t reloaded_skipped = 0;
+  for (const blocklist::FeedHealth& health : reloaded.per_list) {
+    reloaded_skipped += health.lines_skipped;
+  }
+  EXPECT_EQ(reloaded_skipped, reloaded.feed_lines_skipped);
+}
+
 TEST_F(CacheRoundTrip, GarbageFileIsRejected) {
   {
     std::ofstream os(path_, std::ios::binary);

@@ -6,9 +6,11 @@
 //
 //   dynadetect --log connections.csv [--min-allocations N]
 //              [--daily-hours H] [--prefix-length L] [--out prefixes.txt]
+//              [--metrics-out FILE]
 #include <fstream>
 #include <iostream>
 
+#include "analysis/manifest.h"
 #include "dynadetect/pipeline.h"
 #include "netbase/flags.h"
 #include "netbase/table.h"
@@ -23,6 +25,9 @@ int main(int argc, char** argv) {
   flags.define("daily-hours",
                "max mean hours between changes for a qualifying probe", "24");
   flags.define("prefix-length", "expansion prefix length (paper: 24)", "24");
+  flags.define("metrics-out",
+               "write the run manifest (metrics snapshot + tool name) as "
+               "JSON to this file");
   flags.define_bool("help", "show this help");
 
   if (!flags.parse(argc, argv) || flags.get_bool("help") ||
@@ -79,6 +84,15 @@ int main(int argc, char** argv) {
   }
   for (const net::Ipv4Prefix& prefix : result.dynamic_prefixes.to_vector()) {
     *out << prefix.to_string() << '\n';
+  }
+  if (flags.has("metrics-out")) {
+    analysis::RunManifestInfo manifest;
+    manifest.tool = "dynadetect";  // no scenario: config/stages render null
+    if (const auto error =
+            analysis::write_run_manifest(flags.get("metrics-out"), manifest)) {
+      std::cerr << "error: " << *error << '\n';
+      return 1;
+    }
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/manifest.h"
 #include "blocklist/parse.h"
 #include "netbase/flags.h"
 #include "netbase/prefix_trie.h"
@@ -38,6 +39,9 @@ int main(int argc, char** argv) {
   flags.define("reused", "the reused-address list (IPs and/or CIDRs)");
   flags.define("block-out", "file for entries safe to hard-block");
   flags.define("grey-out", "file for entries to greylist instead");
+  flags.define("metrics-out",
+               "write the run manifest (metrics snapshot + tool name) as "
+               "JSON to this file");
   flags.define_bool("help", "show this help");
 
   if (!flags.parse(argc, argv) || flags.get_bool("help") ||
@@ -102,5 +106,16 @@ int main(int argc, char** argv) {
   };
   if (!write_out("block-out", "hard-block entries", block)) return 1;
   if (!write_out("grey-out", "greylist entries (reused addresses)", grey)) return 1;
+
+  if (flags.has("metrics-out")) {
+    analysis::RunManifestInfo manifest;
+    manifest.tool = "greylist_audit";
+    if (const auto error =
+            analysis::write_run_manifest(flags.get("metrics-out"), manifest)) {
+      std::cerr << "error: " << *error << '\n';
+      return 1;
+    }
+    std::cerr << "run manifest written to " << flags.get("metrics-out") << '\n';
+  }
   return 0;
 }

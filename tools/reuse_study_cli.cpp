@@ -5,12 +5,14 @@
 //   reuse_study [--seed N] [--ases N] [--crawl-days N] [--probes N]
 //               [--jobs N] [--out-dir DIR] [--census]
 //               [--cache [--cache-file PATH]] [--chaos [--chaos-seed N]]
+//               [--metrics-out FILE]
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
 #include "analysis/cache.h"
 #include "analysis/greylist.h"
+#include "analysis/manifest.h"
 #include "analysis/impact.h"
 #include "analysis/scenario.h"
 #include "blocklist/parse.h"
@@ -40,6 +42,9 @@ int main(int argc, char** argv) {
                     "and feed outages, corrupted feeds, Atlas gaps) and "
                     "print the degradation report");
   flags.define("chaos-seed", "seed for the chaos fault plan", "1");
+  flags.define("metrics-out",
+               "write the run manifest (config fingerprint, fault plan, "
+               "stage timings, full metrics snapshot) as JSON to this file");
   flags.define_bool("help", "show this help");
 
   if (!flags.parse(argc, argv) || flags.get_bool("help")) {
@@ -59,7 +64,13 @@ int main(int argc, char** argv) {
   config.fleet.probe_count =
       static_cast<std::size_t>(flags.get_int("probes").value_or(2000));
   config.run_census = flags.get_bool("census");
-  config.jobs = static_cast<int>(flags.get_int("jobs").value_or(1));
+  const std::optional<int> jobs = net::parse_jobs(flags.get("jobs"));
+  if (!jobs) {
+    std::cerr << "error: --jobs must be a non-negative integer (0 = all "
+                 "hardware threads), got \"" << flags.get("jobs") << "\"\n";
+    return 2;
+  }
+  config.jobs = *jobs;
   const bool chaos = flags.get_bool("chaos");
   if (chaos) {
     const auto chaos_seed =
@@ -179,6 +190,20 @@ int main(int argc, char** argv) {
     }
   }
   std::cerr << "stage times: " << s.stage_times.to_json(config.jobs) << '\n';
+  if (flags.has("metrics-out")) {
+    analysis::RunManifestInfo manifest;
+    manifest.tool = "reuse_study";
+    manifest.config = &s.config;
+    manifest.stage_times = &s.stage_times;
+    if (use_cache) manifest.cache_hit = s.cache_hit;
+    if (const auto error =
+            analysis::write_run_manifest(flags.get("metrics-out"), manifest)) {
+      std::cerr << "error: " << *error << '\n';
+      return 1;
+    }
+    std::cerr << "run manifest written to " << flags.get("metrics-out")
+              << '\n';
+  }
   std::cerr << "artifacts written to " << out_dir.string() << "/\n";
   return 0;
 }
