@@ -1,0 +1,127 @@
+// Microbenchmarks for the serving layer (google-benchmark): snapshot
+// compile cost, point and batched verdict latency, and the engine's pin
+// overhead on top of a raw snapshot query. These back the BENCH_lookup.json
+// throughput numbers with per-operation detail.
+#include <benchmark/benchmark.h>
+
+#include "netbase/rng.h"
+#include "serve/lookup.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using namespace reuse;
+
+/// A clustered synthetic world at benchmark scale; mirrors the equivalence
+/// test's shape so the measured lookups hit populated /24 buckets.
+struct BenchWorld {
+  blocklist::SnapshotStore store;
+  std::unordered_set<net::Ipv4Address> nated;
+  net::PrefixSet dynamic;
+
+  explicit BenchWorld(std::size_t listings) {
+    net::Rng rng(7);
+    constexpr std::uint32_t kBases[] = {0x0a000000, 0x42000000, 0xc0a80000};
+    for (std::size_t i = 0; i < listings; ++i) {
+      const std::uint32_t base = kBases[rng.uniform(std::size(kBases))];
+      const net::Ipv4Address address(
+          base | static_cast<std::uint32_t>(rng.uniform(1u << 18)));
+      store.record(static_cast<blocklist::ListId>(1 + rng.uniform(12)),
+                   address, static_cast<std::int64_t>(rng.uniform(30)));
+      if (rng.bernoulli(0.25)) nated.insert(address);
+    }
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t base = kBases[rng.uniform(std::size(kBases))];
+      dynamic.insert(net::Ipv4Prefix(
+          net::Ipv4Address(base |
+                           static_cast<std::uint32_t>(rng.uniform(1u << 18))),
+          static_cast<int>(rng.uniform_int(22, 26))));
+    }
+  }
+
+  [[nodiscard]] serve::CompiledSnapshot compile() const {
+    return serve::SnapshotBuilder()
+        .with_store(store)
+        .with_nated(nated)
+        .with_dynamic(dynamic)
+        .build();
+  }
+};
+
+std::vector<net::Ipv4Address> probe_mix(const serve::CompiledSnapshot& snapshot,
+                                        std::size_t count) {
+  net::Rng rng(99);
+  const auto listed = snapshot.entries_matching(serve::kVerdictListed);
+  std::vector<net::Ipv4Address> probes;
+  probes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 2 == 0 && !listed.empty()) {
+      probes.push_back(listed[rng.uniform(listed.size())]);
+    } else {
+      probes.emplace_back(static_cast<std::uint32_t>(rng()));
+    }
+  }
+  return probes;
+}
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  const BenchWorld world(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const serve::CompiledSnapshot snapshot = world.compile();
+    benchmark::DoNotOptimize(snapshot.fingerprint());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SnapshotBuild)->Arg(10000)->Arg(100000);
+
+void BM_SnapshotVerdict(benchmark::State& state) {
+  const BenchWorld world(100000);
+  const serve::CompiledSnapshot snapshot = world.compile();
+  const auto probes = probe_mix(snapshot, 1024);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot.verdict(probes[index++ & 1023]).bits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotVerdict);
+
+void BM_EngineVerdict(benchmark::State& state) {
+  const BenchWorld world(100000);
+  serve::LookupEngine engine;
+  engine.publish(
+      std::make_shared<const serve::CompiledSnapshot>(world.compile()));
+  const auto probes = probe_mix(*engine.snapshot(), 1024);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.verdict(probes[index++ & 1023]).bits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineVerdict);
+
+void BM_EngineVerdictBatch(benchmark::State& state) {
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  const BenchWorld world(100000);
+  serve::LookupEngine engine;
+  engine.publish(
+      std::make_shared<const serve::CompiledSnapshot>(world.compile()));
+  const auto probes = probe_mix(*engine.snapshot(), 4096);
+  std::vector<serve::Verdict> verdicts(batch_size);
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    engine.verdict_batch(
+        std::span<const net::Ipv4Address>(probes).subspan(offset, batch_size),
+        verdicts);
+    benchmark::DoNotOptimize(verdicts.data());
+    offset = (offset + batch_size) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_EngineVerdictBatch)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -68,6 +68,12 @@ std::string run_manifest_json(const RunManifestInfo& info) {
   } else {
     out << ", \"cache\": null";
   }
+  if (info.snapshot_fingerprint.has_value()) {
+    out << ", \"snapshot_fingerprint\": \""
+        << net::json_escape(*info.snapshot_fingerprint) << '"';
+  } else {
+    out << ", \"snapshot_fingerprint\": null";
+  }
   if (info.stage_times != nullptr) {
     out << ", \"stages\": "
         << info.stage_times->to_json(
@@ -81,10 +87,26 @@ std::string run_manifest_json(const RunManifestInfo& info) {
 }
 
 std::optional<std::string> write_run_manifest(const std::string& path,
-                                              const RunManifestInfo& info) {
+                                              const RunManifestInfo& info,
+                                              net::MetricsFormat format) {
   std::ofstream os(path, std::ios::trunc);
   if (!os) return "cannot open metrics output file: " + path;
-  os << run_manifest_json(info) << '\n';
+  if (format == net::MetricsFormat::kPrometheus) {
+    // Exposition comments are free-form '#' lines (only HELP/TYPE are
+    // structured), so the run identity rides along without breaking
+    // scrapers. The manifest proper stays a JSON-only document.
+    os << "# run_manifest tool=" << info.tool;
+    if (info.config != nullptr) {
+      os << " config_fingerprint="
+         << hex_fingerprint(config_fingerprint(*info.config));
+    }
+    if (info.snapshot_fingerprint.has_value()) {
+      os << " snapshot_fingerprint=" << *info.snapshot_fingerprint;
+    }
+    os << '\n' << net::metrics::Registry::global().to_prometheus();
+  } else {
+    os << run_manifest_json(info) << '\n';
+  }
   os.flush();
   if (!os.good()) return "failed writing metrics output file: " + path;
   return std::nullopt;

@@ -14,6 +14,7 @@
 
 #include "analysis/scenario.h"
 #include "analysis/stage_timer.h"
+#include "netbase/flags.h"
 
 namespace reuse::analysis {
 
@@ -25,6 +26,10 @@ struct RunManifestInfo {
   const ScenarioConfig* config = nullptr;   ///< finalized scenario config
   const StageTimer* stage_times = nullptr;  ///< per-stage wall clock
   std::optional<bool> cache_hit;            ///< set iff a cache was consulted
+  /// Payload fingerprint (16 hex digits) of the compiled serving snapshot a
+  /// run produced, when it produced one (reuse_lookupd). CI cross-checks
+  /// this against the fingerprint BENCH_lookup.json reports.
+  std::optional<std::string> snapshot_fingerprint;
 };
 
 /// Renders the manifest as one JSON object (schema_version 1):
@@ -32,6 +37,7 @@ struct RunManifestInfo {
 ///    "config_fingerprint" (16-hex string | null), "seed" | null,
 ///    "jobs" | null, "cache": {"consulted", "hit"} | null,
 ///    "fault_plan": {"seed", "episodes", "by_kind"} | null,
+///    "snapshot_fingerprint" (16-hex string | null),
 ///    "stages": StageTimer JSON | null, "metrics": registry snapshot}
 /// Touches the cross-cutting families' registration hooks first (cache_,
 /// faults_, pool_), so a run that never consulted the cache or injected a
@@ -40,9 +46,14 @@ struct RunManifestInfo {
 /// from a scenario-running tool covers all seven instrumented subsystems.
 [[nodiscard]] std::string run_manifest_json(const RunManifestInfo& info);
 
-/// Writes run_manifest_json(info) to `path` (plus a trailing newline).
-/// Returns a human-readable error on failure, nullopt on success.
-std::optional<std::string> write_run_manifest(const std::string& path,
-                                              const RunManifestInfo& info);
+/// Writes the manifest to `path` (plus a trailing newline). With
+/// MetricsFormat::kJson (the default) the file is run_manifest_json(info);
+/// with kPrometheus it is the metrics registry in Prometheus text
+/// exposition, prefixed by comment lines carrying the run identity (tool,
+/// fingerprints) so scrapes stay attributable. Returns a human-readable
+/// error on failure, nullopt on success.
+std::optional<std::string> write_run_manifest(
+    const std::string& path, const RunManifestInfo& info,
+    net::MetricsFormat format = net::MetricsFormat::kJson);
 
 }  // namespace reuse::analysis

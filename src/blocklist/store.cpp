@@ -58,6 +58,13 @@ net::IntervalSet SnapshotStore::bridged_presence(
   return bridged;
 }
 
+std::vector<net::Ipv4Address> SnapshotStore::sorted_addresses() const {
+  std::vector<net::Ipv4Address> out(all_addresses_.begin(),
+                                    all_addresses_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<net::Ipv4Address> SnapshotStore::addresses_of(ListId list) const {
   const auto it = per_list_.find(list);
   if (it == per_list_.end()) return {};

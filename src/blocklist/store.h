@@ -60,6 +60,11 @@ class SnapshotStore {
     return all_addresses_;
   }
 
+  /// addresses() in ascending order — the export hook for consumers that
+  /// need a canonical ordering (the serving-snapshot compiler, the
+  /// reused-address list) without each re-sorting the unordered set.
+  [[nodiscard]] std::vector<net::Ipv4Address> sorted_addresses() const;
+
   /// Distinct addresses ever present on one list.
   [[nodiscard]] std::vector<net::Ipv4Address> addresses_of(ListId list) const;
   [[nodiscard]] std::size_t address_count_of(ListId list) const;

@@ -118,4 +118,10 @@ std::optional<int> parse_jobs(const std::string& text) {
   return jobs;
 }
 
+std::optional<MetricsFormat> parse_metrics_format(const std::string& text) {
+  if (text == "json") return MetricsFormat::kJson;
+  if (text == "prometheus") return MetricsFormat::kPrometheus;
+  return std::nullopt;
+}
+
 }  // namespace reuse::net

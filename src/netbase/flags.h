@@ -60,4 +60,17 @@ class FlagParser {
 /// casting whatever atoi produced into a thread-pool size.
 [[nodiscard]] std::optional<int> parse_jobs(const std::string& text);
 
+/// Output encoding of a --metrics-out file.
+enum class MetricsFormat {
+  kJson,        ///< the run manifest document (DESIGN.md §9)
+  kPrometheus,  ///< text exposition of the metrics registry only
+};
+
+/// Validates a --metrics-format value: exactly "json" or "prometheus".
+/// Anything else returns nullopt so callers can fail fast with exit 2 —
+/// the same convention as parse_jobs; a typo in measurement tooling must
+/// never silently fall back to a default encoding.
+[[nodiscard]] std::optional<MetricsFormat> parse_metrics_format(
+    const std::string& text);
+
 }  // namespace reuse::net

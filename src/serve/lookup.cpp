@@ -1,0 +1,110 @@
+#include "serve/lookup.h"
+
+#include <utility>
+
+namespace reuse::serve {
+namespace {
+
+/// Scoped hold of the engine's pin lock. test-and-set(acquire) to lock,
+/// store(release) to unlock; the inner relaxed-load spin keeps the
+/// contended path off the cache line's exclusive state. The release
+/// unlock is what makes the protocol TSan-provable (see lookup.h).
+class PinGuard {
+ public:
+  explicit PinGuard(std::atomic<bool>& lock) : lock_(lock) {
+    while (lock_.exchange(true, std::memory_order_acquire)) {
+      while (lock_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  ~PinGuard() { lock_.store(false, std::memory_order_release); }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+
+ private:
+  std::atomic<bool>& lock_;
+};
+
+}  // namespace
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics metrics{
+      net::metrics::counter("serve_queries_total",
+                            "single-address verdicts served"),
+      net::metrics::counter("serve_batches_total", "verdict_batch calls"),
+      net::metrics::counter("serve_batch_queries_total",
+                            "addresses answered through batches"),
+      net::metrics::counter("serve_listed_total",
+                            "verdicts carrying the listed bit"),
+      net::metrics::counter("serve_reused_total",
+                            "verdicts carrying a reuse bit (NATed/dynamic)"),
+      net::metrics::counter("serve_snapshot_swaps_total",
+                            "snapshots published to the engine"),
+      net::metrics::gauge("serve_snapshot_entries",
+                          "entry count of the live snapshot"),
+      net::metrics::histogram(
+          "serve_batch_micros",
+          "wall-clock per replayed workload batch (scheduling-dependent, "
+          "excluded from the determinism contract like pool_)",
+          {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+           20000, 50000, 100000}),
+  };
+  return metrics;
+}
+
+std::shared_ptr<const CompiledSnapshot> LookupEngine::snapshot() const {
+  PinGuard guard(pin_lock_);
+  return snapshot_;
+}
+
+void LookupEngine::publish(std::shared_ptr<const CompiledSnapshot> snapshot) {
+  ServeMetrics& metrics = serve_metrics();
+  if (snapshot != nullptr) {
+    metrics.entries.set(static_cast<std::int64_t>(snapshot->entry_count()));
+  } else {
+    metrics.entries.set(0);
+  }
+  std::shared_ptr<const CompiledSnapshot> superseded;
+  {
+    PinGuard guard(pin_lock_);
+    superseded = std::exchange(snapshot_, std::move(snapshot));
+  }
+  // `superseded` drops here, outside the critical section: if this was the
+  // last reference, the whole artifact deallocates without ever extending
+  // the pin window.
+  metrics.swaps.increment();
+}
+
+Verdict LookupEngine::verdict(net::Ipv4Address address) const {
+  ServeMetrics& metrics = serve_metrics();
+  metrics.queries.increment();
+  const std::shared_ptr<const CompiledSnapshot> pinned = snapshot();
+  if (pinned == nullptr) return Verdict{};
+  const Verdict v = pinned->verdict(address);
+  if (v.listed()) metrics.listed.increment();
+  if (v.reused()) metrics.reused.increment();
+  return v;
+}
+
+void LookupEngine::verdict_batch(std::span<const net::Ipv4Address> queries,
+                                 std::span<Verdict> out) const {
+  ServeMetrics& metrics = serve_metrics();
+  metrics.batches.increment();
+  metrics.batch_queries.add(queries.size());
+  const std::shared_ptr<const CompiledSnapshot> pinned = snapshot();
+  if (pinned == nullptr) {
+    for (std::size_t i = 0; i < queries.size(); ++i) out[i] = Verdict{};
+    return;
+  }
+  pinned->verdict_batch(queries, out);
+  std::uint64_t listed = 0;
+  std::uint64_t reused = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    listed += out[i].listed() ? 1 : 0;
+    reused += out[i].reused() ? 1 : 0;
+  }
+  if (listed != 0) metrics.listed.add(listed);
+  if (reused != 0) metrics.reused.add(reused);
+}
+
+}  // namespace reuse::serve

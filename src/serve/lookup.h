@@ -1,0 +1,86 @@
+// Wait-light query engine over atomically swappable compiled snapshots.
+//
+// Serving is read-mostly with rare whole-artifact replacement: a new day's
+// snapshot arrives, readers must never stall, and the old artifact must
+// stay valid for queries already in flight. Queries take a
+// reference-counted pin on the current snapshot, run entirely against that
+// immutable artifact, and drop the pin; publish() swaps the pointer and
+// the superseded snapshot is freed when its last in-flight reader
+// finishes — no reader ever waits for a reload, no publisher ever waits
+// for a reader.
+//
+// The pin itself is a handful of instructions under a tiny spin "pin
+// lock": lock, copy the shared_ptr (one atomic refcount increment),
+// unlock. This is the same lock-bit protocol libstdc++'s
+// std::atomic<std::shared_ptr> uses internally (which is likewise not
+// lock-free), with one deliberate difference: our unlock is a *release*
+// store, where libstdc++ 12's load path unlocks relaxed — formally a data
+// race on its unsynchronized pointer member, and exactly what TSan flags.
+// Owning the few lines of protocol makes the engine memory-model-clean, so
+// the concurrent query-during-swap test runs under TSan with
+// halt_on_error and proves the swap safe rather than suppressing it.
+//
+// The hot path allocates nothing: verdicts are 32-bit words, batch output
+// goes into caller-provided spans, and the serve_* metrics are cached
+// registry handles doing relaxed atomic adds. Query *counters* are
+// deterministic functions of the workload; the latency histogram
+// (serve_batch_micros, fed by the workload harness) is wall-clock and —
+// like the pool_ family — excluded from the determinism contract.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+
+#include "netbase/metrics.h"
+#include "serve/snapshot.h"
+
+namespace reuse::serve {
+
+/// Registry handles for the serve_ metric family, registered on first use
+/// (same pattern as analysis::cache_metrics). Shared by the engine, the
+/// workload harness, and the run-manifest writer.
+struct ServeMetrics {
+  net::metrics::Counter& queries;        ///< single-address verdicts served
+  net::metrics::Counter& batches;        ///< verdict_batch calls
+  net::metrics::Counter& batch_queries;  ///< addresses answered in batches
+  net::metrics::Counter& listed;         ///< verdicts with the listed bit
+  net::metrics::Counter& reused;         ///< verdicts with NATed or dynamic
+  net::metrics::Counter& swaps;          ///< snapshots published
+  net::metrics::Gauge& entries;          ///< entry count of the live snapshot
+  net::metrics::Histogram& batch_micros;  ///< wall-clock per harness batch
+};
+ServeMetrics& serve_metrics();
+
+class LookupEngine {
+ public:
+  /// An engine starts empty; queries against it answer all-clear verdicts.
+  LookupEngine() = default;
+
+  /// Atomically replaces the served snapshot. Safe to call concurrently
+  /// with any number of in-flight queries (they finish against the
+  /// snapshot they pinned) and with other publishers (last write wins).
+  void publish(std::shared_ptr<const CompiledSnapshot> snapshot);
+
+  /// The currently served snapshot (nullptr before the first publish).
+  /// The returned pointer pins the artifact: it stays valid even if a
+  /// publish() lands immediately after.
+  [[nodiscard]] std::shared_ptr<const CompiledSnapshot> snapshot() const;
+
+  /// Single-address query: one snapshot pin, one two-level lookup.
+  [[nodiscard]] Verdict verdict(net::Ipv4Address address) const;
+
+  /// Batched query: queries[i] answers into out[i]. One snapshot pin for
+  /// the whole batch — the amortization that makes batching worthwhile.
+  /// Precondition: out.size() >= queries.size().
+  void verdict_batch(std::span<const net::Ipv4Address> queries,
+                     std::span<Verdict> out) const;
+
+ private:
+  /// Spin pin-lock guarding `snapshot_`; held for a few instructions only
+  /// (shared_ptr copy or exchange — never a query, never a deallocation).
+  mutable std::atomic<bool> pin_lock_{false};
+  std::shared_ptr<const CompiledSnapshot> snapshot_;
+};
+
+}  // namespace reuse::serve

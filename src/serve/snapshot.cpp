@@ -1,0 +1,382 @@
+#include "serve/snapshot.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <unordered_map>
+
+#include "netbase/serialize.h"
+#include "netbase/thread_pool.h"
+
+namespace reuse::serve {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x524555534c4bULL;  // "REUSLK"
+constexpr std::uint32_t kFormatVersion = 1;
+
+// Decoder bounds: a corrupt count must fail the load immediately, never
+// drive a multi-billion-element read loop. IPv4 caps everything naturally.
+constexpr std::uint64_t kMaxEntries = 1ULL << 32;
+constexpr std::uint64_t kMaxBuckets = 1ULL << 24;
+constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 33;
+
+void write_u32_array(net::BinaryWriter& writer,
+                     const std::vector<std::uint32_t>& values) {
+  writer.write(static_cast<std::uint64_t>(values.size()));
+  for (const std::uint32_t v : values) writer.write(v);
+}
+
+[[nodiscard]] bool read_u32_array(net::BinaryReader& reader,
+                                  std::uint64_t sanity_limit,
+                                  std::vector<std::uint32_t>& out) {
+  const std::uint64_t count = reader.read_size(sanity_limit);
+  if (!reader.ok()) return false;
+  out.resize(count);
+  for (std::uint64_t i = 0; i < count && reader.ok(); ++i) {
+    out[i] = reader.read<std::uint32_t>();
+  }
+  return reader.ok();
+}
+
+[[nodiscard]] bool strictly_increasing(const std::vector<std::uint32_t>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] <= v[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Sorted-array membership: the /24-context probe on the query path.
+[[nodiscard]] inline bool sorted_contains(const std::vector<std::uint32_t>& v,
+                                          std::uint32_t key) {
+  const auto it = std::lower_bound(v.begin(), v.end(), key);
+  return it != v.end() && *it == key;
+}
+
+}  // namespace
+
+Verdict CompiledSnapshot::verdict(net::Ipv4Address address) const {
+  const std::uint32_t value = address.value();
+  const std::uint32_t key = value >> 8;
+  std::uint32_t bits = 0;
+  // /24 churn context is answered for every query, listed or not.
+  if (sorted_contains(dynamic24_, key)) bits |= kVerdictDynamic;
+  const auto bucket = std::lower_bound(buckets_.begin(), buckets_.end(), key);
+  if (bucket != buckets_.end() && *bucket == key) {
+    const auto b = static_cast<std::size_t>(bucket - buckets_.begin());
+    const auto lo = addresses_.begin() + bucket_offsets_[b];
+    const auto hi = addresses_.begin() + bucket_offsets_[b + 1];
+    const auto entry = std::lower_bound(lo, hi, value);
+    if (entry != hi && *entry == value) {
+      bits |= verdicts_[static_cast<std::size_t>(entry - addresses_.begin())];
+    }
+  }
+  return Verdict{bits};
+}
+
+void CompiledSnapshot::verdict_batch(std::span<const net::Ipv4Address> queries,
+                                     std::span<Verdict> out) const {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i] = verdict(queries[i]);
+  }
+}
+
+std::vector<net::Ipv4Address> CompiledSnapshot::entries_matching(
+    std::uint32_t mask) const {
+  std::vector<net::Ipv4Address> out;
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    if ((verdicts_[i] & mask) == mask) {
+      out.emplace_back(addresses_[i]);
+    }
+  }
+  return out;
+}
+
+std::string CompiledSnapshot::payload_bytes() const {
+  std::ostringstream stream;
+  net::BinaryWriter writer(stream);
+  write_u32_array(writer, buckets_);
+  write_u32_array(writer, bucket_offsets_);
+  write_u32_array(writer, addresses_);
+  write_u32_array(writer, verdicts_);
+  write_u32_array(writer, dynamic24_);
+  writer.write(static_cast<std::uint64_t>(top_lists_.size()));
+  for (const blocklist::ListId list : top_lists_) writer.write(list);
+  return stream.str();
+}
+
+void CompiledSnapshot::seal() {
+  fingerprint_ = net::fnv1a_64(payload_bytes());
+}
+
+std::string CompiledSnapshot::fingerprint_hex() const {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint_));
+  return buffer;
+}
+
+bool CompiledSnapshot::save(const std::string& path) const {
+  const std::string payload = payload_bytes();
+  if (payload.size() > kMaxPayloadBytes) return false;
+
+  // Atomic publish, same discipline as the scenario cache: assemble under a
+  // pid-unique temporary name, rename() into place. A reader racing with
+  // this save sees either the previous complete artifact or the new one.
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    net::BinaryWriter writer(os);
+    writer.write(kMagic);
+    writer.write(kFormatVersion);
+    writer.write(source_fingerprint_);
+    writer.write(static_cast<std::uint64_t>(payload.size()));
+    writer.write(net::fnv1a_64(payload));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::error_code cleanup_ec;
+    std::filesystem::remove(tmp_path, cleanup_ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<CompiledSnapshot> CompiledSnapshot::load(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  net::BinaryReader reader(is);
+  if (reader.read<std::uint64_t>() != kMagic) return std::nullopt;
+  if (reader.read<std::uint32_t>() != kFormatVersion) return std::nullopt;
+  const std::uint64_t source_fingerprint = reader.read<std::uint64_t>();
+  const std::uint64_t payload_size = reader.read_size(kMaxPayloadBytes);
+  const std::uint64_t checksum = reader.read<std::uint64_t>();
+  if (!reader.ok()) return std::nullopt;
+
+  std::string payload(payload_size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::uint64_t>(is.gcount()) != payload_size) {
+    return std::nullopt;  // truncated
+  }
+  if (is.peek() != std::char_traits<char>::eof()) {
+    return std::nullopt;  // trailing bytes: not a product of save()
+  }
+  if (net::fnv1a_64(payload) != checksum) return std::nullopt;  // bit-flip
+
+  std::istringstream payload_stream(payload);
+  net::BinaryReader body(payload_stream);
+  CompiledSnapshot snapshot;
+  snapshot.source_fingerprint_ = source_fingerprint;
+  if (!read_u32_array(body, kMaxBuckets, snapshot.buckets_)) {
+    return std::nullopt;
+  }
+  if (!read_u32_array(body, kMaxBuckets + 1, snapshot.bucket_offsets_)) {
+    return std::nullopt;
+  }
+  if (!read_u32_array(body, kMaxEntries, snapshot.addresses_)) {
+    return std::nullopt;
+  }
+  if (!read_u32_array(body, kMaxEntries, snapshot.verdicts_)) {
+    return std::nullopt;
+  }
+  if (!read_u32_array(body, kMaxBuckets, snapshot.dynamic24_)) {
+    return std::nullopt;
+  }
+  const std::uint64_t top_count =
+      body.read_size(static_cast<std::uint64_t>(kMaxTopLists));
+  if (!body.ok()) return std::nullopt;
+  snapshot.top_lists_.resize(top_count);
+  for (std::uint64_t i = 0; i < top_count && body.ok(); ++i) {
+    snapshot.top_lists_[i] = body.read<blocklist::ListId>();
+  }
+  if (!body.ok()) return std::nullopt;
+  if (payload_stream.peek() != std::char_traits<char>::eof()) {
+    return std::nullopt;  // payload longer than its arrays
+  }
+
+  // Structural invariants: the checksum catches random corruption, these
+  // catch a well-formed file that could still index out of bounds.
+  if (snapshot.verdicts_.size() != snapshot.addresses_.size()) {
+    return std::nullopt;
+  }
+  if (!strictly_increasing(snapshot.buckets_) ||
+      !strictly_increasing(snapshot.addresses_) ||
+      !strictly_increasing(snapshot.dynamic24_)) {
+    return std::nullopt;
+  }
+  if (snapshot.buckets_.empty()) {
+    // An empty index must describe an empty entry table.
+    if (!snapshot.bucket_offsets_.empty() || !snapshot.addresses_.empty()) {
+      return std::nullopt;
+    }
+  } else {
+    if (snapshot.bucket_offsets_.size() != snapshot.buckets_.size() + 1) {
+      return std::nullopt;
+    }
+    if (snapshot.bucket_offsets_.front() != 0 ||
+        snapshot.bucket_offsets_.back() != snapshot.addresses_.size()) {
+      return std::nullopt;
+    }
+    for (std::size_t b = 0; b < snapshot.buckets_.size(); ++b) {
+      if (snapshot.bucket_offsets_[b] >= snapshot.bucket_offsets_[b + 1]) {
+        return std::nullopt;  // empty or reversed bucket
+      }
+      for (std::uint32_t i = snapshot.bucket_offsets_[b];
+           i < snapshot.bucket_offsets_[b + 1]; ++i) {
+        if ((snapshot.addresses_[i] >> 8) != snapshot.buckets_[b]) {
+          return std::nullopt;  // entry filed under the wrong /24
+        }
+      }
+    }
+  }
+  for (const std::uint32_t key : snapshot.dynamic24_) {
+    if (key >= (1u << 24)) return std::nullopt;
+  }
+
+  snapshot.seal();
+  return snapshot;
+}
+
+CompiledSnapshot SnapshotBuilder::build(net::ThreadPool* pool) const {
+  CompiledSnapshot snapshot;
+  snapshot.source_fingerprint_ = source_fingerprint_;
+
+  // Entries: sorted union of blocklisted and NATed addresses. The NATed set
+  // is included even where unlisted, so a verdict answers "reused?" exactly
+  // as the offline oracle (store + detector sets) would.
+  std::vector<std::uint32_t> entries;
+  if (store_ != nullptr) {
+    for (const net::Ipv4Address address : store_->sorted_addresses()) {
+      entries.push_back(address.value());
+    }
+  }
+  if (nated_ != nullptr) {
+    entries.reserve(entries.size() + nated_->size());
+    for (const net::Ipv4Address address : *nated_) {
+      entries.push_back(address.value());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  snapshot.addresses_ = std::move(entries);
+
+  // Dynamic pools projected to the paper's /24 granularity: a prefix
+  // shorter than /24 contributes every /24 it covers, a longer one its
+  // covering block.
+  if (dynamic_ != nullptr) {
+    for (const net::Ipv4Prefix& prefix : dynamic_->to_vector()) {
+      const std::uint32_t first = prefix.first_address().value() >> 8;
+      const std::uint32_t last = prefix.last_address().value() >> 8;
+      for (std::uint32_t key = first; key <= last; ++key) {
+        snapshot.dynamic24_.push_back(key);
+      }
+    }
+    std::sort(snapshot.dynamic24_.begin(), snapshot.dynamic24_.end());
+    snapshot.dynamic24_.erase(
+        std::unique(snapshot.dynamic24_.begin(), snapshot.dynamic24_.end()),
+        snapshot.dynamic24_.end());
+  }
+
+  // Top lists for the per-list bitmap: by distinct-address count, largest
+  // first; ties break toward the smaller id so the ranking is total.
+  std::unordered_map<blocklist::ListId, int> bit_of;
+  if (store_ != nullptr) {
+    std::vector<blocklist::ListId> ranked;
+    if (catalogue_ != nullptr) {
+      for (const blocklist::BlocklistInfo& info : *catalogue_) {
+        ranked.push_back(info.id);
+      }
+    } else {
+      ranked = store_->active_lists();
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&](blocklist::ListId a, blocklist::ListId b) {
+                const std::size_t ca = store_->address_count_of(a);
+                const std::size_t cb = store_->address_count_of(b);
+                return ca != cb ? ca > cb : a < b;
+              });
+    if (ranked.size() > static_cast<std::size_t>(kMaxTopLists)) {
+      ranked.resize(static_cast<std::size_t>(kMaxTopLists));
+    }
+    snapshot.top_lists_ = std::move(ranked);
+    for (std::size_t bit = 0; bit < snapshot.top_lists_.size(); ++bit) {
+      bit_of[snapshot.top_lists_[bit]] = static_cast<int>(bit);
+    }
+  }
+
+  // Per-address membership bitmap over the top lists. Built once, serially:
+  // OR-ing bits is commutative, so the store's unordered iteration order
+  // cannot leak into the result.
+  std::unordered_map<std::uint32_t, std::uint32_t> membership;
+  if (store_ != nullptr && !bit_of.empty()) {
+    membership.reserve(store_->addresses().size());
+    store_->for_each_listing([&](blocklist::ListId list,
+                                 net::Ipv4Address address,
+                                 const net::IntervalSet&) {
+      const auto it = bit_of.find(list);
+      if (it == bit_of.end()) return;
+      membership[address.value()] |=
+          1u << (kTopListShift + it->second);
+    });
+  }
+
+  // Verdict pass: each entry writes only its own slot, so running it on a
+  // pool is byte-identical to running it serially.
+  snapshot.verdicts_.assign(snapshot.addresses_.size(), 0);
+  const auto& addresses = snapshot.addresses_;
+  const auto& dynamic24 = snapshot.dynamic24_;
+  net::for_each_index(
+      pool, addresses.size(),
+      [&](std::size_t i) {
+        const std::uint32_t value = addresses[i];
+        const net::Ipv4Address address(value);
+        std::uint32_t bits = 0;
+        if (store_ != nullptr && store_->addresses().contains(address)) {
+          bits |= kVerdictListed;
+        }
+        if (nated_ != nullptr && nated_->contains(address)) {
+          bits |= kVerdictNated;
+        }
+        if (sorted_contains(dynamic24, value >> 8)) {
+          bits |= kVerdictDynamic;
+        }
+        if (const auto it = membership.find(value); it != membership.end()) {
+          bits |= it->second;
+        }
+        snapshot.verdicts_[i] = bits;
+      },
+      /*grain=*/1024);
+
+  // /24 bucket index over the sorted entries.
+  for (std::size_t i = 0; i < snapshot.addresses_.size(); ++i) {
+    const std::uint32_t key = snapshot.addresses_[i] >> 8;
+    if (snapshot.buckets_.empty() || snapshot.buckets_.back() != key) {
+      snapshot.buckets_.push_back(key);
+      snapshot.bucket_offsets_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  snapshot.bucket_offsets_.push_back(
+      static_cast<std::uint32_t>(snapshot.addresses_.size()));
+  if (snapshot.buckets_.empty()) snapshot.bucket_offsets_.clear();
+
+  snapshot.seal();
+  return snapshot;
+}
+
+}  // namespace reuse::serve

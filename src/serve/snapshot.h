@@ -1,0 +1,204 @@
+// Compiled blocklist snapshot: the immutable artifact `lookupd` serves.
+//
+// The paper's actionable output (§6) is a published reused-address list
+// that operators consult at enforcement time. The offline pipeline produces
+// that list as text; this module compiles the same knowledge — per-address
+// listing state, NAT/dynamic reuse flags, and /24 dynamic-pool context —
+// into a flat, checksummed binary artifact built for query serving:
+//
+//   * No pointers. Four sorted arrays (bucket keys, bucket offsets,
+//     addresses, verdict words) plus a sorted dynamic-/24 array; the whole
+//     payload is position-independent and mmap-friendly.
+//   * Two-level lookup. A query binary-searches the occupied-/24 bucket
+//     array (addr >> 8), then the at-most-256 entries of that bucket —
+//     both branch-predictable lower_bound loops over contiguous memory.
+//   * Verdicts are one 32-bit word: listed/NATed/dynamic flags in the low
+//     byte and a membership bitmap of the top-`kMaxTopLists` lists (by
+//     distinct-address count) in the high bits, so one load answers both
+//     "block or greylist?" and "which major feeds said so?".
+//   * Deterministic bytes. Entries are the sorted union of blocklisted and
+//     NATed addresses; per-entry verdict computation is index-addressed, so
+//     building with a thread pool is byte-identical to building serially.
+//     The same inputs always serialize to the same artifact (and the same
+//     fingerprint), which CI cross-checks against the run manifest.
+//
+// On-disk framing follows the scenario cache discipline (DESIGN.md §6/§10):
+// magic + versions + counts + payload size + FNV-1a payload checksum, then
+// the payload; loads are bounded, and truncation or bit-flips reject rather
+// than crash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "blocklist/store.h"
+#include "blocklist/types.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix_trie.h"
+
+namespace reuse::net {
+class ThreadPool;
+}
+
+namespace reuse::serve {
+
+/// Verdict bit assignments inside a compiled snapshot's 32-bit word.
+inline constexpr std::uint32_t kVerdictListed = 1u << 0;
+inline constexpr std::uint32_t kVerdictNated = 1u << 1;
+inline constexpr std::uint32_t kVerdictDynamic = 1u << 2;
+/// Bits [kTopListShift, 32) form the top-list membership bitmap.
+inline constexpr int kTopListShift = 8;
+inline constexpr int kMaxTopLists = 32 - kTopListShift;
+
+/// One query answer. A plain word wrapper: cheap to copy, nothing to free,
+/// safe to hand across threads.
+struct Verdict {
+  std::uint32_t bits = 0;
+
+  [[nodiscard]] constexpr bool listed() const {
+    return (bits & kVerdictListed) != 0;
+  }
+  [[nodiscard]] constexpr bool nated() const {
+    return (bits & kVerdictNated) != 0;
+  }
+  /// The covering /24 of the queried address overlaps a detected dynamic
+  /// pool. Carried for *every* query, listed or not — churn context is the
+  /// reason to greylist rather than hard-block (paper §6).
+  [[nodiscard]] constexpr bool dynamic() const {
+    return (bits & kVerdictDynamic) != 0;
+  }
+  [[nodiscard]] constexpr bool reused() const { return nated() || dynamic(); }
+  /// The paper's enforcement advice: greylist listed-but-reused addresses.
+  [[nodiscard]] constexpr bool greylist() const { return listed() && reused(); }
+  /// Membership bitmap over CompiledSnapshot::top_lists() (bit k = list k).
+  [[nodiscard]] constexpr std::uint32_t list_bitmap() const {
+    return bits >> kTopListShift;
+  }
+
+  friend constexpr bool operator==(Verdict, Verdict) = default;
+};
+
+/// The immutable compiled artifact. Built by SnapshotBuilder or loaded from
+/// disk; never mutated afterwards, so any number of threads may query one
+/// instance concurrently without synchronization.
+class CompiledSnapshot {
+ public:
+  /// O(log buckets + log 256) point query; allocation-free.
+  [[nodiscard]] Verdict verdict(net::Ipv4Address address) const;
+
+  /// Answers queries[i] into out[i]. Precondition: out.size() >= queries
+  /// .size(). Allocation-free; the batch shares bucket-search state warmup.
+  void verdict_batch(std::span<const net::Ipv4Address> queries,
+                     std::span<Verdict> out) const;
+
+  /// Distinct addresses carrying a non-trivial verdict word (the sorted
+  /// union of blocklisted and NATed addresses).
+  [[nodiscard]] std::size_t entry_count() const { return addresses_.size(); }
+  /// Occupied /24 buckets.
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  /// /24 blocks overlapping a detected dynamic pool.
+  [[nodiscard]] std::size_t dynamic24_count() const {
+    return dynamic24_.size();
+  }
+  /// List ids behind Verdict::list_bitmap(), ordered bit 0 upward (largest
+  /// list first; ties break toward the smaller id).
+  [[nodiscard]] const std::vector<blocklist::ListId>& top_lists() const {
+    return top_lists_;
+  }
+  /// Fingerprint of the producing scenario (caller-supplied at build time;
+  /// 0 when built outside a scenario).
+  [[nodiscard]] std::uint64_t source_fingerprint() const {
+    return source_fingerprint_;
+  }
+  /// FNV-1a of the serialized payload: two snapshots answer identically iff
+  /// their fingerprints match. This is the value the run manifest and
+  /// BENCH_lookup.json both record and CI cross-checks.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+  /// fingerprint() as 16 hex digits, the JSON rendering.
+  [[nodiscard]] std::string fingerprint_hex() const;
+
+  /// Serializes the artifact to `path` atomically (tmp file + rename);
+  /// false on I/O failure, in which case no partial file is left behind.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+  /// Loads and validates an artifact: magic, format version, bounded
+  /// payload size, FNV-1a payload checksum, and structural invariants
+  /// (sorted arrays, monotonic bucket offsets, entries filed under the
+  /// right /24). Truncated, oversized, or bit-flipped files return
+  /// nullopt — never a partially initialized snapshot.
+  [[nodiscard]] static std::optional<CompiledSnapshot> load(
+      const std::string& path);
+
+  /// All entry addresses whose verdict satisfies `mask` (every bit of
+  /// `mask` set). Used by the workload generator to sample listed/reused
+  /// query targets; not a hot path.
+  [[nodiscard]] std::vector<net::Ipv4Address> entries_matching(
+      std::uint32_t mask) const;
+
+ private:
+  friend class SnapshotBuilder;
+
+  [[nodiscard]] std::string payload_bytes() const;
+  void seal();  ///< recomputes fingerprint_ from the payload
+
+  std::vector<std::uint32_t> buckets_;         ///< sorted /24 keys (addr>>8)
+  std::vector<std::uint32_t> bucket_offsets_;  ///< size buckets+1, into arrays
+  std::vector<std::uint32_t> addresses_;       ///< sorted entry addresses
+  std::vector<std::uint32_t> verdicts_;        ///< parallel verdict words
+  std::vector<std::uint32_t> dynamic24_;       ///< sorted dynamic /24 keys
+  std::vector<blocklist::ListId> top_lists_;
+  std::uint64_t source_fingerprint_ = 0;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// Compiles the offline pipeline's products into a CompiledSnapshot.
+///
+/// Inputs mirror analysis::build_reused_address_list: the presence store,
+/// the crawler's NATed set, and the dynamic-prefix set from the Atlas
+/// pipeline; `catalogue` (optional) ranks the top lists for the bitmap.
+/// Dynamic prefixes are projected to covering /24s — the paper's pool
+/// granularity — so a prefix shorter than /24 contributes every /24 it
+/// covers and a longer one its covering block.
+class SnapshotBuilder {
+ public:
+  SnapshotBuilder& with_store(const blocklist::SnapshotStore& store) {
+    store_ = &store;
+    return *this;
+  }
+  SnapshotBuilder& with_nated(
+      const std::unordered_set<net::Ipv4Address>& nated) {
+    nated_ = &nated;
+    return *this;
+  }
+  SnapshotBuilder& with_dynamic(const net::PrefixSet& dynamic) {
+    dynamic_ = &dynamic;
+    return *this;
+  }
+  SnapshotBuilder& with_catalogue(
+      const std::vector<blocklist::BlocklistInfo>& catalogue) {
+    catalogue_ = &catalogue;
+    return *this;
+  }
+  SnapshotBuilder& with_source_fingerprint(std::uint64_t fingerprint) {
+    source_fingerprint_ = fingerprint;
+    return *this;
+  }
+
+  /// Builds the artifact. `pool` parallelizes the per-entry verdict pass
+  /// (nullptr = serial); every entry writes only its own index-addressed
+  /// slot, so the resulting bytes are identical for any pool size.
+  [[nodiscard]] CompiledSnapshot build(net::ThreadPool* pool = nullptr) const;
+
+ private:
+  const blocklist::SnapshotStore* store_ = nullptr;
+  const std::unordered_set<net::Ipv4Address>* nated_ = nullptr;
+  const net::PrefixSet* dynamic_ = nullptr;
+  const std::vector<blocklist::BlocklistInfo>* catalogue_ = nullptr;
+  std::uint64_t source_fingerprint_ = 0;
+};
+
+}  // namespace reuse::serve

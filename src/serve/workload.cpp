@@ -1,0 +1,153 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "netbase/rng.h"
+
+namespace reuse::serve {
+namespace {
+
+/// Stream salt for workload batches; distinct from every simulator salt so
+/// the harness can never collide with a scenario substream.
+constexpr std::uint64_t kWorkloadSalt = 0x6c6f6f6b7570ULL;  // "lookup"
+
+/// Sorted union of two sorted address pools.
+std::vector<net::Ipv4Address> merge_pools(std::vector<net::Ipv4Address> a,
+                                          const std::vector<net::Ipv4Address>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return a;
+}
+
+}  // namespace
+
+WorkloadReport run_workload(LookupEngine& engine,
+                            const CompiledSnapshot& sample_source,
+                            const WorkloadConfig& config) {
+  WorkloadReport report;
+  const std::size_t batch_size = std::max<std::size_t>(config.batch_size, 1);
+  const std::uint64_t batches =
+      (config.query_count + batch_size - 1) / batch_size;
+  if (batches == 0) return report;
+  const int threads = std::max(config.threads, 1);
+
+  // Sample pools. Listed entries answer the "operator checks a hit" side
+  // of the mix; reused (NATed or dynamic) entries the greylist side.
+  const std::vector<net::Ipv4Address> listed_pool =
+      sample_source.entries_matching(kVerdictListed);
+  const std::vector<net::Ipv4Address> reused_pool =
+      merge_pools(sample_source.entries_matching(kVerdictNated),
+                  sample_source.entries_matching(kVerdictDynamic));
+
+  struct ThreadTally {
+    std::uint64_t listed = 0;
+    std::uint64_t reused = 0;
+    std::vector<std::uint64_t> batch_nanos;
+  };
+  std::vector<ThreadTally> tallies(static_cast<std::size_t>(threads));
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> swap_done{false};
+  ServeMetrics& metrics = serve_metrics();
+
+  // Open-loop pacing: with a target rate each thread owns 1/threads of the
+  // offered load and schedules its k-th batch at k * batch / rate.
+  const double per_thread_qps = config.target_qps / threads;
+
+  auto worker = [&](int thread_index) {
+    ThreadTally& tally = tallies[static_cast<std::size_t>(thread_index)];
+    tally.batch_nanos.reserve(
+        static_cast<std::size_t>(batches / threads + 1));
+    std::vector<net::Ipv4Address> queries(batch_size);
+    std::vector<Verdict> verdicts(batch_size);
+    const auto thread_start = std::chrono::steady_clock::now();
+    std::uint64_t issued = 0;
+    for (std::uint64_t batch = static_cast<std::uint64_t>(thread_index);
+         batch < batches; batch += static_cast<std::uint64_t>(threads)) {
+      if (per_thread_qps > 0.0) {
+        const double due_seconds =
+            static_cast<double>(issued * batch_size) / per_thread_qps;
+        std::this_thread::sleep_until(
+            thread_start + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(due_seconds)));
+      }
+      ++issued;
+      // The batch's content depends only on (seed, batch index): the query
+      // stream is identical no matter how batches land on threads.
+      net::Rng rng = net::substream(config.seed, kWorkloadSalt, batch);
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        const double mix = rng.uniform_real();
+        if (mix < config.listed_fraction && !listed_pool.empty()) {
+          queries[i] = listed_pool[rng.uniform(listed_pool.size())];
+        } else if (mix < config.listed_fraction + config.reused_fraction &&
+                   !reused_pool.empty()) {
+          queries[i] = reused_pool[rng.uniform(reused_pool.size())];
+        } else {
+          queries[i] = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+        }
+      }
+      const auto start = std::chrono::steady_clock::now();
+      engine.verdict_batch(queries, verdicts);
+      const auto nanos = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      tally.batch_nanos.push_back(nanos);
+      metrics.batch_micros.observe(static_cast<std::int64_t>(nanos / 1000));
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        tally.listed += verdicts[i].listed() ? 1 : 0;
+        tally.reused += verdicts[i].reused() ? 1 : 0;
+      }
+      const std::uint64_t done = completed.fetch_add(1) + 1;
+      // Mid-run reload: exactly one thread swaps once half the batches are
+      // in, while the others keep querying — the never-stall-readers claim
+      // exercised for real (and under TSan in the equivalence test).
+      if (config.swap_to != nullptr && done >= batches / 2 &&
+          !swap_done.exchange(true)) {
+        engine.publish(config.swap_to);
+      }
+    }
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& thread : pool) thread.join();
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<std::uint64_t> nanos;
+  for (ThreadTally& tally : tallies) {
+    report.listed_hits += tally.listed;
+    report.reused_hits += tally.reused;
+    nanos.insert(nanos.end(), tally.batch_nanos.begin(),
+                 tally.batch_nanos.end());
+  }
+  std::sort(nanos.begin(), nanos.end());
+  report.batches = batches;
+  report.queries = batches * batch_size;
+  report.swapped = swap_done.load();
+  if (!nanos.empty()) {
+    report.p50_nanos = nanos[nanos.size() * 50 / 100];
+    report.p99_nanos = nanos[std::min(nanos.size() - 1, nanos.size() * 99 / 100)];
+    report.max_nanos = nanos.back();
+  }
+  if (report.wall_seconds > 0.0) {
+    report.throughput_qps =
+        static_cast<double>(report.queries) / report.wall_seconds;
+  }
+  return report;
+}
+
+}  // namespace reuse::serve

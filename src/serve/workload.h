@@ -1,0 +1,67 @@
+// Deterministic synthetic query workload for the lookup engine.
+//
+// The harness answers the performance question the offline pipeline never
+// had to: what does the artifact serve at traffic rates? It replays a
+// seeded mix of listed / reused / clean addresses in fixed-size batches
+// across N query threads, optionally swapping the served snapshot mid-run,
+// and reports throughput plus p50/p99/max batch latency.
+//
+// Determinism split: *which* addresses are queried is a pure function of
+// (seed, thread index, batch index) via net::substream — the verdict
+// tallies are byte-identical across runs and thread interleavings. The
+// *latencies* are wall-clock and scheduling-dependent by nature; they are
+// reported, not asserted on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/lookup.h"
+
+namespace reuse::serve {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  /// Total queries across all threads (rounded up to whole batches).
+  std::uint64_t query_count = 1'000'000;
+  std::size_t batch_size = 64;
+  int threads = 1;
+  /// Mix fractions; the remainder are uniform-random (mostly clean)
+  /// addresses. Fractions of an empty sample pool fall through to random.
+  double listed_fraction = 0.4;
+  double reused_fraction = 0.3;
+  /// Offered load in queries/second across all threads; 0 = unthrottled
+  /// (each thread issues its next batch immediately). Throttled replay
+  /// measures latency at a realistic arrival rate instead of closed-loop
+  /// saturation.
+  double target_qps = 0.0;
+  /// When set, the harness publishes `swap_to` once half the batches have
+  /// completed — the reload-under-traffic scenario. The swapped-in
+  /// snapshot should answer identically (e.g. a reload of the same
+  /// artifact) if the caller also checks verdict tallies.
+  std::shared_ptr<const CompiledSnapshot> swap_to;
+};
+
+struct WorkloadReport {
+  std::uint64_t queries = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t listed_hits = 0;  ///< deterministic given (seed, snapshot)
+  std::uint64_t reused_hits = 0;
+  bool swapped = false;
+  double wall_seconds = 0.0;  ///< scheduling-dependent, like everything below
+  double throughput_qps = 0.0;
+  std::uint64_t p50_nanos = 0;
+  std::uint64_t p99_nanos = 0;
+  std::uint64_t max_nanos = 0;
+};
+
+/// Replays the workload against `engine`, sampling listed/reused targets
+/// from `sample_source` (normally the snapshot the engine currently
+/// serves). Blocks until every batch has completed; per-batch latencies
+/// feed the serve_batch_micros histogram.
+[[nodiscard]] WorkloadReport run_workload(
+    LookupEngine& engine, const CompiledSnapshot& sample_source,
+    const WorkloadConfig& config);
+
+}  // namespace reuse::serve

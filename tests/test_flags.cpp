@@ -121,5 +121,23 @@ TEST(ParseJobs, AcceptsNonNegativeIntegersOnly) {
   EXPECT_FALSE(parse_jobs("99999999999999999999").has_value());
 }
 
+TEST(ParseMetricsFormat, AcceptsExactlyTheTwoEncodings) {
+  EXPECT_EQ(parse_metrics_format("json"), MetricsFormat::kJson);
+  EXPECT_EQ(parse_metrics_format("prometheus"), MetricsFormat::kPrometheus);
+}
+
+TEST(ParseMetricsFormat, RejectsEverythingElse) {
+  // Same convention as parse_jobs: a typo must fail fast (callers exit 2),
+  // never fall back silently to the default encoding.
+  EXPECT_FALSE(parse_metrics_format("").has_value());
+  EXPECT_FALSE(parse_metrics_format("JSON").has_value());
+  EXPECT_FALSE(parse_metrics_format("Prometheus").has_value());
+  EXPECT_FALSE(parse_metrics_format("json ").has_value());
+  EXPECT_FALSE(parse_metrics_format(" json").has_value());
+  EXPECT_FALSE(parse_metrics_format("jsonl").has_value());
+  EXPECT_FALSE(parse_metrics_format("yaml").has_value());
+  EXPECT_FALSE(parse_metrics_format("prom").has_value());
+}
+
 }  // namespace
 }  // namespace reuse::net

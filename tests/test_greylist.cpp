@@ -45,6 +45,69 @@ TEST(ReusedAddressList, SortedByAddress) {
   EXPECT_LT(reused[1].address, reused[2].address);
 }
 
+TEST(ReusedAddressList, DuplicateRecordsCollapseToOneEntry) {
+  blocklist::SnapshotStore store;
+  // The same address recorded on several lists and several days must still
+  // yield exactly one reused-list entry.
+  store.record(1, addr("1.0.0.1"), 0);
+  store.record(1, addr("1.0.0.1"), 3);
+  store.record(2, addr("1.0.0.1"), 1);
+  std::unordered_set<net::Ipv4Address> nated{addr("1.0.0.1")};
+  const auto reused = build_reused_address_list(store, nated, {});
+  ASSERT_EQ(reused.size(), 1u);
+  EXPECT_EQ(reused[0].address, addr("1.0.0.1"));
+}
+
+TEST(ReusedAddressList, NatedAndDynamicSetsBothFlagsOnOneEntry) {
+  blocklist::SnapshotStore store;
+  store.record(1, addr("2.0.0.1"), 0);
+  store.record(2, addr("2.0.0.1"), 0);  // listed twice, reused both ways
+  std::unordered_set<net::Ipv4Address> nated{addr("2.0.0.1")};
+  net::PrefixSet dynamic;
+  dynamic.insert(*net::Ipv4Prefix::parse("2.0.0.0/24"));
+  const auto reused = build_reused_address_list(store, nated, dynamic);
+  ASSERT_EQ(reused.size(), 1u);
+  EXPECT_TRUE(reused[0].nated);
+  EXPECT_TRUE(reused[0].dynamic);
+}
+
+TEST(ReusedAddressList, OutputIsSortedAndDeduplicated) {
+  blocklist::SnapshotStore store;
+  std::unordered_set<net::Ipv4Address> nated;
+  // Enough entries to make accidental sortedness implausible.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const net::Ipv4Address address((i * 2654435761u) | 0x01000000u);
+    store.record(1 + (i % 3), address, static_cast<std::int64_t>(i % 5));
+    store.record(1 + ((i + 1) % 3), address, 0);  // duplicate listing
+    nated.insert(address);
+  }
+  const auto reused = build_reused_address_list(store, nated, {});
+  ASSERT_EQ(reused.size(), 64u);
+  for (std::size_t i = 1; i < reused.size(); ++i) {
+    EXPECT_LT(reused[i - 1].address, reused[i].address);  // sorted, no dupes
+  }
+}
+
+TEST(GreylistSplit, EmptySnapshotWithKnowledgeYieldsNothing) {
+  std::vector<ReusedAddressEntry> reused;
+  reused.push_back({addr("1.0.0.1"), true, false});
+  const GreylistSplit split = split_for_greylisting({}, reused);
+  EXPECT_TRUE(split.block.empty());
+  EXPECT_TRUE(split.greylist.empty());
+}
+
+TEST(GreylistSplit, DuplicateSnapshotEntriesStayInTheirClass) {
+  std::vector<ReusedAddressEntry> reused;
+  reused.push_back({addr("1.0.0.1"), false, true});
+  const std::vector<net::Ipv4Address> snapshot{
+      addr("1.0.0.1"), addr("2.0.0.1"), addr("1.0.0.1"), addr("2.0.0.1")};
+  const GreylistSplit split = split_for_greylisting(snapshot, reused);
+  // Each occurrence is classified independently; the partition stays exact.
+  EXPECT_EQ(split.greylist.size(), 2u);
+  EXPECT_EQ(split.block.size(), 2u);
+  EXPECT_EQ(split.block.size() + split.greylist.size(), snapshot.size());
+}
+
 TEST(GreylistSplit, PartitionIsCompleteAndDisjoint) {
   std::vector<ReusedAddressEntry> reused;
   reused.push_back({addr("1.0.0.1"), true, false});

@@ -1,0 +1,281 @@
+// The lookup engine against a naive oracle: the compiled snapshot and the
+// two-level search must agree *exactly* with a straightforward store +
+// NAT-set + prefix-trie reimplementation on every address — including
+// addresses that hit bucket boundaries, and including queries issued while
+// another thread swaps the served snapshot (the TSan-covered case).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "netbase/rng.h"
+#include "serve/lookup.h"
+#include "serve/snapshot.h"
+
+namespace reuse::serve {
+namespace {
+
+/// A randomized world, clustered so /24 buckets actually fill up: listings
+/// concentrate in a handful of /16 bases, NAT membership samples listed and
+/// unlisted addresses, and dynamic pools span /20 through /26 (so the /24
+/// projection has both expansion and covering cases).
+struct World {
+  blocklist::SnapshotStore store;
+  std::unordered_set<net::Ipv4Address> nated;
+  net::PrefixSet dynamic;
+  std::vector<blocklist::BlocklistInfo> catalogue;
+
+  explicit World(std::uint64_t seed, std::size_t listings = 20'000) {
+    net::Rng rng(seed);
+    constexpr std::uint32_t kBases[] = {0x0a000000, 0x42000000, 0xc0a80000,
+                                        0xdc000000};
+    const int lists = 8;
+    for (int id = 1; id <= lists; ++id) {
+      catalogue.push_back({static_cast<blocklist::ListId>(id),
+                           "list-" + std::to_string(id), "m",
+                           blocklist::ListCategory::kReputation, 0.1, 5.0,
+                           false});
+    }
+    for (std::size_t i = 0; i < listings; ++i) {
+      const std::uint32_t base = kBases[rng.uniform(std::size(kBases))];
+      const net::Ipv4Address address(
+          base | static_cast<std::uint32_t>(rng.uniform(1u << 16)));
+      const auto list =
+          static_cast<blocklist::ListId>(1 + rng.uniform(lists));
+      store.record(list, address, static_cast<std::int64_t>(rng.uniform(30)));
+      if (rng.bernoulli(0.25)) nated.insert(address);
+    }
+    for (int i = 0; i < 40; ++i) {
+      const std::uint32_t base = kBases[rng.uniform(std::size(kBases))];
+      const int length = static_cast<int>(rng.uniform_int(20, 26));
+      const std::uint32_t raw =
+          base | static_cast<std::uint32_t>(rng.uniform(1u << 16));
+      dynamic.insert(net::Ipv4Prefix(net::Ipv4Address(raw), length));
+    }
+    // NATed-but-unlisted addresses must also answer correctly.
+    for (int i = 0; i < 500; ++i) {
+      const std::uint32_t base = kBases[rng.uniform(std::size(kBases))];
+      nated.insert(net::Ipv4Address(
+          base | static_cast<std::uint32_t>(rng.uniform(1u << 16))));
+    }
+  }
+
+  [[nodiscard]] CompiledSnapshot compile() const {
+    return SnapshotBuilder()
+        .with_store(store)
+        .with_nated(nated)
+        .with_dynamic(dynamic)
+        .with_catalogue(catalogue)
+        .build();
+  }
+};
+
+/// The naive reimplementation of the verdict contract, sharing no code with
+/// the snapshot's projection or search: linear scans and direct range
+/// arithmetic only.
+class Oracle {
+ public:
+  explicit Oracle(const World& world) : world_(world) {
+    // Top-list order per the contract: distinct-address count descending,
+    // id ascending, at most kMaxTopLists entries.
+    std::vector<blocklist::ListId> lists = world.store.active_lists();
+    std::sort(lists.begin(), lists.end(),
+              [&](blocklist::ListId a, blocklist::ListId b) {
+                const std::size_t ca = world.store.address_count_of(a);
+                const std::size_t cb = world.store.address_count_of(b);
+                if (ca != cb) return ca > cb;
+                return a < b;
+              });
+    if (lists.size() > static_cast<std::size_t>(kMaxTopLists)) {
+      lists.resize(static_cast<std::size_t>(kMaxTopLists));
+    }
+    top_lists_ = std::move(lists);
+    dynamic_prefixes_ = world.dynamic.to_vector();
+  }
+
+  [[nodiscard]] Verdict verdict(net::Ipv4Address address) const {
+    Verdict out;
+    if (world_.store.addresses().count(address) != 0) {
+      out.bits |= kVerdictListed;
+      for (std::size_t bit = 0; bit < top_lists_.size(); ++bit) {
+        if (world_.store.presence(top_lists_[bit], address) != nullptr) {
+          out.bits |= 1u << (kTopListShift + static_cast<int>(bit));
+        }
+      }
+    }
+    if (world_.nated.count(address) != 0) out.bits |= kVerdictNated;
+    // Dynamic context: the query's covering /24 overlaps any dynamic pool.
+    const std::uint64_t lo = address.value() & ~0xffULL;
+    const std::uint64_t hi = lo + 0xff;
+    for (const net::Ipv4Prefix& prefix : dynamic_prefixes_) {
+      const std::uint64_t start = prefix.network().value();
+      const std::uint64_t end =
+          start + ((1ULL << (32 - prefix.length())) - 1);
+      if (start <= hi && lo <= end) {
+        out.bits |= kVerdictDynamic;
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  const World& world_;
+  std::vector<blocklist::ListId> top_lists_;
+  std::vector<net::Ipv4Prefix> dynamic_prefixes_;
+};
+
+/// Fuzzed query set: half uniform across the whole space, half targeted at
+/// the interesting structure — exact entries, near-miss neighbours in the
+/// same /24, and adjacent /24s (bucket-boundary probes).
+std::vector<net::Ipv4Address> fuzz_addresses(const CompiledSnapshot& snapshot,
+                                             std::size_t count,
+                                             std::uint64_t seed) {
+  net::Rng rng(seed);
+  const std::vector<net::Ipv4Address> entries =
+      snapshot.entries_matching(0);  // every entry
+  std::vector<net::Ipv4Address> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 2 == 0 || entries.empty()) {
+      out.emplace_back(static_cast<std::uint32_t>(rng()));
+      continue;
+    }
+    const std::uint32_t entry =
+        entries[rng.uniform(entries.size())].value();
+    switch (rng.uniform(4)) {
+      case 0:  // the entry itself
+        out.emplace_back(entry);
+        break;
+      case 1:  // same /24, different host byte
+        out.emplace_back((entry & ~0xffu) |
+                         static_cast<std::uint32_t>(rng.uniform(256)));
+        break;
+      case 2:  // previous /24 (bucket-boundary probe)
+        out.emplace_back(entry - 0x100u);
+        break;
+      default:  // next /24
+        out.emplace_back(entry + 0x100u);
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(LookupEquivalence, EngineAgreesWithOracleOnFuzzedAddresses) {
+  const World world(0xf00d);
+  const Oracle oracle(world);
+  auto snapshot = std::make_shared<const CompiledSnapshot>(world.compile());
+  LookupEngine engine;
+  engine.publish(snapshot);
+
+  // >= 100k fuzzed addresses, checked both per-point and per-batch.
+  const std::vector<net::Ipv4Address> queries =
+      fuzz_addresses(*snapshot, 120'000, 0xbeef);
+  std::size_t mismatches = 0;
+  for (const net::Ipv4Address address : queries) {
+    const Verdict expected = oracle.verdict(address);
+    const Verdict actual = engine.verdict(address);
+    if (actual != expected && ++mismatches < 10) {
+      ADD_FAILURE() << address.to_string() << ": engine bits " << actual.bits
+                    << " != oracle bits " << expected.bits;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+
+  std::vector<Verdict> batch(queries.size());
+  snapshot->verdict_batch(queries, batch);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(batch[i], oracle.verdict(queries[i])) << i;
+  }
+}
+
+TEST(LookupEquivalence, OracleAgreementSurvivesDiskRoundTrip) {
+  const World world(0xcafe, 5'000);
+  const Oracle oracle(world);
+  const std::string path =
+      "test_lookup_equivalence_roundtrip.bin";
+  ASSERT_TRUE(world.compile().save(path));
+  const auto loaded = CompiledSnapshot::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  for (const net::Ipv4Address address :
+       fuzz_addresses(*loaded, 20'000, 0x1dea)) {
+    ASSERT_EQ(loaded->verdict(address), oracle.verdict(address))
+        << address.to_string();
+  }
+}
+
+// The concurrency contract under TSan: queries race a publisher that keeps
+// swapping between two *different* snapshots. Every verdict must equal one
+// of the two oracles' answers for that address — a swap may land before or
+// after any given query, but never corrupt one.
+TEST(LookupEquivalence, ConcurrentQueriesDuringSwapMatchSomeOracle) {
+  const World world_a(0xaaaa, 6'000);
+  const World world_b(0xbbbb, 6'000);
+  auto snap_a = std::make_shared<const CompiledSnapshot>(world_a.compile());
+  auto snap_b = std::make_shared<const CompiledSnapshot>(world_b.compile());
+  const Oracle oracle_a(world_a);
+  const Oracle oracle_b(world_b);
+
+  LookupEngine engine;
+  engine.publish(snap_a);
+
+  const std::vector<net::Ipv4Address> queries =
+      fuzz_addresses(*snap_a, 8'000, 0x5a5a);
+  // Precompute both oracles' answers so the racing threads only compare.
+  std::vector<std::pair<Verdict, Verdict>> expected;
+  expected.reserve(queries.size());
+  for (const net::Ipv4Address address : queries) {
+    expected.emplace_back(oracle_a.verdict(address),
+                          oracle_b.verdict(address));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> violations{0};
+  const int reader_count = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(reader_count);
+  for (int t = 0; t < reader_count; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<Verdict> batch(64);
+      for (int pass = 0; pass < 40; ++pass) {
+        for (std::size_t i = static_cast<std::size_t>(t);
+             i < queries.size(); ++i) {
+          const Verdict v = engine.verdict(queries[i]);
+          if (v != expected[i].first && v != expected[i].second) {
+            violations.fetch_add(1);
+          }
+        }
+        // Batched path too, over a window with a shared pinned snapshot.
+        for (std::size_t i = 0; i + 64 <= queries.size(); i += 64) {
+          engine.verdict_batch(
+              std::span<const net::Ipv4Address>(queries).subspan(i, 64),
+              batch);
+          for (std::size_t j = 0; j < 64; ++j) {
+            if (batch[j] != expected[i + j].first &&
+                batch[j] != expected[i + j].second) {
+              violations.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+  std::thread swapper([&] {
+    bool use_b = true;
+    while (!stop.load()) {
+      engine.publish(use_b ? snap_b : snap_a);
+      use_b = !use_b;
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& reader : readers) reader.join();
+  stop.store(true);
+  swapper.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(serve_metrics().swaps.value(), 0u);
+}
+
+}  // namespace
+}  // namespace reuse::serve

@@ -1,0 +1,317 @@
+// The compiled serving snapshot: build semantics, byte determinism,
+// round-trip framing, and hostile-file rejection.
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "netbase/thread_pool.h"
+#include "serve/lookup.h"
+#include "serve/workload.h"
+
+namespace reuse::serve {
+namespace {
+
+net::Ipv4Address addr(const char* text) {
+  return *net::Ipv4Address::parse(text);
+}
+
+net::Ipv4Prefix prefix(const char* text) {
+  return *net::Ipv4Prefix::parse(text);
+}
+
+/// A small hand-built world with every verdict class represented:
+/// listed-only, listed+NATed, listed+dynamic, NATed-but-unlisted, and a
+/// dynamic /24 with no entries at all.
+struct Fixture {
+  blocklist::SnapshotStore store;
+  std::unordered_set<net::Ipv4Address> nated;
+  net::PrefixSet dynamic;
+  std::vector<blocklist::BlocklistInfo> catalogue;
+
+  Fixture() {
+    store.record(1, addr("1.0.0.1"), 0);  // listed only
+    store.record(1, addr("2.0.0.1"), 0);  // listed + NATed
+    store.record(2, addr("2.0.0.1"), 1);
+    store.record(2, addr("3.0.0.1"), 0);  // listed + dynamic /24
+    nated.insert(addr("2.0.0.1"));
+    nated.insert(addr("9.0.0.9"));  // NATed, never listed
+    dynamic.insert(prefix("3.0.0.0/24"));
+    dynamic.insert(prefix("7.0.0.0/23"));  // no entries; context only
+    catalogue.push_back({1, "list-1", "m", blocklist::ListCategory::kReputation,
+                         0.1, 5.0, false});
+    catalogue.push_back({2, "list-2", "m", blocklist::ListCategory::kReputation,
+                         0.1, 5.0, false});
+  }
+
+  [[nodiscard]] CompiledSnapshot build(net::ThreadPool* pool = nullptr) const {
+    return SnapshotBuilder()
+        .with_store(store)
+        .with_nated(nated)
+        .with_dynamic(dynamic)
+        .with_catalogue(catalogue)
+        .with_source_fingerprint(0xabcdef01ULL)
+        .build(pool);
+  }
+};
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+class ServeArtifact : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string("test_serve_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST(ServeSnapshot, VerdictSemantics) {
+  const Fixture fx;
+  const CompiledSnapshot snapshot = fx.build();
+  // Entries: 3 distinct listed addresses + 1 NATed-unlisted.
+  EXPECT_EQ(snapshot.entry_count(), 4u);
+  // /24s with dynamic context: 3.0.0.0/24 plus both halves of 7.0.0.0/23.
+  EXPECT_EQ(snapshot.dynamic24_count(), 3u);
+
+  const Verdict listed_only = snapshot.verdict(addr("1.0.0.1"));
+  EXPECT_TRUE(listed_only.listed());
+  EXPECT_FALSE(listed_only.reused());
+  EXPECT_FALSE(listed_only.greylist());
+
+  const Verdict listed_nated = snapshot.verdict(addr("2.0.0.1"));
+  EXPECT_TRUE(listed_nated.listed());
+  EXPECT_TRUE(listed_nated.nated());
+  EXPECT_FALSE(listed_nated.dynamic());
+  EXPECT_TRUE(listed_nated.greylist());
+
+  const Verdict listed_dynamic = snapshot.verdict(addr("3.0.0.1"));
+  EXPECT_TRUE(listed_dynamic.listed());
+  EXPECT_FALSE(listed_dynamic.nated());
+  EXPECT_TRUE(listed_dynamic.dynamic());
+  EXPECT_TRUE(listed_dynamic.greylist());
+
+  const Verdict nated_unlisted = snapshot.verdict(addr("9.0.0.9"));
+  EXPECT_FALSE(nated_unlisted.listed());
+  EXPECT_TRUE(nated_unlisted.nated());
+  EXPECT_FALSE(nated_unlisted.greylist());
+
+  // Dynamic context reaches addresses with no entry at all — including a
+  // /23 pool expanded to both covered /24s.
+  EXPECT_TRUE(snapshot.verdict(addr("7.0.0.200")).dynamic());
+  EXPECT_TRUE(snapshot.verdict(addr("7.0.1.7")).dynamic());
+  EXPECT_FALSE(snapshot.verdict(addr("7.0.2.7")).dynamic());
+  // Same /24 as a listed entry, different host: dynamic context, no listing.
+  const Verdict neighbour = snapshot.verdict(addr("3.0.0.99"));
+  EXPECT_FALSE(neighbour.listed());
+  EXPECT_TRUE(neighbour.dynamic());
+
+  const Verdict clean = snapshot.verdict(addr("200.1.2.3"));
+  EXPECT_EQ(clean.bits, 0u);
+}
+
+TEST(ServeSnapshot, TopListBitmapRanksByAddressCount) {
+  const Fixture fx;
+  const CompiledSnapshot snapshot = fx.build();
+  // list 1 and list 2 both hold 2 distinct addresses; the tie breaks toward
+  // the smaller id, so bit 0 = list 1, bit 1 = list 2.
+  ASSERT_EQ(snapshot.top_lists().size(), 2u);
+  EXPECT_EQ(snapshot.top_lists()[0], 1u);
+  EXPECT_EQ(snapshot.top_lists()[1], 2u);
+  EXPECT_EQ(snapshot.verdict(addr("1.0.0.1")).list_bitmap(), 0b01u);
+  EXPECT_EQ(snapshot.verdict(addr("2.0.0.1")).list_bitmap(), 0b11u);
+  EXPECT_EQ(snapshot.verdict(addr("3.0.0.1")).list_bitmap(), 0b10u);
+  EXPECT_EQ(snapshot.verdict(addr("9.0.0.9")).list_bitmap(), 0u);
+}
+
+TEST(ServeSnapshot, BatchMatchesPointQueries) {
+  const Fixture fx;
+  const CompiledSnapshot snapshot = fx.build();
+  const std::vector<net::Ipv4Address> queries{
+      addr("1.0.0.1"), addr("2.0.0.1"), addr("3.0.0.99"), addr("200.1.2.3"),
+      addr("9.0.0.9")};
+  std::vector<Verdict> batch(queries.size());
+  snapshot.verdict_batch(queries, batch);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], snapshot.verdict(queries[i])) << "query " << i;
+  }
+}
+
+TEST(ServeSnapshot, EmptyInputsProduceServableEmptySnapshot) {
+  const blocklist::SnapshotStore store;
+  const CompiledSnapshot snapshot =
+      SnapshotBuilder().with_store(store).build();
+  EXPECT_EQ(snapshot.entry_count(), 0u);
+  EXPECT_EQ(snapshot.bucket_count(), 0u);
+  EXPECT_EQ(snapshot.verdict(addr("1.2.3.4")).bits, 0u);
+  EXPECT_TRUE(snapshot.entries_matching(kVerdictListed).empty());
+}
+
+TEST(ServeSnapshot, EntriesMatchingFiltersByMask) {
+  const Fixture fx;
+  const CompiledSnapshot snapshot = fx.build();
+  const auto listed = snapshot.entries_matching(kVerdictListed);
+  EXPECT_EQ(listed.size(), 3u);
+  const auto nated = snapshot.entries_matching(kVerdictNated);
+  EXPECT_EQ(nated.size(), 2u);
+  const auto greylist =
+      snapshot.entries_matching(kVerdictListed | kVerdictNated);
+  ASSERT_EQ(greylist.size(), 1u);
+  EXPECT_EQ(greylist[0], addr("2.0.0.1"));
+  // Results come back sorted (they index a sorted array).
+  EXPECT_TRUE(std::is_sorted(listed.begin(), listed.end()));
+}
+
+TEST_F(ServeArtifact, ParallelBuildIsByteIdenticalToSerial) {
+  const Fixture fx;
+  const CompiledSnapshot serial = fx.build(nullptr);
+  net::ThreadPool pool(8);
+  const CompiledSnapshot parallel = fx.build(&pool);
+  EXPECT_EQ(serial.fingerprint(), parallel.fingerprint());
+
+  ASSERT_TRUE(serial.save(path_));
+  const std::string serial_bytes = file_bytes(path_);
+  ASSERT_TRUE(parallel.save(path_));
+  EXPECT_EQ(serial_bytes, file_bytes(path_));
+  EXPECT_FALSE(serial_bytes.empty());
+}
+
+TEST_F(ServeArtifact, RoundTripPreservesEveryVerdict) {
+  const Fixture fx;
+  const CompiledSnapshot original = fx.build();
+  ASSERT_TRUE(original.save(path_));
+  const auto loaded = CompiledSnapshot::load(path_);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->fingerprint(), original.fingerprint());
+  EXPECT_EQ(loaded->source_fingerprint(), 0xabcdef01ULL);
+  EXPECT_EQ(loaded->entry_count(), original.entry_count());
+  EXPECT_EQ(loaded->top_lists(), original.top_lists());
+  for (const char* text : {"1.0.0.1", "2.0.0.1", "3.0.0.1", "3.0.0.99",
+                           "9.0.0.9", "7.0.1.7", "200.1.2.3"}) {
+    EXPECT_EQ(loaded->verdict(addr(text)), original.verdict(addr(text)))
+        << text;
+  }
+}
+
+TEST_F(ServeArtifact, RejectsMissingTruncatedAndCorruptFiles) {
+  EXPECT_FALSE(CompiledSnapshot::load(path_).has_value());  // missing
+
+  const Fixture fx;
+  ASSERT_TRUE(fx.build().save(path_));
+  const std::string good = file_bytes(path_);
+  ASSERT_GT(good.size(), 64u);
+
+  auto write_variant = [&](const std::string& bytes) {
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Truncation at several depths: inside the header and inside the payload.
+  for (const std::size_t keep :
+       {std::size_t{8}, std::size_t{40}, good.size() / 2, good.size() - 1}) {
+    write_variant(good.substr(0, keep));
+    EXPECT_FALSE(CompiledSnapshot::load(path_).has_value())
+        << "truncated to " << keep;
+  }
+  // Trailing garbage after a valid image.
+  write_variant(good + "x");
+  EXPECT_FALSE(CompiledSnapshot::load(path_).has_value());
+  // A bit flip anywhere in the payload breaks the checksum; in the header,
+  // the magic/version/size checks.
+  for (const std::size_t at :
+       {std::size_t{0}, std::size_t{9}, std::size_t{48}, good.size() - 3}) {
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] ^ 0x20);
+    write_variant(bad);
+    EXPECT_FALSE(CompiledSnapshot::load(path_).has_value())
+        << "bit flip at " << at;
+  }
+  // And the pristine bytes still load (the harness itself is sound).
+  write_variant(good);
+  EXPECT_TRUE(CompiledSnapshot::load(path_).has_value());
+}
+
+TEST(ServeEngine, PublishSwapsAnswersAtomically) {
+  const Fixture fx;
+  LookupEngine engine;
+  EXPECT_EQ(engine.snapshot(), nullptr);
+
+  auto first = std::make_shared<const CompiledSnapshot>(fx.build());
+  engine.publish(first);
+  EXPECT_TRUE(engine.verdict(addr("1.0.0.1")).listed());
+
+  // Swap to an empty snapshot: the old answers must vanish entirely.
+  const blocklist::SnapshotStore empty_store;
+  auto empty = std::make_shared<const CompiledSnapshot>(
+      SnapshotBuilder().with_store(empty_store).build());
+  engine.publish(empty);
+  EXPECT_FALSE(engine.verdict(addr("1.0.0.1")).listed());
+  EXPECT_EQ(engine.snapshot()->entry_count(), 0u);
+}
+
+TEST(ServeWorkload, TalliesAreDeterministicAcrossThreadCounts) {
+  const Fixture fx;
+  auto snapshot = std::make_shared<const CompiledSnapshot>(fx.build());
+  LookupEngine engine;
+  engine.publish(snapshot);
+
+  WorkloadConfig config;
+  config.seed = 42;
+  config.query_count = 20'000;
+  config.batch_size = 32;
+
+  config.threads = 1;
+  const WorkloadReport serial = run_workload(engine, *snapshot, config);
+  config.threads = 4;
+  const WorkloadReport parallel = run_workload(engine, *snapshot, config);
+
+  EXPECT_EQ(serial.queries, 20'000u);
+  EXPECT_GT(serial.listed_hits, 0u);
+  EXPECT_GT(serial.reused_hits, 0u);
+  // The query stream is a pure function of (seed, batch index), so the
+  // verdict tallies cannot depend on how batches landed on threads.
+  EXPECT_EQ(serial.listed_hits, parallel.listed_hits);
+  EXPECT_EQ(serial.reused_hits, parallel.reused_hits);
+  EXPECT_FALSE(serial.swapped);
+  EXPECT_GT(serial.throughput_qps, 0.0);
+  EXPECT_GE(serial.p99_nanos, serial.p50_nanos);
+  EXPECT_GE(serial.max_nanos, serial.p99_nanos);
+}
+
+TEST(ServeWorkload, MidRunSwapToEquivalentSnapshotKeepsTallies) {
+  const Fixture fx;
+  auto snapshot = std::make_shared<const CompiledSnapshot>(fx.build());
+  LookupEngine engine;
+  engine.publish(snapshot);
+
+  WorkloadConfig config;
+  config.seed = 42;
+  config.query_count = 20'000;
+  config.batch_size = 32;
+  config.threads = 2;
+  const WorkloadReport baseline = run_workload(engine, *snapshot, config);
+
+  engine.publish(snapshot);
+  config.swap_to = std::make_shared<const CompiledSnapshot>(fx.build());
+  const WorkloadReport swapped = run_workload(engine, *snapshot, config);
+  EXPECT_TRUE(swapped.swapped);
+  // The swapped-in snapshot answers identically, so the deterministic
+  // tallies survive a reload under traffic.
+  EXPECT_EQ(swapped.listed_hits, baseline.listed_hits);
+  EXPECT_EQ(swapped.reused_hits, baseline.reused_hits);
+}
+
+}  // namespace
+}  // namespace reuse::serve

@@ -26,8 +26,12 @@ int main(int argc, char** argv) {
                "max mean hours between changes for a qualifying probe", "24");
   flags.define("prefix-length", "expansion prefix length (paper: 24)", "24");
   flags.define("metrics-out",
-               "write the run manifest (metrics snapshot + tool name) as "
-               "JSON to this file");
+               "write the run manifest (metrics snapshot + tool name) to "
+               "this file");
+  flags.define("metrics-format",
+               "encoding for --metrics-out: json (run manifest) or "
+               "prometheus (metrics text exposition)",
+               "json");
   flags.define_bool("help", "show this help");
 
   if (!flags.parse(argc, argv) || flags.get_bool("help") ||
@@ -37,6 +41,15 @@ int main(int argc, char** argv) {
                              "probe connection logs (IMC'20 §3.2)");
     if (!flags.error().empty()) std::cerr << "\nerror: " << flags.error() << '\n';
     return flags.get_bool("help") ? 0 : 2;
+  }
+
+  const std::optional<net::MetricsFormat> metrics_format =
+      net::parse_metrics_format(flags.get("metrics-format"));
+  if (!metrics_format) {
+    std::cerr << "error: --metrics-format must be \"json\" or "
+                 "\"prometheus\", got \""
+              << flags.get("metrics-format") << "\"\n";
+    return 2;
   }
 
   std::ifstream log_file(flags.get("log"));
@@ -88,8 +101,8 @@ int main(int argc, char** argv) {
   if (flags.has("metrics-out")) {
     analysis::RunManifestInfo manifest;
     manifest.tool = "dynadetect";  // no scenario: config/stages render null
-    if (const auto error =
-            analysis::write_run_manifest(flags.get("metrics-out"), manifest)) {
+    if (const auto error = analysis::write_run_manifest(
+            flags.get("metrics-out"), manifest, *metrics_format)) {
       std::cerr << "error: " << *error << '\n';
       return 1;
     }

@@ -40,8 +40,12 @@ int main(int argc, char** argv) {
   flags.define("block-out", "file for entries safe to hard-block");
   flags.define("grey-out", "file for entries to greylist instead");
   flags.define("metrics-out",
-               "write the run manifest (metrics snapshot + tool name) as "
-               "JSON to this file");
+               "write the run manifest (metrics snapshot + tool name) to "
+               "this file");
+  flags.define("metrics-format",
+               "encoding for --metrics-out: json (run manifest) or "
+               "prometheus (metrics text exposition)",
+               "json");
   flags.define_bool("help", "show this help");
 
   if (!flags.parse(argc, argv) || flags.get_bool("help") ||
@@ -51,6 +55,15 @@ int main(int argc, char** argv) {
         "divert reused-address listings to a greylist (IMC'20 §6)");
     if (!flags.error().empty()) std::cerr << "\nerror: " << flags.error() << '\n';
     return flags.get_bool("help") ? 0 : 2;
+  }
+
+  const std::optional<net::MetricsFormat> metrics_format =
+      net::parse_metrics_format(flags.get("metrics-format"));
+  if (!metrics_format) {
+    std::cerr << "error: --metrics-format must be \"json\" or "
+                 "\"prometheus\", got \""
+              << flags.get("metrics-format") << "\"\n";
+    return 2;
   }
 
   bool ok = true;
@@ -110,8 +123,8 @@ int main(int argc, char** argv) {
   if (flags.has("metrics-out")) {
     analysis::RunManifestInfo manifest;
     manifest.tool = "greylist_audit";
-    if (const auto error =
-            analysis::write_run_manifest(flags.get("metrics-out"), manifest)) {
+    if (const auto error = analysis::write_run_manifest(
+            flags.get("metrics-out"), manifest, *metrics_format)) {
       std::cerr << "error: " << *error << '\n';
       return 1;
     }

@@ -1,0 +1,334 @@
+// reuse_lookupd — compile a reuse-aware serving snapshot and query it at
+// traffic rates (the serving side of the paper's §6 mitigation).
+//
+// Default flow: run the scenario (cache-aware, --jobs-aware), compile its
+// blocklist/NAT/dynamic products into the binary snapshot artifact, save
+// it under --out-dir, reload it from disk (proving the round-trip), then
+// replay a deterministic synthetic query workload against the lookup
+// engine and write BENCH_lookup.json with throughput and p50/p99 latency.
+//
+//   reuse_lookupd [--seed N] [--ases N] [--crawl-days N] [--probes N]
+//                 [--jobs N] [--cache [--cache-file PATH]] [--out-dir DIR]
+//                 [--snapshot-out PATH] [--snapshot-in PATH]
+//                 [--queries N] [--batch N] [--threads N] [--qps N]
+//                 [--workload-seed N] [--swap-mid-run] [--bench-out PATH]
+//                 [--query IP] [--metrics-out FILE]
+//                 [--metrics-format {json,prometheus}]
+//
+// --snapshot-in skips the simulation and serves an existing artifact;
+// --query answers one address and exits instead of replaying a workload.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "analysis/cache.h"
+#include "analysis/manifest.h"
+#include "analysis/scenario.h"
+#include "netbase/flags.h"
+#include "serve/lookup.h"
+#include "serve/snapshot.h"
+#include "serve/workload.h"
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reuse;
+  net::FlagParser flags;
+  flags.define("seed", "master seed for the producing scenario", "7");
+  flags.define("ases", "autonomous systems in the synthetic Internet", "300");
+  flags.define("crawl-days", "simulated crawl length", "3");
+  flags.define("probes", "Atlas-style probes", "2000");
+  flags.define("jobs",
+               "worker threads for the scenario and the snapshot compile "
+               "(0 = all hardware threads); artifact bytes are identical "
+               "for every value",
+               "1");
+  flags.define_bool("cache",
+                    "reuse the on-disk scenario cache (fingerprint-keyed "
+                    "file, honours $REUSE_CACHE_DIR)");
+  flags.define("cache-file", "explicit cache file path (implies --cache)");
+  flags.define("out-dir", "directory for the compiled snapshot artifact", ".");
+  flags.define("snapshot-out",
+               "explicit artifact path (default <out-dir>/reuse_snapshot.bin)");
+  flags.define("snapshot-in",
+               "serve an existing artifact instead of simulating");
+  flags.define("queries", "total queries to replay", "1000000");
+  flags.define("batch", "addresses per query batch", "64");
+  flags.define("threads",
+               "query threads for the replay (0 = all hardware threads)",
+               "1");
+  flags.define("qps",
+               "offered load in queries/second across all threads "
+               "(0 = unthrottled)",
+               "0");
+  flags.define("workload-seed", "seed for the synthetic query mix", "1");
+  flags.define_bool("swap-mid-run",
+                    "reload the artifact and atomically swap it in once "
+                    "half the batches have completed");
+  flags.define("bench-out", "benchmark JSON output path", "BENCH_lookup.json");
+  flags.define("query", "answer one dotted-quad address and exit");
+  flags.define("metrics-out",
+               "write the run manifest (snapshot fingerprint + metrics "
+               "snapshot) to this file");
+  flags.define("metrics-format",
+               "encoding for --metrics-out: json (run manifest) or "
+               "prometheus (metrics text exposition)",
+               "json");
+  flags.define_bool("help", "show this help");
+
+  if (!flags.parse(argc, argv) || flags.get_bool("help")) {
+    std::cerr << flags.usage("reuse_lookupd",
+                             "compile a reuse-aware blocklist snapshot and "
+                             "serve it to a synthetic query workload");
+    if (!flags.error().empty()) std::cerr << "\nerror: " << flags.error() << '\n';
+    return flags.get_bool("help") ? 0 : 2;
+  }
+
+  const std::optional<int> jobs = net::parse_jobs(flags.get("jobs"));
+  if (!jobs) {
+    std::cerr << "error: --jobs must be a non-negative integer (0 = all "
+                 "hardware threads), got \"" << flags.get("jobs") << "\"\n";
+    return 2;
+  }
+  const std::optional<int> threads = net::parse_jobs(flags.get("threads"));
+  if (!threads) {
+    std::cerr << "error: --threads must be a non-negative integer (0 = all "
+                 "hardware threads), got \"" << flags.get("threads") << "\"\n";
+    return 2;
+  }
+  const std::optional<net::MetricsFormat> metrics_format =
+      net::parse_metrics_format(flags.get("metrics-format"));
+  if (!metrics_format) {
+    std::cerr << "error: --metrics-format must be \"json\" or "
+                 "\"prometheus\", got \""
+              << flags.get("metrics-format") << "\"\n";
+    return 2;
+  }
+
+  analysis::RunManifestInfo manifest;
+  manifest.tool = "reuse_lookupd";
+  analysis::ScenarioConfig config;
+  std::string snapshot_path;
+  std::shared_ptr<const serve::CompiledSnapshot> snapshot;
+
+  if (flags.has("snapshot-in")) {
+    snapshot_path = flags.get("snapshot-in");
+    auto loaded = serve::CompiledSnapshot::load(snapshot_path);
+    if (!loaded) {
+      std::cerr << "error: cannot load snapshot artifact " << snapshot_path
+                << " (missing, truncated, or corrupt)\n";
+      return 1;
+    }
+    snapshot =
+        std::make_shared<const serve::CompiledSnapshot>(*std::move(loaded));
+  } else {
+    config.seed = static_cast<std::uint64_t>(flags.get_int("seed").value_or(7));
+    config.world = inet::test_world_config(config.seed);
+    config.world.as_count =
+        static_cast<std::size_t>(flags.get_int("ases").value_or(300));
+    config.crawl_days =
+        static_cast<int>(flags.get_int("crawl-days").value_or(3));
+    config.fleet.probe_count =
+        static_cast<std::size_t>(flags.get_int("probes").value_or(2000));
+    config.run_census = false;  // the serving artifact never needs the census
+    config.jobs = *jobs;
+    config.finalize();
+    manifest.config = &config;
+
+    const bool use_cache = flags.get_bool("cache") || flags.has("cache-file");
+    if (use_cache) {
+      const std::string cache_path = flags.has("cache-file")
+                                         ? flags.get("cache-file")
+                                         : analysis::default_cache_path(config);
+      if (const auto error = analysis::preflight_cache_path(cache_path)) {
+        std::cerr << "error: " << *error << '\n';
+        return 1;
+      }
+    }
+
+    std::cerr << "simulating (seed " << config.seed << ", "
+              << config.world.as_count << " ASes)...\n";
+    const analysis::CachedScenario s = [&] {
+      if (use_cache) {
+        return analysis::run_scenario_cached(config, flags.get("cache-file"));
+      }
+      analysis::Scenario fresh = analysis::run_scenario(config);
+      analysis::CachedScenario wrapped{std::move(fresh.config),
+                                       std::move(fresh.world),
+                                       std::move(fresh.catalogue),
+                                       std::move(fresh.ecosystem),
+                                       std::move(fresh.crawl),
+                                       std::move(fresh.fleet),
+                                       std::move(fresh.pipeline),
+                                       std::move(fresh.census),
+                                       std::move(fresh.degradation),
+                                       /*cache_hit=*/false};
+      wrapped.stage_times = std::move(fresh.stage_times);
+      return wrapped;
+    }();
+    if (use_cache) {
+      manifest.cache_hit = s.cache_hit;
+      std::cerr << (s.cache_hit ? "loaded crawl+ecosystem from cache\n"
+                                : "simulated fresh and wrote cache\n");
+    }
+
+    const std::filesystem::path out_dir(flags.get("out-dir"));
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    snapshot_path = flags.has("snapshot-out")
+                        ? flags.get("snapshot-out")
+                        : (out_dir / "reuse_snapshot.bin").string();
+
+    const std::unique_ptr<net::ThreadPool> pool =
+        analysis::make_scenario_pool(config.jobs);
+    const serve::CompiledSnapshot built =
+        serve::SnapshotBuilder()
+            .with_store(s.ecosystem.store)
+            .with_nated(s.crawl.nated_set)
+            .with_dynamic(s.pipeline.dynamic_prefixes)
+            .with_catalogue(s.catalogue)
+            .with_source_fingerprint(analysis::config_fingerprint(config))
+            .build(pool.get());
+    if (!built.save(snapshot_path)) {
+      std::cerr << "error: cannot write snapshot artifact " << snapshot_path
+                << '\n';
+      return 1;
+    }
+    std::cerr << "compiled snapshot: " << built.entry_count() << " entries, "
+              << built.bucket_count() << " /24 buckets, "
+              << built.dynamic24_count() << " dynamic /24s, fingerprint "
+              << built.fingerprint_hex() << " -> " << snapshot_path << '\n';
+
+    // Serve what an operator would load, not what we happen to hold in
+    // memory: reload the artifact so the round-trip is proven on every run.
+    auto reloaded = serve::CompiledSnapshot::load(snapshot_path);
+    if (!reloaded || reloaded->fingerprint() != built.fingerprint()) {
+      std::cerr << "error: snapshot artifact failed reload verification\n";
+      return 1;
+    }
+    snapshot =
+        std::make_shared<const serve::CompiledSnapshot>(*std::move(reloaded));
+  }
+  manifest.snapshot_fingerprint = snapshot->fingerprint_hex();
+
+  serve::LookupEngine engine;
+  engine.publish(snapshot);
+
+  if (flags.has("query")) {
+    const auto address = net::Ipv4Address::parse(flags.get("query"));
+    if (!address) {
+      std::cerr << "error: --query expects a dotted-quad IPv4 address, got \""
+                << flags.get("query") << "\"\n";
+      return 2;
+    }
+    const serve::Verdict verdict = engine.verdict(*address);
+    std::cout << address->to_string() << ": listed="
+              << (verdict.listed() ? "yes" : "no")
+              << " nated=" << (verdict.nated() ? "yes" : "no")
+              << " dynamic_slash24=" << (verdict.dynamic() ? "yes" : "no")
+              << " advice="
+              << (verdict.greylist()
+                      ? "greylist"
+                      : (verdict.listed() ? "block" : "allow"))
+              << '\n';
+  } else {
+    serve::WorkloadConfig workload;
+    workload.seed = static_cast<std::uint64_t>(
+        flags.get_int("workload-seed").value_or(1));
+    workload.query_count =
+        static_cast<std::uint64_t>(flags.get_int("queries").value_or(1000000));
+    workload.batch_size =
+        static_cast<std::size_t>(flags.get_int("batch").value_or(64));
+    workload.threads = *threads == 0
+                           ? static_cast<int>(net::ThreadPool::hardware_jobs())
+                           : *threads;
+    workload.target_qps = flags.get_double("qps").value_or(0.0);
+    const bool swap_mid_run = flags.get_bool("swap-mid-run");
+    if (swap_mid_run) {
+      // The swapped-in snapshot is a second load of the same artifact —
+      // answers stay identical, so mid-run verdicts remain correct while
+      // the pointer genuinely changes under traffic.
+      auto next_day = serve::CompiledSnapshot::load(snapshot_path);
+      if (!next_day) {
+        std::cerr << "error: cannot reload " << snapshot_path
+                  << " for the mid-run swap\n";
+        return 1;
+      }
+      workload.swap_to = std::make_shared<const serve::CompiledSnapshot>(
+          *std::move(next_day));
+    }
+
+    std::cerr << "replaying " << workload.query_count << " queries (batch "
+              << workload.batch_size << ", " << workload.threads
+              << " threads" << (swap_mid_run ? ", mid-run swap" : "")
+              << ")...\n";
+    const serve::WorkloadReport report =
+        serve::run_workload(engine, *snapshot, workload);
+
+    std::ostringstream json;
+    json.precision(3);
+    json << std::fixed;
+    json << "{\n"
+         << "  \"workload_seed\": " << workload.seed << ",\n"
+         << "  \"queries\": " << report.queries << ",\n"
+         << "  \"batches\": " << report.batches << ",\n"
+         << "  \"batch_size\": " << workload.batch_size << ",\n"
+         << "  \"threads\": " << workload.threads << ",\n"
+         << "  \"target_qps\": " << workload.target_qps << ",\n"
+         << "  \"swap_mid_run\": " << (swap_mid_run ? "true" : "false")
+         << ",\n"
+         << "  \"swapped\": " << (report.swapped ? "true" : "false") << ",\n"
+         << "  \"snapshot\": {\n"
+         << "    \"entries\": " << snapshot->entry_count() << ",\n"
+         << "    \"buckets\": " << snapshot->bucket_count() << ",\n"
+         << "    \"dynamic24\": " << snapshot->dynamic24_count() << ",\n"
+         << "    \"top_lists\": " << snapshot->top_lists().size() << ",\n"
+         << "    \"fingerprint\": \"" << snapshot->fingerprint_hex()
+         << "\",\n"
+         << "    \"source_fingerprint\": \""
+         << hex64(snapshot->source_fingerprint()) << "\"\n"
+         << "  },\n"
+         << "  \"listed_hits\": " << report.listed_hits << ",\n"
+         << "  \"reused_hits\": " << report.reused_hits << ",\n"
+         << "  \"wall_seconds\": " << report.wall_seconds << ",\n"
+         << "  \"throughput_qps\": " << report.throughput_qps << ",\n"
+         << "  \"p50_nanos\": " << report.p50_nanos << ",\n"
+         << "  \"p99_nanos\": " << report.p99_nanos << ",\n"
+         << "  \"max_nanos\": " << report.max_nanos << "\n"
+         << "}\n";
+
+    const std::string bench_path = flags.get("bench-out");
+    std::ofstream bench(bench_path);
+    if (!bench) {
+      std::cerr << "error: cannot write " << bench_path << '\n';
+      return 1;
+    }
+    bench << json.str();
+    std::cout << json.str();
+    std::cerr << "wrote " << bench_path << " ("
+              << static_cast<std::uint64_t>(report.throughput_qps)
+              << " qps, p99 " << report.p99_nanos << " ns/batch)\n";
+  }
+
+  if (flags.has("metrics-out")) {
+    if (const auto error = analysis::write_run_manifest(
+            flags.get("metrics-out"), manifest, *metrics_format)) {
+      std::cerr << "error: " << *error << '\n';
+      return 1;
+    }
+    std::cerr << "run manifest written to " << flags.get("metrics-out")
+              << '\n';
+  }
+  return 0;
+}

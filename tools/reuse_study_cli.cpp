@@ -44,7 +44,11 @@ int main(int argc, char** argv) {
   flags.define("chaos-seed", "seed for the chaos fault plan", "1");
   flags.define("metrics-out",
                "write the run manifest (config fingerprint, fault plan, "
-               "stage timings, full metrics snapshot) as JSON to this file");
+               "stage timings, full metrics snapshot) to this file");
+  flags.define("metrics-format",
+               "encoding for --metrics-out: json (run manifest) or "
+               "prometheus (metrics text exposition)",
+               "json");
   flags.define_bool("help", "show this help");
 
   if (!flags.parse(argc, argv) || flags.get_bool("help")) {
@@ -71,6 +75,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.jobs = *jobs;
+  const std::optional<net::MetricsFormat> metrics_format =
+      net::parse_metrics_format(flags.get("metrics-format"));
+  if (!metrics_format) {
+    std::cerr << "error: --metrics-format must be \"json\" or "
+                 "\"prometheus\", got \""
+              << flags.get("metrics-format") << "\"\n";
+    return 2;
+  }
   const bool chaos = flags.get_bool("chaos");
   if (chaos) {
     const auto chaos_seed =
@@ -196,8 +208,8 @@ int main(int argc, char** argv) {
     manifest.config = &s.config;
     manifest.stage_times = &s.stage_times;
     if (use_cache) manifest.cache_hit = s.cache_hit;
-    if (const auto error =
-            analysis::write_run_manifest(flags.get("metrics-out"), manifest)) {
+    if (const auto error = analysis::write_run_manifest(
+            flags.get("metrics-out"), manifest, *metrics_format)) {
       std::cerr << "error: " << *error << '\n';
       return 1;
     }
