@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "blocklist/catalogue.h"
+#include "crawler/sharded.h"
 #include "internet/abuse.h"
 #include "netbase/metrics.h"
 #include "netbase/rng.h"
@@ -44,42 +45,47 @@ blocklist::EcosystemResult build_ecosystem(
 
 CrawlOutput run_crawl(const inet::World& world,
                       const blocklist::SnapshotStore& store,
-                      const ScenarioConfig& config,
-                      sim::FaultInjector* faults) {
-  sim::EventQueue events;
-  dht::DhtNetwork network(world, events, config.dht);
-  if (faults != nullptr) {
-    faults->designate_bootstrap(network.bootstrap_endpoint());
-    network.transport().attach_faults(faults);
-  }
-  const net::TimeWindow window{
-      net::SimTime(0), net::SimTime(config.crawl_days * std::int64_t{86400})};
-  network.schedule_churn(window);
-
-  crawler::CrawlerConfig crawl_config = config.crawl;
+                      const ScenarioConfig& config, sim::FaultInjector* faults,
+                      net::ThreadPool* pool, StageTimer* stage_times) {
+  crawler::ShardedCrawlConfig sharded;
+  sharded.base = config.crawl;
   if (config.restrict_crawler_to_blocklisted) {
-    crawl_config.restricted = true;
-    crawl_config.restrict_to = store.blocklisted_slash24s();
+    sharded.base.restricted = true;
+    sharded.base.restrict_to = store.blocklisted_slash24s();
   }
-  crawler::Crawler crawler(network.transport(), events,
-                           network.bootstrap_endpoint(), crawl_config);
-  crawler.start(window);
-  events.run_until(window.end + net::Duration::minutes(10));
+  sharded.dht = config.dht;
+  sharded.window = net::TimeWindow{
+      net::SimTime(0), net::SimTime(config.crawl_days * std::int64_t{86400})};
+  sharded.shard_count = config.crawl_shards;
+  if (faults != nullptr) sharded.faults = faults->plan();
+
+  crawler::ShardedCrawlResult result =
+      crawler::run_sharded_crawl(world, sharded, pool);
+  // The shards injected from private ledgers; fold them into the scenario's
+  // injector so its stats() still span the whole run (degradation report,
+  // cache record).
+  if (faults != nullptr) faults->absorb(result.fault_stats);
+  if (stage_times != nullptr) {
+    // Sub-stage attribution: the '.' prefix keeps these out of
+    // StageTimer::total_millis() — their time is already inside "crawl".
+    stage_times->record("crawl.build", result.build_millis);
+    stage_times->record("crawl.events", result.events_millis);
+    stage_times->record("crawl.merge", result.merge_millis);
+  }
 
   CrawlOutput output;
-  output.stats = crawler.stats();
-  output.evidence = crawler.discovered();
-  output.nated = crawler.nated();
+  output.stats = result.stats;
+  output.evidence = std::move(result.evidence);
+  output.nated = std::move(result.nated);
   for (const auto& [address, users] : output.nated) {
     output.nated_set.insert(address);
   }
-  output.distinct_node_ids = crawler.distinct_node_ids();
-  output.dht_peers = network.peer_count();
-  output.dht_addresses = network.distinct_addresses();
-  output.transport_fault_request_drops =
-      network.transport().stats().requests_lost_fault;
+  output.distinct_node_ids = result.distinct_node_ids;
+  output.dht_peers = result.dht_peers;
+  output.dht_addresses = result.dht_addresses;
+  output.transport_fault_request_drops = result.transport_fault_request_drops;
   output.transport_fault_response_drops =
-      network.transport().stats().responses_lost_fault;
+      result.transport_fault_response_drops;
   publish_crawl_metrics(output);
   return output;
 }
@@ -163,6 +169,9 @@ void write_fingerprint_fields(net::BinaryWriter& w,
   w.write(static_cast<std::uint64_t>(crawl.partition_count));
   w.write(static_cast<std::uint64_t>(crawl.partition_index));
   w.write(crawl.seed);
+  // The shard count changes which partition each discovered address lands
+  // in (and every per-shard RNG stream), so it is cache identity.
+  w.write(static_cast<std::uint64_t>(c.crawl_shards));
 
   w.write(static_cast<std::uint8_t>(c.restrict_crawler_to_blocklisted));
 
@@ -391,7 +400,8 @@ Scenario::Scenario(ScenarioConfig cfg)
                                sim::StageGuard guard(injector.get(),
                                                      sim::FaultStage::kCrawl);
                                return run_crawl(world, ecosystem.store, config,
-                                                injector.get());
+                                                injector.get(), pool.get(),
+                                                &stage_times);
                              })),
       fleet(stage_times.time("fleet",
                              [&] {

@@ -32,7 +32,9 @@ namespace reuse::analysis {
 /// stale scenario caches are rejected (the cache header records it).
 /// 14: per-feed / per-probe RNG substreams (deterministic parallelism)
 /// changed the ecosystem and fleet products.
-inline constexpr std::uint32_t kCalibrationVersion = 14;
+/// 15: the crawl runs as `crawl_shards` partitioned vantage simulations
+/// (crawler/sharded.h), changing every crawl product.
+inline constexpr std::uint32_t kCalibrationVersion = 15;
 
 struct ScenarioConfig {
   std::uint64_t seed = 42;
@@ -42,6 +44,12 @@ struct ScenarioConfig {
   int crawl_days = 5;
   dht::DhtNetworkConfig dht;
   crawler::CrawlerConfig crawl;
+  /// Independent crawl shard simulations (crawler/sharded.h): each crawls
+  /// one hash-partition of the space from its own overlay replica, and the
+  /// harvests merge in index order. Part of the config fingerprint — unlike
+  /// `jobs`, which only decides how many shards run concurrently, the shard
+  /// count changes the products.
+  std::size_t crawl_shards = 8;
   /// Restrict the crawler to blocklisted /24s, as the paper did.
   bool restrict_crawler_to_blocklisted = true;
   atlas::FleetConfig fleet;

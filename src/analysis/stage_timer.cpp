@@ -7,24 +7,37 @@
 namespace reuse::analysis {
 
 void StageTimer::record(std::string_view stage, double millis) {
-  // Re-running a stage (e.g. a second scenario on the same timer) folds
-  // into the existing entry so the JSON stays one value per stage.
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Same-name scopes (re-runs, nested sub-stages, concurrent shard workers)
+  // fold into the existing entry so the JSON stays one value per stage.
   for (StageTiming& timing : timings_) {
     if (timing.stage == stage) {
       timing.millis += millis;
+      ++timing.scopes;
       return;
     }
   }
-  timings_.push_back(StageTiming{std::string(stage), millis});
+  timings_.push_back(StageTiming{std::string(stage), millis, 1});
+}
+
+std::vector<StageTiming> StageTimer::timings() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timings_;
 }
 
 double StageTimer::total_millis() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
-  for (const StageTiming& timing : timings_) total += timing.millis;
+  for (const StageTiming& timing : timings_) {
+    // Sub-stages ("crawl.events") already ran inside their parent scope.
+    if (timing.stage.find('.') != std::string::npos) continue;
+    total += timing.millis;
+  }
   return total;
 }
 
 double StageTimer::millis(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const StageTiming& timing : timings_) {
     if (timing.stage == stage) return timing.millis;
   }
@@ -32,13 +45,16 @@ double StageTimer::millis(std::string_view stage) const {
 }
 
 std::string StageTimer::to_json(int jobs) const {
+  const std::vector<StageTiming> snapshot = timings();
+  double total = 0.0;
+  for (const StageTiming& timing : snapshot) total += timing.millis;
   std::ostringstream out;
   out.precision(3);
   out << std::fixed;
-  out << "{\"jobs\": " << jobs << ", \"total_millis\": " << total_millis()
+  out << "{\"jobs\": " << jobs << ", \"total_millis\": " << total
       << ", \"stages\": {";
   bool first = true;
-  for (const StageTiming& timing : timings_) {
+  for (const StageTiming& timing : snapshot) {
     if (!first) out << ", ";
     first = false;
     out << '"' << net::json_escape(timing.stage) << "\": " << timing.millis;

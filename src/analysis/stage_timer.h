@@ -11,6 +11,7 @@
 #pragma once
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -22,18 +23,44 @@ namespace reuse::analysis {
 struct StageTiming {
   std::string stage;
   double millis = 0.0;
+  /// Scopes recorded under this name (a re-run or nested sub-stage
+  /// aggregates rather than replacing the entry, so millis is a sum).
+  std::uint64_t scopes = 0;
 };
 
 class StageTimer {
  public:
+  StageTimer() = default;
+  /// Movable so Scenario/CachedScenario stay movable. The mutex is not
+  /// moved (each timer owns a fresh one); moving while another thread
+  /// records into the source is a caller bug, as with any container.
+  StageTimer(StageTimer&& other) noexcept : timings_(other.take()) {}
+  StageTimer& operator=(StageTimer&& other) noexcept {
+    if (this != &other) {
+      std::vector<StageTiming> moved = other.take();
+      std::lock_guard<std::mutex> lock(mutex_);
+      timings_ = std::move(moved);
+    }
+    return *this;
+  }
+
+  /// Folds `millis` into the entry for `stage`, creating it on first use.
+  /// Same-name recordings — a stage run twice, nested sub-scopes, or
+  /// overlapping scopes on concurrent shard workers — accumulate; nothing
+  /// is ever overwritten. Thread-safe: the sharded crawl records its
+  /// per-shard sub-stages from pool workers while the scenario thread owns
+  /// the enclosing "crawl" scope.
   void record(std::string_view stage, double millis);
 
-  /// Timings in the order the stages ran.
-  [[nodiscard]] const std::vector<StageTiming>& timings() const {
-    return timings_;
-  }
+  /// Snapshot of the timings in first-recorded order (by value: concurrent
+  /// recorders may still be appending).
+  [[nodiscard]] std::vector<StageTiming> timings() const;
+  /// Sum over top-level stages only. Sub-stage entries (names containing
+  /// '.', e.g. "crawl.events" inside "crawl") are attribution detail whose
+  /// time is already inside their parent scope — counting them would double
+  /// the total.
   [[nodiscard]] double total_millis() const;
-  /// Duration of one stage; 0 when it never ran.
+  /// Aggregated duration of one stage; 0 when it never ran.
   [[nodiscard]] double millis(std::string_view stage) const;
 
   /// One JSON object: {"jobs": N, "total_millis": ..., "stages": {...}}.
@@ -69,6 +96,12 @@ class StageTimer {
         .count();
   }
 
+  [[nodiscard]] std::vector<StageTiming> take() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(timings_);
+  }
+
+  mutable std::mutex mutex_;
   std::vector<StageTiming> timings_;
 };
 

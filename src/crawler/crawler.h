@@ -130,6 +130,13 @@ class Crawler {
     return node_ids_seen_.size();
   }
 
+  /// The node_ids themselves. The sharded crawl (crawler/sharded.h) needs
+  /// the set, not the count: its shards crawl identical overlay replicas,
+  /// so per-shard counts overlap and only a union is meaningful.
+  [[nodiscard]] const std::unordered_set<dht::NodeId>& node_ids() const {
+    return node_ids_seen_;
+  }
+
  private:
   struct PendingGetNodes {
     net::Endpoint endpoint;

@@ -12,13 +12,13 @@ namespace {
 // pool that is already busy running it.
 thread_local bool t_in_batch = false;
 
-// Registered on first use and cached; recording is one relaxed RMW per
-// claimed chunk, not per index. tasks_run is deterministic (it counts loop
-// indices); steals and max_queue_depth depend on OS scheduling and are
-// excluded from the determinism contract (DESIGN.md §9).
+// Registered on first use and cached. tasks_run is deterministic (it counts
+// loop indices); steals, queue_depth and max_queue_depth depend on OS
+// scheduling and are excluded from the determinism contract (DESIGN.md §9).
 struct PoolMetrics {
   metrics::Counter& tasks_run;
   metrics::Counter& steals;
+  metrics::Gauge& queue_depth;
   metrics::Gauge& max_queue_depth;
 };
 
@@ -30,6 +30,9 @@ PoolMetrics& pool_metrics() {
       metrics::counter("pool_steals_total",
                        "Work chunks claimed by pool workers rather than the "
                        "submitting caller (scheduling-dependent)"),
+      metrics::gauge("pool_queue_depth",
+                     "Work units dispatched to the pool and not yet claimed "
+                     "(live; 0 between batches)"),
       metrics::gauge("pool_max_queue_depth",
                      "Largest batch (in work units) ever dispatched to the "
                      "pool workers"),
@@ -72,36 +75,54 @@ std::size_t ThreadPool::hardware_jobs() {
 
 void ThreadPool::run_batch(Batch& batch, bool stealing) {
   PoolMetrics& metrics = pool_metrics();
+  // Per-participant accumulators: the global counters are shared cache
+  // lines, so recording per chunk would ping-pong them between cores. Each
+  // participant tallies locally and flushes once per batch — one relaxed
+  // RMW per counter per participant, independent of chunk count.
+  std::size_t tasks_run = 0;
+  std::size_t units_claimed = 0;
+  std::size_t chunks_claimed = 0;
+  const auto flush = [&] {
+    metrics.tasks_run.add(tasks_run);
+    if (stealing && chunks_claimed > 0) metrics.steals.add(chunks_claimed);
+    // Claimed units leave the queue whether or not the failure flag cut
+    // their chunk short — they will never run. Clamped chunk widths over
+    // all participants sum to at most batch.count, and the dispatcher
+    // raised the gauge by exactly batch.count first, so a concurrent
+    // reader can never observe a negative depth.
+    metrics.queue_depth.add(-static_cast<std::int64_t>(units_claimed));
+    t_in_batch = false;
+  };
   t_in_batch = true;
   for (;;) {
     const std::size_t begin =
         batch.next.fetch_add(batch.grain, std::memory_order_relaxed);
     if (begin >= batch.count) break;
-    if (stealing) metrics.steals.increment();
     const std::size_t end = std::min(batch.count, begin + batch.grain);
+    ++chunks_claimed;
+    units_claimed += end - begin;
     for (std::size_t i = begin; i < end; ++i) {
       if (batch.failed.load(std::memory_order_relaxed)) {
-        metrics.tasks_run.add(i - begin);
-        t_in_batch = false;
+        flush();
         return;
       }
       try {
         (*batch.body)(i);
+        ++tasks_run;
       } catch (...) {
+        ++tasks_run;
         std::lock_guard<std::mutex> lock(batch.error_mutex);
         if (batch.error == nullptr || i < batch.error_index) {
           batch.error = std::current_exception();
           batch.error_index = i;
         }
         batch.failed.store(true, std::memory_order_relaxed);
-        metrics.tasks_run.add(i - begin + 1);
-        t_in_batch = false;
+        flush();
         return;
       }
     }
-    metrics.tasks_run.add(end - begin);
   }
-  t_in_batch = false;
+  flush();
 }
 
 void ThreadPool::parallel_for(std::size_t count,
@@ -120,7 +141,14 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
 
-  pool_metrics().max_queue_depth.record_max(static_cast<std::int64_t>(count));
+  PoolMetrics& metrics = pool_metrics();
+  metrics.max_queue_depth.record_max(static_cast<std::int64_t>(count));
+  // Raised before any worker can claim (the batch is published under the
+  // mutex below), lowered as claimed chunks complete — so a concurrent
+  // reader sees the depth go count -> 0, never a negative transient. A
+  // failed batch leaves unclaimed units on the gauge; reconcile here so the
+  // next batch starts level.
+  metrics.queue_depth.add(static_cast<std::int64_t>(count));
   Batch batch;
   batch.count = count;
   batch.grain = grain;
@@ -137,6 +165,15 @@ void ThreadPool::parallel_for(std::size_t count,
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
     current_ = nullptr;
+  }
+  // A failed batch stops claiming, stranding unclaimed units on the gauge.
+  // Everything below min(next, count) was claimed (and decremented) by some
+  // participant; settle the remainder in one update so the gauge reads 0
+  // between batches even after an exception.
+  const std::size_t claimed =
+      std::min(batch.next.load(std::memory_order_relaxed), count);
+  if (claimed < count) {
+    metrics.queue_depth.add(-static_cast<std::int64_t>(count - claimed));
   }
   if (batch.error != nullptr) std::rethrow_exception(batch.error);
 }

@@ -74,8 +74,12 @@ class ThreadPool {
     std::size_t count = 0;
     std::size_t grain = 1;
     const std::function<void(std::size_t)>* body = nullptr;
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
+    // The two hot atomics live on their own cache lines: every participant
+    // hammers `next` on each claim, and `failed` is polled per index — if
+    // they shared a line (with each other or with the cold fields above),
+    // each claim would invalidate the poll line on every other core.
+    alignas(64) std::atomic<std::size_t> next{0};
+    alignas(64) std::atomic<bool> failed{false};
     std::mutex error_mutex;
     std::size_t error_index = 0;
     std::exception_ptr error;

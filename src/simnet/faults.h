@@ -136,6 +136,27 @@ class FaultInjector {
     return out;
   }
 
+  /// Folds another injector's ledger snapshot into this one. The sharded
+  /// crawl gives each shard a private injector (the burst generator is
+  /// stateful and single-threaded); absorbing the shard ledgers afterwards
+  /// keeps the scenario-wide injector's stats() spanning the whole run, so
+  /// degradation reconciliation and the cache's injected-fault record see
+  /// one ledger as before.
+  void absorb(const FaultStats& other) {
+    ledger_.burst_request_drops.fetch_add(other.burst_request_drops,
+                                          std::memory_order_relaxed);
+    ledger_.burst_response_drops.fetch_add(other.burst_response_drops,
+                                           std::memory_order_relaxed);
+    ledger_.bootstrap_blackholes.fetch_add(other.bootstrap_blackholes,
+                                           std::memory_order_relaxed);
+    ledger_.feed_snapshots_suppressed.fetch_add(
+        other.feed_snapshots_suppressed, std::memory_order_relaxed);
+    ledger_.feeds_corrupted.fetch_add(other.feeds_corrupted,
+                                      std::memory_order_relaxed);
+    ledger_.atlas_records_suppressed.fetch_add(other.atlas_records_suppressed,
+                                               std::memory_order_relaxed);
+  }
+
   /// Declares the stage whose hooks may mutate the ledger until the next
   /// call (kAny disables the check). Debug builds assert on out-of-stage
   /// mutations; release builds compile the check away.

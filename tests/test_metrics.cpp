@@ -230,6 +230,84 @@ TEST(StageTimer, TimeRecordsEvenWhenTheCallableThrows) {
   EXPECT_EQ(timer.timings().size(), 2u);
 }
 
+TEST(StageTimer, SameNameScopesAggregateInsteadOfOverwriting) {
+  // Re-running a stage (cache replay), nesting a sub-scope, or closing
+  // overlapping per-shard scopes must fold into one entry — the old
+  // behaviour of overwriting silently dropped all but the last recording.
+  analysis::StageTimer timer;
+  timer.record("crawl", 100.0);
+  timer.record("crawl", 25.0);
+  timer.record("crawl", 0.5);
+  const auto timings = timer.timings();
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_DOUBLE_EQ(timings[0].millis, 125.5);
+  EXPECT_EQ(timings[0].scopes, 3u);
+  EXPECT_DOUBLE_EQ(timer.millis("crawl"), 125.5);
+}
+
+TEST(StageTimer, NestedTimeScopesAggregateUnderOneName) {
+  analysis::StageTimer timer;
+  timer.time("outer", [&] {
+    timer.time("outer", [] {});
+    timer.time("outer", [] {});
+  });
+  const auto timings = timer.timings();
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_EQ(timings[0].scopes, 3u);
+}
+
+TEST(StageTimer, SubStagesAreExcludedFromTotalMillis) {
+  // Dotted names are attribution detail recorded *inside* their parent
+  // scope; adding them to the total would double-count that time.
+  analysis::StageTimer timer;
+  timer.record("crawl", 100.0);
+  timer.record("crawl.build", 30.0);
+  timer.record("crawl.events", 60.0);
+  timer.record("ecosystem", 50.0);
+  EXPECT_DOUBLE_EQ(timer.total_millis(), 150.0);
+  // But they are still visible individually and in the JSON.
+  EXPECT_DOUBLE_EQ(timer.millis("crawl.build"), 30.0);
+  EXPECT_NE(timer.to_json(1).find("\"crawl.events\": 60.000"),
+            std::string::npos);
+}
+
+TEST(StageTimer, ConcurrentRecordsFromShardWorkersAllLand) {
+  // The sharded crawl records sub-stage scopes from pool workers while the
+  // scenario thread owns the enclosing scope; nothing may be lost or torn.
+  analysis::StageTimer timer;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&timer] {
+      for (int i = 0; i < kPerThread; ++i) timer.record("crawl.events", 1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto timings = timer.timings();
+  ASSERT_EQ(timings.size(), 1u);
+  EXPECT_DOUBLE_EQ(timings[0].millis, kThreads * kPerThread * 1.0);
+  EXPECT_EQ(timings[0].scopes,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(StageTimer, MoveTransfersTimingsAndLeavesSourceEmpty) {
+  // Scenario and CachedScenario move their StageTimer; the mutex stays
+  // with each object, the entries move.
+  analysis::StageTimer source;
+  source.record("world", 5.0);
+  analysis::StageTimer moved(std::move(source));
+  EXPECT_DOUBLE_EQ(moved.millis("world"), 5.0);
+  EXPECT_TRUE(source.timings().empty());  // NOLINT(bugprone-use-after-move)
+  source.record("fresh", 1.0);
+  analysis::StageTimer assigned;
+  assigned.record("stale", 9.0);
+  assigned = std::move(source);
+  ASSERT_EQ(assigned.timings().size(), 1u);
+  EXPECT_EQ(assigned.timings()[0].stage, "fresh");
+}
+
 TEST(RunManifest, NullConfigRendersNullFieldsAndCrossCuttingFamilies) {
   analysis::RunManifestInfo info;
   info.tool = "unit \"test\"";

@@ -6,13 +6,16 @@
 // the scenario stages rely on implicitly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "netbase/metrics.h"
 #include "netbase/rng.h"
 #include "netbase/thread_pool.h"
 
@@ -144,6 +147,67 @@ TEST(ForEachIndex, ForwardsToPool) {
   std::atomic<std::size_t> total{0};
   for_each_index(&pool, 300, [&](std::size_t i) { total.fetch_add(i); });
   EXPECT_EQ(total.load(), 300u * 299u / 2u);
+}
+
+TEST(ThreadPool, QueueDepthGaugeReturnsToZeroBetweenBatches) {
+  // The gauge is raised by the dispatcher before workers can claim and
+  // lowered by claimed chunk widths; between batches it must read exactly 0
+  // — a residue would mean double-counted or lost units.
+  metrics::Gauge& depth = metrics::gauge("pool_queue_depth", "");
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 10; ++batch) {
+    std::atomic<std::size_t> hits{0};
+    pool.parallel_for(257, [&](std::size_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 257u);
+    EXPECT_EQ(depth.value(), 0);
+  }
+}
+
+TEST(ThreadPool, QueueDepthGaugeSettlesAfterException) {
+  // A failing batch stops claiming, stranding units that were dispatched
+  // but never claimed; the dispatcher settles them so the gauge still
+  // reads 0 after the rethrow.
+  metrics::Gauge& depth = metrics::gauge("pool_queue_depth", "");
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(
+          1000,
+          [&](std::size_t i) {
+            if (i == 3) throw std::runtime_error("boom");
+          },
+          /*grain=*/1),
+      std::runtime_error);
+  EXPECT_EQ(depth.value(), 0);
+  // And the pool keeps accounting correctly afterwards.
+  pool.parallel_for(100, [](std::size_t) {});
+  EXPECT_EQ(depth.value(), 0);
+}
+
+TEST(ThreadPool, QueueDepthGaugeNeverNegativeUnderConcurrentObserver) {
+  // Decrements are bounded by prior claims, and claims are bounded by the
+  // dispatch increment that precedes batch publication — so no observer
+  // interleaving can read below zero (or above the batch size here).
+  metrics::Gauge& depth = metrics::gauge("pool_queue_depth", "");
+  ThreadPool pool(4);
+  std::atomic<bool> done{false};
+  std::int64_t min_seen = 0;
+  std::int64_t max_seen = 0;
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::int64_t v = depth.value();
+      min_seen = std::min(min_seen, v);
+      max_seen = std::max(max_seen, v);
+    }
+  });
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.parallel_for(
+        512, [](std::size_t) {}, /*grain=*/8);
+  }
+  done.store(true, std::memory_order_relaxed);
+  observer.join();
+  EXPECT_GE(min_seen, 0);
+  EXPECT_LE(max_seen, 512);
+  EXPECT_EQ(depth.value(), 0);
 }
 
 TEST(Substream, IsPureAndIndexSensitive) {
