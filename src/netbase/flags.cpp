@@ -124,4 +124,18 @@ std::optional<MetricsFormat> parse_metrics_format(const std::string& text) {
   return std::nullopt;
 }
 
+std::optional<std::int64_t> parse_bounded_int(const std::string& text,
+                                              std::int64_t low,
+                                              std::int64_t high) {
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  if (value < low || value > high) return std::nullopt;
+  return value;
+}
+
 }  // namespace reuse::net

@@ -73,4 +73,12 @@ enum class MetricsFormat {
 [[nodiscard]] std::optional<MetricsFormat> parse_metrics_format(
     const std::string& text);
 
+/// Validates a bounded integer knob (--clients, --deadline-ms, ...): a
+/// base-10 integer in [low, high] with nothing leading or trailing.
+/// Garbage, empty text, partial parses ("12x"), and out-of-range values
+/// return nullopt — same fail-fast convention as parse_jobs, and the same
+/// reason: a serving knob must never be whatever atoi salvaged from a typo.
+[[nodiscard]] std::optional<std::int64_t> parse_bounded_int(
+    const std::string& text, std::int64_t low, std::int64_t high);
+
 }  // namespace reuse::net

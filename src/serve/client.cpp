@@ -1,0 +1,395 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "serve/server.h"
+
+namespace reuse::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::string u32_bytes(std::uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, sizeof bytes);
+  return {bytes, sizeof bytes};
+}
+
+[[nodiscard]] std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
+                                       double p) {
+  if (sorted.empty()) return 0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LookupClient::~LookupClient() { close_now(); }
+
+void LookupClient::close_now() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void LookupClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+bool LookupClient::send_bytes(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a server that closed this session (poisoned stream,
+    // eviction) must surface as EPIPE, never as a fatal SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool LookupClient::send_batch(std::uint64_t request_id,
+                              std::span<const std::uint32_t> addresses) {
+  return send_bytes(encode_request(request_id, addresses));
+}
+
+std::optional<ResponseFrame> LookupClient::read_response() {
+  for (;;) {
+    if (auto response = decoder_.next()) return response;
+    if (decoder_.error() != FrameError::kNone) return std::nullopt;
+    if (eof_) return std::nullopt;
+    char buf[4096];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n > 0) {
+      decoder_.feed({buf, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    eof_ = true;  // orderly EOF or transport error: no more responses
+  }
+}
+
+SamplePools sample_pools(const CompiledSnapshot& snapshot) {
+  SamplePools pools;
+  for (const net::Ipv4Address address :
+       snapshot.entries_matching(kVerdictListed)) {
+    pools.listed.push_back(address.value());
+  }
+  for (const net::Ipv4Address address :
+       snapshot.entries_matching(kVerdictNated)) {
+    pools.reused.push_back(address.value());
+  }
+  return pools;
+}
+
+void fill_batch(net::Rng& rng, const SamplePools& pools,
+                double listed_fraction, double reused_fraction,
+                std::span<std::uint32_t> out) {
+  for (std::uint32_t& slot : out) {
+    const double mix = rng.uniform_real();
+    if (mix < listed_fraction && !pools.listed.empty()) {
+      slot = pools.listed[rng.uniform(pools.listed.size())];
+    } else if (mix < listed_fraction + reused_fraction &&
+               !pools.reused.empty()) {
+      slot = pools.reused[rng.uniform(pools.reused.size())];
+    } else {
+      slot = static_cast<std::uint32_t>(rng.uniform(1ULL << 32));
+    }
+  }
+}
+
+LoadReport run_load(LookupServer& server,
+                    const CompiledSnapshot& sample_source,
+                    const LoadConfig& config) {
+  const SamplePools pools = sample_pools(sample_source);
+  const int clients = std::max(config.clients, 1);
+  const std::size_t window = std::max<std::size_t>(config.max_in_flight, 1);
+
+  std::mutex merge_mutex;
+  LoadReport report;
+  std::vector<std::uint64_t> latencies;
+
+  const auto started = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LookupClient client(server.connect_client());
+      if (!client.valid()) return;
+      net::Rng rng = net::substream(config.seed, kLoadSalt,
+                                    static_cast<std::uint64_t>(c));
+      std::vector<std::uint32_t> batch(std::max<std::size_t>(
+          config.batch_size, 1));
+      std::vector<Clock::time_point> sent_at(config.batches_per_client);
+
+      std::uint64_t submitted = 0, ok = 0, shed = 0;
+      std::uint64_t listed_words = 0, reused_words = 0;
+      std::vector<std::uint64_t> local_latencies;
+      local_latencies.reserve(config.batches_per_client);
+      std::size_t in_flight = 0;
+
+      const auto absorb = [&](const ResponseFrame& response) {
+        if (in_flight > 0) --in_flight;
+        const auto now = Clock::now();
+        if (response.request_id < sent_at.size()) {
+          local_latencies.push_back(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  now - sent_at[response.request_id])
+                  .count()));
+        }
+        if (response.status == ResponseStatus::kShed) {
+          ++shed;
+          return;
+        }
+        ++ok;
+        for (const std::uint32_t word : response.verdicts) {
+          const Verdict verdict{word};
+          listed_words += verdict.listed() ? 1 : 0;
+          reused_words += verdict.reused() ? 1 : 0;
+        }
+      };
+
+      // Open-loop pacing: each client owns 1/clients of target_qps, one
+      // batch of queries per request frame.
+      const double per_client_qps =
+          config.target_qps > 0.0
+              ? config.target_qps / static_cast<double>(clients)
+              : 0.0;
+      const auto interval =
+          per_client_qps > 0.0
+              ? std::chrono::nanoseconds(static_cast<std::uint64_t>(
+                    1e9 * static_cast<double>(batch.size()) / per_client_qps))
+              : std::chrono::nanoseconds(0);
+
+      for (std::uint64_t b = 0; b < config.batches_per_client; ++b) {
+        if (interval.count() > 0) {
+          std::this_thread::sleep_until(started + interval * b);
+        }
+        while (in_flight >= window) {
+          const auto response = client.read_response();
+          if (!response) break;
+          absorb(*response);
+        }
+        fill_batch(rng, pools, config.listed_fraction,
+                   config.reused_fraction, batch);
+        sent_at[b] = Clock::now();
+        if (!client.send_batch(b, batch)) break;
+        ++submitted;
+        ++in_flight;
+      }
+      client.shutdown_write();
+      while (auto response = client.read_response()) absorb(*response);
+
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      report.submitted += submitted;
+      report.ok += ok;
+      report.shed += shed;
+      report.listed_words += listed_words;
+      report.reused_words += reused_words;
+      latencies.insert(latencies.end(), local_latencies.begin(),
+                       local_latencies.end());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  report.wall_seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                            Clock::now() - started)
+                            .count();
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_nanos = percentile(latencies, 0.50);
+  report.p99_nanos = percentile(latencies, 0.99);
+  report.p999_nanos = percentile(latencies, 0.999);
+  report.max_nanos = latencies.empty() ? 0 : latencies.back();
+  if (report.wall_seconds > 0.0) {
+    report.throughput_qps =
+        static_cast<double>(report.ok + report.shed) / report.wall_seconds;
+  }
+  return report;
+}
+
+std::string_view to_string(ChaosBehavior behavior) {
+  switch (behavior) {
+    case ChaosBehavior::kWellBehaved:
+      return "well-behaved";
+    case ChaosBehavior::kTorn:
+      return "torn-write";
+    case ChaosBehavior::kGarbage:
+      return "garbage-magic";
+    case ChaosBehavior::kOversized:
+      return "oversized-length";
+    case ChaosBehavior::kFlood:
+      return "flood";
+    case ChaosBehavior::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+ChaosBehavior chaos_behavior_for(std::uint64_t seed, int client_index) {
+  // First six clients cycle through every behavior so coverage is a
+  // property of the plan, not of luck; the tail is seed-drawn.
+  if (client_index < kChaosBehaviorCount) {
+    return static_cast<ChaosBehavior>(client_index);
+  }
+  net::Rng rng = net::substream(seed, kChaosSalt,
+                                static_cast<std::uint64_t>(client_index));
+  return static_cast<ChaosBehavior>(
+      rng.uniform(static_cast<std::uint64_t>(kChaosBehaviorCount)));
+}
+
+ChaosLedger run_chaos_clients(LookupServer& server,
+                              const CompiledSnapshot& sample_source,
+                              const ChaosConfig& config) {
+  const SamplePools pools = sample_pools(sample_source);
+  const int clients = std::max(config.clients, 1);
+
+  std::mutex merge_mutex;
+  ChaosLedger total;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const ChaosBehavior behavior = chaos_behavior_for(config.seed, c);
+      LookupClient client(server.connect_client());
+      if (!client.valid()) return;
+      net::Rng rng = net::substream(config.seed, kChaosSalt + 1,
+                                    static_cast<std::uint64_t>(c));
+      std::vector<std::uint32_t> batch(std::max<std::size_t>(
+          config.batch_size, 1));
+      ChaosLedger ledger;
+
+      const auto request_id = [c](std::uint64_t b) {
+        return (static_cast<std::uint64_t>(c) << 20) | b;
+      };
+      const auto absorb = [&](const ResponseFrame& response) {
+        if (response.status == ResponseStatus::kShed) {
+          ++ledger.shed_received;
+        } else {
+          ++ledger.ok_received;
+        }
+      };
+      // Closed-loop valid traffic: one frame in flight, answered before the
+      // next — so when a scripted fault fires, no valid frame is pending
+      // and the ledger laws are exact, not eventual.
+      const auto closed_loop_batches = [&](std::uint64_t count) {
+        for (std::uint64_t b = 0; b < count; ++b) {
+          fill_batch(rng, pools, config.listed_fraction,
+                     config.reused_fraction, batch);
+          if (!client.send_batch(request_id(b), batch)) return;
+          ++ledger.valid_sent;
+          const auto response = client.read_response();
+          if (!response) return;
+          absorb(*response);
+        }
+      };
+      const auto drain_to_eof = [&] {
+        while (auto response = client.read_response()) absorb(*response);
+      };
+
+      switch (behavior) {
+        case ChaosBehavior::kWellBehaved: {
+          closed_loop_batches(config.batches_per_client);
+          client.shutdown_write();
+          drain_to_eof();
+          break;
+        }
+        case ChaosBehavior::kTorn: {
+          closed_loop_batches(config.batches_per_client);
+          fill_batch(rng, pools, config.listed_fraction,
+                     config.reused_fraction, batch);
+          const std::string frame = encode_request(request_id(1u << 19), batch);
+          if (client.send_bytes(
+                  std::string_view(frame).substr(0, frame.size() / 2))) {
+            ++ledger.torn_sent;
+          }
+          client.close_now();  // abrupt exit: the server sees EOF mid-frame
+          break;
+        }
+        case ChaosBehavior::kGarbage: {
+          closed_loop_batches(config.batches_per_client);
+          // A length-sane frame whose magic word is wrong: poisons the
+          // decoder as kBadMagic, never parses further.
+          std::string frame = u32_bytes(
+              static_cast<std::uint32_t>(kFrameHeaderBytes));
+          frame += u32_bytes(0xdeadbeefu);
+          frame.append(kFrameHeaderBytes - 4, '\0');
+          if (client.send_bytes(frame)) ++ledger.garbage_sent;
+          drain_to_eof();  // the server closes the poisoned session
+          break;
+        }
+        case ChaosBehavior::kOversized: {
+          closed_loop_batches(config.batches_per_client);
+          // Four bytes are enough: the declared length alone trips the cap
+          // before any payload is read or allocated.
+          if (client.send_bytes(u32_bytes(
+                  static_cast<std::uint32_t>(kMaxFrameBytes + 1)))) {
+            ++ledger.oversized_sent;
+          }
+          drain_to_eof();
+          break;
+        }
+        case ChaosBehavior::kFlood: {
+          // Open-loop burst: every frame written before any response is
+          // read, the shape that exercises queue-full SHED responses.
+          // Volume stays far below socket buffers so the burst cannot
+          // deadlock against the unread responses.
+          std::uint64_t sent = 0;
+          for (std::uint64_t b = 0; b < config.batches_per_client; ++b) {
+            fill_batch(rng, pools, config.listed_fraction,
+                       config.reused_fraction, batch);
+            if (!client.send_batch(request_id(b), batch)) break;
+            ++ledger.valid_sent;
+            ++sent;
+          }
+          client.shutdown_write();
+          drain_to_eof();
+          (void)sent;
+          break;
+        }
+        case ChaosBehavior::kStall: {
+          closed_loop_batches(config.batches_per_client / 2);
+          fill_batch(rng, pools, config.listed_fraction,
+                     config.reused_fraction, batch);
+          const std::string frame = encode_request(request_id(1u << 19), batch);
+          if (client.send_bytes(
+                  std::string_view(frame).substr(0, frame.size() / 2))) {
+            ++ledger.stalls;
+          }
+          // Silence: hold the half-open frame until the server's stall
+          // eviction closes the session (observed here as EOF).
+          drain_to_eof();
+          break;
+        }
+      }
+
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      total.valid_sent += ledger.valid_sent;
+      total.torn_sent += ledger.torn_sent;
+      total.garbage_sent += ledger.garbage_sent;
+      total.oversized_sent += ledger.oversized_sent;
+      total.stalls += ledger.stalls;
+      total.ok_received += ledger.ok_received;
+      total.shed_received += ledger.shed_received;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  return total;
+}
+
+}  // namespace reuse::serve

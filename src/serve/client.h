@@ -1,0 +1,191 @@
+// Client-side machinery for the lookupd serving front end: a blocking
+// protocol client, a seeded open-loop load generator, and the ChaosClient
+// fault plan.
+//
+// The chaos plan extends the deterministic fault-machinery idiom of
+// simnet/faults.h to the serving boundary: every client's behavior is a
+// pure function of (seed, client index) via net::substream, every injected
+// fault is tallied in a client-side ledger at the moment it is sent, and
+// the suite reconciles that ledger *exactly* against the server's
+// ServerStats — torn writes against rejected_torn, garbage against
+// rejected_garbage, oversized declarations against rejected_oversized,
+// stalls against clients_evicted, and valid frames against served + shed.
+// A server that silently drops or double-counts anything cannot pass.
+//
+// Determinism contract: which addresses a client queries, and which fault
+// each chaos client injects, are pure functions of the seed. Latencies and
+// the served/shed *split* under overload are wall-clock-dependent and are
+// reported, not asserted on; the ledger laws above hold regardless of
+// scheduling.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/rng.h"
+#include "serve/frame.h"
+#include "serve/snapshot.h"
+
+namespace reuse::serve {
+
+class LookupServer;
+
+/// Substream salts for the client-side streams (distinct from the engine
+/// workload harness's salt so the two never correlate).
+inline constexpr std::uint64_t kLoadSalt = 0x6c6f61646e6730ULL;
+inline constexpr std::uint64_t kChaosSalt = 0x6368616f73706cULL;
+
+/// Blocking protocol client over a connected fd (as returned by
+/// LookupServer::connect_client). Owns and closes the fd.
+class LookupClient {
+ public:
+  explicit LookupClient(int fd) : fd_(fd) {}
+  ~LookupClient();
+
+  LookupClient(const LookupClient&) = delete;
+  LookupClient& operator=(const LookupClient&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Encodes and writes one request frame. False on transport failure.
+  bool send_batch(std::uint64_t request_id,
+                  std::span<const std::uint32_t> addresses);
+  /// Writes raw bytes verbatim — the chaos clients' fault injector.
+  bool send_bytes(std::string_view bytes);
+
+  /// Blocks until one complete response decodes. nullopt on EOF or a
+  /// protocol error from the server (which would be a server bug).
+  [[nodiscard]] std::optional<ResponseFrame> read_response();
+
+  /// Half-close: signals end-of-requests while leaving the read side open
+  /// for draining responses (the graceful client shutdown).
+  void shutdown_write();
+  /// Closes the fd outright — the torn-write client's abrupt exit.
+  void close_now();
+  [[nodiscard]] bool saw_eof() const { return eof_; }
+
+ private:
+  int fd_ = -1;
+  ResponseDecoder decoder_;
+  bool eof_ = false;
+};
+
+/// Listed/reused address pools sampled from a snapshot, shared by the load
+/// generator and the chaos clients (same mix discipline as the engine-level
+/// workload harness).
+struct SamplePools {
+  std::vector<std::uint32_t> listed;
+  std::vector<std::uint32_t> reused;
+};
+[[nodiscard]] SamplePools sample_pools(const CompiledSnapshot& snapshot);
+
+/// Fills `out` with a seeded listed/reused/random address mix. Pure
+/// function of the rng stream state — the shared primitive that makes
+/// client batches deterministic per (seed, client, batch).
+void fill_batch(net::Rng& rng, const SamplePools& pools,
+                double listed_fraction, double reused_fraction,
+                std::span<std::uint32_t> out);
+
+struct LoadConfig {
+  std::uint64_t seed = 1;
+  int clients = 4;
+  std::uint64_t batches_per_client = 256;
+  std::size_t batch_size = 64;
+  double listed_fraction = 0.4;
+  double reused_fraction = 0.3;
+  /// Offered load across all clients, batches paced open-loop; 0 = each
+  /// client sends as fast as its in-flight window allows.
+  double target_qps = 0.0;
+  /// Open-loop window: responses are drained once this many requests are
+  /// un-answered. 1 degenerates to closed-loop (deterministic tallies).
+  std::size_t max_in_flight = 32;
+};
+
+struct LoadReport {
+  std::uint64_t submitted = 0;  ///< request frames written
+  std::uint64_t ok = 0;         ///< responses with status kOk
+  std::uint64_t shed = 0;       ///< responses with status kShed
+  /// Verdict-bit tallies over kOk responses; deterministic given
+  /// (seed, snapshot) when nothing is shed (closed-loop configs).
+  std::uint64_t listed_words = 0;
+  std::uint64_t reused_words = 0;
+  double wall_seconds = 0.0;
+  double throughput_qps = 0.0;  ///< answered frames per wall second
+  // Request-to-response latency percentiles (wall-clock; reported only).
+  std::uint64_t p50_nanos = 0;
+  std::uint64_t p99_nanos = 0;
+  std::uint64_t p999_nanos = 0;
+  std::uint64_t max_nanos = 0;
+};
+
+/// Runs `clients` concurrent open-loop client threads against `server`,
+/// each connected via connect_client(). Blocks until every client has
+/// drained its responses. Invariant on return (well-behaved clients only):
+/// ok + shed == submitted.
+[[nodiscard]] LoadReport run_load(LookupServer& server,
+                                  const CompiledSnapshot& sample_source,
+                                  const LoadConfig& config);
+
+/// One chaos client's scripted misbehavior. kWellBehaved is part of the
+/// plan on purpose: faults are injected *among* normal traffic, not
+/// instead of it.
+enum class ChaosBehavior : std::uint8_t {
+  kWellBehaved = 0,  ///< closed-loop valid batches only
+  kTorn = 1,         ///< valid batches, then half a frame and abrupt close
+  kGarbage = 2,      ///< valid batches, then a frame with a wrong magic
+  kOversized = 3,    ///< valid batches, then an over-cap length declaration
+  kFlood = 4,        ///< burst of valid frames with no reads until the end
+  kStall = 5,        ///< half a frame, then silence until evicted
+};
+inline constexpr int kChaosBehaviorCount = 6;
+[[nodiscard]] std::string_view to_string(ChaosBehavior behavior);
+
+/// The seeded plan: clients 0..5 cycle through all six behaviors (coverage
+/// is guaranteed, not probabilistic), later clients draw uniformly from
+/// their substream. Pure function of (seed, client_index).
+[[nodiscard]] ChaosBehavior chaos_behavior_for(std::uint64_t seed,
+                                               int client_index);
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  int clients = 12;
+  /// Valid batches each client sends before (and, for kFlood, as) its
+  /// scripted fault.
+  std::uint64_t batches_per_client = 32;
+  std::size_t batch_size = 16;
+  double listed_fraction = 0.4;
+  double reused_fraction = 0.3;
+};
+
+/// Client-side injection ledger, summed across all chaos clients. Each
+/// counter is incremented at the moment the bytes hit the transport, so it
+/// is the ground truth the server's ledger must reproduce.
+struct ChaosLedger {
+  std::uint64_t valid_sent = 0;
+  std::uint64_t torn_sent = 0;
+  std::uint64_t garbage_sent = 0;
+  std::uint64_t oversized_sent = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t ok_received = 0;
+  std::uint64_t shed_received = 0;
+};
+
+/// Runs the chaos plan: `clients` threads, each executing
+/// chaos_behavior_for(seed, index). Blocks until every client is done
+/// (stall clients block until the server evicts them, so the server's
+/// stall_timeout_ms bounds the runtime). Reconciliation laws on return:
+///   server rejected_torn      == ledger torn_sent
+///   server rejected_garbage   == ledger garbage_sent
+///   server rejected_oversized == ledger oversized_sent
+///   server clients_evicted    == ledger stalls   (absent slow readers)
+///   server served + shed      == ledger valid_sent
+///   ledger ok + shed received == ledger valid_sent
+[[nodiscard]] ChaosLedger run_chaos_clients(
+    LookupServer& server, const CompiledSnapshot& sample_source,
+    const ChaosConfig& config);
+
+}  // namespace reuse::serve

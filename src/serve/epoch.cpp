@@ -1,0 +1,153 @@
+#include "serve/epoch.h"
+
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <new>
+#include <thread>
+
+namespace reuse::serve {
+
+/// One reader thread's announcement word. 0 = quiescent; an odd value E+1
+/// means "reading at epoch E". Padded to its own cache line so a reader's
+/// announce store never invalidates another reader's line.
+struct alignas(64) EpochDomain::Slot {
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<bool> claimed{false};
+};
+
+/// Slots are allocated in blocks chained into a lock-free append-only list;
+/// blocks are never freed, so Slot pointers are stable for the process
+/// lifetime (a thread caches its slot in thread_local storage).
+struct EpochDomain::SlotBlock {
+  static constexpr int kSlots = 64;
+  Slot slots[kSlots];
+  std::atomic<SlotBlock*> next{nullptr};
+};
+
+struct EpochDomain::Impl {
+  alignas(64) std::atomic<std::uint64_t> global_epoch{2};
+  /// Serializes writers: concurrent synchronize() calls queue here, which
+  /// keeps the epoch bump + scan pairing simple to reason about.
+  std::mutex writer_mutex;
+  SlotBlock head;
+};
+
+namespace {
+
+/// Per-thread registration for the (singleton) domain: the claimed slot,
+/// plus the re-entrancy depth. The destructor runs at thread exit and
+/// returns the slot to the free pool.
+struct TlsRecord {
+  EpochDomain::Slot* slot = nullptr;
+  int depth = 0;
+  ~TlsRecord();
+};
+
+thread_local TlsRecord tls_record;
+
+}  // namespace
+
+TlsRecord::~TlsRecord() {
+  if (slot == nullptr) return;
+  // The thread is exiting, so it cannot be inside a read section; release
+  // order pairs with the acquire CAS of the next claimant.
+  slot->epoch.store(0, std::memory_order_release);
+  slot->claimed.store(false, std::memory_order_release);
+}
+
+EpochDomain::EpochDomain() : impl_(new Impl) {}
+
+EpochDomain& EpochDomain::instance() {
+  // Leaked singleton: must outlive every thread_local TlsRecord destructor,
+  // and static destruction order cannot guarantee that.
+  static EpochDomain* domain = new EpochDomain();
+  return *domain;
+}
+
+EpochDomain::Slot* EpochDomain::claim_slot() {
+  for (SlotBlock* block = &impl_->head;;) {
+    for (Slot& slot : block->slots) {
+      if (slot.claimed.load(std::memory_order_relaxed)) continue;
+      bool expected = false;
+      if (slot.claimed.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+        return &slot;
+      }
+    }
+    SlotBlock* next = block->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      auto* fresh = new SlotBlock();
+      SlotBlock* expected = nullptr;
+      if (block->next.compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel)) {
+        next = fresh;
+      } else {
+        delete fresh;  // lost the append race; use the winner's block
+        next = block->next.load(std::memory_order_acquire);
+      }
+    }
+    block = next;
+  }
+}
+
+void EpochDomain::enter() {
+  if (++tls_record.depth > 1) return;  // nested: outer announce still holds
+  Slot* slot = tls_record.slot;
+  if (slot == nullptr) {
+    slot = claim_slot();
+    tls_record.slot = slot;
+  }
+  for (;;) {
+    const std::uint64_t e = impl_->global_epoch.load(std::memory_order_seq_cst);
+    slot->epoch.store(e + 1, std::memory_order_seq_cst);
+    if (impl_->global_epoch.load(std::memory_order_seq_cst) == e) return;
+    // A synchronize() bumped the epoch inside our announce window; re-announce
+    // at the new epoch so the writer's scan cannot miss us. Each retry
+    // requires another writer bump, so this cannot livelock.
+  }
+}
+
+void EpochDomain::exit() {
+  assert(tls_record.depth > 0);
+  if (--tls_record.depth > 0) return;
+  tls_record.slot->epoch.store(0, std::memory_order_seq_cst);
+}
+
+void EpochDomain::synchronize() {
+  const std::lock_guard<std::mutex> lock(impl_->writer_mutex);
+  const std::uint64_t next_epoch =
+      impl_->global_epoch.fetch_add(2, std::memory_order_seq_cst) + 2;
+  for (SlotBlock* block = &impl_->head; block != nullptr;
+       block = block->next.load(std::memory_order_acquire)) {
+    for (Slot& slot : block->slots) {
+      for (int spins = 0;; ++spins) {
+        const std::uint64_t announced =
+            slot.epoch.load(std::memory_order_seq_cst);
+        if (announced == 0 || announced >= next_epoch) break;
+        // A reader from before the bump is still inside its section; its
+        // sections are bounded (one lookup batch), so this terminates.
+        if (spins > 64) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t EpochDomain::epoch() const {
+  return impl_->global_epoch.load(std::memory_order_seq_cst);
+}
+
+int EpochDomain::active_slots() const {
+  int claimed = 0;
+  for (SlotBlock* block = &impl_->head; block != nullptr;
+       block = block->next.load(std::memory_order_acquire)) {
+    for (Slot& slot : block->slots) {
+      if (slot.claimed.load(std::memory_order_relaxed)) ++claimed;
+    }
+  }
+  return claimed;
+}
+
+}  // namespace reuse::serve

@@ -1,0 +1,101 @@
+// Epoch-based read-side reclamation for the serving hot path.
+//
+// The previous LookupEngine pinned snapshots under a tiny spinlock: correct,
+// but every reader bounced the *same* cache line through the exclusive state
+// (lock word + shared_ptr control block), which serializes readers and — if
+// publishes arrive in a storm — lets the lock line ping-pong into a
+// progress-starving pattern. Epoch reclamation removes the shared write
+// entirely: each reader thread owns a cache-line-padded slot and announces
+// "I am reading at epoch E" by writing *its own slot only*. Readers never
+// write memory any other reader touches; the only shared state they load
+// (the global epoch and the live-snapshot pointer) stays in the shared
+// cache state because nobody writes it on the read path.
+//
+// Protocol (quiescent-state variant, writers wait, readers never do):
+//   * The global epoch is even and only grows (by 2 per synchronize()).
+//   * enter(): load global epoch E, store E+1 (odd = active) into the
+//     caller's slot, then re-load the global epoch; if it moved, restart.
+//     The re-check closes the race where a writer bumps and scans between
+//     our load and our slot store.
+//   * exit(): store 0 (quiescent) into the slot.
+//   * synchronize(): bump the global epoch to E' and spin until every slot
+//     is quiescent or announces an epoch >= E'. Any reader that entered
+//     before the bump is waited for; any reader that enters after it can
+//     only observe pointers published before the bump's writer swapped
+//     them. Once synchronize() returns, memory retired before the call has
+//     no readers and can be freed.
+//
+// Memory-model discipline: every operation above is a seq_cst load, store,
+// or RMW on a std::atomic — deliberately *no* standalone fences, because
+// ThreadSanitizer does not model atomic_thread_fence and would report false
+// races. Like the pin-lock it replaces, the protocol is owned and small so
+// the TSan suite proves it rather than suppressing it.
+//
+// Slots are claimed per (thread, process) on first use and recycled when
+// the thread exits; the slot directory grows in cache-aligned blocks and is
+// never freed, so a reader's slot pointer stays valid for the process
+// lifetime. The domain is a process-wide singleton (like the metrics
+// registry): engines share it, which also sidesteps every
+// domain-outlives-reader lifetime question.
+//
+// Deadlock rule: never call synchronize() while holding a ReadGuard on the
+// same thread — the writer would wait for its own slot forever. The engine
+// keeps the two paths (query vs. publish) strictly separate.
+#pragma once
+
+#include <cstdint>
+
+namespace reuse::serve {
+
+class EpochDomain {
+ public:
+  /// The process-wide domain. Never destroyed (deliberately leaked), so
+  /// thread-exit slot recycling can always reach it.
+  static EpochDomain& instance();
+
+  /// Marks the calling thread as reading at the current epoch. Re-entrant:
+  /// nested enters on one thread are counted and only the outermost pair
+  /// touches the slot.
+  void enter();
+  /// Ends the calling thread's read-side critical section.
+  void exit();
+
+  /// Writer-side barrier: returns only when every read-side critical
+  /// section that began before the call has finished. After it returns,
+  /// objects unpublished before the call are unreachable from any reader.
+  /// Serialized internally; callers need no extra writer lock for the
+  /// barrier itself. Must not be called under a ReadGuard.
+  void synchronize();
+
+  /// Current global epoch (even, monotonic). Introspection for tests.
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// Slots currently claimed by live threads. Introspection for tests.
+  [[nodiscard]] int active_slots() const;
+
+  /// Opaque here; defined in epoch.cpp. Public so the thread-local
+  /// registration record (file-local there) can hold a Slot pointer.
+  struct Slot;
+  struct SlotBlock;
+
+ private:
+  EpochDomain();
+  ~EpochDomain() = delete;  // singleton is immortal by design
+
+  [[nodiscard]] Slot* claim_slot();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII read-side critical section against the process-wide domain.
+/// Construction is wait-free in practice (the enter retry loop only spins
+/// when a synchronize() lands in the two-instruction announce window).
+class ReadGuard {
+ public:
+  ReadGuard() { EpochDomain::instance().enter(); }
+  ~ReadGuard() { EpochDomain::instance().exit(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+};
+
+}  // namespace reuse::serve

@@ -1,0 +1,170 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+namespace reuse::serve {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, sizeof bytes);
+  out.append(bytes, sizeof bytes);
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, sizeof bytes);
+  out.append(bytes, sizeof bytes);
+}
+
+[[nodiscard]] std::uint32_t get_u32(const char* at) {
+  std::uint32_t value;
+  std::memcpy(&value, at, sizeof value);
+  return value;
+}
+
+[[nodiscard]] std::uint64_t get_u64(const char* at) {
+  std::uint64_t value;
+  std::memcpy(&value, at, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+std::string_view to_string(FrameError error) {
+  switch (error) {
+    case FrameError::kNone:
+      return "none";
+    case FrameError::kOversized:
+      return "oversized frame";
+    case FrameError::kBadMagic:
+      return "bad magic";
+    case FrameError::kBadLength:
+      return "bad frame length";
+    case FrameError::kBadCount:
+      return "bad batch count";
+  }
+  return "unknown";
+}
+
+std::string encode_request(std::uint64_t request_id,
+                           std::span<const std::uint32_t> addresses) {
+  std::string out;
+  out.reserve(4 + kFrameHeaderBytes + 4 * addresses.size());
+  put_u32(out,
+          static_cast<std::uint32_t>(kFrameHeaderBytes + 4 * addresses.size()));
+  put_u32(out, kRequestMagic);
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(addresses.size()) & 0xffffu);
+  for (const std::uint32_t address : addresses) put_u32(out, address);
+  return out;
+}
+
+std::string encode_response(std::uint64_t request_id, ResponseStatus status,
+                            std::span<const std::uint32_t> verdicts) {
+  std::string out;
+  out.reserve(4 + kFrameHeaderBytes + 4 * verdicts.size());
+  put_u32(out,
+          static_cast<std::uint32_t>(kFrameHeaderBytes + 4 * verdicts.size()));
+  put_u32(out, kResponseMagic);
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(status));
+  for (const std::uint32_t verdict : verdicts) put_u32(out, verdict);
+  return out;
+}
+
+namespace detail {
+
+void FrameBuffer::feed(std::string_view bytes) {
+  if (error_ != FrameError::kNone) return;  // poisoned streams eat nothing
+  // Compact before growing: keeps the buffer bounded by one frame plus one
+  // read's worth of bytes regardless of how long the session lives.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > kMaxFrameBytes) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+std::optional<std::string_view> FrameBuffer::next_frame() {
+  if (error_ != FrameError::kNone) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::nullopt;
+  const std::uint32_t frame_len = get_u32(buffer_.data() + consumed_);
+  // Bounds first, before trusting frame_len for anything: an attacker's
+  // length word must never size an allocation or an index.
+  if (frame_len > kMaxFrameBytes) {
+    error_ = FrameError::kOversized;
+    return std::nullopt;
+  }
+  if (frame_len < kFrameHeaderBytes) {
+    error_ = FrameError::kBadLength;
+    return std::nullopt;
+  }
+  if (available < 4 + static_cast<std::size_t>(frame_len)) {
+    return std::nullopt;  // incomplete; wait for more transport bytes
+  }
+  const std::string_view frame(buffer_.data() + consumed_ + 4, frame_len);
+  consumed_ += 4 + static_cast<std::size_t>(frame_len);
+  return frame;
+}
+
+}  // namespace detail
+
+std::optional<RequestFrame> RequestDecoder::next() {
+  const auto frame = buffer_.next_frame();
+  if (!frame) return std::nullopt;
+  if (get_u32(frame->data()) != kRequestMagic) {
+    buffer_.poison(FrameError::kBadMagic);
+    return std::nullopt;
+  }
+  const std::uint32_t count_word = get_u32(frame->data() + 12);
+  const std::uint32_t count = count_word & 0xffffu;
+  if ((count_word >> 16) != 0 || count == 0 || count > kMaxFrameAddresses) {
+    buffer_.poison(FrameError::kBadCount);
+    return std::nullopt;
+  }
+  if (frame->size() != kFrameHeaderBytes + 4 * count) {
+    buffer_.poison(FrameError::kBadLength);
+    return std::nullopt;
+  }
+  RequestFrame request;
+  request.request_id = get_u64(frame->data() + 4);
+  request.addresses.resize(count);
+  std::memcpy(request.addresses.data(), frame->data() + kFrameHeaderBytes,
+              4 * count);
+  return request;
+}
+
+std::optional<ResponseFrame> ResponseDecoder::next() {
+  const auto frame = buffer_.next_frame();
+  if (!frame) return std::nullopt;
+  if (get_u32(frame->data()) != kResponseMagic) {
+    buffer_.poison(FrameError::kBadMagic);
+    return std::nullopt;
+  }
+  const std::uint32_t status_word = get_u32(frame->data() + 12);
+  if (status_word > static_cast<std::uint32_t>(ResponseStatus::kReject)) {
+    buffer_.poison(FrameError::kBadCount);
+    return std::nullopt;
+  }
+  const std::size_t payload = frame->size() - kFrameHeaderBytes;
+  if (payload % 4 != 0) {
+    buffer_.poison(FrameError::kBadLength);
+    return std::nullopt;
+  }
+  ResponseFrame response;
+  response.request_id = get_u64(frame->data() + 4);
+  response.status = static_cast<ResponseStatus>(status_word);
+  response.verdicts.resize(payload / 4);
+  if (payload != 0) {
+    std::memcpy(response.verdicts.data(), frame->data() + kFrameHeaderBytes,
+                payload);
+  }
+  return response;
+}
+
+}  // namespace reuse::serve

@@ -1,0 +1,137 @@
+// Length-prefixed binary batch protocol between lookupd and its clients.
+//
+// The serving front end speaks a deliberately tiny framed protocol over a
+// local byte stream (socketpair in tests and the in-process load generator;
+// the framing is transport-agnostic). Every frame is:
+//
+//   u32 frame_len                      bytes that FOLLOW this word
+//   u32 magic                          kRequestMagic / kResponseMagic
+//   u64 request_id                     echoed verbatim in the response
+//   request:  u16 count, u16 reserved  then count * u32 addresses
+//   response: u8 status, u8[3] reserved  then count * u32 verdict words
+//
+// Integers are native-endian (the transport never leaves the machine, same
+// as the snapshot artifact). frame_len makes torn writes detectable, caps
+// allocation before a single payload byte is trusted, and lets a decoder
+// hold partial frames across reads.
+//
+// Validation is strict and fail-closed: a frame that is oversized, carries
+// the wrong magic, an impossible length, a zero or over-limit count, or
+// nonzero reserved bits poisons the decoder — the server answers by
+// counting the rejection and dropping the connection, because a stream that
+// framed one frame wrong can never be trusted to frame the next one right.
+// Decoders never throw and never allocate more than the declared (bounded)
+// frame length, no matter the input bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reuse::serve {
+
+inline constexpr std::uint32_t kRequestMagic = 0x4b4c5152;   // "RQLK"
+inline constexpr std::uint32_t kResponseMagic = 0x4b4c5352;  // "RSLK"
+/// Addresses (or verdict words) per frame; one frame is one served batch.
+inline constexpr std::size_t kMaxFrameAddresses = 1024;
+/// Fixed bytes after frame_len: magic + request_id + count/status word.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 8 + 4;
+/// Hard ceiling a decoder will buffer for one frame.
+inline constexpr std::size_t kMaxFrameBytes =
+    kFrameHeaderBytes + 4 * kMaxFrameAddresses;
+
+/// Server's answer class for one request frame. Shedding is an explicit
+/// verdict — an overloaded server *answers* kShed rather than silently
+/// dropping, so clients can apply backpressure and ledgers reconcile.
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,    ///< verdicts follow, one word per queried address
+  kShed = 1,  ///< dropped by overload or deadline policy; retry later
+  kReject = 2,  ///< malformed request (reserved for future per-frame use)
+};
+
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  std::vector<std::uint32_t> addresses;
+};
+
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::vector<std::uint32_t> verdicts;
+};
+
+/// Why a decoder refused its stream. Order matters only for to_string.
+enum class FrameError : std::uint8_t {
+  kNone = 0,
+  kOversized,  ///< declared frame_len exceeds kMaxFrameBytes
+  kBadMagic,   ///< wrong protocol word where the magic belongs
+  kBadLength,  ///< frame_len too small or inconsistent with its count
+  kBadCount,   ///< zero / over-limit count or nonzero reserved bits
+};
+[[nodiscard]] std::string_view to_string(FrameError error);
+
+[[nodiscard]] std::string encode_request(
+    std::uint64_t request_id, std::span<const std::uint32_t> addresses);
+[[nodiscard]] std::string encode_response(
+    std::uint64_t request_id, ResponseStatus status,
+    std::span<const std::uint32_t> verdicts);
+
+namespace detail {
+
+/// Shared incremental framing buffer: accumulates transport bytes, carves
+/// complete frames, and latches the first protocol error (after which the
+/// stream is dead and next_frame always fails).
+class FrameBuffer {
+ public:
+  void feed(std::string_view bytes);
+  /// A complete, length-sane frame body (starting at its magic word), or
+  /// nullopt when more bytes are needed or the stream is poisoned.
+  [[nodiscard]] std::optional<std::string_view> next_frame();
+  [[nodiscard]] FrameError error() const { return error_; }
+  void poison(FrameError error) { error_ = error; }
+  /// Bytes of an incomplete frame (or undecoded garbage) still buffered —
+  /// the tell for torn writes and slow-loris stalls.
+  [[nodiscard]] std::size_t pending_bytes() const {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  FrameError error_ = FrameError::kNone;
+};
+
+}  // namespace detail
+
+/// Incremental request-frame decoder (server side of a session).
+class RequestDecoder {
+ public:
+  void feed(std::string_view bytes) { buffer_.feed(bytes); }
+  /// The next validated request, or nullopt when more bytes are needed or
+  /// the stream is poisoned (check error()).
+  [[nodiscard]] std::optional<RequestFrame> next();
+  [[nodiscard]] FrameError error() const { return buffer_.error(); }
+  /// True when bytes of an unfinished frame are pending — at EOF this means
+  /// a torn write; under a ticking clock, a stalled (slow-loris) client.
+  [[nodiscard]] bool mid_frame() const { return buffer_.pending_bytes() > 0; }
+
+ private:
+  detail::FrameBuffer buffer_;
+};
+
+/// Incremental response-frame decoder (client side).
+class ResponseDecoder {
+ public:
+  void feed(std::string_view bytes) { buffer_.feed(bytes); }
+  [[nodiscard]] std::optional<ResponseFrame> next();
+  [[nodiscard]] FrameError error() const { return buffer_.error(); }
+  [[nodiscard]] bool mid_frame() const { return buffer_.pending_bytes() > 0; }
+
+ private:
+  detail::FrameBuffer buffer_;
+};
+
+}  // namespace reuse::serve

@@ -1,31 +1,11 @@
 #include "serve/lookup.h"
 
+#include <stdexcept>
 #include <utility>
 
+#include "serve/epoch.h"
+
 namespace reuse::serve {
-namespace {
-
-/// Scoped hold of the engine's pin lock. test-and-set(acquire) to lock,
-/// store(release) to unlock; the inner relaxed-load spin keeps the
-/// contended path off the cache line's exclusive state. The release
-/// unlock is what makes the protocol TSan-provable (see lookup.h).
-class PinGuard {
- public:
-  explicit PinGuard(std::atomic<bool>& lock) : lock_(lock) {
-    while (lock_.exchange(true, std::memory_order_acquire)) {
-      while (lock_.load(std::memory_order_relaxed)) {
-      }
-    }
-  }
-  ~PinGuard() { lock_.store(false, std::memory_order_release); }
-  PinGuard(const PinGuard&) = delete;
-  PinGuard& operator=(const PinGuard&) = delete;
-
- private:
-  std::atomic<bool>& lock_;
-};
-
-}  // namespace
 
 ServeMetrics& serve_metrics() {
   static ServeMetrics metrics{
@@ -52,33 +32,45 @@ ServeMetrics& serve_metrics() {
   return metrics;
 }
 
+LookupEngine::~LookupEngine() {
+  // Whoever still held a raw pointer from a read section must be gone
+  // before owner_ (and with it the artifact) is destroyed.
+  EpochDomain::instance().synchronize();
+}
+
 std::shared_ptr<const CompiledSnapshot> LookupEngine::snapshot() const {
-  PinGuard guard(pin_lock_);
-  return snapshot_;
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  return owner_;
 }
 
 void LookupEngine::publish(std::shared_ptr<const CompiledSnapshot> snapshot) {
-  ServeMetrics& metrics = serve_metrics();
-  if (snapshot != nullptr) {
-    metrics.entries.set(static_cast<std::int64_t>(snapshot->entry_count()));
-  } else {
-    metrics.entries.set(0);
+  if (snapshot == nullptr) {
+    throw std::invalid_argument(
+        "LookupEngine::publish: null snapshot (publish an empty "
+        "CompiledSnapshot to serve nothing)");
   }
+  ServeMetrics& metrics = serve_metrics();
+  metrics.entries.set(static_cast<std::int64_t>(snapshot->entry_count()));
   std::shared_ptr<const CompiledSnapshot> superseded;
   {
-    PinGuard guard(pin_lock_);
-    superseded = std::exchange(snapshot_, std::move(snapshot));
+    const std::lock_guard<std::mutex> lock(publish_mutex_);
+    live_.store(snapshot.get(), std::memory_order_seq_cst);
+    superseded = std::exchange(owner_, std::move(snapshot));
+    // Wait out every reader that could have loaded the superseded pointer.
+    // Readers entering from here on can only see the new pointer, so after
+    // this returns the old artifact has zero readers, forever.
+    EpochDomain::instance().synchronize();
   }
   // `superseded` drops here, outside the critical section: if this was the
-  // last reference, the whole artifact deallocates without ever extending
-  // the pin window.
+  // last reference, the whole artifact deallocates with no reader in sight.
   metrics.swaps.increment();
 }
 
 Verdict LookupEngine::verdict(net::Ipv4Address address) const {
   ServeMetrics& metrics = serve_metrics();
   metrics.queries.increment();
-  const std::shared_ptr<const CompiledSnapshot> pinned = snapshot();
+  const ReadGuard guard;
+  const CompiledSnapshot* pinned = live_.load(std::memory_order_seq_cst);
   if (pinned == nullptr) return Verdict{};
   const Verdict v = pinned->verdict(address);
   if (v.listed()) metrics.listed.increment();
@@ -91,14 +83,17 @@ void LookupEngine::verdict_batch(std::span<const net::Ipv4Address> queries,
   ServeMetrics& metrics = serve_metrics();
   metrics.batches.increment();
   metrics.batch_queries.add(queries.size());
-  const std::shared_ptr<const CompiledSnapshot> pinned = snapshot();
-  if (pinned == nullptr) {
-    for (std::size_t i = 0; i < queries.size(); ++i) out[i] = Verdict{};
-    return;
-  }
-  pinned->verdict_batch(queries, out);
   std::uint64_t listed = 0;
   std::uint64_t reused = 0;
+  {
+    const ReadGuard guard;
+    const CompiledSnapshot* pinned = live_.load(std::memory_order_seq_cst);
+    if (pinned == nullptr) {
+      for (std::size_t i = 0; i < queries.size(); ++i) out[i] = Verdict{};
+      return;
+    }
+    pinned->verdict_batch(queries, out);
+  }
   for (std::size_t i = 0; i < queries.size(); ++i) {
     listed += out[i].listed() ? 1 : 0;
     reused += out[i].reused() ? 1 : 0;

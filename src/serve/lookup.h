@@ -1,24 +1,29 @@
-// Wait-light query engine over atomically swappable compiled snapshots.
+// Wait-free-read query engine over atomically swappable compiled snapshots.
 //
 // Serving is read-mostly with rare whole-artifact replacement: a new day's
 // snapshot arrives, readers must never stall, and the old artifact must
-// stay valid for queries already in flight. Queries take a
-// reference-counted pin on the current snapshot, run entirely against that
-// immutable artifact, and drop the pin; publish() swaps the pointer and
-// the superseded snapshot is freed when its last in-flight reader
-// finishes — no reader ever waits for a reload, no publisher ever waits
-// for a reader.
+// stay valid for queries already in flight. Earlier versions pinned the
+// snapshot shared_ptr under a tiny spinlock; that was correct but put every
+// reader on one shared cache line (lock word + refcount), serializing the
+// read side and exposing a livelock-shaped hazard under publish storms.
 //
-// The pin itself is a handful of instructions under a tiny spin "pin
-// lock": lock, copy the shared_ptr (one atomic refcount increment),
-// unlock. This is the same lock-bit protocol libstdc++'s
-// std::atomic<std::shared_ptr> uses internally (which is likewise not
-// lock-free), with one deliberate difference: our unlock is a *release*
-// store, where libstdc++ 12's load path unlocks relaxed — formally a data
-// race on its unsynchronized pointer member, and exactly what TSan flags.
-// Owning the few lines of protocol makes the engine memory-model-clean, so
-// the concurrent query-during-swap test runs under TSan with
-// halt_on_error and proves the swap safe rather than suppressing it.
+// The engine now uses epoch-based read-side reclamation (serve/epoch.h):
+//   * Readers enter an epoch critical section (a store to their *own*
+//     padded slot), load the raw live-snapshot pointer, and query the
+//     immutable artifact. No shared cache line is written on the read
+//     path; read throughput scales with cores.
+//   * publish() stores the new raw pointer, then calls
+//     EpochDomain::synchronize(), which waits until every reader that
+//     could hold the old pointer has exited. Only then does the superseded
+//     shared_ptr drop — so the artifact frees with provably zero readers,
+//     and the engine never hands out a dangling pointer.
+//   * Readers never wait for publishers; publishers wait (briefly — read
+//     sections are one batch long) for readers. Concurrent publishers
+//     serialize on a mutex, last write wins.
+//
+// The protocol is seq_cst atomics only — no standalone fences — so the
+// TSan suite proves the swap safe rather than suppressing it (see
+// epoch.h for the memory-model discussion).
 //
 // The hot path allocates nothing: verdicts are 32-bit words, batch output
 // goes into caller-provided spans, and the serve_* metrics are cached
@@ -30,6 +35,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 
 #include "netbase/metrics.h"
@@ -56,31 +62,43 @@ class LookupEngine {
  public:
   /// An engine starts empty; queries against it answer all-clear verdicts.
   LookupEngine() = default;
+  /// Waits for in-flight readers before the owned snapshot dies with the
+  /// engine. Destroying an engine while queries are still being *issued*
+  /// remains a caller bug, as with any object.
+  ~LookupEngine();
 
   /// Atomically replaces the served snapshot. Safe to call concurrently
   /// with any number of in-flight queries (they finish against the
-  /// snapshot they pinned) and with other publishers (last write wins).
+  /// snapshot they entered with) and with other publishers (last write
+  /// wins). Returns only after the superseded artifact has zero readers.
+  /// A null snapshot is rejected with std::invalid_argument: "serve
+  /// nothing" is expressed by publishing an *empty* snapshot, never by
+  /// letting nullptr reach the read path.
   void publish(std::shared_ptr<const CompiledSnapshot> snapshot);
 
   /// The currently served snapshot (nullptr before the first publish).
-  /// The returned pointer pins the artifact: it stays valid even if a
-  /// publish() lands immediately after.
+  /// Takes the publish mutex (cold path); the returned shared_ptr keeps
+  /// the artifact alive independently of later publishes.
   [[nodiscard]] std::shared_ptr<const CompiledSnapshot> snapshot() const;
 
-  /// Single-address query: one snapshot pin, one two-level lookup.
+  /// Single-address query: one epoch enter/exit, one two-level lookup.
   [[nodiscard]] Verdict verdict(net::Ipv4Address address) const;
 
-  /// Batched query: queries[i] answers into out[i]. One snapshot pin for
+  /// Batched query: queries[i] answers into out[i]. One epoch section for
   /// the whole batch — the amortization that makes batching worthwhile.
   /// Precondition: out.size() >= queries.size().
   void verdict_batch(std::span<const net::Ipv4Address> queries,
                      std::span<Verdict> out) const;
 
  private:
-  /// Spin pin-lock guarding `snapshot_`; held for a few instructions only
-  /// (shared_ptr copy or exchange — never a query, never a deallocation).
-  mutable std::atomic<bool> pin_lock_{false};
-  std::shared_ptr<const CompiledSnapshot> snapshot_;
+  /// Raw pointer the read path loads inside its epoch section; always
+  /// either nullptr or owner_.get().
+  std::atomic<const CompiledSnapshot*> live_{nullptr};
+  /// Serializes publishers and guards owner_.
+  mutable std::mutex publish_mutex_;
+  /// Owns the artifact live_ points into; swapped only under publish_mutex_
+  /// and only released after an epoch synchronize.
+  std::shared_ptr<const CompiledSnapshot> owner_;
 };
 
 }  // namespace reuse::serve

@@ -159,94 +159,124 @@ bool CompiledSnapshot::save(const std::string& path) const {
 
 std::optional<CompiledSnapshot> CompiledSnapshot::load(
     const std::string& path) {
+  return load(path, nullptr);
+}
+
+std::optional<CompiledSnapshot> CompiledSnapshot::load(
+    const std::string& path, std::string* error) {
+  // Each rejection path carries its own message: "which failure mode hit"
+  // is the whole point of the rejection matrix, and the tests pin the
+  // messages apart so two modes can never collapse into one diagnostic.
+  const auto fail = [&](const std::string& why) -> std::optional<CompiledSnapshot> {
+    if (error != nullptr) *error = "snapshot load failed: " + why;
+    return std::nullopt;
+  };
+
+  std::error_code ec;
+  const std::filesystem::file_status status = std::filesystem::status(path, ec);
+  if (ec || status.type() == std::filesystem::file_type::not_found) {
+    return fail("path does not exist: " + path);
+  }
+  if (status.type() != std::filesystem::file_type::regular) {
+    return fail("not a regular file: " + path);
+  }
+  const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+  if (!ec && file_size == 0) {
+    return fail("zero-length file (mid-write artifact?): " + path);
+  }
+
   std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
+  if (!is) return fail("cannot open for reading: " + path);
   net::BinaryReader reader(is);
-  if (reader.read<std::uint64_t>() != kMagic) return std::nullopt;
-  if (reader.read<std::uint32_t>() != kFormatVersion) return std::nullopt;
+  const std::uint64_t magic = reader.read<std::uint64_t>();
+  if (!reader.ok()) {
+    return fail("file shorter than the header (mid-write artifact?)");
+  }
+  if (magic != kMagic) return fail("bad magic: not a compiled snapshot");
+  const std::uint32_t version = reader.read<std::uint32_t>();
+  if (reader.ok() && version != kFormatVersion) {
+    return fail("unsupported format version " + std::to_string(version));
+  }
   const std::uint64_t source_fingerprint = reader.read<std::uint64_t>();
   const std::uint64_t payload_size = reader.read_size(kMaxPayloadBytes);
   const std::uint64_t checksum = reader.read<std::uint64_t>();
-  if (!reader.ok()) return std::nullopt;
+  if (!reader.ok()) {
+    return fail("truncated header (mid-write artifact?)");
+  }
 
   std::string payload(payload_size, '\0');
   is.read(payload.data(), static_cast<std::streamsize>(payload_size));
   if (static_cast<std::uint64_t>(is.gcount()) != payload_size) {
-    return std::nullopt;  // truncated
+    return fail("truncated payload: declared " + std::to_string(payload_size) +
+                " bytes, got " + std::to_string(is.gcount()));
   }
   if (is.peek() != std::char_traits<char>::eof()) {
-    return std::nullopt;  // trailing bytes: not a product of save()
+    return fail("trailing bytes after payload: not a product of save()");
   }
-  if (net::fnv1a_64(payload) != checksum) return std::nullopt;  // bit-flip
+  if (net::fnv1a_64(payload) != checksum) {
+    return fail("payload checksum mismatch (bit flip or foreign writer)");
+  }
 
   std::istringstream payload_stream(payload);
   net::BinaryReader body(payload_stream);
   CompiledSnapshot snapshot;
   snapshot.source_fingerprint_ = source_fingerprint;
-  if (!read_u32_array(body, kMaxBuckets, snapshot.buckets_)) {
-    return std::nullopt;
-  }
-  if (!read_u32_array(body, kMaxBuckets + 1, snapshot.bucket_offsets_)) {
-    return std::nullopt;
-  }
-  if (!read_u32_array(body, kMaxEntries, snapshot.addresses_)) {
-    return std::nullopt;
-  }
-  if (!read_u32_array(body, kMaxEntries, snapshot.verdicts_)) {
-    return std::nullopt;
-  }
-  if (!read_u32_array(body, kMaxBuckets, snapshot.dynamic24_)) {
-    return std::nullopt;
+  if (!read_u32_array(body, kMaxBuckets, snapshot.buckets_) ||
+      !read_u32_array(body, kMaxBuckets + 1, snapshot.bucket_offsets_) ||
+      !read_u32_array(body, kMaxEntries, snapshot.addresses_) ||
+      !read_u32_array(body, kMaxEntries, snapshot.verdicts_) ||
+      !read_u32_array(body, kMaxBuckets, snapshot.dynamic24_)) {
+    return fail("payload arrays inconsistent with their counts");
   }
   const std::uint64_t top_count =
       body.read_size(static_cast<std::uint64_t>(kMaxTopLists));
-  if (!body.ok()) return std::nullopt;
+  if (!body.ok()) return fail("top-list count out of range");
   snapshot.top_lists_.resize(top_count);
   for (std::uint64_t i = 0; i < top_count && body.ok(); ++i) {
     snapshot.top_lists_[i] = body.read<blocklist::ListId>();
   }
-  if (!body.ok()) return std::nullopt;
+  if (!body.ok()) return fail("payload arrays inconsistent with their counts");
   if (payload_stream.peek() != std::char_traits<char>::eof()) {
-    return std::nullopt;  // payload longer than its arrays
+    return fail("payload longer than its arrays");
   }
 
   // Structural invariants: the checksum catches random corruption, these
   // catch a well-formed file that could still index out of bounds.
   if (snapshot.verdicts_.size() != snapshot.addresses_.size()) {
-    return std::nullopt;
+    return fail("structural violation: verdict/address array size mismatch");
   }
   if (!strictly_increasing(snapshot.buckets_) ||
       !strictly_increasing(snapshot.addresses_) ||
       !strictly_increasing(snapshot.dynamic24_)) {
-    return std::nullopt;
+    return fail("structural violation: arrays not strictly increasing");
   }
   if (snapshot.buckets_.empty()) {
     // An empty index must describe an empty entry table.
     if (!snapshot.bucket_offsets_.empty() || !snapshot.addresses_.empty()) {
-      return std::nullopt;
+      return fail("structural violation: entries without a bucket index");
     }
   } else {
-    if (snapshot.bucket_offsets_.size() != snapshot.buckets_.size() + 1) {
-      return std::nullopt;
-    }
-    if (snapshot.bucket_offsets_.front() != 0 ||
+    if (snapshot.bucket_offsets_.size() != snapshot.buckets_.size() + 1 ||
+        snapshot.bucket_offsets_.front() != 0 ||
         snapshot.bucket_offsets_.back() != snapshot.addresses_.size()) {
-      return std::nullopt;
+      return fail("structural violation: malformed bucket offsets");
     }
     for (std::size_t b = 0; b < snapshot.buckets_.size(); ++b) {
       if (snapshot.bucket_offsets_[b] >= snapshot.bucket_offsets_[b + 1]) {
-        return std::nullopt;  // empty or reversed bucket
+        return fail("structural violation: empty or reversed bucket");
       }
       for (std::uint32_t i = snapshot.bucket_offsets_[b];
            i < snapshot.bucket_offsets_[b + 1]; ++i) {
         if ((snapshot.addresses_[i] >> 8) != snapshot.buckets_[b]) {
-          return std::nullopt;  // entry filed under the wrong /24
+          return fail("structural violation: entry filed under the wrong /24");
         }
       }
     }
   }
   for (const std::uint32_t key : snapshot.dynamic24_) {
-    if (key >= (1u << 24)) return std::nullopt;
+    if (key >= (1u << 24)) {
+      return fail("structural violation: dynamic /24 key out of range");
+    }
   }
 
   snapshot.seal();

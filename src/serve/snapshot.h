@@ -133,6 +133,14 @@ class CompiledSnapshot {
   [[nodiscard]] static std::optional<CompiledSnapshot> load(
       const std::string& path);
 
+  /// Same validation, but every rejection writes a *distinct* diagnostic
+  /// into `*error` (zero-length file vs unreadable path vs mid-write
+  /// truncation vs checksum mismatch vs structural violation...), so an
+  /// operator staring at a failed reload knows which failure mode hit
+  /// without strace. `error` may be null.
+  [[nodiscard]] static std::optional<CompiledSnapshot> load(
+      const std::string& path, std::string* error);
+
   /// All entry addresses whose verdict satisfies `mask` (every bit of
   /// `mask` set). Used by the workload generator to sample listed/reused
   /// query targets; not a hot path.

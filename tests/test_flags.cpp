@@ -139,5 +139,29 @@ TEST(ParseMetricsFormat, RejectsEverythingElse) {
   EXPECT_FALSE(parse_metrics_format("prom").has_value());
 }
 
+TEST(ParseBoundedInt, AcceptsExactlyTheClosedRange) {
+  EXPECT_EQ(parse_bounded_int("1", 1, 4096), 1);
+  EXPECT_EQ(parse_bounded_int("4096", 1, 4096), 4096);
+  EXPECT_EQ(parse_bounded_int("0", 0, 10), 0);
+  EXPECT_EQ(parse_bounded_int("-5", -10, 10), -5);
+  EXPECT_FALSE(parse_bounded_int("0", 1, 4096).has_value());
+  EXPECT_FALSE(parse_bounded_int("4097", 1, 4096).has_value());
+  EXPECT_FALSE(parse_bounded_int("-1", 0, 10).has_value());
+}
+
+TEST(ParseBoundedInt, RejectsGarbageWithoutSalvaging) {
+  // The serving knobs (--clients, --deadline-ms, --queue-depth) go
+  // through this: a typo must exit 2 upstream, never become a number.
+  EXPECT_FALSE(parse_bounded_int("", 0, 100).has_value());
+  EXPECT_FALSE(parse_bounded_int("ten", 0, 100).has_value());
+  EXPECT_FALSE(parse_bounded_int("4x", 0, 100).has_value());
+  EXPECT_FALSE(parse_bounded_int(" 4", 0, 100).has_value());
+  EXPECT_FALSE(parse_bounded_int("4 ", 0, 100).has_value());
+  EXPECT_FALSE(parse_bounded_int("4.5", 0, 100).has_value());
+  EXPECT_FALSE(parse_bounded_int("0x10", 0, 100).has_value());
+  // Overflow must not wrap into range.
+  EXPECT_FALSE(parse_bounded_int("99999999999999999999", 0, 100).has_value());
+}
+
 }  // namespace
 }  // namespace reuse::net

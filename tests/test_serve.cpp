@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "netbase/thread_pool.h"
 #include "serve/lookup.h"
@@ -241,6 +242,90 @@ TEST_F(ServeArtifact, RejectsMissingTruncatedAndCorruptFiles) {
   // And the pristine bytes still load (the harness itself is sound).
   write_variant(good);
   EXPECT_TRUE(CompiledSnapshot::load(path_).has_value());
+}
+
+TEST(ServeEngine, RejectsNullPublishWithClearError) {
+  LookupEngine engine;
+  // "Serve nothing" is expressed with an *empty* snapshot; a null must
+  // never reach the read path where it would look like "before first
+  // publish" and silently answer all-clear.
+  EXPECT_THROW(engine.publish(nullptr), std::invalid_argument);
+  // The engine is untouched by the rejected call.
+  EXPECT_EQ(engine.snapshot(), nullptr);
+
+  const Fixture fx;
+  engine.publish(std::make_shared<const CompiledSnapshot>(fx.build()));
+  EXPECT_THROW(engine.publish(nullptr), std::invalid_argument);
+  // Still serving what the last valid publish installed.
+  EXPECT_TRUE(engine.verdict(addr("1.0.0.1")).listed());
+}
+
+TEST_F(ServeArtifact, RejectionMatrixYieldsDistinctDiagnostics) {
+  const Fixture fx;
+  ASSERT_TRUE(fx.build().save(path_));
+  const std::string good = file_bytes(path_);
+
+  auto diagnose = [&](const std::string& at) {
+    std::string error;
+    EXPECT_FALSE(CompiledSnapshot::load(at, &error).has_value());
+    return error;
+  };
+  auto write_variant = [&](const std::string& bytes) {
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Each failure mode must fail closed with its *own* message, so an
+  // operator staring at a failed reload knows which one hit.
+  const std::string missing = diagnose(path_ + ".nope");
+  EXPECT_NE(missing.find("does not exist"), std::string::npos) << missing;
+
+  const std::string directory = diagnose(".");
+  EXPECT_NE(directory.find("not a regular file"), std::string::npos)
+      << directory;
+
+  write_variant("");  // a crashed writer's just-created tmp file
+  const std::string zero = diagnose(path_);
+  EXPECT_NE(zero.find("zero-length"), std::string::npos) << zero;
+
+  write_variant(good.substr(0, 12));  // died inside the header
+  const std::string header = diagnose(path_);
+  EXPECT_NE(header.find("header"), std::string::npos) << header;
+
+  write_variant(good.substr(0, good.size() / 2));  // died inside the payload
+  const std::string payload = diagnose(path_);
+  EXPECT_NE(payload.find("truncated payload"), std::string::npos) << payload;
+
+  write_variant(good + "x");
+  const std::string trailing = diagnose(path_);
+  EXPECT_NE(trailing.find("trailing bytes"), std::string::npos) << trailing;
+
+  std::string flipped = good;
+  flipped[good.size() - 3] = static_cast<char>(flipped[good.size() - 3] ^ 0x20);
+  write_variant(flipped);
+  const std::string checksum = diagnose(path_);
+  EXPECT_NE(checksum.find("checksum mismatch"), std::string::npos) << checksum;
+
+  std::string bad_magic = good;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0x20);
+  write_variant(bad_magic);
+  const std::string magic = diagnose(path_);
+  EXPECT_NE(magic.find("bad magic"), std::string::npos) << magic;
+
+  // All eight diagnostics are pairwise distinct — no two modes collapse.
+  const std::vector<std::string> all{missing, directory, zero,     header,
+                                     payload, trailing,  checksum, magic};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]) << "modes " << i << " and " << j;
+    }
+  }
+
+  // And the pristine bytes still load, with no error text written.
+  write_variant(good);
+  std::string error = "untouched";
+  EXPECT_TRUE(CompiledSnapshot::load(path_, &error).has_value());
+  EXPECT_EQ(error, "untouched");
 }
 
 TEST(ServeEngine, PublishSwapsAnswersAtomically) {

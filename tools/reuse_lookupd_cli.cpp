@@ -14,20 +14,35 @@
 //                 [--workload-seed N] [--swap-mid-run] [--bench-out PATH]
 //                 [--query IP] [--metrics-out FILE]
 //                 [--metrics-format {json,prometheus}]
+//                 [--serve] [--clients N] [--deadline-ms N]
+//                 [--queue-depth N] [--chaos-clients N]
 //
 // --snapshot-in skips the simulation and serves an existing artifact;
 // --query answers one address and exits instead of replaying a workload.
+//
+// --serve runs the concurrent front end instead of the in-process replay:
+// the snapshot is served through LookupServer (sharded workers, bounded
+// queues, explicit SHED backpressure), an open-loop multi-client load
+// generator drives it, an optional chaos-client plan injects protocol
+// faults alongside, and a mid-run reload sequence proves last-good
+// fallback (one deliberately corrupted artifact, then a good one). The
+// run writes BENCH_lookupd.json and exits 1 unless the server ledger
+// reconciles exactly: served + shed + rejected == submitted.
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "analysis/cache.h"
 #include "analysis/manifest.h"
 #include "analysis/scenario.h"
 #include "netbase/flags.h"
+#include "serve/client.h"
 #include "serve/lookup.h"
+#include "serve/server.h"
 #include "serve/snapshot.h"
 #include "serve/workload.h"
 
@@ -78,6 +93,21 @@ int main(int argc, char** argv) {
                     "half the batches have completed");
   flags.define("bench-out", "benchmark JSON output path", "BENCH_lookup.json");
   flags.define("query", "answer one dotted-quad address and exit");
+  flags.define_bool("serve",
+                    "serve the snapshot through the concurrent front end "
+                    "(sharded workers, bounded queues, SHED backpressure) "
+                    "under a multi-client load generator; writes "
+                    "BENCH_lookupd.json");
+  flags.define("clients", "concurrent load-generator clients for --serve",
+               "8");
+  flags.define("deadline-ms",
+               "queued requests older than this are shed (--serve)", "1000");
+  flags.define("queue-depth",
+               "pending frames a session may queue before SHED (--serve)",
+               "64");
+  flags.define("chaos-clients",
+               "seeded fault-injecting clients to run alongside the load "
+               "(0 = none); their ledger must reconcile exactly", "0");
   flags.define("metrics-out",
                "write the run manifest (snapshot fingerprint + metrics "
                "snapshot) to this file");
@@ -115,6 +145,40 @@ int main(int argc, char** argv) {
               << flags.get("metrics-format") << "\"\n";
     return 2;
   }
+  // Serving knobs are validated parse_jobs-style: garbage or out-of-range
+  // text exits 2 with a diagnostic, never becomes a salvaged number.
+  const auto bounded_flag = [&](const std::string& name, std::int64_t low,
+                                std::int64_t high) -> std::optional<std::int64_t> {
+    const auto value = net::parse_bounded_int(flags.get(name), low, high);
+    if (!value) {
+      std::cerr << "error: --" << name << " must be an integer in [" << low
+                << ", " << high << "], got \"" << flags.get(name) << "\"\n";
+    }
+    return value;
+  };
+  const auto serve_clients = bounded_flag("clients", 1, 4096);
+  if (!serve_clients) return 2;
+  const auto deadline_ms = bounded_flag("deadline-ms", 1, 3'600'000);
+  if (!deadline_ms) return 2;
+  const auto queue_depth = bounded_flag("queue-depth", 1, 1 << 20);
+  if (!queue_depth) return 2;
+  const auto chaos_clients = bounded_flag("chaos-clients", 0, 4096);
+  if (!chaos_clients) return 2;
+  if (flags.get_bool("serve") && flags.has("query")) {
+    std::cerr << "error: --serve and --query are mutually exclusive\n";
+    return 2;
+  }
+  // Validate the query address before any simulation or artifact load:
+  // garbage exits 2 immediately, with the offending text echoed back.
+  std::optional<net::Ipv4Address> query_address;
+  if (flags.has("query")) {
+    query_address = net::Ipv4Address::parse(flags.get("query"));
+    if (!query_address) {
+      std::cerr << "error: --query expects a dotted-quad IPv4 address, got \""
+                << flags.get("query") << "\"\n";
+      return 2;
+    }
+  }
 
   analysis::RunManifestInfo manifest;
   manifest.tool = "reuse_lookupd";
@@ -124,10 +188,10 @@ int main(int argc, char** argv) {
 
   if (flags.has("snapshot-in")) {
     snapshot_path = flags.get("snapshot-in");
-    auto loaded = serve::CompiledSnapshot::load(snapshot_path);
+    std::string load_error;
+    auto loaded = serve::CompiledSnapshot::load(snapshot_path, &load_error);
     if (!loaded) {
-      std::cerr << "error: cannot load snapshot artifact " << snapshot_path
-                << " (missing, truncated, or corrupt)\n";
+      std::cerr << "error: " << load_error << '\n';
       return 1;
     }
     snapshot =
@@ -225,15 +289,152 @@ int main(int argc, char** argv) {
   serve::LookupEngine engine;
   engine.publish(snapshot);
 
-  if (flags.has("query")) {
-    const auto address = net::Ipv4Address::parse(flags.get("query"));
-    if (!address) {
-      std::cerr << "error: --query expects a dotted-quad IPv4 address, got \""
-                << flags.get("query") << "\"\n";
-      return 2;
+  if (flags.get_bool("serve")) {
+    serve::ServerConfig server_config;
+    server_config.workers =
+        *threads == 0 ? static_cast<int>(net::ThreadPool::hardware_jobs())
+                      : *threads;
+    server_config.max_queue = static_cast<std::size_t>(*queue_depth);
+    server_config.deadline_ms = static_cast<int>(*deadline_ms);
+    server_config.stall_timeout_ms = 250;  // bounds the chaos stall clients
+    serve::LookupServer server(engine, server_config);
+
+    serve::LoadConfig load_config;
+    load_config.seed = static_cast<std::uint64_t>(
+        flags.get_int("workload-seed").value_or(1));
+    load_config.clients = static_cast<int>(*serve_clients);
+    load_config.batch_size =
+        static_cast<std::size_t>(flags.get_int("batch").value_or(64));
+    const auto queries = static_cast<std::uint64_t>(
+        flags.get_int("queries").value_or(1000000));
+    load_config.batches_per_client = std::max<std::uint64_t>(
+        1, queries / (static_cast<std::uint64_t>(load_config.clients) *
+                      load_config.batch_size));
+    load_config.target_qps = flags.get_double("qps").value_or(0.0);
+
+    // Mid-run reload sequence: one deliberately corrupted copy first (the
+    // failure must leave the last-good snapshot serving), then the real
+    // artifact. Proves the fallback path on every --serve run.
+    const std::string corrupt_path = snapshot_path + ".corrupt";
+    {
+      std::ifstream in(snapshot_path, std::ios::binary);
+      std::ostringstream bytes;
+      bytes << in.rdbuf();
+      const std::string artifact = bytes.str();
+      std::ofstream out(corrupt_path, std::ios::binary | std::ios::trunc);
+      // A mid-write artifact: the header promises more payload than exists.
+      out.write(artifact.data(),
+                static_cast<std::streamsize>(artifact.size() / 2));
     }
-    const serve::Verdict verdict = engine.verdict(*address);
-    std::cout << address->to_string() << ": listed="
+    std::uint64_t reload_attempts_failed = 0;
+    std::thread reloader([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::string why;
+      if (!server.reload(corrupt_path, &why)) {
+        ++reload_attempts_failed;
+        std::cerr << "reload of corrupted copy rejected (last-good kept): "
+                  << why << '\n';
+      }
+      if (!server.reload(snapshot_path, &why)) {
+        std::cerr << "error: reload of good artifact failed: " << why << '\n';
+      }
+    });
+
+    std::cerr << "serving: " << load_config.clients << " clients, "
+              << server_config.workers << " workers, queue depth "
+              << server_config.max_queue << ", deadline "
+              << server_config.deadline_ms << " ms, "
+              << *chaos_clients << " chaos clients...\n";
+    serve::ChaosLedger chaos;
+    std::thread chaos_thread;
+    if (*chaos_clients > 0) {
+      chaos_thread = std::thread([&] {
+        serve::ChaosConfig chaos_config;
+        chaos_config.seed = load_config.seed;
+        chaos_config.clients = static_cast<int>(*chaos_clients);
+        chaos = serve::run_chaos_clients(server, *snapshot, chaos_config);
+      });
+    }
+    const serve::LoadReport load =
+        serve::run_load(server, *snapshot, load_config);
+    if (chaos_thread.joinable()) chaos_thread.join();
+    reloader.join();
+    server.drain();
+    std::error_code cleanup_ec;
+    std::filesystem::remove(corrupt_path, cleanup_ec);
+
+    const serve::ServerStats stats = server.stats();
+    // The no-silent-drops law, cross-checked server- and client-side:
+    // every frame the clients put on the wire is served, shed, or
+    // rejected, and the chaos injection ledger matches the rejection
+    // ledger category by category.
+    bool reconciled = stats.reconciles();
+    reconciled &= stats.served + stats.shed_total() ==
+                  load.submitted + chaos.valid_sent;
+    reconciled &= stats.rejected_torn == chaos.torn_sent;
+    reconciled &= stats.rejected_garbage == chaos.garbage_sent;
+    reconciled &= stats.rejected_oversized == chaos.oversized_sent;
+    reconciled &= stats.clients_evicted == chaos.stalls;
+    reconciled &= server.reloads() >= 1;
+    reconciled &= server.reload_failures() == reload_attempts_failed &&
+                  reload_attempts_failed == 1;
+
+    std::ostringstream json;
+    json.precision(3);
+    json << std::fixed;
+    json << "{\n"
+         << "  \"workload_seed\": " << load_config.seed << ",\n"
+         << "  \"clients\": " << load_config.clients << ",\n"
+         << "  \"chaos_clients\": " << *chaos_clients << ",\n"
+         << "  \"workers\": " << server_config.workers << ",\n"
+         << "  \"queue_depth\": " << server_config.max_queue << ",\n"
+         << "  \"deadline_ms\": " << server_config.deadline_ms << ",\n"
+         << "  \"batch\": " << load_config.batch_size << ",\n"
+         << "  \"batches_per_client\": " << load_config.batches_per_client
+         << ",\n"
+         << "  \"submitted\": " << stats.submitted_total() << ",\n"
+         << "  \"served\": " << stats.served << ",\n"
+         << "  \"shed\": " << stats.shed_total() << ",\n"
+         << "  \"rejected\": " << stats.rejected_total() << ",\n"
+         << "  \"evicted\": " << stats.clients_evicted << ",\n"
+         << "  \"served_listed\": " << stats.served_listed << ",\n"
+         << "  \"served_reused\": " << stats.served_reused << ",\n"
+         << "  \"reloads\": " << server.reloads() << ",\n"
+         << "  \"reload_failures\": " << server.reload_failures() << ",\n"
+         << "  \"wall_seconds\": " << load.wall_seconds << ",\n"
+         << "  \"throughput_qps\": " << load.throughput_qps << ",\n"
+         << "  \"p50_nanos\": " << load.p50_nanos << ",\n"
+         << "  \"p99_nanos\": " << load.p99_nanos << ",\n"
+         << "  \"p999_nanos\": " << load.p999_nanos << ",\n"
+         << "  \"max_nanos\": " << load.max_nanos << ",\n"
+         << "  \"snapshot_fingerprint\": \"" << snapshot->fingerprint_hex()
+         << "\",\n"
+         << "  \"reconciled\": " << (reconciled ? "true" : "false") << "\n"
+         << "}\n";
+
+    const std::string bench_path =
+        flags.has("bench-out") ? flags.get("bench-out") : "BENCH_lookupd.json";
+    std::ofstream bench(bench_path);
+    if (!bench) {
+      std::cerr << "error: cannot write " << bench_path << '\n';
+      return 1;
+    }
+    bench << json.str();
+    std::cout << json.str();
+    if (!reconciled) {
+      std::cerr << "error: serving ledger failed to reconcile (see "
+                << bench_path << ")\n";
+      return 1;
+    }
+    std::cerr << "wrote " << bench_path << " ("
+              << static_cast<std::uint64_t>(load.throughput_qps)
+              << " frames/s, p99 " << load.p99_nanos << " ns, "
+              << stats.shed_total() << " shed, " << stats.rejected_total()
+              << " rejected)\n";
+  } else if (flags.has("query")) {
+    const net::Ipv4Address& address = *query_address;
+    const serve::Verdict verdict = engine.verdict(address);
+    std::cout << address.to_string() << ": listed="
               << (verdict.listed() ? "yes" : "no")
               << " nated=" << (verdict.nated() ? "yes" : "no")
               << " dynamic_slash24=" << (verdict.dynamic() ? "yes" : "no")
