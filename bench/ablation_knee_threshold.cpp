@@ -31,7 +31,7 @@ int main() {
   net::AsciiTable table({"threshold", "qualifying probes", "dynamic /24s",
                          "precision vs fast pools"});
   const dynadetect::PipelineResult automatic =
-      dynadetect::run_pipeline(fleet.log(), config.pipeline);
+      dynadetect::run_pipeline(fleet.compressed_log(), config.pipeline);
   table.add_row({"kneedle (" + std::to_string(automatic.knee_allocations) + ")",
                  std::to_string(automatic.probes_daily),
                  std::to_string(automatic.dynamic_prefixes.size()),
@@ -40,7 +40,7 @@ int main() {
     dynadetect::PipelineConfig pipeline_config = config.pipeline;
     pipeline_config.min_allocations = threshold;
     const dynadetect::PipelineResult result =
-        dynadetect::run_pipeline(fleet.log(), pipeline_config);
+        dynadetect::run_pipeline(fleet.compressed_log(), pipeline_config);
     table.add_row({std::to_string(threshold),
                    std::to_string(result.probes_daily),
                    std::to_string(result.dynamic_prefixes.size()),

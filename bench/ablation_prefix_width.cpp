@@ -31,7 +31,7 @@ int main() {
     dynadetect::PipelineConfig pipeline_config = config.pipeline;
     pipeline_config.expand_prefix_length = width;
     const dynadetect::PipelineResult result =
-        dynadetect::run_pipeline(fleet.log(), pipeline_config);
+        dynadetect::run_pipeline(fleet.compressed_log(), pipeline_config);
     std::uint64_t covered = 0;
     std::uint64_t truly_dynamic = 0;
     for (const auto& prefix : result.dynamic_prefixes.to_vector()) {

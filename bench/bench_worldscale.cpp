@@ -1,0 +1,322 @@
+// bench_worldscale — throughput and peak-RSS of the world-scale preset.
+//
+//   bench_worldscale [--seed N] [--ases N] [--probes N] [--out PATH]
+//
+// Runs the world_scale scenario (1M+ addresses, ~100k probes by default;
+// --ases/--probes scale it down for CI) in three configurations and writes
+// BENCH_worldscale.json:
+//
+//   base_jobs1   the preset as-is, serial
+//   base_jobs8   same config, --jobs 8 — products must fingerprint-identical
+//   days2x_jobs1 ecosystem periods stretched to twice the day count — the
+//                streaming-evolution memory check: peak RSS may grow only
+//                marginally when the simulated time doubles, because per-day
+//                feed state folds into compressed runs instead of
+//                accumulating
+//
+// Peak RSS is VmHWM from /proc/self/status, which is a *process-lifetime*
+// high-water mark: it never decreases, so measuring three configurations in
+// one process would report the max of all three everywhere. Each
+// configuration therefore runs in a forked child that reports its numbers
+// through a temp file and exits; the parent only composes the JSON.
+//
+// Exit status: 1 when the jobs-1/jobs-8 fingerprints diverge (determinism
+// is a hard contract) or a child fails; 0 otherwise. Soft acceptance
+// numbers (addresses/sec, RSS growth ratio) are reported in the JSON for CI
+// to gate with jq.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.h"
+#include "netbase/flags.h"
+#include "netbase/json.h"
+#include "netbase/mem.h"
+
+namespace {
+
+using reuse::analysis::Scenario;
+using reuse::analysis::ScenarioConfig;
+using reuse::analysis::StageTiming;
+
+struct RunSpec {
+  std::string name;
+  int jobs = 1;
+  int days_scale = 1;  ///< multiplier on the ecosystem period windows
+};
+
+/// Child-side: run one configuration and dump flat "key value" lines (plus
+/// "stage <name> <millis>" triples) for the parent to pick up. Text lines
+/// instead of JSON so the parent needs no parser beyond operator>>.
+void run_child(ScenarioConfig config, const RunSpec& spec,
+               const std::string& report_path) {
+  config.jobs = spec.jobs;
+  if (spec.days_scale != 1) {
+    // Stretch every collection period in place: begin/end scale together,
+    // so both the covered days and the inter-period gap multiply. finalize()
+    // has already filled the paper defaults, so this rewrites them.
+    for (reuse::net::TimeWindow& period : config.ecosystem.periods) {
+      period.begin = reuse::net::SimTime(period.begin.seconds() *
+                                         spec.days_scale);
+      period.end = reuse::net::SimTime(period.end.seconds() * spec.days_scale);
+    }
+  }
+  const Scenario scenario = reuse::analysis::run_scenario(std::move(config));
+
+  const std::uint64_t addresses =
+      static_cast<std::uint64_t>(scenario.world.prefix_count()) * 256;
+  const std::uint64_t fingerprint = reuse::analysis::products_fingerprint(
+      scenario.crawl, scenario.ecosystem, scenario.fleet, scenario.pipeline,
+      scenario.census);
+  std::int64_t eco_days = 0;
+  for (const reuse::net::TimeWindow& period :
+       scenario.config.ecosystem.periods) {
+    eco_days += (period.end.seconds() - period.begin.seconds()) / 86400;
+  }
+
+  std::ofstream report(report_path);
+  report.precision(3);
+  report << std::fixed;
+  report << "addresses " << addresses << '\n'
+         << "prefix_count " << scenario.world.prefix_count() << '\n'
+         << "eco_days " << eco_days << '\n'
+         << "peak_rss_bytes " << reuse::net::peak_rss_bytes() << '\n'
+         << "total_millis " << scenario.stage_times.total_millis() << '\n'
+         << "fingerprint " << std::hex << fingerprint << std::dec << '\n'
+         << "fleet_records " << scenario.fleet.record_count() << '\n'
+         << "fleet_runs " << scenario.fleet.compressed_log().run_count()
+         << '\n'
+         << "fleet_log_bytes "
+         << scenario.fleet.compressed_log().memory_bytes() << '\n'
+         << "store_listings " << scenario.ecosystem.store.listing_count()
+         << '\n'
+         << "store_bytes " << scenario.ecosystem.store.memory_bytes() << '\n';
+  for (const StageTiming& timing : scenario.stage_times.timings()) {
+    report << "stage " << timing.stage << ' ' << timing.millis << '\n';
+  }
+  report.flush();
+  // Skip static destructors: the world at this scale takes a while to tear
+  // down and the process is done reporting.
+  _exit(report.good() ? 0 : 1);
+}
+
+struct RunReport {
+  std::map<std::string, std::string> values;
+  std::vector<std::pair<std::string, double>> stages;
+
+  [[nodiscard]] double number(const std::string& key) const {
+    const auto it = values.find(key);
+    return it == values.end() ? 0.0 : std::stod(it->second);
+  }
+  [[nodiscard]] std::string text(const std::string& key) const {
+    const auto it = values.find(key);
+    return it == values.end() ? std::string{} : it->second;
+  }
+};
+
+bool read_report(const std::string& path, RunReport* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "stage") {
+      std::string stage;
+      double millis = 0.0;
+      fields >> stage >> millis;
+      out->stages.emplace_back(stage, millis);
+    } else {
+      std::string value;
+      fields >> value;
+      out->values[key] = value;
+    }
+  }
+  return !out->values.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace reuse;
+  net::FlagParser flags;
+  flags.define("seed", "master seed", "42");
+  flags.define("ases",
+               "autonomous systems (0 = world_scale preset default)", "0");
+  flags.define("probes", "Atlas-style probes (0 = preset default)", "0");
+  flags.define("out", "output JSON path", "BENCH_worldscale.json");
+  flags.define_bool("help", "show this help");
+  if (!flags.parse(argc, argv) || flags.get_bool("help")) {
+    std::cerr << flags.usage("bench_worldscale",
+                            "world-scale throughput and peak-RSS bench "
+                            "(forks one child per configuration)");
+    if (!flags.error().empty()) {
+      std::cerr << "\nerror: " << flags.error() << '\n';
+    }
+    return flags.get_bool("help") ? 0 : 2;
+  }
+
+  analysis::ScenarioConfig config = analysis::world_scale_scenario_config(
+      static_cast<std::uint64_t>(flags.get_int("seed").value_or(42)));
+  if (const long long ases = flags.get_int("ases").value_or(0); ases > 0) {
+    config.world.as_count = static_cast<std::size_t>(ases);
+  }
+  if (const long long probes = flags.get_int("probes").value_or(0);
+      probes > 0) {
+    config.fleet.probe_count = static_cast<std::size_t>(probes);
+  }
+
+  const std::vector<RunSpec> specs = {
+      {"base_jobs1", 1, 1},
+      {"base_jobs8", 8, 1},
+      {"days2x_jobs1", 1, 2},
+  };
+  const std::string out_path = flags.get("out");
+
+  std::map<std::string, RunReport> reports;
+  for (const RunSpec& spec : specs) {
+    const std::string report_path = out_path + "." + spec.name + ".tmp";
+    std::cerr << "[bench_worldscale] " << spec.name << ": running...\n";
+    const pid_t child = fork();
+    if (child < 0) {
+      std::cerr << "error: fork failed\n";
+      return 1;
+    }
+    if (child == 0) {
+      run_child(config, spec, report_path);  // _exits, never returns
+    }
+    int status = 0;
+    if (waitpid(child, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::cerr << "error: child for " << spec.name << " failed\n";
+      return 1;
+    }
+    RunReport report;
+    if (!read_report(report_path, &report)) {
+      std::cerr << "error: no report from " << spec.name << '\n';
+      return 1;
+    }
+    std::remove(report_path.c_str());
+    reports[spec.name] = std::move(report);
+    std::cerr << "[bench_worldscale] " << spec.name << ": "
+              << report_path << " collected\n";
+  }
+
+  const RunReport& base = reports.at("base_jobs1");
+  const RunReport& jobs8 = reports.at("base_jobs8");
+  const RunReport& days2x = reports.at("days2x_jobs1");
+
+  const bool fingerprints_match =
+      base.text("fingerprint") == jobs8.text("fingerprint");
+  const double base_seconds = base.number("total_millis") / 1000.0;
+  const double addresses = base.number("addresses");
+  const double addresses_per_sec =
+      base_seconds > 0.0 ? addresses / base_seconds : 0.0;
+  const double rss_growth =
+      base.number("peak_rss_bytes") > 0.0
+          ? days2x.number("peak_rss_bytes") / base.number("peak_rss_bytes")
+          : 0.0;
+
+  std::ostringstream json;
+  json.precision(3);
+  json << std::fixed;
+  json << "{\n"
+       << "  \"seed\": " << flags.get_int("seed").value_or(42) << ",\n"
+       << "  \"as_count\": " << config.world.as_count << ",\n"
+       << "  \"probe_count\": " << config.fleet.probe_count << ",\n"
+       << "  \"addresses\": " << static_cast<std::uint64_t>(addresses)
+       << ",\n"
+       << "  \"addresses_per_sec\": " << addresses_per_sec << ",\n"
+       << "  \"peak_rss_bytes\": "
+       << static_cast<std::uint64_t>(base.number("peak_rss_bytes")) << ",\n"
+       << "  \"rss_growth_days2x\": " << rss_growth << ",\n"
+       << "  \"fingerprint_match_jobs_1_8\": "
+       << (fingerprints_match ? "true" : "false") << ",\n"
+       << "  \"products_fingerprint\": \""
+       << net::json_escape(base.text("fingerprint")) << "\",\n"
+       << "  \"runs\": {";
+  bool first_run = true;
+  for (const RunSpec& spec : specs) {
+    const RunReport& report = reports.at(spec.name);
+    if (!first_run) json << ",";
+    first_run = false;
+    json << "\n    \"" << spec.name << "\": {\n"
+         << "      \"jobs\": " << spec.jobs << ",\n"
+         << "      \"eco_days\": "
+         << static_cast<std::int64_t>(report.number("eco_days")) << ",\n"
+         << "      \"addresses\": "
+         << static_cast<std::uint64_t>(report.number("addresses")) << ",\n"
+         << "      \"peak_rss_bytes\": "
+         << static_cast<std::uint64_t>(report.number("peak_rss_bytes"))
+         << ",\n"
+         << "      \"total_millis\": " << report.number("total_millis")
+         << ",\n"
+         << "      \"fleet_records\": "
+         << static_cast<std::uint64_t>(report.number("fleet_records"))
+         << ",\n"
+         << "      \"fleet_runs\": "
+         << static_cast<std::uint64_t>(report.number("fleet_runs")) << ",\n"
+         << "      \"fleet_log_bytes\": "
+         << static_cast<std::uint64_t>(report.number("fleet_log_bytes"))
+         << ",\n"
+         << "      \"store_listings\": "
+         << static_cast<std::uint64_t>(report.number("store_listings"))
+         << ",\n"
+         << "      \"store_bytes\": "
+         << static_cast<std::uint64_t>(report.number("store_bytes")) << ",\n"
+         << "      \"products_fingerprint\": \""
+         << net::json_escape(report.text("fingerprint")) << "\",\n"
+         << "      \"stages\": {";
+    bool first_stage = true;
+    for (const auto& [stage, millis] : report.stages) {
+      if (!first_stage) json << ", ";
+      first_stage = false;
+      json << '"' << net::json_escape(stage) << "\": " << millis;
+    }
+    // Per-stage throughput for the top-level stages ('.'-prefixed sub-stages
+    // are already counted inside their parent).
+    json << "},\n      \"stage_addresses_per_sec\": {";
+    first_stage = true;
+    for (const auto& [stage, millis] : report.stages) {
+      if (stage.find('.') != std::string::npos) continue;
+      if (!first_stage) json << ", ";
+      first_stage = false;
+      // Sub-millisecond stages (e.g. a skipped census) would divide into
+      // absurd rates; report 0 instead of noise.
+      const double per_sec =
+          millis >= 1.0 ? report.number("addresses") / (millis / 1000.0) : 0.0;
+      json << '"' << net::json_escape(stage) << "\": " << per_sec;
+    }
+    json << "}\n    }";
+  }
+  json << "\n  }\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << '\n';
+    return 1;
+  }
+  out << json.str();
+  std::cout << json.str();
+
+  if (!fingerprints_match) {
+    std::cerr << "error: products differ between --jobs 1 and --jobs 8 ("
+              << base.text("fingerprint") << " vs " << jobs8.text("fingerprint")
+              << ")\n";
+    return 1;
+  }
+  std::cerr << "[bench_worldscale] wrote " << out_path << " ("
+            << static_cast<std::uint64_t>(addresses) << " addresses, "
+            << addresses_per_sec << " addresses/sec, RSS growth at 2x days "
+            << rss_growth << "x)\n";
+  return 0;
+}

@@ -17,7 +17,7 @@ int main() {
   const inet::World world(config.world);
   const atlas::AtlasFleet fleet(world, config.fleet);
   const dynadetect::PipelineResult result =
-      dynadetect::run_pipeline(fleet.log(), config.pipeline);
+      dynadetect::run_pipeline(fleet.compressed_log(), config.pipeline);
 
   // The curve, on a log y-axis as published.
   net::ChartSeries series;

@@ -12,7 +12,7 @@ int main() {
   // --- NAT side -------------------------------------------------------------
   std::size_t nated_blocklisted = 0;
   for (const auto& [address, users] : s.crawl.nated) {
-    nated_blocklisted += store.addresses().contains(address);
+    nated_blocklisted += store.contains_address(address);
   }
 
   analysis::PaperComparison nat("NATed addresses (BitTorrent crawl)");
@@ -28,7 +28,7 @@ int main() {
   // Count blocklisted addresses inside each pipeline stage's footprint.
   auto blocklisted_within = [&](const net::PrefixSet& prefixes) {
     std::size_t count = 0;
-    for (const net::Ipv4Address address : store.addresses()) {
+    for (const net::Ipv4Address address : store.sorted_addresses()) {
       count += prefixes.contains_address(address);
     }
     return count;

@@ -11,7 +11,7 @@ int main() {
 
   std::size_t nated_blocklisted = 0;
   for (const auto& [address, users] : s.crawl.nated) {
-    nated_blocklisted += s.ecosystem.store.addresses().contains(address);
+    nated_blocklisted += s.ecosystem.store.contains_address(address);
   }
 
   analysis::PaperComparison report("crawl statistics (paper §4)");

@@ -23,7 +23,7 @@ int main() {
              "Table 2 rows sum to 149");
   report.row("distinct blocklisted addresses", "2.2M",
              net::compact_count(
-                 static_cast<double>(s.ecosystem.store.addresses().size())));
+                 static_cast<double>(s.ecosystem.store.address_count())));
   report.row("avg addresses per list", "30K",
              net::compact_count(static_cast<double>(
                  s.ecosystem.store.listing_count() / impact.lists_total)));

@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   // reused entries have hit?
   std::size_t users_protected = 0;
   for (const auto& [address, users] : scenario.crawl.nated) {
-    if (scenario.ecosystem.store.addresses().contains(address)) {
+    if (scenario.ecosystem.store.contains_address(address)) {
       users_protected += users;
     }
   }

@@ -26,10 +26,11 @@ int main(int argc, char** argv) {
   fleet_config.probe_count = probes;
   const atlas::AtlasFleet fleet(world, fleet_config);
   std::cout << "Probes: " << fleet.probe_count()
-            << ", connection records: " << fleet.log().size() << "\n\n";
+            << ", connection records: " << fleet.record_count() << " ("
+            << fleet.compressed_log().run_count() << " compressed runs)\n\n";
 
   const dynadetect::PipelineResult result =
-      dynadetect::run_pipeline(fleet.log());
+      dynadetect::run_pipeline(fleet.compressed_log());
 
   net::AsciiTable funnel({"pipeline stage", "probes"});
   funnel.add_row({"total probes", net::with_thousands(static_cast<std::int64_t>(result.probes_total))});

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
             << " users (" << world.bittorrent_users().size()
             << " on BitTorrent)\n";
   std::cout << "Blocklists: " << scenario.catalogue.size()
-            << " lists, " << scenario.ecosystem.store.addresses().size()
+            << " lists, " << scenario.ecosystem.store.address_count()
             << " distinct blocklisted addresses, "
             << scenario.ecosystem.store.listing_count() << " listings\n";
   std::cout << "Crawler: " << scenario.crawl.evidence.size()

@@ -144,58 +144,37 @@ void write_store(net::BinaryWriter& writer,
     writer.write(health.entries_discarded);
   }
 
-  // Observed-day records, sorted by list id for deterministic bytes.
-  struct ObservedRef {
-    blocklist::ListId list;
-    const net::IntervalSet* days;
-  };
-  std::vector<ObservedRef> observed;
+  // Observed-day records. The store iterates in ascending list order, which
+  // is exactly the deterministic byte order this format always used.
+  std::uint64_t observed_count = 0;
+  ecosystem.store.for_each_observed(
+      [&](blocklist::ListId, const net::IntervalSet&) { ++observed_count; });
+  writer.write(observed_count);
   ecosystem.store.for_each_observed(
       [&](blocklist::ListId list, const net::IntervalSet& days) {
-        observed.push_back(ObservedRef{list, &days});
+        writer.write(list);
+        writer.write(static_cast<std::uint64_t>(days.interval_count()));
+        for (const auto& interval : days.intervals()) {
+          writer.write(interval.begin);
+          writer.write(interval.end);
+        }
       });
-  std::sort(observed.begin(), observed.end(),
-            [](const ObservedRef& a, const ObservedRef& b) {
-              return a.list < b.list;
-            });
-  writer.write(static_cast<std::uint64_t>(observed.size()));
-  for (const ObservedRef& record : observed) {
-    writer.write(record.list);
-    writer.write(static_cast<std::uint64_t>(record.days->interval_count()));
-    for (const auto& interval : record.days->intervals()) {
-      writer.write(interval.begin);
-      writer.write(interval.end);
-    }
-  }
 
-  // Listings sorted by (list, address) for deterministic bytes.
-  struct ListingRef {
-    blocklist::ListId list;
-    net::Ipv4Address address;
-    const net::IntervalSet* intervals;
-  };
-  std::vector<ListingRef> listings;
-  listings.reserve(ecosystem.store.listing_count());
+  // Listings stream straight out in the store's ascending (list, address)
+  // iteration order — same bytes the old sort-then-write produced, without
+  // materializing a reference table.
+  writer.write(static_cast<std::uint64_t>(ecosystem.store.listing_count()));
   ecosystem.store.for_each_listing([&](blocklist::ListId list,
                                        net::Ipv4Address address,
                                        const net::IntervalSet& intervals) {
-    listings.push_back(ListingRef{list, address, &intervals});
-  });
-  std::sort(listings.begin(), listings.end(),
-            [](const ListingRef& a, const ListingRef& b) {
-              return std::tie(a.list, a.address) < std::tie(b.list, b.address);
-            });
-
-  writer.write(static_cast<std::uint64_t>(listings.size()));
-  for (const ListingRef& listing : listings) {
-    writer.write(listing.list);
-    writer.write(listing.address.value());
-    writer.write(static_cast<std::uint64_t>(listing.intervals->interval_count()));
-    for (const auto& interval : listing.intervals->intervals()) {
+    writer.write(list);
+    writer.write(address.value());
+    writer.write(static_cast<std::uint64_t>(intervals.interval_count()));
+    for (const auto& interval : intervals.intervals()) {
       writer.write(interval.begin);
       writer.write(interval.end);
     }
-  }
+  });
 }
 
 bool read_store(net::BinaryReader& reader,
@@ -481,7 +460,8 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
                                pool.get());
     });
     auto pipeline = stage_times.time("pipeline", [&] {
-      return dynadetect::run_pipeline(fleet.log(), config.pipeline, pool.get());
+      return dynadetect::run_pipeline(fleet.compressed_log(), config.pipeline,
+                                      pool.get());
     });
     auto census = stage_times.time("census", [&] {
       return config.run_census

@@ -9,7 +9,7 @@ std::vector<ReusedAddressEntry> build_reused_address_list(
     const std::unordered_set<net::Ipv4Address>& nated,
     const net::PrefixSet& dynamic_prefixes) {
   std::vector<ReusedAddressEntry> entries;
-  for (const net::Ipv4Address address : store.addresses()) {
+  for (const net::Ipv4Address address : store.sorted_addresses()) {
     ReusedAddressEntry entry;
     entry.address = address;
     entry.nated = nated.contains(address);

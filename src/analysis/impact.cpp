@@ -108,7 +108,7 @@ AsCoverage compute_as_coverage(
         crawler_discovered,
     const net::PrefixSet& probe_prefixes) {
   std::map<inet::Asn, AsCoverageRow> rows;
-  for (const net::Ipv4Address address : store.addresses()) {
+  for (const net::Ipv4Address address : store.sorted_addresses()) {
     const inet::Asn asn = world.asn_of(address);
     AsCoverageRow& row = rows[asn];
     row.asn = asn;
@@ -165,7 +165,7 @@ net::IntDistribution users_behind_blocklisted_nats(
     const std::vector<std::pair<net::Ipv4Address, std::size_t>>& nated) {
   net::IntDistribution distribution;
   for (const auto& [address, users] : nated) {
-    if (!store.addresses().contains(address)) continue;
+    if (!store.contains_address(address)) continue;
     distribution.add(static_cast<std::int64_t>(users));
   }
   return distribution;

@@ -7,6 +7,7 @@
 
 #include "analysis/cache.h"
 #include "netbase/json.h"
+#include "netbase/mem.h"
 #include "netbase/metrics.h"
 #include "netbase/thread_pool.h"
 #include "simnet/faults.h"
@@ -81,6 +82,17 @@ std::string run_manifest_json(const RunManifestInfo& info) {
   } else {
     out << ", \"stages\": null";
   }
+  // Memory gauges are sampled here, at manifest time, not during the run:
+  // VmHWM/VmRSS are wall-clock-dependent, and setting them any earlier
+  // would plant nondeterministic values in metric snapshots that the
+  // parallel-equivalence tests compare across jobs values.
+  net::metrics::gauge("mem_peak_rss_bytes",
+                      "process peak resident set size (VmHWM) at manifest "
+                      "time")
+      .set(static_cast<std::int64_t>(net::peak_rss_bytes()));
+  net::metrics::gauge("mem_current_rss_bytes",
+                      "process resident set size (VmRSS) at manifest time")
+      .set(static_cast<std::int64_t>(net::current_rss_bytes()));
   out << ", \"metrics\": " << net::metrics::Registry::global().to_json();
   out << '}';
   return out.str();

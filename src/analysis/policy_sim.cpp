@@ -37,8 +37,8 @@ std::vector<PolicyOutcome> simulate_policies(
   }
 
   std::vector<Source> sources;
-  sources.reserve(store.addresses().size());
-  for (const net::Ipv4Address address : store.addresses()) {
+  sources.reserve(store.address_count());
+  for (const net::Ipv4Address address : store.sorted_addresses()) {
     Source source;
     source.address = address;
     if (const auto it = groups.find(address); it != groups.end()) {

@@ -39,8 +39,18 @@ blocklist::EcosystemResult build_ecosystem(
   abuse.user_events_per_day = world.config().abuse_events_per_day_user;
   abuse.server_events_per_day = world.config().abuse_events_per_day_server;
   abuse.seed = config.seed ^ 0xab5eULL;
-  const std::vector<inet::AbuseEvent> events = generate_abuse(world, abuse);
-  return simulate_ecosystem(catalogue, events, config.ecosystem, faults, pool);
+  // Stream the abuse events through the feeds in month-sized slices instead
+  // of materializing the whole span: the event stream grows linearly with
+  // the simulated days and would otherwise dominate peak RSS at world
+  // scale, while one slice is bounded by the busiest month forever. The
+  // products are byte-identical to the materialized path (see stream_abuse).
+  blocklist::EcosystemSimulator simulator(catalogue, config.ecosystem, faults,
+                                          pool);
+  inet::stream_abuse(world, abuse, /*chunk_days=*/32,
+                     [&](std::span<const inet::AbuseEvent> chunk) {
+                       simulator.ingest(chunk);
+                     });
+  return simulator.finish();
 }
 
 CrawlOutput run_crawl(const inet::World& world,
@@ -299,6 +309,20 @@ ScenarioConfig bench_scenario_config(std::uint64_t seed) {
   return config;
 }
 
+ScenarioConfig world_scale_scenario_config(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.world = inet::world_scale_world_config(seed);
+  // One crawl day keeps the DHT event volume proportionate: this preset
+  // exists to stress the per-address state (ecosystem store, fleet log,
+  // world tables), not the crawler.
+  config.crawl_days = 1;
+  config.fleet.probe_count = 100000;
+  config.run_census = false;
+  config.finalize();
+  return config;
+}
+
 sim::FaultPlan default_chaos_plan(const ScenarioConfig& config,
                                   std::uint64_t chaos_seed) {
   ScenarioConfig cfg = config;
@@ -414,7 +438,7 @@ Scenario::Scenario(ScenarioConfig cfg)
       pipeline(stage_times.time("pipeline",
                                 [&] {
                                   return dynadetect::run_pipeline(
-                                      fleet.log(), config.pipeline,
+                                      fleet.compressed_log(), config.pipeline,
                                       pool.get());
                                 })),
       census(stage_times.time("census",
@@ -459,42 +483,25 @@ std::uint64_t products_fingerprint(const CrawlOutput& crawl,
     }
   };
 
-  // Ecosystem: the store in canonical (list, address) order, plus stats.
-  struct Listing {
-    blocklist::ListId list;
-    net::Ipv4Address address;
-    const net::IntervalSet* intervals;
-  };
-  std::vector<Listing> listings;
-  listings.reserve(ecosystem.store.listing_count());
+  // Ecosystem: the store streams in canonical (list, address) order — the
+  // compressed store's native iteration order — plus stats.
+  w.write(static_cast<std::uint64_t>(ecosystem.store.listing_count()));
   ecosystem.store.for_each_listing(
       [&](blocklist::ListId list, net::Ipv4Address address,
           const net::IntervalSet& intervals) {
-        listings.push_back(Listing{list, address, &intervals});
+        w.write(static_cast<std::uint32_t>(list));
+        w.write(address.value());
+        write_intervals(intervals);
       });
-  std::sort(listings.begin(), listings.end(),
-            [](const Listing& a, const Listing& b) {
-              if (a.list != b.list) return a.list < b.list;
-              return a.address < b.address;
-            });
-  w.write(static_cast<std::uint64_t>(listings.size()));
-  for (const Listing& listing : listings) {
-    w.write(static_cast<std::uint32_t>(listing.list));
-    w.write(listing.address.value());
-    write_intervals(*listing.intervals);
-  }
-  std::vector<std::pair<blocklist::ListId, const net::IntervalSet*>> observed;
+  std::uint64_t observed_count = 0;
+  ecosystem.store.for_each_observed(
+      [&](blocklist::ListId, const net::IntervalSet&) { ++observed_count; });
+  w.write(observed_count);
   ecosystem.store.for_each_observed(
       [&](blocklist::ListId list, const net::IntervalSet& days) {
-        observed.emplace_back(list, &days);
+        w.write(static_cast<std::uint32_t>(list));
+        write_intervals(days);
       });
-  std::sort(observed.begin(), observed.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  w.write(static_cast<std::uint64_t>(observed.size()));
-  for (const auto& [list, days] : observed) {
-    w.write(static_cast<std::uint32_t>(list));
-    write_intervals(*days);
-  }
   const blocklist::EcosystemStats& eco = ecosystem.stats;
   w.write(eco.events_seen);
   w.write(eco.events_picked_up);
@@ -546,13 +553,23 @@ std::uint64_t products_fingerprint(const CrawlOutput& crawl,
     w.write(static_cast<std::uint64_t>(users));
   }
 
-  // Fleet: the full log in its (time, probe) order, truths, suppression.
-  w.write(static_cast<std::uint64_t>(fleet.log().size()));
-  for (const atlas::ConnectionRecord& record : fleet.log()) {
-    w.write(record.time_seconds);
-    w.write(static_cast<std::uint32_t>(record.probe_id));
-    w.write(record.address.value());
-    w.write(static_cast<std::uint32_t>(record.asn));
+  // Fleet: the run-compressed log in its probe-major order (covers every
+  // record the expansion would, plus the stride), truths, suppression.
+  const atlas::CompressedLog& log = fleet.compressed_log();
+  w.write(log.stride_seconds());
+  w.write(log.record_count());
+  w.write(static_cast<std::uint64_t>(log.probe_count()));
+  for (std::size_t p = 0; p < log.probe_count(); ++p) {
+    w.write(static_cast<std::uint32_t>(log.probe_id_at(p)));
+    const auto [first, last] = log.runs_of(p);
+    w.write(static_cast<std::uint64_t>(last - first));
+    for (std::size_t r = first; r < last; ++r) {
+      const atlas::LogRun run = log.run_at(r);
+      w.write(run.first_seconds);
+      w.write(run.last_seconds);
+      w.write(run.address.value());
+      w.write(static_cast<std::uint32_t>(run.asn));
+    }
   }
   w.write(static_cast<std::uint64_t>(fleet.truths().size()));
   for (const atlas::ProbeTruth& truth : fleet.truths()) {

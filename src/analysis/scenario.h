@@ -34,7 +34,10 @@ namespace reuse::analysis {
 /// changed the ecosystem and fleet products.
 /// 15: the crawl runs as `crawl_shards` partitioned vantage simulations
 /// (crawler/sharded.h), changing every crawl product.
-inline constexpr std::uint32_t kCalibrationVersion = 15;
+/// 16: the fleet log is stored run-compressed (atlas/compressed_log.h); the
+/// products fingerprint hashes the probe-major runs instead of the expanded
+/// per-record log.
+inline constexpr std::uint32_t kCalibrationVersion = 16;
 
 struct ScenarioConfig {
   std::uint64_t seed = 42;
@@ -79,6 +82,14 @@ struct ScenarioConfig {
 /// Small preset for tests; big preset for bench binaries.
 [[nodiscard]] ScenarioConfig test_scenario_config(std::uint64_t seed = 7);
 [[nodiscard]] ScenarioConfig bench_scenario_config(std::uint64_t seed = 42);
+
+/// Memory-stress preset: a world past one million addresses with a ~100k
+/// probe fleet, a single crawl day, and no census — the configuration
+/// bench_worldscale uses to measure addresses/sec and peak RSS of the hot
+/// per-address data plane. Products stay byte-identical across `jobs`, like
+/// every other preset.
+[[nodiscard]] ScenarioConfig world_scale_scenario_config(
+    std::uint64_t seed = 42);
 
 /// A representative chaos schedule for `config`: one episode of every
 /// FaultKind, placed deterministically from `chaos_seed` — a bootstrap

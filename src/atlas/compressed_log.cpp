@@ -1,0 +1,66 @@
+#include "atlas/compressed_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace reuse::atlas {
+
+void CompressedLog::append_probe(ProbeId id, std::span<const LogRun> runs) {
+  assert(probe_ids_.empty() || probe_ids_.back() < id);
+  probe_ids_.push_back(id);
+  for (const LogRun& run : runs) {
+    assert(run.last_seconds >= run.first_seconds);
+    assert(stride_seconds_ > 0 &&
+           (run.last_seconds - run.first_seconds) % stride_seconds_ == 0);
+    run_first_.push_back(run.first_seconds);
+    run_last_.push_back(run.last_seconds);
+    run_address_.push_back(run.address);
+    run_asn_.push_back(run.asn);
+    record_count_ += static_cast<std::uint64_t>(
+                         (run.last_seconds - run.first_seconds) /
+                         stride_seconds_) +
+                     1;
+  }
+  probe_offsets_.push_back(run_first_.size());
+}
+
+std::uint64_t CompressedLog::run_record_count(std::size_t run_index) const {
+  return static_cast<std::uint64_t>(
+             (run_last_[run_index] - run_first_[run_index]) /
+             stride_seconds_) +
+         1;
+}
+
+std::vector<ConnectionRecord> CompressedLog::expand() const {
+  std::vector<ConnectionRecord> records;
+  records.reserve(record_count_);
+  for (std::size_t p = 0; p < probe_count(); ++p) {
+    const ProbeId id = probe_ids_[p];
+    const auto [first, last] = runs_of(p);
+    for (std::size_t r = first; r < last; ++r) {
+      for (std::int64_t t = run_first_[r]; t <= run_last_[r];
+           t += stride_seconds_) {
+        records.push_back(ConnectionRecord{t, id, run_address_[r], run_asn_[r]});
+      }
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const ConnectionRecord& a, const ConnectionRecord& b) {
+              if (a.time_seconds != b.time_seconds) {
+                return a.time_seconds < b.time_seconds;
+              }
+              return a.probe_id < b.probe_id;
+            });
+  return records;
+}
+
+std::size_t CompressedLog::memory_bytes() const {
+  return probe_ids_.size() * sizeof(ProbeId) +
+         probe_offsets_.size() * sizeof(std::uint64_t) +
+         run_first_.size() * sizeof(std::int64_t) +
+         run_last_.size() * sizeof(std::int64_t) +
+         run_address_.size() * sizeof(net::Ipv4Address) +
+         run_asn_.size() * sizeof(inet::Asn);
+}
+
+}  // namespace reuse::atlas

@@ -1,0 +1,100 @@
+// Run-compressed probe connection log.
+//
+// The fleet's emission pattern is arithmetic: a probe holding one address
+// reports it at `first, first + stride, ..., last` (the allocation record
+// plus daily keepalives). Storing every record materializes hundreds of
+// identical (address, asn) tuples per lease; at world scale (100k probes,
+// 488 days) that is tens of gigabytes. A CompressedLog stores one LogRun per
+// maximal arithmetic train instead — probe-major SoA columns (first/last
+// times, address, ASN in parallel arrays, probes delimited by an offset
+// column) — so memory scales with *address changes*, not with elapsed days.
+//
+// The expansion `expand()` reproduces the exact (time, probe)-sorted record
+// vector the fleet used to emit; consumers that only need allocation events
+// (the detection pipeline) read the runs directly and never expand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atlas/connection_log.h"
+#include "internet/types.h"
+#include "netbase/ipv4.h"
+
+namespace reuse::atlas {
+
+/// One maximal arithmetic train of records: the probe reported `address`
+/// (in `asn`) at times `first_seconds, first_seconds + stride, ...,
+/// last_seconds` inclusive. `first_seconds == last_seconds` is a single
+/// record. The stride is global to the log (the fleet keepalive).
+struct LogRun {
+  std::int64_t first_seconds = 0;
+  std::int64_t last_seconds = 0;
+  net::Ipv4Address address;
+  inet::Asn asn = 0;
+
+  friend bool operator==(const LogRun&, const LogRun&) = default;
+};
+
+/// Probe-major, run-compressed connection log. Build order: probes append in
+/// ascending ProbeId with their runs already time-sorted; every accessor is
+/// then O(1) or a contiguous scan. Immutable once built — concurrent reads
+/// are safe.
+class CompressedLog {
+ public:
+  CompressedLog() = default;
+  explicit CompressedLog(std::int64_t stride_seconds)
+      : stride_seconds_(stride_seconds) {}
+
+  /// Appends one probe's runs. Probes must arrive in strictly ascending id
+  /// order and each run list must be time-sorted (the fleet's natural
+  /// emission order). A probe with no surviving records (all suppressed)
+  /// still occupies a row so probe_count() matches the fleet.
+  void append_probe(ProbeId id, std::span<const LogRun> runs);
+
+  [[nodiscard]] std::int64_t stride_seconds() const { return stride_seconds_; }
+  [[nodiscard]] std::size_t probe_count() const { return probe_ids_.size(); }
+  [[nodiscard]] std::size_t run_count() const { return run_first_.size(); }
+  /// Total records the runs expand to (arithmetic, no materialization).
+  [[nodiscard]] std::uint64_t record_count() const { return record_count_; }
+  [[nodiscard]] bool empty() const { return record_count_ == 0; }
+
+  [[nodiscard]] ProbeId probe_id_at(std::size_t probe_index) const {
+    return probe_ids_[probe_index];
+  }
+  /// Half-open [first, last) run-index range of one probe's runs.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> runs_of(
+      std::size_t probe_index) const {
+    return {probe_offsets_[probe_index], probe_offsets_[probe_index + 1]};
+  }
+  /// Materializes one run from the SoA columns.
+  [[nodiscard]] LogRun run_at(std::size_t run_index) const {
+    return LogRun{run_first_[run_index], run_last_[run_index],
+                  run_address_[run_index], run_asn_[run_index]};
+  }
+  /// Records in one run (inclusive arithmetic train).
+  [[nodiscard]] std::uint64_t run_record_count(std::size_t run_index) const;
+
+  /// Materializes the full record vector in (time, probe) order — the exact
+  /// log a record-at-a-time fleet emitted. For CSV export and tests; the
+  /// pipeline consumes runs directly.
+  [[nodiscard]] std::vector<ConnectionRecord> expand() const;
+
+  /// Heap footprint of the SoA columns.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::int64_t stride_seconds_ = 86400;
+  std::uint64_t record_count_ = 0;
+  std::vector<ProbeId> probe_ids_;
+  /// size probe_ids_.size() + 1; probe i owns runs [offsets[i], offsets[i+1]).
+  std::vector<std::uint64_t> probe_offsets_{0};
+  // Parallel run columns (SoA).
+  std::vector<std::int64_t> run_first_;
+  std::vector<std::int64_t> run_last_;
+  std::vector<net::Ipv4Address> run_address_;
+  std::vector<inet::Asn> run_asn_;
+};
+
+}  // namespace reuse::atlas

@@ -16,11 +16,39 @@ namespace {
 /// independent of every other probe and of thread count.
 constexpr std::uint64_t kProbeStreamSalt = 0xa71a5ULL;
 
+/// Collects the injector's atlas-gap episode windows, merged into a
+/// begin-sorted disjoint list. Empty without an injector or when the plan
+/// has no atlas-gap episodes — then every span emits as one run with zero
+/// injector calls.
+std::vector<std::pair<std::int64_t, std::int64_t>> atlas_gap_windows(
+    const sim::FaultInjector* faults) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> windows;
+  if (faults == nullptr || !faults->active()) return windows;
+  for (const sim::FaultEpisode& episode : faults->plan().episodes) {
+    if (episode.kind != sim::FaultKind::kAtlasGap) continue;
+    if (episode.window.begin >= episode.window.end) continue;
+    windows.emplace_back(episode.window.begin.seconds(),
+                         episode.window.end.seconds());
+  }
+  std::sort(windows.begin(), windows.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (out > 0 && windows[i].first <= windows[out - 1].second) {
+      windows[out - 1].second =
+          std::max(windows[out - 1].second, windows[i].second);
+    } else {
+      windows[out++] = windows[i];
+    }
+  }
+  windows.resize(out);
+  return windows;
+}
+
 }  // namespace
 
 AtlasFleet::ProbeOutcome AtlasFleet::simulate_probe(
     std::size_t p, const inet::World& world, const FleetConfig& config,
-    sim::FaultInjector* faults) {
+    sim::FaultInjector* faults, const GapWindows& gaps) {
   ProbeOutcome out;
   net::Rng rng = net::substream(config.seed, kProbeStreamSalt, p);
   const auto& users = world.users();
@@ -58,48 +86,41 @@ AtlasFleet::ProbeOutcome AtlasFleet::simulate_probe(
                     rng.uniform(static_cast<std::uint64_t>(end - begin)));
     emit_for_host(out, world, truth.host,
                   net::TimeWindow{config.window.begin, net::SimTime(move_at)},
-                  config.keepalive, faults);
+                  config.keepalive, faults, gaps);
     emit_for_host(out, world, truth.second_host,
                   net::TimeWindow{net::SimTime(move_at), config.window.end},
-                  config.keepalive, faults);
+                  config.keepalive, faults, gaps);
   } else {
     emit_for_host(out, world, truth.host, config.window, config.keepalive,
-                  faults);
+                  faults, gaps);
   }
   return out;
 }
 
 AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
-                       sim::FaultInjector* faults, net::ThreadPool* pool) {
+                       sim::FaultInjector* faults, net::ThreadPool* pool)
+    : log_(config.keepalive.count()) {
   if (world.users().empty()) return;
 
+  const GapWindows gaps = atlas_gap_windows(faults);
   std::vector<ProbeOutcome> outcomes(config.probe_count);
   net::for_each_index(pool, config.probe_count, [&](std::size_t p) {
-    outcomes[p] = simulate_probe(p, world, config, faults);
+    outcomes[p] = simulate_probe(p, world, config, faults, gaps);
   });
 
-  // Merge in probe-index order, then apply the global (time, probe) sort —
-  // the same final order a serial run produces.
-  std::size_t total_records = 0;
-  for (const ProbeOutcome& out : outcomes) total_records += out.records.size();
-  log_.reserve(total_records);
+  // Merge in probe-index order: ascending probe ids is exactly the
+  // CompressedLog's probe-major build order, so no global sort is needed —
+  // expand_log() reapplies the (time, probe) sort when a flat view is asked
+  // for.
   truths_.reserve(config.probe_count);
   for (ProbeOutcome& out : outcomes) {
     truths_.push_back(out.truth);
     records_suppressed_ += out.suppressed;
     allocations_ += out.allocations;
     gap_bridged_days_ += out.suppressed_days;
-    log_.insert(log_.end(), out.records.begin(), out.records.end());
-    out.records = std::vector<ConnectionRecord>{};
+    log_.append_probe(out.truth.probe_id, out.runs);
+    out.runs = std::vector<LogRun>{};
   }
-
-  std::sort(log_.begin(), log_.end(),
-            [](const ConnectionRecord& a, const ConnectionRecord& b) {
-              if (a.time_seconds != b.time_seconds) {
-                return a.time_seconds < b.time_seconds;
-              }
-              return a.probe_id < b.probe_id;
-            });
 
   // End-of-stage metrics publish: one aggregation over the finished merge,
   // nothing in the per-probe hot path.
@@ -114,7 +135,7 @@ AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
   registry
       .counter("atlas_records_emitted_total",
                "Connection records that reached the controller log")
-      .add(log_.size());
+      .add(log_.record_count());
   registry
       .counter("atlas_records_suppressed_total",
                "Connection records swallowed by controller gaps")
@@ -129,38 +150,61 @@ AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
 void AtlasFleet::emit_for_host(ProbeOutcome& out, const inet::World& world,
                                inet::UserId host_id, net::TimeWindow span,
                                net::Duration keepalive,
-                               sim::FaultInjector* faults) {
+                               sim::FaultInjector* faults,
+                               const GapWindows& gaps) {
   if (span.begin >= span.end) return;
   const inet::User& host = world.user(host_id);
-  auto emit = [&](net::SimTime t, net::Ipv4Address address) {
-    if (faults != nullptr && faults->atlas_record_suppressed(t)) {
-      ++out.suppressed;
-      if (t.day() != out.last_suppressed_day) {
-        ++out.suppressed_days;
-        out.last_suppressed_day = t.day();
+  const std::int64_t ka = keepalive.count();
+
+  // Emits the record train begin, begin + ka, ... (< end) for one address
+  // stretch. The fault-free case appends a single run with zero injector
+  // calls. Stretches overlapping an atlas-gap window consult the injector
+  // only for the record times inside the windows, in increasing order — the
+  // hook is side-effect-free outside gap episodes, so skipping those calls
+  // leaves the injector ledger and the suppressed-day watermark identical
+  // to the record-at-a-time path.
+  auto emit_stretch = [&](std::int64_t begin, std::int64_t end,
+                          net::Ipv4Address address) {
+    if (begin >= end) return;
+    const std::int64_t count = (end - begin + ka - 1) / ka;
+    const std::int64_t last = begin + (count - 1) * ka;
+    std::int64_t run_first = begin;  // next unemitted record time
+    for (const auto& [gap_begin, gap_end] : gaps) {
+      if (gap_end <= run_first) continue;
+      if (gap_begin > last) break;
+      const std::int64_t from = std::max(run_first, gap_begin);
+      // First record time >= from, staying on the begin + k*ka grid.
+      std::int64_t t = begin + ((from - begin + ka - 1) / ka) * ka;
+      for (; t <= last && t < gap_end; t += ka) {
+        if (!faults->atlas_record_suppressed(net::SimTime(t))) continue;
+        ++out.suppressed;
+        const std::int64_t day = net::SimTime(t).day();
+        if (day != out.last_suppressed_day) {
+          ++out.suppressed_days;
+          out.last_suppressed_day = day;
+        }
+        if (run_first < t) {
+          out.runs.push_back(LogRun{run_first, t - ka, address, host.asn});
+        }
+        run_first = t + ka;
       }
-      return;
     }
-    out.records.push_back(
-        ConnectionRecord{t.seconds(), out.truth.probe_id, address, host.asn});
+    if (run_first <= last) {
+      out.runs.push_back(LogRun{run_first, last, address, host.asn});
+    }
   };
+
   if (host.attachment == inet::AttachmentKind::kDynamic) {
     const inet::LeaseTimeline timeline(world.pool(host.pool_index), host.seed,
                                        span);
     for (const inet::LeaseSegment& segment : timeline.segments()) {
       ++out.allocations;
-      emit(segment.begin, segment.address);
-      // Keepalives within long segments.
-      for (net::SimTime t = segment.begin + keepalive; t < segment.end;
-           t = t + keepalive) {
-        emit(t, segment.address);
-      }
+      emit_stretch(segment.begin.seconds(), segment.end.seconds(),
+                   segment.address);
     }
   } else {
     ++out.allocations;
-    for (net::SimTime t = span.begin; t < span.end; t = t + keepalive) {
-      emit(t, host.fixed_address);
-    }
+    emit_stretch(span.begin.seconds(), span.end.seconds(), host.fixed_address);
   }
 }
 

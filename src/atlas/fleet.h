@@ -6,13 +6,16 @@
 // probes relocate mid-study — they reappear behind a host in a different AS,
 // the confounder the paper's pipeline removes with its same-AS filter. The
 // fleet emits the connection log the pipeline consumes: a record at every
-// address change plus a daily keepalive.
+// address change plus a daily keepalive. The log is held run-compressed
+// (CompressedLog): each stretch of one address becomes a single arithmetic
+// run, so the fleet's memory scales with address changes rather than with
+// probe-count x days.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "atlas/compressed_log.h"
 #include "atlas/connection_log.h"
 #include "internet/world.h"
 #include "netbase/sim_time.h"
@@ -62,9 +65,19 @@ class AtlasFleet {
              sim::FaultInjector* faults = nullptr,
              net::ThreadPool* pool = nullptr);
 
-  /// All connection records, sorted by (time, probe).
-  [[nodiscard]] const std::vector<ConnectionRecord>& log() const {
-    return log_;
+  /// The run-compressed connection log (probe-major).
+  [[nodiscard]] const CompressedLog& compressed_log() const { return log_; }
+
+  /// Materializes the full record vector in (time, probe) order — exactly
+  /// the log a record-at-a-time fleet emitted. O(record count); use for CSV
+  /// export and tests, not in scaling paths.
+  [[nodiscard]] std::vector<ConnectionRecord> expand_log() const {
+    return log_.expand();
+  }
+
+  /// Records in the log, counted arithmetically from the runs.
+  [[nodiscard]] std::uint64_t record_count() const {
+    return log_.record_count();
   }
 
   [[nodiscard]] const std::vector<ProbeTruth>& truths() const {
@@ -95,12 +108,12 @@ class AtlasFleet {
   }
 
  private:
-  /// One probe's entire simulated life: its truth, the records it produced,
+  /// One probe's entire simulated life: its truth, the runs it produced,
   /// and how many records controller gaps swallowed. Built independently per
   /// probe, merged in probe-index order.
   struct ProbeOutcome {
     ProbeTruth truth;
-    std::vector<ConnectionRecord> records;
+    std::vector<LogRun> runs;
     std::uint64_t suppressed = 0;
     std::uint64_t allocations = 0;
     /// Distinct days with >= 1 suppressed record; times are emitted in
@@ -109,19 +122,26 @@ class AtlasFleet {
     std::int64_t last_suppressed_day = -1;
   };
 
+  /// Merged, begin-sorted atlas-gap windows as plain second bounds. Only
+  /// record times inside one of these can be suppressed, so run emission
+  /// consults the injector exclusively inside them.
+  using GapWindows = std::vector<std::pair<std::int64_t, std::int64_t>>;
+
   [[nodiscard]] static ProbeOutcome simulate_probe(std::size_t p,
                                                    const inet::World& world,
                                                    const FleetConfig& config,
-                                                   sim::FaultInjector* faults);
+                                                   sim::FaultInjector* faults,
+                                                   const GapWindows& gaps);
   static void emit_for_host(ProbeOutcome& out, const inet::World& world,
                             inet::UserId host, net::TimeWindow span,
                             net::Duration keepalive,
-                            sim::FaultInjector* faults);
+                            sim::FaultInjector* faults,
+                            const GapWindows& gaps);
 
   std::uint64_t records_suppressed_ = 0;
   std::uint64_t allocations_ = 0;
   std::uint64_t gap_bridged_days_ = 0;
-  std::vector<ConnectionRecord> log_;
+  CompressedLog log_;
   std::vector<ProbeTruth> truths_;
 };
 

@@ -40,103 +40,116 @@ struct FeedOutcome {
   std::uint64_t events_picked_up = 0;
 };
 
-/// Evolves feed `i` over the whole event stream: pickups, retention expiry,
-/// daily snapshots, and (under faults) missed or corrupted dumps. Pure
-/// apart from the shared injector's atomic ledger.
-FeedOutcome evolve_feed(std::size_t i, const BlocklistInfo& info,
-                        std::span<const inet::AbuseEvent> events,
-                        std::span<const std::int64_t> snapshot_days,
-                        const EcosystemConfig& config,
-                        sim::FaultInjector* faults) {
+/// Evolution state of one feed, carried between chunks of the abuse stream.
+/// feed_ingest on consecutive chunks replays exactly what the old whole-
+/// stream loop did — the loop body only ever looked at the current event,
+/// and everything it read across iterations (rng, live map, snapshot
+/// cursor, outcome) lives here.
+struct FeedState {
   FeedOutcome out;
-  out.health.list = info.id;
-  net::Rng rng = net::substream(config.seed, kFeedStreamSalt, i);
+  net::Rng rng;
   LiveMap live;
   std::size_t next_snapshot = 0;
+};
 
-  // Ingest a corrupted dump: the maintainer published *something*, but not
-  // what the live set says. Mostly-garbage dumps are quarantined outright
-  // (treated like a missed day, so presence bridging can ride over them);
-  // lightly damaged dumps are salvaged line by line.
-  auto ingest_corrupted = [&](std::int64_t day) {
-    std::vector<net::Ipv4Address> addresses;
-    addresses.reserve(live.size());
-    for (const auto& [address, expiry] : live) addresses.push_back(address);
-    std::sort(addresses.begin(), addresses.end());  // stable render order
-    std::string text;
-    for (const net::Ipv4Address address : addresses) {
-      text += address.to_string();
-      text += '\n';
-    }
-    text = faults->corrupt_feed_text(std::move(text), i, day);
-    const ParsedList parsed = parse_list_text(text);
-    out.health.lines_skipped += parsed.skipped_lines;
-    // Quarantine rule: more than 10% of the live set's lines unparseable
-    // means the dump as a whole cannot be trusted.
-    if (parsed.skipped_lines * 10 > live.size()) {
-      ++out.health.days_quarantined;
-      return;
-    }
-    for (const net::Ipv4Address address : parsed.addresses) {
-      out.store.record(info.id, address, day);
-    }
-    out.store.mark_observed(info.id, day);
-    ++out.health.days_salvaged;
-    // Corruption never adds lines, so parsed entries <= live entries and the
-    // difference is exactly what the damage cost us.
-    out.health.entries_discarded += live.size() - parsed.addresses.size();
-  };
+/// Ingest a corrupted dump: the maintainer published *something*, but not
+/// what the live set says. Mostly-garbage dumps are quarantined outright
+/// (treated like a missed day, so presence bridging can ride over them);
+/// lightly damaged dumps are salvaged line by line.
+void feed_ingest_corrupted(FeedState& s, std::size_t i,
+                           const BlocklistInfo& info, std::int64_t day,
+                           sim::FaultInjector* faults) {
+  std::vector<net::Ipv4Address> addresses;
+  addresses.reserve(s.live.size());
+  for (const auto& [address, expiry] : s.live) addresses.push_back(address);
+  std::sort(addresses.begin(), addresses.end());  // stable render order
+  std::string text;
+  for (const net::Ipv4Address address : addresses) {
+    text += address.to_string();
+    text += '\n';
+  }
+  text = faults->corrupt_feed_text(std::move(text), i, day);
+  const ParsedList parsed = parse_list_text(text);
+  s.out.health.lines_skipped += parsed.skipped_lines;
+  // Quarantine rule: more than 10% of the live set's lines unparseable
+  // means the dump as a whole cannot be trusted.
+  if (parsed.skipped_lines * 10 > s.live.size()) {
+    ++s.out.health.days_quarantined;
+    return;
+  }
+  for (const net::Ipv4Address address : parsed.addresses) {
+    s.out.store.record(info.id, address, day);
+  }
+  s.out.store.mark_observed(info.id, day);
+  ++s.out.health.days_salvaged;
+  // Corruption never adds lines, so parsed entries <= live entries and the
+  // difference is exactly what the damage cost us.
+  s.out.health.entries_discarded += s.live.size() - parsed.addresses.size();
+}
 
-  auto take_snapshot = [&](std::int64_t day) {
-    const std::int64_t moment = day * 86400;  // snapshot at 00:00
-    // Expiry runs on every path: list state evolves whether or not the
-    // dump reaches us that day.
-    for (auto it = live.begin(); it != live.end();) {
-      it = it->second <= moment ? live.erase(it) : std::next(it);
-    }
-    if (faults != nullptr && faults->feed_snapshot_missing(i, day)) {
-      ++out.health.days_missed;
-      return;
-    }
-    if (faults != nullptr && faults->feed_corrupted(i, day)) {
-      ingest_corrupted(day);
-      return;
-    }
-    for (const auto& [address, expiry] : live) {
-      out.store.record(info.id, address, day);
-    }
-    out.store.mark_observed(info.id, day);
-    ++out.health.days_recorded;
-  };
+void feed_take_snapshot(FeedState& s, std::size_t i, const BlocklistInfo& info,
+                        std::int64_t day, sim::FaultInjector* faults) {
+  const std::int64_t moment = day * 86400;  // snapshot at 00:00
+  // Expiry runs on every path: list state evolves whether or not the
+  // dump reaches us that day.
+  for (auto it = s.live.begin(); it != s.live.end();) {
+    it = it->second <= moment ? s.live.erase(it) : std::next(it);
+  }
+  if (faults != nullptr && faults->feed_snapshot_missing(i, day)) {
+    ++s.out.health.days_missed;
+    return;
+  }
+  if (faults != nullptr && faults->feed_corrupted(i, day)) {
+    feed_ingest_corrupted(s, i, info, day, faults);
+    return;
+  }
+  for (const auto& [address, expiry] : s.live) {
+    s.out.store.record(info.id, address, day);
+  }
+  s.out.store.mark_observed(info.id, day);
+  ++s.out.health.days_recorded;
+}
 
+/// Evolves feed `i` over one chunk of the event stream: pickups, retention
+/// expiry, daily snapshots, and (under faults) missed or corrupted dumps.
+/// Pure apart from the shared injector's atomic ledger.
+void feed_ingest(FeedState& s, std::size_t i, const BlocklistInfo& info,
+                 std::span<const inet::AbuseEvent> events,
+                 std::span<const std::int64_t> snapshot_days,
+                 const EcosystemConfig& config, sim::FaultInjector* faults) {
   for (const inet::AbuseEvent& event : events) {
     // Take any snapshots due before this event.
-    while (next_snapshot < snapshot_days.size() &&
-           snapshot_days[next_snapshot] * 86400 <= event.time_seconds) {
-      take_snapshot(snapshot_days[next_snapshot++]);
+    while (s.next_snapshot < snapshot_days.size() &&
+           snapshot_days[s.next_snapshot] * 86400 <= event.time_seconds) {
+      feed_take_snapshot(s, i, info, snapshot_days[s.next_snapshot++], faults);
     }
     if (!category_matches(info.category, event.category)) continue;
-    const auto existing = live.find(event.source);
-    if (existing != live.end() && existing->second > event.time_seconds) {
+    const auto existing = s.live.find(event.source);
+    if (existing != s.live.end() && existing->second > event.time_seconds) {
       // Already listed: the maintainer is watching this address, so the
       // event extends the listing with the (much higher) re-observation
       // rate.
-      if (rng.bernoulli(config.reobservation_extend_rate)) {
-        const std::int64_t retention = draw_retention(rng, config, info);
+      if (s.rng.bernoulli(config.reobservation_extend_rate)) {
+        const std::int64_t retention = draw_retention(s.rng, config, info);
         existing->second =
             std::max(existing->second, event.time_seconds + retention);
       }
       continue;
     }
-    if (!rng.bernoulli(info.pickup_rate)) continue;
-    ++out.events_picked_up;
-    live[event.source] = event.time_seconds + draw_retention(rng, config, info);
+    if (!s.rng.bernoulli(info.pickup_rate)) continue;
+    ++s.out.events_picked_up;
+    s.live[event.source] =
+        event.time_seconds + draw_retention(s.rng, config, info);
   }
-  // Snapshots after the last event.
-  while (next_snapshot < snapshot_days.size()) {
-    take_snapshot(snapshot_days[next_snapshot++]);
+}
+
+/// Snapshots after the last event of the stream.
+void feed_finish(FeedState& s, std::size_t i, const BlocklistInfo& info,
+                 std::span<const std::int64_t> snapshot_days,
+                 sim::FaultInjector* faults) {
+  while (s.next_snapshot < snapshot_days.size()) {
+    feed_take_snapshot(s, i, info, snapshot_days[s.next_snapshot++], faults);
   }
-  return out;
 }
 
 }  // namespace
@@ -196,40 +209,80 @@ void publish_feed_metrics(const EcosystemStats& stats) {
   }
 }
 
-EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
-                                   std::span<const inet::AbuseEvent> events,
-                                   const EcosystemConfig& config,
-                                   sim::FaultInjector* faults,
-                                   net::ThreadPool* pool) {
-  EcosystemResult result;
+struct EcosystemSimulator::Impl {
+  std::vector<BlocklistInfo> catalogue;
+  EcosystemConfig config;
+  sim::FaultInjector* faults = nullptr;
+  net::ThreadPool* pool = nullptr;
+  std::vector<std::int64_t> snapshot_days;
+  std::vector<FeedState> states;
+  std::uint64_t events_seen = 0;
+};
+
+EcosystemSimulator::EcosystemSimulator(
+    std::span<const BlocklistInfo> catalogue, const EcosystemConfig& config,
+    sim::FaultInjector* faults, net::ThreadPool* pool)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->catalogue.assign(catalogue.begin(), catalogue.end());
+  impl_->config = config;
+  impl_->faults = faults;
+  impl_->pool = pool;
 
   // Snapshot days: every whole day inside each period.
-  std::vector<std::int64_t> snapshot_days;
   for (const net::TimeWindow& period : config.periods) {
     for (std::int64_t day = period.begin.day(); day < period.end.day(); ++day) {
-      snapshot_days.push_back(day);
+      impl_->snapshot_days.push_back(day);
     }
   }
-  std::sort(snapshot_days.begin(), snapshot_days.end());
+  std::sort(impl_->snapshot_days.begin(), impl_->snapshot_days.end());
 
+  impl_->states.resize(impl_->catalogue.size());
+  for (std::size_t i = 0; i < impl_->states.size(); ++i) {
+    impl_->states[i].out.health.list = impl_->catalogue[i].id;
+    impl_->states[i].rng = net::substream(config.seed, kFeedStreamSalt, i);
+  }
+}
+
+EcosystemSimulator::EcosystemSimulator(EcosystemSimulator&&) noexcept =
+    default;
+EcosystemSimulator& EcosystemSimulator::operator=(
+    EcosystemSimulator&&) noexcept = default;
+EcosystemSimulator::~EcosystemSimulator() = default;
+
+void EcosystemSimulator::ingest(std::span<const inet::AbuseEvent> events) {
+  Impl& im = *impl_;
+  im.events_seen += events.size();
   // Per-feed evolution: feeds are independent by construction (the paper
-  // collects each blocklist separately), so they run in parallel; each gets
-  // its own counter-derived RNG substream and its own store fragment.
-  std::vector<FeedOutcome> outcomes(catalogue.size());
+  // collects each blocklist separately), so each chunk fans out across
+  // them; each feed draws from its own counter-derived RNG substream and
+  // fills its own store fragment, so the per-chunk barrier is the only
+  // synchronization.
   net::for_each_index(
-      pool, catalogue.size(),
+      im.pool, im.states.size(),
       [&](std::size_t i) {
-        outcomes[i] =
-            evolve_feed(i, catalogue[i], events, snapshot_days, config, faults);
+        feed_ingest(im.states[i], i, im.catalogue[i], events,
+                    im.snapshot_days, im.config, im.faults);
+      },
+      /*grain=*/1);
+}
+
+EcosystemResult EcosystemSimulator::finish() {
+  Impl& im = *impl_;
+  net::for_each_index(
+      im.pool, im.states.size(),
+      [&](std::size_t i) {
+        feed_finish(im.states[i], i, im.catalogue[i], im.snapshot_days,
+                    im.faults);
       },
       /*grain=*/1);
 
   // Index-ordered merge: identical insertion sequence for every --jobs
   // value, so downstream consumers that iterate the (unordered) store see
   // the same order as a serial run.
-  result.stats.per_list.reserve(catalogue.size());
-  for (std::size_t i = 0; i < catalogue.size(); ++i) {
-    FeedOutcome& out = outcomes[i];
+  EcosystemResult result;
+  result.stats.per_list.reserve(im.catalogue.size());
+  for (std::size_t i = 0; i < im.catalogue.size(); ++i) {
+    FeedOutcome& out = im.states[i].out;
     result.stats.per_list.push_back(out.health);
     result.stats.events_picked_up += out.events_picked_up;
     result.stats.snapshots_missed +=
@@ -253,10 +306,20 @@ EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
     });
     out.store = SnapshotStore{};  // free the fragment as we go
   }
-  result.stats.events_seen = events.size();
-  result.stats.snapshots_taken = snapshot_days.size();
+  result.stats.events_seen = im.events_seen;
+  result.stats.snapshots_taken = im.snapshot_days.size();
   publish_feed_metrics(result.stats);
   return result;
+}
+
+EcosystemResult simulate_ecosystem(std::span<const BlocklistInfo> catalogue,
+                                   std::span<const inet::AbuseEvent> events,
+                                   const EcosystemConfig& config,
+                                   sim::FaultInjector* faults,
+                                   net::ThreadPool* pool) {
+  EcosystemSimulator simulator(catalogue, config, faults, pool);
+  simulator.ingest(events);
+  return simulator.finish();
 }
 
 }  // namespace reuse::blocklist

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -102,5 +103,38 @@ void publish_feed_metrics(const EcosystemStats& stats);
     std::span<const BlocklistInfo> catalogue,
     std::span<const inet::AbuseEvent> events, const EcosystemConfig& config,
     sim::FaultInjector* faults = nullptr, net::ThreadPool* pool = nullptr);
+
+/// Chunked form of simulate_ecosystem: construct, ingest() the abuse stream
+/// in disjoint time-ordered chunks, then finish() once. Feeding the whole
+/// stream as a single chunk is exactly simulate_ecosystem — the scenario
+/// instead feeds inet::stream_abuse slices, so peak memory holds one slice
+/// of the stream instead of every event of the run (the difference between
+/// flat and linear-in-days RSS at world scale; see DESIGN.md). Feeds still
+/// evolve in parallel within each chunk on their per-feed RNG substreams,
+/// and the products are byte-identical for every chunking and pool size.
+class EcosystemSimulator {
+ public:
+  EcosystemSimulator(std::span<const BlocklistInfo> catalogue,
+                     const EcosystemConfig& config,
+                     sim::FaultInjector* faults = nullptr,
+                     net::ThreadPool* pool = nullptr);
+  EcosystemSimulator(EcosystemSimulator&&) noexcept;
+  EcosystemSimulator& operator=(EcosystemSimulator&&) noexcept;
+  ~EcosystemSimulator();
+
+  /// Feeds the next chunk: every event must be no earlier than the events
+  /// of previous chunks (stream_abuse's slices satisfy this by
+  /// construction).
+  void ingest(std::span<const inet::AbuseEvent> events);
+
+  /// Flushes trailing snapshots, merges the per-feed fragments in index
+  /// order, publishes the feeds_ metrics, and returns the result. Call at
+  /// most once.
+  [[nodiscard]] EcosystemResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace reuse::blocklist

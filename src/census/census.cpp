@@ -7,15 +7,19 @@
 
 namespace reuse::census {
 
-AddressMetrics metrics_from_sequence(const std::vector<bool>& responses,
-                                     net::Duration interval) {
+namespace {
+
+/// Core metric fold over one address's probe row — a contiguous byte row of
+/// the block's flat response matrix (0 = silent, 1 = responded).
+AddressMetrics metrics_from_row(const std::uint8_t* row, std::size_t slots,
+                                net::Duration interval) {
   AddressMetrics metrics;
-  metrics.probes = static_cast<std::uint32_t>(responses.size());
+  metrics.probes = static_cast<std::uint32_t>(slots);
   std::vector<std::int64_t> uptimes;
   std::int64_t run = 0;
   bool previous = false;
-  for (std::size_t i = 0; i < responses.size(); ++i) {
-    const bool up = responses[i];
+  for (std::size_t i = 0; i < slots; ++i) {
+    const bool up = row[i] != 0;
     if (up) {
       ++metrics.responses;
       run += interval.count();
@@ -33,6 +37,14 @@ AddressMetrics metrics_from_sequence(const std::vector<bool>& responses,
     metrics.median_uptime_seconds = uptimes[uptimes.size() / 2];
   }
   return metrics;
+}
+
+}  // namespace
+
+AddressMetrics metrics_from_sequence(const std::vector<bool>& responses,
+                                     net::Duration interval) {
+  const std::vector<std::uint8_t> row(responses.begin(), responses.end());
+  return metrics_from_row(row.data(), row.size(), interval);
 }
 
 bool is_dynamic_block(const BlockMetrics& metrics, const DynamicBlockRule& rule) {
@@ -71,17 +83,26 @@ BlockOutcome survey_block(const inet::PingModel& model,
   aggregate.block = block;
   double availability_sum = 0.0;
   double volatility_sum = 0.0;
-  std::vector<bool> sequence;
+  // Flat response matrix: one byte per (address, probe slot), one allocation
+  // per block instead of a bit-vector rebuild per address. Rows are
+  // contiguous, so the metric fold below streams cache lines in order.
+  const std::size_t slots =
+      end > begin
+          ? static_cast<std::size_t>((end - begin + step - 1) / step)
+          : 0;
+  std::vector<std::uint8_t> matrix(static_cast<std::size_t>(block.size()) *
+                                   slots);
   std::vector<std::int64_t> block_uptimes;
   for (std::uint64_t offset = 0; offset < block.size(); ++offset) {
     const net::Ipv4Address address = block.address_at(offset);
-    sequence.clear();
+    std::uint8_t* row = matrix.data() + offset * slots;
+    std::size_t s = 0;
     for (std::int64_t t = begin; t < end; t += step) {
-      sequence.push_back(model.responds(address, net::SimTime(t)));
+      row[s++] = model.responds(address, net::SimTime(t)) ? 1 : 0;
     }
-    out.probes_sent += sequence.size();
+    out.probes_sent += slots;
     const AddressMetrics metrics =
-        metrics_from_sequence(sequence, config.probe_interval);
+        metrics_from_row(row, slots, config.probe_interval);
     out.responses += metrics.responses;
     if (metrics.responses == 0) continue;
     ++aggregate.responsive_addresses;

@@ -118,6 +118,32 @@ std::vector<ProbeHistory> build_histories(
   return histories;
 }
 
+std::vector<ProbeHistory> build_histories(const atlas::CompressedLog& log) {
+  // The log is already probe-major in ascending id order with time-sorted
+  // runs, and every run holds one address — so a run maps to one candidate
+  // allocation at its first record time, and the only work left is the
+  // consecutive-duplicate collapse.
+  std::vector<ProbeHistory> histories;
+  histories.reserve(log.probe_count());
+  for (std::size_t p = 0; p < log.probe_count(); ++p) {
+    ProbeHistory history;
+    history.probe_id = log.probe_id_at(p);
+    const auto [first, last] = log.runs_of(p);
+    if (first == last) continue;  // every record suppressed: no history
+    history.allocations.reserve(last - first);
+    for (std::size_t r = first; r < last; ++r) {
+      const atlas::LogRun run = log.run_at(r);
+      if (history.allocations.empty() ||
+          history.allocations.back().address != run.address) {
+        history.allocations.push_back(atlas::ConnectionRecord{
+            run.first_seconds, history.probe_id, run.address, run.asn});
+      }
+    }
+    histories.push_back(std::move(history));
+  }
+  return histories;
+}
+
 int knee_allocation_threshold(std::span<const double> sorted_desc,
                               double sensitivity, int fallback) {
   if (sorted_desc.size() < 3) return fallback;
@@ -201,13 +227,11 @@ void publish_pipeline_metrics(const PipelineResult& result,
   }
 }
 
-}  // namespace
-
-PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
-                            const PipelineConfig& config,
-                            net::ThreadPool* pool) {
+/// Steps 2-5 over already-built histories: the shared tail of both
+/// run_pipeline overloads.
+PipelineResult run_funnel(const std::vector<ProbeHistory>& histories,
+                          const PipelineConfig& config, net::ThreadPool* pool) {
   PipelineResult result;
-  const std::vector<ProbeHistory> histories = build_histories(records);
   result.probes_total = histories.size();
 
   // The per-history work, in parallel; everything after folds serially.
@@ -286,6 +310,20 @@ PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
   }
   publish_pipeline_metrics(result, histories);
   return result;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(std::span<const atlas::ConnectionRecord> records,
+                            const PipelineConfig& config,
+                            net::ThreadPool* pool) {
+  return run_funnel(build_histories(records), config, pool);
+}
+
+PipelineResult run_pipeline(const atlas::CompressedLog& log,
+                            const PipelineConfig& config,
+                            net::ThreadPool* pool) {
+  return run_funnel(build_histories(log), config, pool);
 }
 
 }  // namespace reuse::dynadetect

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "atlas/compressed_log.h"
 #include "atlas/connection_log.h"
 #include "netbase/ipv4.h"
 #include "netbase/prefix_trie.h"
@@ -59,6 +60,14 @@ struct ProbeHistory {
 /// Groups raw (time-sorted or unsorted) records into per-probe histories.
 [[nodiscard]] std::vector<ProbeHistory> build_histories(
     std::span<const atlas::ConnectionRecord> records);
+
+/// Builds histories straight from a run-compressed log: a run *is* an
+/// allocation sighting (keepalives never materialize), so this is
+/// O(run count) and never expands the log. Consecutive same-address runs of
+/// one probe (a lease split by a controller gap) collapse exactly as
+/// consecutive same-address records do in the record-based overload.
+[[nodiscard]] std::vector<ProbeHistory> build_histories(
+    const atlas::CompressedLog& log);
 
 struct PipelineConfig {
   /// Fixed allocation-count threshold; <= 0 means "find the knee" (paper).
@@ -114,6 +123,13 @@ struct PipelineResult {
 [[nodiscard]] PipelineResult run_pipeline(
     std::span<const atlas::ConnectionRecord> records,
     const PipelineConfig& config = {}, net::ThreadPool* pool = nullptr);
+
+/// Same funnel over a run-compressed log. Histories come straight from the
+/// runs — identical results to expanding the log and calling the record
+/// overload, without ever materializing per-keepalive records.
+[[nodiscard]] PipelineResult run_pipeline(
+    const atlas::CompressedLog& log, const PipelineConfig& config = {},
+    net::ThreadPool* pool = nullptr);
 
 /// Step 3 in isolation: the knee of a descending allocation-count curve,
 /// returned as the allocation count at the knee. Returns fallback when the

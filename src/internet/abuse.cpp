@@ -20,15 +20,35 @@ AbuseCategory pick_category(net::Rng& rng, std::uint8_t mask) {
       set_bits[rng.uniform(static_cast<std::uint64_t>(count))]);
 }
 
-}  // namespace
+/// (time, source, actor, category): a total order over distinct events, so
+/// sorting is insensitive to the generation order AND a time-partition of
+/// the stream concatenates back into exactly the full sorted stream —
+/// the property stream_abuse's slicing relies on.
+bool event_before(const AbuseEvent& a, const AbuseEvent& b) {
+  if (a.time_seconds != b.time_seconds) return a.time_seconds < b.time_seconds;
+  if (a.source != b.source) return a.source < b.source;
+  if (a.actor != b.actor) return a.actor < b.actor;
+  return static_cast<int>(a.category) < static_cast<int>(b.category);
+}
 
-std::vector<AbuseEvent> generate_abuse(const World& world,
-                                       const AbuseGenConfig& config) {
-  std::vector<AbuseEvent> events;
+/// Generation core shared by generate_abuse and stream_abuse: replays every
+/// actor's forked RNG substream over the FULL window (episode placement,
+/// event times, categories, and lease timelines never depend on the keep
+/// range), pushing only events with time in [keep_begin, keep_end). The
+/// draws per actor are identical for every keep range, which is what makes
+/// slicing exact.
+void generate_into(const World& world, const AbuseGenConfig& config,
+                   std::int64_t keep_begin, std::int64_t keep_end,
+                   std::vector<AbuseEvent>& events) {
   net::Rng rng(config.seed);
 
   const std::int64_t begin_s = config.window.begin.seconds();
   const std::int64_t span_s = config.window.length().count();
+  const auto keep = [&](const AbuseEvent& event) {
+    if (event.time_seconds >= keep_begin && event.time_seconds < keep_end) {
+      events.push_back(event);
+    }
+  };
 
   // Draws an actor's activity episode intersected with the window; returns
   // nullopt when the episode ended before the window began.
@@ -65,10 +85,9 @@ std::vector<AbuseEvent> generate_abuse(const World& world,
     const std::uint64_t n =
         server_rng.poisson(config.server_events_per_day * active_days);
     for (std::uint64_t i = 0; i < n; ++i) {
-      events.push_back(AbuseEvent{draw_time_in(server_rng, *episode),
-                                  server.address,
-                                  pick_category(server_rng, server.abuse_mask),
-                                  server.asn, 0});
+      keep(AbuseEvent{draw_time_in(server_rng, *episode), server.address,
+                      pick_category(server_rng, server.abuse_mask), server.asn,
+                      0});
     }
   }
 
@@ -91,28 +110,46 @@ std::vector<AbuseEvent> generate_abuse(const World& world,
         const std::int64_t when = draw_time_in(user_rng, *episode);
         const auto address = timeline.address_at(net::SimTime(when));
         if (!address) continue;
-        events.push_back(AbuseEvent{when, *address,
-                                    pick_category(user_rng, user.abuse_mask),
-                                    user.asn, id});
+        keep(AbuseEvent{when, *address,
+                        pick_category(user_rng, user.abuse_mask), user.asn,
+                        id});
       }
     } else {
       for (std::uint64_t i = 0; i < n; ++i) {
-        events.push_back(AbuseEvent{draw_time_in(user_rng, *episode),
-                                    user.fixed_address,
-                                    pick_category(user_rng, user.abuse_mask),
-                                    user.asn, id});
+        keep(AbuseEvent{draw_time_in(user_rng, *episode), user.fixed_address,
+                        pick_category(user_rng, user.abuse_mask), user.asn,
+                        id});
       }
     }
   }
+}
 
-  std::sort(events.begin(), events.end(),
-            [](const AbuseEvent& a, const AbuseEvent& b) {
-              if (a.time_seconds != b.time_seconds) {
-                return a.time_seconds < b.time_seconds;
-              }
-              return a.source < b.source;
-            });
+}  // namespace
+
+std::vector<AbuseEvent> generate_abuse(const World& world,
+                                       const AbuseGenConfig& config) {
+  std::vector<AbuseEvent> events;
+  generate_into(world, config, config.window.begin.seconds(),
+                config.window.end.seconds(), events);
+  std::sort(events.begin(), events.end(), event_before);
   return events;
+}
+
+void stream_abuse(const World& world, const AbuseGenConfig& config,
+                  std::int64_t chunk_days, const AbuseChunkSink& sink) {
+  const std::int64_t begin = config.window.begin.seconds();
+  const std::int64_t end = config.window.end.seconds();
+  const std::int64_t chunk_seconds = chunk_days * 86400;
+  std::vector<AbuseEvent> chunk;
+  for (std::int64_t at = begin; at < end; at += chunk_seconds) {
+    // clear() keeps the capacity, so the whole stream allocates the busiest
+    // slice once and reuses it.
+    chunk.clear();
+    generate_into(world, config, at, std::min(end, at + chunk_seconds),
+                  chunk);
+    std::sort(chunk.begin(), chunk.end(), event_before);
+    sink(chunk);
+  }
 }
 
 }  // namespace reuse::inet

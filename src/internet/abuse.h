@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "internet/types.h"
@@ -34,8 +36,24 @@ struct AbuseGenConfig {
   std::uint64_t seed = 99;
 };
 
-/// Generates the complete abuse stream for the window, sorted by time.
+/// Generates the complete abuse stream for the window, sorted by
+/// (time, source, actor, category) — a total order, so the output is a
+/// single well-defined sequence.
 [[nodiscard]] std::vector<AbuseEvent> generate_abuse(const World& world,
                                                      const AbuseGenConfig& config);
+
+/// Receives consecutive, disjoint, internally sorted slices of the stream.
+using AbuseChunkSink = std::function<void(std::span<const AbuseEvent>)>;
+
+/// Streams exactly the events generate_abuse returns, in `chunk_days`
+/// slices of the window, without ever materializing the whole stream: peak
+/// memory is the busiest single slice. Each slice replays every actor's RNG
+/// substream from its fork point and keeps only the events that land inside
+/// the slice, so CPU grows with slices x actors while memory stays flat in
+/// the window length — the trade the world-scale runs want (see DESIGN.md).
+/// Because the sort key is a total order, concatenating the slices
+/// reproduces generate_abuse byte for byte.
+void stream_abuse(const World& world, const AbuseGenConfig& config,
+                  std::int64_t chunk_days, const AbuseChunkSink& sink);
 
 }  // namespace reuse::inet

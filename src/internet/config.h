@@ -115,4 +115,19 @@ struct WorldConfig {
   return config;
 }
 
+/// Memory-bench scale: enough ASes that the generated prefix population
+/// crosses one million addresses (prefix_count() * 256). The Pareto draw is
+/// heavy-tailed, so the per-AS yield converges slowly (~10 /24s per AS at
+/// seed 42); 450 ASes clear 1M with margin. Used by world_scale_scenario_config /
+/// bench_worldscale, where the point is the memory footprint of the hot
+/// per-address state, not paper fidelity.
+[[nodiscard]] inline WorldConfig world_scale_world_config(
+    std::uint64_t seed = 42) {
+  WorldConfig config;
+  config.seed = seed;
+  config.as_count = 450;
+  config.max_prefixes_per_as = 1500;
+  return config;
+}
+
 }  // namespace reuse::inet

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "netbase/metrics.h"
+
 namespace reuse::inet {
 namespace {
 
@@ -46,6 +48,51 @@ void World::build(net::Rng& rng) {
         i != 0 && rng.bernoulli(0.15);  // data-centre / bulletproof hosting
     build_as(rng, i, asn, hosting_heavy);
   }
+  freeze_tables();
+}
+
+void World::freeze_tables() {
+  std::sort(nat_accumulator_.begin(), nat_accumulator_.end());
+  std::vector<std::uint32_t> nat_addresses;
+  nat_addresses.reserve(nat_accumulator_.size());
+  nat_fanouts_.reserve(nat_accumulator_.size());
+  for (const auto& [address, fanout] : nat_accumulator_) {
+    nat_addresses.push_back(address);
+    nat_fanouts_.push_back(fanout);
+  }
+  nat_table_ = net::AddressTable::from_sorted_unique(std::move(nat_addresses));
+
+  std::sort(static_accumulator_.begin(), static_accumulator_.end());
+  std::vector<std::uint32_t> static_addresses;
+  static_addresses.reserve(static_accumulator_.size());
+  static_owners_.reserve(static_accumulator_.size());
+  for (const auto& [address, owner] : static_accumulator_) {
+    static_addresses.push_back(address);
+    static_owners_.push_back(owner);
+  }
+  static_table_ =
+      net::AddressTable::from_sorted_unique(std::move(static_addresses));
+
+  nat_accumulator_ = {};
+  static_accumulator_ = {};
+
+  // Deterministic occupancy gauges (same values for every jobs setting, so
+  // they are safe to publish at build time, unlike the RSS gauges which are
+  // sampled only at manifest time).
+  net::metrics::gauge("world_nat_table_entries",
+                      "public addresses in the NAT fan-out table")
+      .set(static_cast<std::int64_t>(nat_table_.size()));
+  net::metrics::gauge("world_static_table_entries",
+                      "occupied static-residential addresses in the owner "
+                      "table")
+      .set(static_cast<std::int64_t>(static_table_.size()));
+  net::metrics::gauge("world_address_table_bytes",
+                      "memory held by the world's address tables and their "
+                      "parallel value columns")
+      .set(static_cast<std::int64_t>(
+          nat_table_.memory_bytes() + static_table_.memory_bytes() +
+          nat_fanouts_.capacity() * sizeof(std::uint32_t) +
+          static_owners_.capacity() * sizeof(UserId)));
 }
 
 void World::build_as(net::Rng& rng, std::size_t as_index, Asn asn,
@@ -123,7 +170,7 @@ void World::build_as(net::Rng& rng, std::size_t as_index, Asn asn,
         User user = make_user(AttachmentKind::kStatic);
         user.fixed_address = prefix.address_at(offset);
         const UserId id = add_user(std::move(user));
-        static_occupancy_[prefix.address_at(offset)] = id;
+        static_accumulator_.emplace_back(prefix.address_at(offset).value(), id);
       }
       remaining -= here;
     }
@@ -173,8 +220,9 @@ void World::build_as(net::Rng& rng, std::size_t as_index, Asn asn,
         user.fixed_address = group.public_address;
         group.members.push_back(add_user(std::move(user)));
       }
-      nat_fanout_[group.public_address] =
-          static_cast<std::uint32_t>(group.members.size());
+      nat_accumulator_.emplace_back(
+          group.public_address.value(),
+          static_cast<std::uint32_t>(group.members.size()));
       nat_groups_.push_back(std::move(group));
       ++used_in_prefix;
       remaining -= household;
@@ -213,8 +261,9 @@ void World::build_as(net::Rng& rng, std::size_t as_index, Asn asn,
         user.fixed_address = group.public_address;
         group.members.push_back(add_user(std::move(user)));
       }
-      nat_fanout_[group.public_address] =
-          static_cast<std::uint32_t>(group.members.size());
+      nat_accumulator_.emplace_back(
+          group.public_address.value(),
+          static_cast<std::uint32_t>(group.members.size()));
       nat_groups_.push_back(std::move(group));
       ++used_in_prefix;
       remaining -= fanout;
@@ -370,10 +419,10 @@ PrefixRole World::role_of(net::Ipv4Address address) const {
 }
 
 std::size_t World::users_behind(net::Ipv4Address address) const {
-  if (const auto it = nat_fanout_.find(address); it != nat_fanout_.end()) {
-    return it->second;
+  if (const std::optional<std::uint32_t> fanout = nat_group_fanout(address)) {
+    return *fanout;
   }
-  if (static_occupancy_.contains(address)) return 1;
+  if (is_static_occupied(address)) return 1;
   switch (role_of(address)) {
     case PrefixRole::kDynamicPool:
       return 1;  // one leaseholder at a time

@@ -14,11 +14,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "internet/config.h"
 #include "internet/types.h"
+#include "netbase/address_table.h"
 #include "netbase/ipv4.h"
 #include "netbase/prefix_trie.h"
 #include "netbase/rng.h"
@@ -102,16 +102,32 @@ class World {
 
   /// True iff exactly one dedicated static subscriber occupies the address.
   [[nodiscard]] bool is_static_occupied(net::Ipv4Address address) const {
-    return static_occupancy_.contains(address);
+    return static_table_.contains(address);
+  }
+
+  /// The dedicated static subscriber at `address`, or nullopt.
+  [[nodiscard]] std::optional<UserId> static_occupant(
+      net::Ipv4Address address) const {
+    const std::uint32_t index = static_table_.index_of(address);
+    if (index == net::AddressTable::kNotFound) return std::nullopt;
+    return static_owners_[index];
   }
 
   /// NAT fan-out at `address` (home NAT or CGN), or nullopt when the address
   /// is not a NAT public address.
   [[nodiscard]] std::optional<std::uint32_t> nat_group_fanout(
       net::Ipv4Address address) const {
-    const auto it = nat_fanout_.find(address);
-    if (it == nat_fanout_.end()) return std::nullopt;
-    return it->second;
+    const std::uint32_t index = nat_table_.index_of(address);
+    if (index == net::AddressTable::kNotFound) return std::nullopt;
+    return nat_fanouts_[index];
+  }
+
+  /// The frozen per-address ground-truth tables (occupancy gauges, tests).
+  [[nodiscard]] const net::AddressTable& nat_address_table() const {
+    return nat_table_;
+  }
+  [[nodiscard]] const net::AddressTable& static_address_table() const {
+    return static_table_;
   }
 
   /// All /24s belonging to any dynamic pool (reused over time).
@@ -129,6 +145,9 @@ class World {
  private:
   void build(net::Rng& rng);
   void build_as(net::Rng& rng, std::size_t as_index, Asn asn, bool hosting_heavy);
+  /// Sorts the build-time (address, value) accumulators into the immutable
+  /// AddressTable + flat value columns. Called once at the end of build().
+  void freeze_tables();
   net::Ipv4Prefix allocate_slash24();
   UserId add_user(User user);
 
@@ -143,10 +162,17 @@ class World {
 
   net::PrefixTrie<PrefixRecord> prefix_table_;
   std::size_t prefix_count_ = 0;
-  /// Concurrent-sharing fan-out for NAT public addresses.
-  std::unordered_map<net::Ipv4Address, std::uint32_t> nat_fanout_;
+  /// Concurrent-sharing fan-out for NAT public addresses: SoA ground truth,
+  /// nat_fanouts_[nat_table_.index_of(a)]. Each public address is allocated
+  /// exactly once during build, so the accumulators below are duplicate-free.
+  net::AddressTable nat_table_;
+  std::vector<std::uint32_t> nat_fanouts_;
   /// Addresses occupied by exactly one dedicated (static) user.
-  std::unordered_map<net::Ipv4Address, UserId> static_occupancy_;
+  net::AddressTable static_table_;
+  std::vector<UserId> static_owners_;
+  /// Build-time accumulators, frozen and released by freeze_tables().
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> nat_accumulator_;
+  std::vector<std::pair<std::uint32_t, UserId>> static_accumulator_;
   net::PrefixSet dynamic_prefixes_;
   net::PrefixSet fast_dynamic_prefixes_;
 

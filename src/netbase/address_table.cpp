@@ -1,0 +1,50 @@
+#include "netbase/address_table.h"
+
+#include <algorithm>
+
+namespace reuse::net {
+
+AddressTable::AddressTable(std::vector<std::uint32_t> addresses)
+    : addresses_(std::move(addresses)) {
+  std::sort(addresses_.begin(), addresses_.end());
+  addresses_.erase(std::unique(addresses_.begin(), addresses_.end()),
+                   addresses_.end());
+  build_buckets();
+}
+
+AddressTable AddressTable::from_sorted_unique(
+    std::vector<std::uint32_t> addresses) {
+  AddressTable table;
+  table.addresses_ = std::move(addresses);
+  table.build_buckets();
+  return table;
+}
+
+void AddressTable::build_buckets() {
+  buckets_.clear();
+  bucket_offsets_.clear();
+  std::size_t i = 0;
+  while (i < addresses_.size()) {
+    const std::uint32_t key = addresses_[i] >> 8;
+    buckets_.push_back(key);
+    bucket_offsets_.push_back(static_cast<std::uint32_t>(i));
+    while (i < addresses_.size() && (addresses_[i] >> 8) == key) ++i;
+  }
+  bucket_offsets_.push_back(static_cast<std::uint32_t>(addresses_.size()));
+}
+
+std::uint32_t AddressTable::index_of(Ipv4Address address) const {
+  const std::uint32_t value = address.value();
+  const std::uint32_t key = value >> 8;
+  const auto bucket =
+      std::lower_bound(buckets_.begin(), buckets_.end(), key);
+  if (bucket == buckets_.end() || *bucket != key) return kNotFound;
+  const std::size_t b = static_cast<std::size_t>(bucket - buckets_.begin());
+  const auto first = addresses_.begin() + bucket_offsets_[b];
+  const auto last = addresses_.begin() + bucket_offsets_[b + 1];
+  const auto it = std::lower_bound(first, last, value);
+  if (it == last || *it != value) return kNotFound;
+  return static_cast<std::uint32_t>(it - addresses_.begin());
+}
+
+}  // namespace reuse::net

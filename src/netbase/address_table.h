@@ -1,0 +1,79 @@
+// Dense address index: the shared SoA key layer of the hot data plane.
+//
+// Every world-scale structure (presence store, NAT fanout, static occupancy,
+// census matrices) keys per-address state by a dense u32 index instead of
+// hashing Ipv4Address into a node-based map. An AddressTable owns the sorted
+// unique address universe and answers address -> index (and back) with the
+// same two-level /24-bucketed lookup the compiled serving snapshot proved:
+//
+//   * buckets_ holds the sorted occupied /24 keys (addr >> 8);
+//   * bucket_offsets_ (size buckets + 1) slices the address array per bucket;
+//   * addresses_ holds the sorted unique addresses themselves.
+//
+// A lookup binary-searches at most 2^24 bucket keys and then at most 256
+// entries — two branch-predictable lower_bound loops over contiguous memory,
+// no pointer chasing, ~8 bytes of overhead per occupied /24. Construction
+// sorts and dedups once; the table is immutable afterwards, so any number of
+// threads may query one instance concurrently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace reuse::net {
+
+class AddressTable {
+ public:
+  /// index_of() result for addresses not in the table.
+  static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
+
+  AddressTable() = default;
+
+  /// Builds from arbitrary address values: sorts, dedups, buckets. The
+  /// dense index of an address is its rank in the sorted unique order.
+  explicit AddressTable(std::vector<std::uint32_t> addresses);
+
+  /// Builds from an already sorted, duplicate-free value array (the common
+  /// case when the producer maintained sorted state) — skips the sort.
+  /// Precondition: strictly ascending.
+  static AddressTable from_sorted_unique(std::vector<std::uint32_t> addresses);
+
+  /// Dense index of `address`, or kNotFound.
+  [[nodiscard]] std::uint32_t index_of(Ipv4Address address) const;
+
+  [[nodiscard]] bool contains(Ipv4Address address) const {
+    return index_of(address) != kNotFound;
+  }
+
+  /// Inverse of index_of. Precondition: index < size().
+  [[nodiscard]] Ipv4Address address_at(std::uint32_t index) const {
+    return Ipv4Address(addresses_[index]);
+  }
+
+  [[nodiscard]] std::size_t size() const { return addresses_.size(); }
+  [[nodiscard]] bool empty() const { return addresses_.empty(); }
+  /// Occupied /24 buckets.
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// The sorted unique address values, index-aligned with the dense index.
+  [[nodiscard]] const std::vector<std::uint32_t>& values() const {
+    return addresses_;
+  }
+
+  /// Bytes of heap the three arrays occupy (the occupancy gauge input).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return (buckets_.size() + bucket_offsets_.size() + addresses_.size()) *
+           sizeof(std::uint32_t);
+  }
+
+ private:
+  void build_buckets();
+
+  std::vector<std::uint32_t> buckets_;         ///< sorted /24 keys (addr>>8)
+  std::vector<std::uint32_t> bucket_offsets_;  ///< size buckets+1, into addresses_
+  std::vector<std::uint32_t> addresses_;       ///< sorted unique values
+};
+
+}  // namespace reuse::net

@@ -24,6 +24,14 @@ class IntervalSet {
   /// Adds [begin, end); no-op when begin >= end.
   void insert(std::int64_t begin, std::int64_t end);
 
+  /// Replaces the contents with [first, last), which must already be in
+  /// canonical form: begin-sorted, disjoint, non-touching, each non-empty —
+  /// exactly what insert() maintains. The compressed presence store
+  /// materializes transient sets through this in one O(n) copy.
+  void assign_sorted(const Interval* first, const Interval* last) {
+    intervals_.assign(first, last);
+  }
+
   /// Removes [begin, end) from the set, splitting intervals as needed.
   void erase(std::int64_t begin, std::int64_t end);
 

@@ -1,0 +1,32 @@
+#include "netbase/mem.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace reuse::net {
+namespace {
+
+// Reads a "VmXXX:  12345 kB" line from /proc/self/status. Returns 0 when
+// the file or the field is missing (non-Linux platforms).
+std::uint64_t status_field_kb(const char* field) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    if (std::sscanf(line + field_len, ": %lu", &kb) == 1) break;
+    kb = 0;
+  }
+  std::fclose(file);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return status_field_kb("VmHWM") * 1024; }
+
+std::uint64_t current_rss_bytes() { return status_field_kb("VmRSS") * 1024; }
+
+}  // namespace reuse::net

@@ -1,0 +1,22 @@
+// Process memory introspection for the memory gauges and the world-scale
+// bench: peak resident set size (VmHWM) read from /proc/self/status.
+//
+// VmHWM is the kernel's lifetime high-water mark for the process — it only
+// ever grows, which is exactly the "did this stage blow the memory budget"
+// question the bench asks. Callers comparing configurations must isolate
+// each configuration in its own process (bench_worldscale forks a child per
+// run for this reason).
+#pragma once
+
+#include <cstdint>
+
+namespace reuse::net {
+
+/// Peak resident set size of the calling process in bytes (VmHWM), or 0 on
+/// platforms without /proc (the gauges then simply read 0).
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS), or 0 when unavailable.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+}  // namespace reuse::net

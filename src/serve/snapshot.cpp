@@ -355,7 +355,7 @@ CompiledSnapshot SnapshotBuilder::build(net::ThreadPool* pool) const {
   // cannot leak into the result.
   std::unordered_map<std::uint32_t, std::uint32_t> membership;
   if (store_ != nullptr && !bit_of.empty()) {
-    membership.reserve(store_->addresses().size());
+    membership.reserve(store_->address_count());
     store_->for_each_listing([&](blocklist::ListId list,
                                  net::Ipv4Address address,
                                  const net::IntervalSet&) {
@@ -371,13 +371,19 @@ CompiledSnapshot SnapshotBuilder::build(net::ThreadPool* pool) const {
   snapshot.verdicts_.assign(snapshot.addresses_.size(), 0);
   const auto& addresses = snapshot.addresses_;
   const auto& dynamic24 = snapshot.dynamic24_;
+  // Snapshot the store's sorted address column up front: the workers then
+  // share a read-only binary search instead of racing the store's lazy
+  // fold/bitmap machinery.
+  static const std::vector<net::Ipv4Address> kNoListed;
+  const std::vector<net::Ipv4Address>& listed =
+      store_ != nullptr ? store_->sorted_addresses() : kNoListed;
   net::for_each_index(
       pool, addresses.size(),
       [&](std::size_t i) {
         const std::uint32_t value = addresses[i];
         const net::Ipv4Address address(value);
         std::uint32_t bits = 0;
-        if (store_ != nullptr && store_->addresses().contains(address)) {
+        if (std::binary_search(listed.begin(), listed.end(), address)) {
           bits |= kVerdictListed;
         }
         if (nated_ != nullptr && nated_->contains(address)) {

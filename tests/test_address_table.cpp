@@ -1,0 +1,128 @@
+#include "netbase/address_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netbase/rng.h"
+
+namespace reuse::net {
+namespace {
+
+std::vector<std::uint32_t> values_of(std::initializer_list<std::uint32_t> vs) {
+  return std::vector<std::uint32_t>(vs);
+}
+
+TEST(AddressTable, EmptyTable) {
+  const AddressTable table((std::vector<std::uint32_t>()));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.bucket_count(), 0u);
+  EXPECT_EQ(table.index_of(Ipv4Address(0)), AddressTable::kNotFound);
+  EXPECT_FALSE(table.contains(Ipv4Address(0x01020304)));
+}
+
+TEST(AddressTable, DenseIndexRoundTrip) {
+  // Unsorted input with addresses spread over several /24s.
+  const auto input = values_of({0x0a000001, 0x0a000102, 0xc0a80001,
+                                   0x0a0000ff, 0x0a000100, 0x01000000});
+  const AddressTable table(input);
+  ASSERT_EQ(table.size(), input.size());
+
+  std::vector<std::uint32_t> sorted = input;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < table.size(); ++i) {
+    // Dense indices are sorted rank order, and both directions agree.
+    EXPECT_EQ(table.address_at(i), Ipv4Address(sorted[i]));
+    EXPECT_EQ(table.index_of(Ipv4Address(sorted[i])), i);
+    EXPECT_TRUE(table.contains(Ipv4Address(sorted[i])));
+  }
+}
+
+TEST(AddressTable, MissesReturnNotFound) {
+  const AddressTable table(values_of({0x0a000001, 0x0a000003}));
+  // Same /24 bucket, absent address.
+  EXPECT_EQ(table.index_of(Ipv4Address(0x0a000002)), AddressTable::kNotFound);
+  // Bucket that does not exist at all.
+  EXPECT_EQ(table.index_of(Ipv4Address(0x0b000001)), AddressTable::kNotFound);
+  EXPECT_FALSE(table.contains(Ipv4Address(0x0a000000)));
+}
+
+TEST(AddressTable, DuplicateInsertsCollapse) {
+  const AddressTable table(values_of(
+      {0x0a000001, 0x0a000001, 0x0a000001, 0x0a000002, 0x0a000002}));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.index_of(Ipv4Address(0x0a000001)), 0u);
+  EXPECT_EQ(table.index_of(Ipv4Address(0x0a000002)), 1u);
+}
+
+TEST(AddressTable, Slash24BucketBoundaries) {
+  // x.x.x.255 and the next /24's x.x.x.0 are adjacent numerically but land
+  // in different buckets; both directions of the two-level lookup must
+  // agree across the seam.
+  const auto input = values_of({0x0a0000ff, 0x0a000100, 0x0a0001ff,
+                                   0x0a000200});
+  const AddressTable table(input);
+  EXPECT_EQ(table.bucket_count(), 3u);
+  for (std::uint32_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table.index_of(table.address_at(i)), i);
+  }
+}
+
+TEST(AddressTable, UniverseEdges) {
+  const AddressTable table(values_of({0x00000000, 0x000000ff, 0xffffff00,
+                                         0xffffffff}));
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.index_of(Ipv4Address(0x00000000)), 0u);
+  EXPECT_EQ(table.index_of(Ipv4Address(0xffffffff)), 3u);
+  EXPECT_EQ(table.address_at(0), Ipv4Address(0x00000000));
+  EXPECT_EQ(table.address_at(3), Ipv4Address(0xffffffff));
+  // First and last /24 buckets exist; nothing in between resolves.
+  EXPECT_EQ(table.bucket_count(), 2u);
+  EXPECT_EQ(table.index_of(Ipv4Address(0x80000000)), AddressTable::kNotFound);
+}
+
+TEST(AddressTable, FromSortedUniqueMatchesCtor) {
+  const AddressTable direct = AddressTable::from_sorted_unique(
+      {0x01010101, 0x01010102, 0x20304050});
+  const AddressTable general(
+      values_of({0x20304050, 0x01010102, 0x01010101}));
+  ASSERT_EQ(direct.size(), general.size());
+  for (std::uint32_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct.address_at(i), general.address_at(i));
+  }
+}
+
+TEST(AddressTable, RandomizedAgainstSortedVector) {
+  Rng rng(2024);
+  std::vector<std::uint32_t> input;
+  for (int i = 0; i < 5000; ++i) {
+    // Cluster into few /24s so buckets carry many entries.
+    const std::uint32_t base = 0x0a000000 + (static_cast<std::uint32_t>(
+                                                 rng.uniform(32))
+                                             << 8);
+    input.push_back(base + static_cast<std::uint32_t>(rng.uniform(256)));
+  }
+  const AddressTable table(input);
+  std::vector<std::uint32_t> sorted = input;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  ASSERT_EQ(table.size(), sorted.size());
+  for (std::uint32_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ(table.address_at(i), Ipv4Address(sorted[i]));
+    EXPECT_EQ(table.index_of(Ipv4Address(sorted[i])), i);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const auto value = static_cast<std::uint32_t>(
+        rng.bernoulli(0.5) ? 0x0a000000 + rng.uniform(32 * 256)
+                           : rng.uniform(0x100000000ULL));
+    const bool expected =
+        std::binary_search(sorted.begin(), sorted.end(), value);
+    EXPECT_EQ(table.contains(Ipv4Address(value)), expected) << value;
+  }
+  EXPECT_GT(table.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace reuse::net

@@ -83,12 +83,14 @@ TEST(SnapshotStore, RecordsPresenceIntervals) {
   store.record(2, addr("1.2.3.4"), 0);
   store.record(1, addr("5.6.7.8"), 3);
   EXPECT_EQ(store.listing_count(), 3u);
-  EXPECT_EQ(store.addresses().size(), 2u);
-  const net::IntervalSet* presence = store.presence(1, addr("1.2.3.4"));
-  ASSERT_NE(presence, nullptr);
-  EXPECT_EQ(presence->interval_count(), 2u);  // [0,2) and [5,6)
-  EXPECT_EQ(presence->measure(), 3);
-  EXPECT_EQ(store.presence(3, addr("1.2.3.4")), nullptr);
+  EXPECT_EQ(store.address_count(), 2u);
+  const net::IntervalSet presence = store.presence(1, addr("1.2.3.4"));
+  ASSERT_FALSE(presence.empty());
+  EXPECT_EQ(presence.interval_count(), 2u);  // [0,2) and [5,6)
+  EXPECT_EQ(presence.measure(), 3);
+  EXPECT_TRUE(store.presence(3, addr("1.2.3.4")).empty());
+  EXPECT_FALSE(store.has_listing(3, addr("1.2.3.4")));
+  EXPECT_TRUE(store.has_listing(1, addr("1.2.3.4")));
   EXPECT_EQ(store.address_count_of(1), 2u);
   EXPECT_EQ(store.address_count_of(2), 1u);
   EXPECT_EQ(store.active_lists().size(), 2u);
@@ -109,13 +111,13 @@ TEST(SnapshotStore, RecordSpanMatchesPerDayRecording) {
   }
   bulk.record_span(2, addr("9.9.9.9"), 5, 5);  // empty span: no-op
   EXPECT_EQ(bulk.listing_count(), per_day.listing_count());
-  EXPECT_EQ(bulk.addresses(), per_day.addresses());
+  EXPECT_EQ(bulk.sorted_addresses(), per_day.sorted_addresses());
   EXPECT_EQ(bulk.address_count_of(2), 0u);
-  const net::IntervalSet* expected = per_day.presence(1, addr("1.2.3.4"));
-  const net::IntervalSet* actual = bulk.presence(1, addr("1.2.3.4"));
-  ASSERT_NE(expected, nullptr);
-  ASSERT_NE(actual, nullptr);
-  EXPECT_EQ(actual->intervals(), expected->intervals());
+  const net::IntervalSet expected = per_day.presence(1, addr("1.2.3.4"));
+  const net::IntervalSet actual = bulk.presence(1, addr("1.2.3.4"));
+  ASSERT_FALSE(expected.empty());
+  ASSERT_FALSE(actual.empty());
+  EXPECT_EQ(actual.intervals(), expected.intervals());
 }
 
 TEST(SnapshotStore, Slash24Aggregation) {
@@ -170,10 +172,10 @@ TEST_F(EcosystemTest, ListsIngestOnlyMatchingCategories) {
       event(86350, "2.2.2.2", inet::AbuseCategory::kMalware),
   };
   const EcosystemResult result = simulate_ecosystem(two_lists(), events, config());
-  EXPECT_NE(result.store.presence(1, addr("1.1.1.1")), nullptr);
-  EXPECT_EQ(result.store.presence(1, addr("2.2.2.2")), nullptr);
-  EXPECT_NE(result.store.presence(2, addr("2.2.2.2")), nullptr);
-  EXPECT_EQ(result.store.presence(2, addr("1.1.1.1")), nullptr);
+  EXPECT_TRUE(result.store.has_listing(1, addr("1.1.1.1")));
+  EXPECT_FALSE(result.store.has_listing(1, addr("2.2.2.2")));
+  EXPECT_TRUE(result.store.has_listing(2, addr("2.2.2.2")));
+  EXPECT_FALSE(result.store.has_listing(2, addr("1.1.1.1")));
   EXPECT_EQ(result.stats.events_seen, 2u);
   EXPECT_EQ(result.stats.events_picked_up, 2u);
 }
@@ -183,12 +185,12 @@ TEST_F(EcosystemTest, EntriesExpireWithoutReobservation) {
       event(86300, "1.1.1.1", inet::AbuseCategory::kSpam),
   };
   const EcosystemResult result = simulate_ecosystem(two_lists(), events, config());
-  const net::IntervalSet* presence = result.store.presence(1, addr("1.1.1.1"));
-  ASSERT_NE(presence, nullptr);
+  const net::IntervalSet presence = result.store.presence(1, addr("1.1.1.1"));
+  ASSERT_FALSE(presence.empty());
   // With a 2-day mean retention the entry cannot cover all ten days (the
   // exponential would need a ~5x outlier; seeds are fixed so this is stable).
-  EXPECT_LT(presence->measure(), 10);
-  EXPECT_GE(presence->measure(), 1);
+  EXPECT_LT(presence.measure(), 10);
+  EXPECT_GE(presence.measure(), 1);
 }
 
 TEST_F(EcosystemTest, SnapshotsOnlyInsidePeriods) {
@@ -203,9 +205,9 @@ TEST_F(EcosystemTest, SnapshotsOnlyInsidePeriods) {
   }
   const EcosystemResult result =
       simulate_ecosystem(two_lists(), events, gap_config);
-  const net::IntervalSet* presence = result.store.presence(1, addr("1.1.1.1"));
-  ASSERT_NE(presence, nullptr);
-  EXPECT_FALSE(presence->contains(5));  // the gap is never snapshotted
+  const net::IntervalSet presence = result.store.presence(1, addr("1.1.1.1"));
+  ASSERT_FALSE(presence.empty());
+  EXPECT_FALSE(presence.contains(5));  // the gap is never snapshotted
   EXPECT_EQ(result.stats.snapshots_taken, 4u);
 }
 

@@ -48,13 +48,13 @@ Fig4 fig4_of(const ScenarioLike& s) {
   out.nated_ips = s.crawl.nated.size();
   const blocklist::SnapshotStore& store = s.ecosystem.store;
   for (const auto& [address, users] : s.crawl.nated) {
-    out.nated_blocklisted += store.addresses().contains(address);
+    out.nated_blocklisted += store.contains_address(address);
   }
   const net::PrefixSet* footprints[4] = {
       &s.pipeline.all_probe_prefixes, &s.pipeline.single_as_change_prefixes,
       &s.pipeline.above_knee_prefixes, &s.pipeline.dynamic_prefixes};
   for (int stage = 0; stage < 4; ++stage) {
-    for (const net::Ipv4Address address : store.addresses()) {
+    for (const net::Ipv4Address address : store.sorted_addresses()) {
       out.stages[stage] += footprints[stage]->contains_address(address);
     }
   }

@@ -24,30 +24,36 @@ class FleetTest : public ::testing::Test {
     static const AtlasFleet kFleet(world(), config());
     return kFleet;
   }
+  /// Expanded once: the per-record assertions below predate the compressed
+  /// log and still read the flat (time, probe)-sorted view.
+  static const std::vector<ConnectionRecord>& log() {
+    static const std::vector<ConnectionRecord> kLog = fleet().expand_log();
+    return kLog;
+  }
 };
 
 TEST_F(FleetTest, BuildsRequestedProbeCount) {
   EXPECT_EQ(fleet().probe_count(), 400u);
-  EXPECT_FALSE(fleet().log().empty());
+  EXPECT_FALSE(log().empty());
 }
 
 TEST_F(FleetTest, LogIsTimeSorted) {
-  const auto& log = fleet().log();
-  for (std::size_t i = 1; i < log.size(); ++i) {
-    EXPECT_LE(log[i - 1].time_seconds, log[i].time_seconds);
+  const auto& records = log();
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time_seconds, records[i].time_seconds);
   }
 }
 
 TEST_F(FleetTest, RecordsStayInsideWindow) {
   const auto window = config().window;
-  for (const ConnectionRecord& record : fleet().log()) {
+  for (const ConnectionRecord& record : log()) {
     EXPECT_GE(record.time_seconds, window.begin.seconds());
     EXPECT_LT(record.time_seconds, window.end.seconds());
   }
 }
 
 TEST_F(FleetTest, RecordAsnMatchesAddressOwner) {
-  for (const ConnectionRecord& record : fleet().log()) {
+  for (const ConnectionRecord& record : log()) {
     EXPECT_EQ(world().asn_of(record.address), record.asn)
         << record.address.to_string();
   }
@@ -55,7 +61,7 @@ TEST_F(FleetTest, RecordAsnMatchesAddressOwner) {
 
 TEST_F(FleetTest, EveryProbeEmitsRecords) {
   std::unordered_set<ProbeId> seen;
-  for (const ConnectionRecord& record : fleet().log()) {
+  for (const ConnectionRecord& record : log()) {
     seen.insert(record.probe_id);
   }
   EXPECT_EQ(seen.size(), fleet().probe_count());
@@ -63,7 +69,7 @@ TEST_F(FleetTest, EveryProbeEmitsRecords) {
 
 TEST_F(FleetTest, RelocatedProbesSpanTwoAses) {
   std::unordered_map<ProbeId, std::unordered_set<inet::Asn>> asns;
-  for (const ConnectionRecord& record : fleet().log()) {
+  for (const ConnectionRecord& record : log()) {
     asns[record.probe_id].insert(record.asn);
   }
   std::size_t relocated_in_truth = 0;
@@ -84,7 +90,7 @@ TEST_F(FleetTest, RelocatedProbesSpanTwoAses) {
 
 TEST_F(FleetTest, StaticHostsNeverChangeAddress) {
   std::unordered_map<ProbeId, std::unordered_set<net::Ipv4Address>> addresses;
-  for (const ConnectionRecord& record : fleet().log()) {
+  for (const ConnectionRecord& record : log()) {
     addresses[record.probe_id].insert(record.address);
   }
   for (const ProbeTruth& truth : fleet().truths()) {
@@ -99,7 +105,7 @@ TEST_F(FleetTest, StaticHostsNeverChangeAddress) {
 
 TEST_F(FleetTest, FastPoolProbesChangeOften) {
   std::unordered_map<ProbeId, std::unordered_set<net::Ipv4Address>> addresses;
-  for (const ConnectionRecord& record : fleet().log()) {
+  for (const ConnectionRecord& record : log()) {
     addresses[record.probe_id].insert(record.address);
   }
   std::size_t fast_probes = 0;
@@ -133,10 +139,43 @@ TEST(FleetDeterminism, SameSeedSameLog) {
   config.probe_count = 50;
   const AtlasFleet a(world, config);
   const AtlasFleet b(world, config);
-  EXPECT_EQ(a.log().size(), b.log().size());
-  for (std::size_t i = 0; i < a.log().size(); i += 37) {
-    EXPECT_EQ(a.log()[i], b.log()[i]);
+  const std::vector<ConnectionRecord> log_a = a.expand_log();
+  const std::vector<ConnectionRecord> log_b = b.expand_log();
+  EXPECT_EQ(log_a.size(), log_b.size());
+  for (std::size_t i = 0; i < log_a.size(); i += 37) {
+    EXPECT_EQ(log_a[i], log_b[i]);
   }
+}
+
+TEST_F(FleetTest, CompressedRecordCountMatchesExpansion) {
+  EXPECT_EQ(fleet().record_count(), log().size());
+  EXPECT_GT(fleet().compressed_log().run_count(), 0u);
+  // Compression must actually pay: keepalives dominate a 488-day window.
+  EXPECT_LT(fleet().compressed_log().run_count(), log().size());
+}
+
+TEST_F(FleetTest, CompressedRunsAreProbeMajorAndTimeSorted) {
+  const CompressedLog& compressed = fleet().compressed_log();
+  ASSERT_EQ(compressed.probe_count(), fleet().probe_count());
+  const std::int64_t stride = compressed.stride_seconds();
+  EXPECT_EQ(stride, config().keepalive.count());
+  for (std::size_t p = 0; p < compressed.probe_count(); ++p) {
+    EXPECT_EQ(compressed.probe_id_at(p), static_cast<ProbeId>(p + 1));
+    const auto [first, last] = compressed.runs_of(p);
+    for (std::size_t r = first; r < last; ++r) {
+      const LogRun run = compressed.run_at(r);
+      EXPECT_LE(run.first_seconds, run.last_seconds);
+      EXPECT_EQ((run.last_seconds - run.first_seconds) % stride, 0);
+      if (r > first) {
+        EXPECT_GT(run.first_seconds, compressed.run_at(r - 1).last_seconds);
+      }
+    }
+  }
+}
+
+TEST_F(FleetTest, CompressedLogIsSmallerThanExpansion) {
+  const std::size_t expanded_bytes = log().size() * sizeof(ConnectionRecord);
+  EXPECT_LT(fleet().compressed_log().memory_bytes(), expanded_bytes / 4);
 }
 
 }  // namespace

@@ -95,10 +95,10 @@ class Oracle {
 
   [[nodiscard]] Verdict verdict(net::Ipv4Address address) const {
     Verdict out;
-    if (world_.store.addresses().count(address) != 0) {
+    if (world_.store.contains_address(address)) {
       out.bits |= kVerdictListed;
       for (std::size_t bit = 0; bit < top_lists_.size(); ++bit) {
-        if (world_.store.presence(top_lists_[bit], address) != nullptr) {
+        if (world_.store.has_listing(top_lists_[bit], address)) {
           out.bits |= 1u << (kTopListShift + static_cast<int>(bit));
         }
       }

@@ -186,7 +186,8 @@ TEST(KneeThreshold, FindsChurnerBoundaryOnSyntheticCurve) {
 }
 
 TEST(Pipeline, EmptyInputIsSafe) {
-  const PipelineResult result = run_pipeline({});
+  const PipelineResult result =
+      run_pipeline(std::span<const atlas::ConnectionRecord>{});
   EXPECT_EQ(result.probes_total, 0u);
   EXPECT_EQ(result.dynamic_prefixes.size(), 0u);
 }

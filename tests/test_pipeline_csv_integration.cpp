@@ -19,14 +19,23 @@ TEST(PipelineCsvIntegration, CsvRoundTripPreservesPipelineResult) {
   fleet_config.probe_count = 300;
   const atlas::AtlasFleet fleet(world, fleet_config);
 
+  const std::vector<atlas::ConnectionRecord> expanded = fleet.expand_log();
   std::stringstream csv;
-  atlas::write_csv(csv, fleet.log());
+  atlas::write_csv(csv, expanded);
   const auto reloaded = atlas::read_csv(csv);
   ASSERT_TRUE(reloaded.has_value());
-  ASSERT_EQ(reloaded->size(), fleet.log().size());
+  ASSERT_EQ(reloaded->size(), expanded.size());
 
-  const PipelineResult direct = run_pipeline(fleet.log());
+  // Three routes into the funnel: the compressed runs, the expanded
+  // records, and the CSV round trip — all must agree exactly.
+  const PipelineResult direct = run_pipeline(fleet.compressed_log());
+  const PipelineResult expanded_result = run_pipeline(expanded);
   const PipelineResult via_csv = run_pipeline(*reloaded);
+  EXPECT_EQ(direct.probes_total, expanded_result.probes_total);
+  EXPECT_EQ(direct.probes_daily, expanded_result.probes_daily);
+  EXPECT_EQ(direct.qualifying_probes, expanded_result.qualifying_probes);
+  EXPECT_EQ(direct.dynamic_prefixes.size(),
+            expanded_result.dynamic_prefixes.size());
 
   EXPECT_EQ(direct.probes_total, via_csv.probes_total);
   EXPECT_EQ(direct.probes_multi_as, via_csv.probes_multi_as);
@@ -47,7 +56,7 @@ TEST(PipelineCsvIntegration, QualifyingProbesAreOnFastPools) {
   fleet_config.seed = 3;
   fleet_config.probe_count = 600;
   const atlas::AtlasFleet fleet(world, fleet_config);
-  const PipelineResult result = run_pipeline(fleet.log());
+  const PipelineResult result = run_pipeline(fleet.compressed_log());
   for (const atlas::ProbeId id : result.qualifying_probes) {
     const atlas::ProbeTruth& truth = fleet.truth(id);
     EXPECT_TRUE(truth.on_dynamic_pool) << "probe " << id;
@@ -61,7 +70,7 @@ TEST(PipelineCsvIntegration, EmittedPrefixesBelongToQualifyingPools) {
   fleet_config.seed = 5;
   fleet_config.probe_count = 600;
   const atlas::AtlasFleet fleet(world, fleet_config);
-  const PipelineResult result = run_pipeline(fleet.log());
+  const PipelineResult result = run_pipeline(fleet.compressed_log());
   for (const auto& prefix : result.dynamic_prefixes.to_vector()) {
     EXPECT_TRUE(world.dynamic_prefixes().contains_prefix(prefix))
         << prefix.to_string() << " not a pool prefix";

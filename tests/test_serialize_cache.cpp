@@ -125,15 +125,15 @@ TEST_F(CacheRoundTrip, SaveThenLoadPreservesEverything) {
 
   EXPECT_EQ(loaded->ecosystem.store.listing_count(),
             original.ecosystem.store.listing_count());
-  EXPECT_EQ(loaded->ecosystem.store.addresses().size(),
-            original.ecosystem.store.addresses().size());
+  EXPECT_EQ(loaded->ecosystem.store.address_count(),
+            original.ecosystem.store.address_count());
   original.ecosystem.store.for_each_listing(
       [&](blocklist::ListId list, net::Ipv4Address address,
           const net::IntervalSet& intervals) {
-        const net::IntervalSet* other =
+        const net::IntervalSet other =
             loaded->ecosystem.store.presence(list, address);
-        ASSERT_NE(other, nullptr);
-        EXPECT_EQ(other->intervals(), intervals.intervals());
+        ASSERT_FALSE(other.empty());
+        EXPECT_EQ(other.intervals(), intervals.intervals());
       });
 }
 

@@ -180,7 +180,7 @@ int main(int argc, char** argv) {
   net::AsciiTable summary({"metric", "value"});
   summary.add_row({"blocklisted addresses",
                    net::with_thousands(static_cast<std::int64_t>(
-                       s.ecosystem.store.addresses().size()))});
+                       s.ecosystem.store.address_count()))});
   summary.add_row({"NATed blocklisted", net::with_thousands(static_cast<std::int64_t>(
                                             impact.nated_blocklisted_addresses))});
   summary.add_row({"dynamic blocklisted",
