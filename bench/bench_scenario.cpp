@@ -53,6 +53,10 @@ struct JobsReport {
   std::uint64_t fingerprint = 0;
   double total_millis = 0.0;                    ///< median over runs
   std::vector<std::pair<std::string, double>> stages;  ///< median per stage
+  /// Median CPU attribution (cross-thread scope sums) for stages that
+  /// record it — kept apart from wall-clock so sub-stage attribution can
+  /// exceed its parent's wall without the report looking impossible.
+  std::vector<std::pair<std::string, double>> stages_cpu;
 };
 
 }  // namespace
@@ -119,7 +123,7 @@ int main(int argc, char** argv) {
 
   std::ostringstream csv;
   csv.precision(3);
-  csv << std::fixed << "jobs,run,stage,millis\n";
+  csv << std::fixed << "jobs,run,stage,millis,cpu_millis\n";
 
   std::vector<JobsReport> reports;
   for (const int jobs : ladder) {
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
     // run executes the same stages).
     std::vector<std::string> stage_order;
     std::map<std::string, std::vector<double>> samples;
+    std::map<std::string, std::vector<double>> cpu_samples;
     std::vector<double> totals;
     for (int run = 0; run < runs; ++run) {
       std::cerr << "[bench_scenario] --jobs " << jobs << ": run " << (run + 1)
@@ -161,13 +166,19 @@ int main(int argc, char** argv) {
           stage_order.push_back(timing.stage);
         }
         samples[timing.stage].push_back(timing.millis);
+        if (timing.cpu_millis > 0.0) {
+          cpu_samples[timing.stage].push_back(timing.cpu_millis);
+        }
         csv << jobs << ',' << run << ',' << timing.stage << ','
-            << timing.millis << '\n';
+            << timing.millis << ',' << timing.cpu_millis << '\n';
       }
     }
     report.total_millis = median(totals);
     for (const std::string& stage : stage_order) {
       report.stages.emplace_back(stage, median(samples[stage]));
+      if (const auto it = cpu_samples.find(stage); it != cpu_samples.end()) {
+        report.stages_cpu.emplace_back(stage, median(it->second));
+      }
     }
     reports.push_back(std::move(report));
   }
@@ -209,7 +220,17 @@ int main(int argc, char** argv) {
       json << '"' << net::json_escape(report.stages[s].first)
            << "\": " << report.stages[s].second;
     }
-    json << "}}";
+    json << "}";
+    if (!report.stages_cpu.empty()) {
+      json << ", \"stages_cpu\": {";
+      for (std::size_t s = 0; s < report.stages_cpu.size(); ++s) {
+        if (s > 0) json << ", ";
+        json << '"' << net::json_escape(report.stages_cpu[s].first)
+             << "\": " << report.stages_cpu[s].second;
+      }
+      json << "}";
+    }
+    json << "}";
   }
   json << "\n  },\n  \"speedups\": {";
   double jobs2_speedup = 0.0;

@@ -27,6 +27,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -225,6 +226,15 @@ int main(int argc, char** argv) {
       base.number("peak_rss_bytes") > 0.0
           ? days2x.number("peak_rss_bytes") / base.number("peak_rss_bytes")
           : 0.0;
+  // The headline peak is the worst run of the suite, not the serial
+  // baseline's: a memory regression that only shows under --jobs 8 must
+  // move the gated number. (This previously copied base_jobs1's peak,
+  // hiding a ~280 MB jobs=8 excursion from the CI gate.)
+  double peak_rss_bytes = 0.0;
+  for (const RunSpec& spec : specs) {
+    peak_rss_bytes =
+        std::max(peak_rss_bytes, reports.at(spec.name).number("peak_rss_bytes"));
+  }
 
   std::ostringstream json;
   json.precision(3);
@@ -237,7 +247,7 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"addresses_per_sec\": " << addresses_per_sec << ",\n"
        << "  \"peak_rss_bytes\": "
-       << static_cast<std::uint64_t>(base.number("peak_rss_bytes")) << ",\n"
+       << static_cast<std::uint64_t>(peak_rss_bytes) << ",\n"
        << "  \"rss_growth_days2x\": " << rss_growth << ",\n"
        << "  \"fingerprint_match_jobs_1_8\": "
        << (fingerprints_match ? "true" : "false") << ",\n"

@@ -19,7 +19,12 @@ namespace reuse::analysis {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x52455553454341ULL;  // "REUSECA"
-constexpr std::uint32_t kVersion = 5;
+// v6: the payload gained the incremental-resume sections — per-feed carry
+// cursors (RNG state, live map, pickup counter) and the fleet products
+// keyed by a fleet-config fingerprint. v5 files (and any other version)
+// are rejected cleanly by the version check below and re-simulated; they
+// are never partially decoded.
+constexpr std::uint32_t kVersion = 6;
 
 // Decoder bounds: a corrupt length prefix must fail the load immediately,
 // not drive a multi-billion-iteration read loop. All generously above
@@ -30,6 +35,9 @@ constexpr std::uint64_t kMaxListings = 1ULL << 33;
 constexpr std::uint64_t kMaxIntervalsPerListing = 1ULL << 22;
 constexpr std::uint64_t kMaxPayloadBytes = 1ULL << 34;
 constexpr std::uint64_t kMaxLists = 1ULL << 20;
+constexpr std::uint64_t kMaxLivePerFeed = 1ULL << 30;
+constexpr std::uint64_t kMaxProbes = 1ULL << 24;
+constexpr std::uint64_t kMaxRunsPerProbe = 1ULL << 26;
 
 void write_crawl(net::BinaryWriter& writer, const CrawlOutput& crawl) {
   const crawler::CrawlStats& stats = crawl.stats;
@@ -263,7 +271,191 @@ bool read_faults(net::BinaryReader& reader, sim::FaultStats& injected) {
   return reader.ok();
 }
 
+// v6 carry section: a presence flag, then one cursor per feed. The live
+// maps are already address-sorted (FeedCarry's contract), so the section —
+// like the rest of the payload — is byte-identical for identical products.
+void write_carry(net::BinaryWriter& writer,
+                 const blocklist::EcosystemCarry* carry) {
+  writer.write(static_cast<std::uint8_t>(carry != nullptr ? 1 : 0));
+  if (carry == nullptr) return;
+  writer.write(static_cast<std::uint64_t>(carry->feeds.size()));
+  for (const blocklist::FeedCarry& feed : carry->feeds) {
+    for (const std::uint64_t word : feed.rng_state) writer.write(word);
+    writer.write(static_cast<std::uint64_t>(feed.live.size()));
+    for (const auto& [address, expiry] : feed.live) {
+      writer.write(address.value());
+      writer.write(expiry);
+    }
+    writer.write(feed.events_picked_up);
+  }
+}
+
+bool read_carry(net::BinaryReader& reader, CachedCore& core) {
+  const std::uint8_t present = reader.read<std::uint8_t>();
+  if (present == 0) return reader.ok();
+  if (present != 1) {
+    reader.fail();
+    return false;
+  }
+  core.has_carry = true;
+  const std::uint64_t feed_count = reader.read_size(kMaxLists);
+  core.carry.feeds.reserve(feed_count);
+  for (std::uint64_t i = 0; i < feed_count && reader.ok(); ++i) {
+    blocklist::FeedCarry feed;
+    for (std::uint64_t& word : feed.rng_state) {
+      word = reader.read<std::uint64_t>();
+    }
+    const std::uint64_t live_count = reader.read_size(kMaxLivePerFeed);
+    feed.live.reserve(live_count);
+    std::uint32_t previous = 0;
+    for (std::uint64_t k = 0; k < live_count && reader.ok(); ++k) {
+      const std::uint32_t address = reader.read<std::uint32_t>();
+      if (k > 0 && address <= previous) {
+        reader.fail();  // not the sorted, duplicate-free render write_carry emits
+        break;
+      }
+      previous = address;
+      feed.live.emplace_back(net::Ipv4Address(address),
+                             reader.read<std::int64_t>());
+    }
+    feed.events_picked_up = reader.read<std::uint64_t>();
+    core.carry.feeds.push_back(std::move(feed));
+  }
+  return reader.ok();
+}
+
+// v6 fleet section: a presence flag, the fleet-config fingerprint, then the
+// compressed log (probe-major, its native order), the truths, and the three
+// counters.
+void write_fleet(net::BinaryWriter& writer, const atlas::AtlasFleet* fleet,
+                 std::uint64_t fingerprint) {
+  writer.write(static_cast<std::uint8_t>(fleet != nullptr ? 1 : 0));
+  if (fleet == nullptr) return;
+  writer.write(fingerprint);
+  const atlas::CompressedLog& log = fleet->compressed_log();
+  writer.write(log.stride_seconds());
+  writer.write(static_cast<std::uint64_t>(log.probe_count()));
+  for (std::size_t p = 0; p < log.probe_count(); ++p) {
+    writer.write(static_cast<std::uint32_t>(log.probe_id_at(p)));
+    const auto [first, last] = log.runs_of(p);
+    writer.write(static_cast<std::uint64_t>(last - first));
+    for (std::size_t r = first; r < last; ++r) {
+      const atlas::LogRun run = log.run_at(r);
+      writer.write(run.first_seconds);
+      writer.write(run.last_seconds);
+      writer.write(run.address.value());
+      writer.write(static_cast<std::uint32_t>(run.asn));
+    }
+  }
+  writer.write(static_cast<std::uint64_t>(fleet->truths().size()));
+  for (const atlas::ProbeTruth& truth : fleet->truths()) {
+    writer.write(static_cast<std::uint32_t>(truth.probe_id));
+    writer.write(static_cast<std::uint64_t>(truth.host));
+    writer.write(static_cast<std::uint64_t>(truth.second_host));
+    writer.write(static_cast<std::uint8_t>(truth.on_dynamic_pool));
+    writer.write(static_cast<std::uint8_t>(truth.on_fast_pool));
+    writer.write(static_cast<std::uint8_t>(truth.relocated));
+  }
+  writer.write(fleet->records_suppressed());
+  writer.write(fleet->allocations());
+  writer.write(fleet->gap_bridged_days());
+}
+
+bool read_fleet(net::BinaryReader& reader, CachedCore& core) {
+  const std::uint8_t present = reader.read<std::uint8_t>();
+  if (present == 0) return reader.ok();
+  if (present != 1) {
+    reader.fail();
+    return false;
+  }
+  core.has_fleet = true;
+  core.fleet.fingerprint = reader.read<std::uint64_t>();
+  const std::int64_t stride = reader.read<std::int64_t>();
+  if (stride <= 0) {
+    reader.fail();
+    return false;
+  }
+  core.fleet.log = atlas::CompressedLog(stride);
+  const std::uint64_t probe_count = reader.read_size(kMaxProbes);
+  std::vector<atlas::LogRun> runs;
+  std::uint32_t previous_id = 0;
+  for (std::uint64_t p = 0; p < probe_count && reader.ok(); ++p) {
+    const std::uint32_t id = reader.read<std::uint32_t>();
+    if (id <= previous_id) {
+      reader.fail();  // append_probe requires strictly ascending ids
+      break;
+    }
+    previous_id = id;
+    const std::uint64_t run_count = reader.read_size(kMaxRunsPerProbe);
+    runs.clear();
+    runs.reserve(run_count);
+    std::int64_t previous_first = std::numeric_limits<std::int64_t>::min();
+    for (std::uint64_t r = 0; r < run_count && reader.ok(); ++r) {
+      atlas::LogRun run;
+      run.first_seconds = reader.read<std::int64_t>();
+      run.last_seconds = reader.read<std::int64_t>();
+      run.address = net::Ipv4Address(reader.read<std::uint32_t>());
+      run.asn = reader.read<std::uint32_t>();
+      if (run.last_seconds < run.first_seconds ||
+          run.first_seconds < previous_first) {
+        reader.fail();
+        break;
+      }
+      previous_first = run.first_seconds;
+      runs.push_back(run);
+    }
+    if (!reader.ok()) break;
+    core.fleet.log.append_probe(static_cast<atlas::ProbeId>(id), runs);
+  }
+  const std::uint64_t truth_count = reader.read_size(kMaxProbes);
+  core.fleet.truths.reserve(truth_count);
+  for (std::uint64_t i = 0; i < truth_count && reader.ok(); ++i) {
+    atlas::ProbeTruth truth;
+    truth.probe_id = static_cast<atlas::ProbeId>(reader.read<std::uint32_t>());
+    truth.host = static_cast<inet::UserId>(reader.read<std::uint64_t>());
+    truth.second_host =
+        static_cast<inet::UserId>(reader.read<std::uint64_t>());
+    truth.on_dynamic_pool = reader.read<std::uint8_t>() != 0;
+    truth.on_fast_pool = reader.read<std::uint8_t>() != 0;
+    truth.relocated = reader.read<std::uint8_t>() != 0;
+    core.fleet.truths.push_back(truth);
+  }
+  core.fleet.records_suppressed = reader.read<std::uint64_t>();
+  core.fleet.allocations = reader.read<std::uint64_t>();
+  core.fleet.gap_bridged_days = reader.read<std::uint64_t>();
+  return reader.ok();
+}
+
+/// The latest-ending collection period's end, in seconds — the ingestion
+/// bound of the ecosystem stage and the resume point of an evolved run.
+std::int64_t span_end_seconds(const ScenarioConfig& config) {
+  std::int64_t end = 0;
+  for (const net::TimeWindow& period : config.ecosystem.periods) {
+    end = std::max(end, period.end.seconds());
+  }
+  return end;
+}
+
+/// The generation-window end the config resolves to (see
+/// ScenarioConfig::horizon_days).
+std::int64_t resolved_horizon_seconds(const ScenarioConfig& config) {
+  return std::max(span_end_seconds(config),
+                  static_cast<std::int64_t>(config.horizon_days) * 86400);
+}
+
 }  // namespace
+
+std::uint64_t fleet_config_fingerprint(const atlas::FleetConfig& fleet) {
+  std::ostringstream buffer;
+  net::BinaryWriter writer(buffer);
+  writer.write(fleet.seed);
+  writer.write(static_cast<std::uint64_t>(fleet.probe_count));
+  writer.write(fleet.window.begin.seconds());
+  writer.write(fleet.window.end.seconds());
+  writer.write(fleet.relocate_fraction);
+  writer.write(fleet.keepalive.count());
+  return net::fnv1a_64(buffer.str());
+}
 
 CacheMetrics& cache_metrics() {
   static CacheMetrics m{
@@ -286,7 +478,9 @@ CacheMetrics& cache_metrics() {
 bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
                          const CrawlOutput& crawl,
                          const blocklist::EcosystemResult& ecosystem,
-                         const sim::FaultStats& injected) {
+                         const sim::FaultStats& injected,
+                         const blocklist::EcosystemCarry* carry,
+                         const atlas::AtlasFleet* fleet) {
   // Serialize the payload up front so the header can carry its size and
   // checksum, and so a failed serialization never touches the filesystem.
   std::ostringstream payload_stream;
@@ -294,6 +488,8 @@ bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
   write_crawl(payload_writer, crawl);
   write_store(payload_writer, ecosystem);
   write_faults(payload_writer, injected);
+  write_carry(payload_writer, carry);
+  write_fleet(payload_writer, fleet, fleet_config_fingerprint(config.fleet));
   if (!payload_writer.ok()) return false;
   const std::string payload = payload_stream.str();
   if (payload.size() > kMaxPayloadBytes) return false;
@@ -385,6 +581,8 @@ std::optional<CachedCore> load_scenario_cache(const std::string& path,
   if (!read_crawl(payload_reader, core.crawl)) return reject();
   if (!read_store(payload_reader, core.ecosystem)) return reject();
   if (!read_faults(payload_reader, core.injected)) return reject();
+  if (!read_carry(payload_reader, core)) return reject();
+  if (!read_fleet(payload_reader, core)) return reject();
   metrics.hits.increment();
   metrics.bytes_read.add(payload_size);
   return core;
@@ -449,12 +647,22 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
     inet::World world = stage_times.time(
         "world", [&] { return inet::World(config.world); });
     auto catalogue = blocklist::build_catalogue(config.seed ^ 0xca7aULL);
-    // The fleet is recomputed on every load, so atlas faults are re-injected
-    // fresh; the deterministic fleet makes the fresh suppression count equal
-    // the one cached, and overwriting keeps the ledger consistent even if a
-    // fleet knob changed (fleet is outside the cache fingerprint).
+    // The fleet restores straight from the cache's v6 section when its
+    // fingerprint matches this config's fleet knobs (fleet is outside the
+    // cache fingerprint, so the section carries its own key). On a mismatch
+    // — or a carry-less file — it re-simulates with fresh atlas fault
+    // injection, exactly the payload-v5 behaviour.
     sim::FaultInjector fleet_injector(config.faults);
+    const bool fleet_restored =
+        cached->has_fleet &&
+        cached->fleet.fingerprint == fleet_config_fingerprint(config.fleet);
     atlas::AtlasFleet fleet = stage_times.time("fleet", [&] {
+      if (fleet_restored) {
+        return atlas::AtlasFleet::restore(
+            std::move(cached->fleet.log), std::move(cached->fleet.truths),
+            cached->fleet.records_suppressed, cached->fleet.allocations,
+            cached->fleet.gap_bridged_days);
+      }
       sim::StageGuard guard(&fleet_injector, sim::FaultStage::kFleet);
       return atlas::AtlasFleet(world, config.fleet, &fleet_injector,
                                pool.get());
@@ -474,8 +682,13 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
     publish_crawl_metrics(cached->crawl);
     blocklist::publish_feed_metrics(cached->ecosystem.stats);
     sim::FaultStats injected = cached->injected;
-    injected.atlas_records_suppressed =
-        fleet_injector.stats().atlas_records_suppressed;
+    if (!fleet_restored) {
+      // The fleet was re-simulated (the deterministic fleet makes the fresh
+      // suppression count equal the cached one when knobs are unchanged);
+      // overwriting keeps the ledger consistent even if a fleet knob changed.
+      injected.atlas_records_suppressed =
+          fleet_injector.stats().atlas_records_suppressed;
+    }
     DegradationReport degradation = build_degradation_report(
         injected, cached->crawl.stats,
         cached->crawl.transport_fault_request_drops,
@@ -497,7 +710,8 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
 
   Scenario scenario = run_scenario(config);
   save_scenario_cache(cache_path, scenario.config, scenario.crawl,
-                      scenario.ecosystem, scenario.injector->stats());
+                      scenario.ecosystem, scenario.injector->stats(),
+                      scenario.ecosystem_carry.get(), &scenario.fleet);
   CachedScenario result{std::move(scenario.config),
                         std::move(scenario.world),
                         std::move(scenario.catalogue),
@@ -512,6 +726,196 @@ CachedScenario run_scenario_cached(ScenarioConfig config,
   // Fold in the (missed) cache probe so hit and miss timings are comparable.
   result.stage_times.record("cache-load", stage_times.millis("cache-load"));
   return result;
+}
+
+ScenarioConfig extend_scenario_days(ScenarioConfig config, int extra_days) {
+  config.finalize();
+  if (extra_days <= 0 || config.ecosystem.periods.empty()) return config;
+  auto last = std::max_element(
+      config.ecosystem.periods.begin(), config.ecosystem.periods.end(),
+      [](const net::TimeWindow& a, const net::TimeWindow& b) {
+        return a.end < b.end;
+      });
+  last->end = net::SimTime(last->end.seconds() +
+                           static_cast<std::int64_t>(extra_days) * 86400);
+  return config;
+}
+
+EvolvedScenario evolve_scenario_cached(ScenarioConfig base_config,
+                                       int extra_days,
+                                       const std::string& base_path,
+                                       const std::string& extended_path) {
+  base_config.finalize();
+  ScenarioConfig extended = extend_scenario_days(base_config, extra_days);
+  const std::string ext_path =
+      extended_path.empty() ? default_cache_path(extended) : extended_path;
+  auto fresh = [&] {
+    return EvolvedScenario{run_scenario_cached(extended, ext_path),
+                           EvolvePath::kFreshRun};
+  };
+  if (extra_days <= 0) return fresh();
+  // Actor episode placement depends on the abuse-generation window's END,
+  // so base and extended streams only share a prefix when both runs resolve
+  // to the SAME horizon — i.e. base_config.horizon_days already covers the
+  // extension. Otherwise the base events are not a prefix of the extended
+  // stream and resuming would diverge; fall back to a full run.
+  if (resolved_horizon_seconds(base_config) !=
+      resolved_horizon_seconds(extended)) {
+    return fresh();
+  }
+
+  StageTimer stage_times;
+  const std::string resolved_base_path =
+      base_path.empty() ? default_cache_path(base_config) : base_path;
+  auto base = stage_times.time("cache-load", [&] {
+    return load_scenario_cache(resolved_base_path, base_config);
+  });
+  if (!base || !base->has_carry) return fresh();
+
+  std::unique_ptr<net::ThreadPool> pool = make_scenario_pool(extended.jobs);
+  sim::FaultInjector injector(extended.faults);
+  inet::World world = stage_times.time(
+      "world", [&] { return inet::World(extended.world); });
+  auto catalogue = blocklist::build_catalogue(extended.seed ^ 0xca7aULL);
+
+  // Ecosystem tail: restore the per-feed cursors and stream ONLY the
+  // [base span end, extended span end) slice of the same abuse stream.
+  // finish() then yields a store of new-era recordings and stats whose
+  // per-feed counters continue the base run's.
+  blocklist::EcosystemCarry new_carry;
+  blocklist::EcosystemResult tail;
+  bool resumed = false;
+  stage_times.time("ecosystem", [&] {
+    sim::StageGuard guard(&injector, sim::FaultStage::kEcosystem);
+    blocklist::EcosystemSimulator simulator(catalogue, extended.ecosystem,
+                                            &injector, pool.get());
+    if (!simulator.resume_from(base->carry, base->ecosystem.stats,
+                               base->ecosystem.stats.snapshots_taken)) {
+      return false;
+    }
+    const inet::AbuseGenConfig abuse = scenario_abuse_config(world, extended);
+    inet::stream_abuse_range(world, abuse, /*chunk_days=*/32,
+                             span_end_seconds(base_config),
+                             span_end_seconds(extended),
+                             [&](std::span<const inet::AbuseEvent> chunk) {
+                               simulator.ingest(chunk);
+                             });
+    tail = simulator.finish(&new_carry);
+    resumed = true;
+    return true;
+  });
+  if (!resumed) return fresh();
+
+  // Fold the tail recordings into the base store. The stores' pending/run
+  // machinery coalesces runs that touch across the era boundary, and every
+  // consumer iterates the store canonically, so the fold is byte-equivalent
+  // to having recorded the whole run in one piece. events_seen is the one
+  // stats counter the tail run cannot continue (it counts ingested events,
+  // and the tail only ingested the extension), so it is summed here.
+  const net::PrefixSet base_slash24s =
+      base->ecosystem.store.blocklisted_slash24s();
+  blocklist::EcosystemResult ecosystem;
+  ecosystem.store = std::move(base->ecosystem.store);
+  ecosystem.stats = tail.stats;
+  ecosystem.stats.events_seen += base->ecosystem.stats.events_seen;
+  tail.store.for_each_listing([&](blocklist::ListId list,
+                                  net::Ipv4Address address,
+                                  const net::IntervalSet& days) {
+    for (const auto& interval : days.intervals()) {
+      ecosystem.store.record_span(list, address, interval.begin, interval.end);
+    }
+  });
+  tail.store.for_each_observed(
+      [&](blocklist::ListId list, const net::IntervalSet& days) {
+        for (const auto& interval : days.intervals()) {
+          ecosystem.store.mark_observed_span(list, interval.begin,
+                                             interval.end);
+        }
+      });
+
+  // The crawl's only ecosystem input is the blocklisted /24 set (the
+  // crawler restriction). When the extension did not change it — or the
+  // restriction is off — the cached crawl is still exactly what a fresh
+  // extended run would produce; otherwise re-run the crawl stage.
+  bool crawl_reused = true;
+  if (extended.restrict_crawler_to_blocklisted) {
+    std::vector<net::Ipv4Prefix> before = base_slash24s.to_vector();
+    std::vector<net::Ipv4Prefix> after =
+        ecosystem.store.blocklisted_slash24s().to_vector();
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    crawl_reused = before == after;
+  }
+  CrawlOutput crawl;
+  if (crawl_reused) {
+    crawl = std::move(base->crawl);
+    publish_crawl_metrics(crawl);
+  } else {
+    crawl = stage_times.time("crawl", [&] {
+      sim::StageGuard guard(&injector, sim::FaultStage::kCrawl);
+      return run_scenario_crawl(world, ecosystem.store, extended, &injector,
+                                pool.get(), &stage_times);
+    });
+  }
+
+  const bool fleet_restored =
+      base->has_fleet &&
+      base->fleet.fingerprint == fleet_config_fingerprint(extended.fleet);
+  atlas::AtlasFleet fleet = stage_times.time("fleet", [&] {
+    if (fleet_restored) {
+      return atlas::AtlasFleet::restore(
+          std::move(base->fleet.log), std::move(base->fleet.truths),
+          base->fleet.records_suppressed, base->fleet.allocations,
+          base->fleet.gap_bridged_days);
+    }
+    sim::StageGuard guard(&injector, sim::FaultStage::kFleet);
+    return atlas::AtlasFleet(world, extended.fleet, &injector, pool.get());
+  });
+  auto pipeline = stage_times.time("pipeline", [&] {
+    return dynadetect::run_pipeline(fleet.compressed_log(), extended.pipeline,
+                                    pool.get());
+  });
+  auto census = stage_times.time("census", [&] {
+    return extended.run_census
+               ? census::run_census(world, extended.census, {}, pool.get())
+               : census::CensusResult{};
+  });
+
+  // Compose the fault ledger a fresh extended run would have produced:
+  // this run's injector saw the ecosystem tail (plus the crawl/fleet if
+  // re-run); the base ledger contributes the stages that were reused. A
+  // re-simulated crawl or fleet replays its FULL fault window fresh, so
+  // the base share is added only for reused stages.
+  sim::FaultStats injected = injector.stats();
+  injected.feed_snapshots_suppressed += base->injected.feed_snapshots_suppressed;
+  injected.feeds_corrupted += base->injected.feeds_corrupted;
+  if (crawl_reused) {
+    injected.burst_request_drops += base->injected.burst_request_drops;
+    injected.burst_response_drops += base->injected.burst_response_drops;
+    injected.bootstrap_blackholes += base->injected.bootstrap_blackholes;
+  }
+  if (fleet_restored) {
+    injected.atlas_records_suppressed += base->injected.atlas_records_suppressed;
+  }
+  DegradationReport degradation = build_degradation_report(
+      injected, crawl.stats, crawl.transport_fault_request_drops,
+      crawl.transport_fault_response_drops, ecosystem.stats,
+      fleet.records_suppressed(), pipeline);
+
+  save_scenario_cache(ext_path, extended, crawl, ecosystem, injected,
+                      &new_carry, &fleet);
+  CachedScenario result{std::move(extended),
+                        std::move(world),
+                        std::move(catalogue),
+                        std::move(ecosystem),
+                        std::move(crawl),
+                        std::move(fleet),
+                        std::move(pipeline),
+                        std::move(census),
+                        std::move(degradation),
+                        /*cache_hit=*/true};
+  result.stage_times = std::move(stage_times);
+  return EvolvedScenario{std::move(result), EvolvePath::kResumed};
 }
 
 }  // namespace reuse::analysis

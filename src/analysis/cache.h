@@ -27,22 +27,56 @@
 
 namespace reuse::analysis {
 
+/// The cached products of the fleet stage, keyed by a fingerprint of the
+/// fleet configuration (which is deliberately OUTSIDE config_fingerprint:
+/// configs differing only in fleet knobs share one cache file, so the fleet
+/// section carries its own key and a mismatch just re-simulates the fleet,
+/// exactly like the payload-v5 behaviour).
+struct CachedFleet {
+  std::uint64_t fingerprint = 0;
+  atlas::CompressedLog log;
+  std::vector<atlas::ProbeTruth> truths;
+  std::uint64_t records_suppressed = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t gap_bridged_days = 0;
+};
+
 /// The cached heavy products of a scenario run.
 struct CachedCore {
   CrawlOutput crawl;
   blocklist::EcosystemResult ecosystem;
   /// Injector-side fault ledger of the run that produced the cache. The
-  /// atlas counter is refreshed from the (recomputed) fleet on load.
+  /// atlas counter is refreshed from the (recomputed) fleet on load when
+  /// the fleet section cannot be restored.
   sim::FaultStats injected;
+  /// End-of-run feed cursors (payload v6): present on every cache written
+  /// by a full run, and what evolve_scenario_cached() resumes from.
+  bool has_carry = false;
+  blocklist::EcosystemCarry carry;
+  /// Fleet products (payload v6); restored on load when `fleet.fingerprint`
+  /// matches the loading config's fleet fingerprint.
+  bool has_fleet = false;
+  CachedFleet fleet;
 };
+
+/// Fingerprint of the fleet knobs that shape the fleet products but sit
+/// outside config_fingerprint (seed is derived from the scenario seed,
+/// which IS inside). Keys the cache's fleet section.
+[[nodiscard]] std::uint64_t fleet_config_fingerprint(
+    const atlas::FleetConfig& fleet);
 
 /// Writes the cache atomically (tmp file + rename); returns false on I/O
 /// failure, in which case no partial file is left at `path`. `injected` is
 /// the fault ledger of the producing run (empty for fault-free runs).
+/// `carry` and `fleet` fill the v6 resume sections when provided; without
+/// them the file still loads but cannot seed an evolved run or restore the
+/// fleet stage.
 bool save_scenario_cache(const std::string& path, const ScenarioConfig& config,
                          const CrawlOutput& crawl,
                          const blocklist::EcosystemResult& ecosystem,
-                         const sim::FaultStats& injected = {});
+                         const sim::FaultStats& injected = {},
+                         const blocklist::EcosystemCarry* carry = nullptr,
+                         const atlas::AtlasFleet* fleet = nullptr);
 
 /// Loads the cache if the file exists, parses, passes the payload checksum,
 /// and matches `config`'s fingerprint; nullopt otherwise. Truncated or
@@ -81,6 +115,42 @@ struct CachedScenario {
 
 [[nodiscard]] CachedScenario run_scenario_cached(ScenarioConfig config,
                                                  const std::string& path = {});
+
+/// `config` with the last collection period extended by `extra_days` whole
+/// days — the shape of scenario evolve_scenario_cached() produces. The
+/// horizon (and every other knob) is inherited unchanged, so a base run
+/// whose horizon_days already covers the extension yields byte-identical
+/// resumed products.
+[[nodiscard]] ScenarioConfig extend_scenario_days(ScenarioConfig config,
+                                                  int extra_days);
+
+/// How evolve_scenario_cached() obtained its result.
+enum class EvolvePath {
+  kResumed,   ///< base cache found; only the +K tail was simulated
+  kFreshRun,  ///< no usable base cache (or horizon too short): full run
+};
+
+struct EvolvedScenario {
+  CachedScenario scenario;
+  EvolvePath path = EvolvePath::kFreshRun;
+};
+
+/// Evolves a cached N-day scenario K days forward: loads `base_config`'s
+/// cache (at `base_path` or its default location), restores the per-feed
+/// cursors, streams ONLY the [N, N+K) slice of the abuse stream through
+/// the feeds, folds the new-era recordings into the cached store, reuses
+/// the cached crawl when the blocklisted /24 set is unchanged (else re-runs
+/// the crawl stage), restores the fleet products when the fleet section
+/// matches, and recomputes the cheap stages — producing a scenario
+/// byte-identical (products fingerprint) to a fresh run of the extended
+/// config. Requires base_config.horizon_days to cover the extension; if it
+/// does not, or no usable base cache exists, falls back to a fresh
+/// run_scenario_cached() of the extended config. Either way the extended
+/// scenario is saved to `extended_path` (or its default location), so
+/// evolves chain: N -> N+K -> N+2K each resume from the previous file.
+[[nodiscard]] EvolvedScenario evolve_scenario_cached(
+    ScenarioConfig base_config, int extra_days,
+    const std::string& base_path = {}, const std::string& extended_path = {});
 
 /// Registry handles for the cache_ metric family, registered on first use.
 /// Shared by the loader/saver and the run-manifest writer, so a run that

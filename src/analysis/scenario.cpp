@@ -31,32 +31,36 @@ ScenarioConfig finalized(ScenarioConfig config) {
 blocklist::EcosystemResult build_ecosystem(
     const inet::World& world, const std::vector<blocklist::BlocklistInfo>& catalogue,
     const ScenarioConfig& config, sim::FaultInjector* faults,
-    net::ThreadPool* pool) {
-  // Abuse generation starts before the first snapshot so lists are warm.
+    net::ThreadPool* pool, blocklist::EcosystemCarry* carry) {
   const net::TimeWindow span = overall_window(config.ecosystem.periods);
-  inet::AbuseGenConfig abuse;
-  abuse.window = net::TimeWindow{span.begin - net::Duration::days(15), span.end};
-  abuse.user_events_per_day = world.config().abuse_events_per_day_user;
-  abuse.server_events_per_day = world.config().abuse_events_per_day_server;
-  abuse.seed = config.seed ^ 0xab5eULL;
+  const inet::AbuseGenConfig abuse = scenario_abuse_config(world, config);
   // Stream the abuse events through the feeds in month-sized slices instead
   // of materializing the whole span: the event stream grows linearly with
   // the simulated days and would otherwise dominate peak RSS at world
   // scale, while one slice is bounded by the busiest month forever. The
   // products are byte-identical to the materialized path (see stream_abuse).
+  // Ingestion keeps [window.begin, span.end): with an auto horizon that is
+  // the whole generation window (same bytes as streaming it all); with an
+  // explicit later horizon the events past the periods' span are exactly
+  // the ones a later evolve_scenario_cached() call will ingest.
   blocklist::EcosystemSimulator simulator(catalogue, config.ecosystem, faults,
                                           pool);
-  inet::stream_abuse(world, abuse, /*chunk_days=*/32,
-                     [&](std::span<const inet::AbuseEvent> chunk) {
-                       simulator.ingest(chunk);
-                     });
-  return simulator.finish();
+  inet::stream_abuse_range(world, abuse, /*chunk_days=*/32,
+                           abuse.window.begin.seconds(), span.end.seconds(),
+                           [&](std::span<const inet::AbuseEvent> chunk) {
+                             simulator.ingest(chunk);
+                           });
+  return simulator.finish(carry);
 }
 
-CrawlOutput run_crawl(const inet::World& world,
-                      const blocklist::SnapshotStore& store,
-                      const ScenarioConfig& config, sim::FaultInjector* faults,
-                      net::ThreadPool* pool, StageTimer* stage_times) {
+}  // namespace
+
+CrawlOutput run_scenario_crawl(const inet::World& world,
+                               const blocklist::SnapshotStore& store,
+                               const ScenarioConfig& config,
+                               sim::FaultInjector* faults,
+                               net::ThreadPool* pool,
+                               StageTimer* stage_times) {
   crawler::ShardedCrawlConfig sharded;
   sharded.base = config.crawl;
   if (config.restrict_crawler_to_blocklisted) {
@@ -78,9 +82,14 @@ CrawlOutput run_crawl(const inet::World& world,
   if (stage_times != nullptr) {
     // Sub-stage attribution: the '.' prefix keeps these out of
     // StageTimer::total_millis() — their time is already inside "crawl".
-    stage_times->record("crawl.build", result.build_millis);
-    stage_times->record("crawl.events", result.events_millis);
+    // shards/merge are caller-side wall-clock and partition the stage;
+    // build/events are per-shard scope sums, which overlap in wall-clock
+    // under a pool, so they go in as CPU attribution — never as wall
+    // (recording them as wall made crawl.events exceed "crawl" at jobs=8).
+    stage_times->record("crawl.shards", result.shards_millis);
     stage_times->record("crawl.merge", result.merge_millis);
+    stage_times->record_cpu("crawl.build", result.build_millis);
+    stage_times->record_cpu("crawl.events", result.events_millis);
   }
 
   CrawlOutput output;
@@ -99,6 +108,8 @@ CrawlOutput run_crawl(const inet::World& world,
   publish_crawl_metrics(output);
   return output;
 }
+
+namespace {
 
 // Serializes every field that influences the cached products, in a fixed
 // order with explicit widths (std::size_t and bool are cast) so the
@@ -214,9 +225,35 @@ void write_fingerprint_fields(net::BinaryWriter& w,
       w.write(episode.salt);
     }
   }
+
+  // The abuse-generation horizon moves every actor's episode draw, so it is
+  // cache identity. Hashed in RESOLVED form (seconds of the generation
+  // window's end): horizon_days = 0 and an explicit horizon equal to the
+  // span end produce the same generation window, the same products, and —
+  // by hashing the resolution — the same fingerprint.
+  const net::TimeWindow span = overall_window(c.ecosystem.periods);
+  w.write(std::max(span.end.seconds(),
+                   static_cast<std::int64_t>(c.horizon_days) * 86400));
 }
 
 }  // namespace
+
+inet::AbuseGenConfig scenario_abuse_config(const inet::World& world,
+                                           const ScenarioConfig& config) {
+  // Abuse generation starts before the first snapshot so lists are warm,
+  // and runs to the declared horizon (auto: the last period's end) so a
+  // later horizon only appends events without moving any actor's draws.
+  const net::TimeWindow span = overall_window(config.ecosystem.periods);
+  const net::SimTime horizon(
+      std::max(span.end.seconds(),
+               static_cast<std::int64_t>(config.horizon_days) * 86400));
+  inet::AbuseGenConfig abuse;
+  abuse.window = net::TimeWindow{span.begin - net::Duration::days(15), horizon};
+  abuse.user_events_per_day = world.config().abuse_events_per_day_user;
+  abuse.server_events_per_day = world.config().abuse_events_per_day_server;
+  abuse.seed = config.seed ^ 0xab5eULL;
+  return abuse;
+}
 
 void publish_crawl_metrics(const CrawlOutput& crawl) {
   auto& registry = net::metrics::Registry::global();
@@ -409,6 +446,7 @@ Scenario::Scenario(ScenarioConfig cfg)
       world(stage_times.time("world",
                             [&] { return inet::World(config.world); })),
       catalogue(blocklist::build_catalogue(config.seed ^ 0xca7aULL)),
+      ecosystem_carry(std::make_unique<blocklist::EcosystemCarry>()),
       ecosystem(stage_times.time("ecosystem",
                                  [&] {
                                    sim::StageGuard guard(
@@ -417,15 +455,16 @@ Scenario::Scenario(ScenarioConfig cfg)
                                    return build_ecosystem(world, catalogue,
                                                           config,
                                                           injector.get(),
-                                                          pool.get());
+                                                          pool.get(),
+                                                          ecosystem_carry.get());
                                  })),
       crawl(stage_times.time("crawl",
                              [&] {
                                sim::StageGuard guard(injector.get(),
                                                      sim::FaultStage::kCrawl);
-                               return run_crawl(world, ecosystem.store, config,
-                                                injector.get(), pool.get(),
-                                                &stage_times);
+                               return run_scenario_crawl(
+                                   world, ecosystem.store, config,
+                                   injector.get(), pool.get(), &stage_times);
                              })),
       fleet(stage_times.time("fleet",
                              [&] {

@@ -22,6 +22,7 @@
 #include "crawler/crawler.h"
 #include "dht/network.h"
 #include "dynadetect/pipeline.h"
+#include "internet/abuse.h"
 #include "internet/world.h"
 #include "netbase/thread_pool.h"
 #include "simnet/faults.h"
@@ -64,6 +65,16 @@ struct ScenarioConfig {
   /// Empty (the default) keeps every subsystem byte-identical to a run with
   /// no injector at all.
   sim::FaultPlan faults;
+  /// Abuse-generation horizon, as an absolute simulated day number. 0 (the
+  /// default) resolves to the end of the last collection period. Actor
+  /// episode placement depends on the generation window's END, so a run
+  /// that will later be evolved past its last period must declare the
+  /// final horizon up front — then extending the periods toward that
+  /// horizon only *appends* events, and a resumed run is byte-identical to
+  /// a fresh one (see DESIGN § incremental pipeline). Ingestion is always
+  /// clipped to the periods' span, so for any horizon >= the span end the
+  /// products of the *base* run are unchanged.
+  int horizon_days = 0;
   /// Worker threads for the parallel stages (ecosystem, fleet, pipeline,
   /// census): 1 = serial, 0 = one per hardware thread. Deliberately NOT part
   /// of `config_fingerprint` (like `run_census`): products are byte-identical
@@ -110,6 +121,14 @@ struct ScenarioConfig {
 /// may pass it before or after `finalize()`.
 [[nodiscard]] std::uint64_t config_fingerprint(const ScenarioConfig& config);
 
+/// The abuse-generation config a scenario derives from `config`: the
+/// 15-day warm-up lead, the per-actor rates from the world config, the
+/// abuse sub-seed, and the generation window resolved against
+/// `horizon_days`. Exposed for the incremental cache, which re-streams the
+/// tail of exactly this stream when it evolves a cached scenario.
+[[nodiscard]] inet::AbuseGenConfig scenario_abuse_config(
+    const inet::World& world, const ScenarioConfig& config);
+
 /// Crawl outputs copied into plain data (the crawler itself dies with the
 /// event queue).
 struct CrawlOutput {
@@ -132,6 +151,17 @@ struct CrawlOutput {
 /// manifest carries the same numbers the crawl actually produced.
 void publish_crawl_metrics(const CrawlOutput& crawl);
 
+/// Runs the scenario's sharded crawl stage against `store` (the blocklist
+/// presence the crawler restriction reads). Exposed for the incremental
+/// cache, which must re-run exactly this stage when an evolved scenario's
+/// blocklisted /24 set diverges from the cached one. Folds the shard fault
+/// ledgers into `faults` and records the crawl.* sub-stage timings into
+/// `stage_times` (both optional).
+[[nodiscard]] CrawlOutput run_scenario_crawl(
+    const inet::World& world, const blocklist::SnapshotStore& store,
+    const ScenarioConfig& config, sim::FaultInjector* faults,
+    net::ThreadPool* pool, StageTimer* stage_times);
+
 struct Scenario {
   ScenarioConfig config;
   /// Wall-clock per stage; filled as the constructor runs the stages.
@@ -148,6 +178,11 @@ struct Scenario {
   std::unique_ptr<net::ThreadPool> pool;
   inet::World world;
   std::vector<blocklist::BlocklistInfo> catalogue;
+  /// End-of-run feed cursors captured by the ecosystem stage; the scenario
+  /// cache saves them (payload v6) so a later run can evolve this scenario
+  /// forward instead of replaying it from day 0. Declared before
+  /// `ecosystem` so the stage can fill it during member init.
+  std::unique_ptr<blocklist::EcosystemCarry> ecosystem_carry;
   blocklist::EcosystemResult ecosystem;
   CrawlOutput crawl;
   atlas::AtlasFleet fleet;

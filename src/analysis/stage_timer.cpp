@@ -17,7 +17,19 @@ void StageTimer::record(std::string_view stage, double millis) {
       return;
     }
   }
-  timings_.push_back(StageTiming{std::string(stage), millis, 1});
+  timings_.push_back(StageTiming{std::string(stage), millis, 0.0, 1});
+}
+
+void StageTimer::record_cpu(std::string_view stage, double cpu_millis) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (StageTiming& timing : timings_) {
+    if (timing.stage == stage) {
+      timing.cpu_millis += cpu_millis;
+      return;
+    }
+  }
+  // Entry exists purely for CPU attribution: zero wall, zero scopes.
+  timings_.push_back(StageTiming{std::string(stage), 0.0, cpu_millis, 0});
 }
 
 std::vector<StageTiming> StageTimer::timings() const {
@@ -44,10 +56,23 @@ double StageTimer::millis(std::string_view stage) const {
   return 0.0;
 }
 
+double StageTimer::cpu_millis(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const StageTiming& timing : timings_) {
+    if (timing.stage == stage) return timing.cpu_millis;
+  }
+  return 0.0;
+}
+
 std::string StageTimer::to_json(int jobs) const {
   const std::vector<StageTiming> snapshot = timings();
   double total = 0.0;
-  for (const StageTiming& timing : snapshot) total += timing.millis;
+  for (const StageTiming& timing : snapshot) {
+    // Top-level stages only, matching total_millis(): a dotted sub-stage's
+    // wall-clock already elapsed inside its parent scope.
+    if (timing.stage.find('.') != std::string::npos) continue;
+    total += timing.millis;
+  }
   std::ostringstream out;
   out.precision(3);
   out << std::fixed;
@@ -59,7 +84,17 @@ std::string StageTimer::to_json(int jobs) const {
     first = false;
     out << '"' << net::json_escape(timing.stage) << "\": " << timing.millis;
   }
-  out << "}}";
+  out << "}";
+  bool any_cpu = false;
+  for (const StageTiming& timing : snapshot) {
+    if (timing.cpu_millis <= 0.0) continue;
+    out << (any_cpu ? ", " : ", \"stages_cpu\": {");
+    any_cpu = true;
+    out << '"' << net::json_escape(timing.stage)
+        << "\": " << timing.cpu_millis;
+  }
+  if (any_cpu) out << "}";
+  out << "}";
   return out.str();
 }
 

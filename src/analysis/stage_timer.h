@@ -23,6 +23,13 @@ namespace reuse::analysis {
 struct StageTiming {
   std::string stage;
   double millis = 0.0;
+  /// CPU-milliseconds summed across worker threads (record_cpu). Kept
+  /// separate from `millis` on purpose: a parallel region's per-worker
+  /// scopes overlap in wall-clock, so summing them into `millis` would
+  /// make a sub-stage "longer" than its enclosing stage (the jobs=8
+  /// attribution bug this field fixed). 0 for stages that never record
+  /// CPU attribution.
+  double cpu_millis = 0.0;
   /// Scopes recorded under this name (a re-run or nested sub-stage
   /// aggregates rather than replacing the entry, so millis is a sum).
   std::uint64_t scopes = 0;
@@ -52,6 +59,12 @@ class StageTimer {
   /// the enclosing "crawl" scope.
   void record(std::string_view stage, double millis);
 
+  /// Folds CPU-milliseconds (work summed across threads) into the entry for
+  /// `stage`, creating it with zero wall-clock on first use. Use this — not
+  /// record() — for per-worker scope sums from parallel regions, so
+  /// wall-clock attribution stays exclusive.
+  void record_cpu(std::string_view stage, double cpu_millis);
+
   /// Snapshot of the timings in first-recorded order (by value: concurrent
   /// recorders may still be appending).
   [[nodiscard]] std::vector<StageTiming> timings() const;
@@ -62,8 +75,12 @@ class StageTimer {
   [[nodiscard]] double total_millis() const;
   /// Aggregated duration of one stage; 0 when it never ran.
   [[nodiscard]] double millis(std::string_view stage) const;
+  /// Aggregated CPU attribution of one stage; 0 when none was recorded.
+  [[nodiscard]] double cpu_millis(std::string_view stage) const;
 
-  /// One JSON object: {"jobs": N, "total_millis": ..., "stages": {...}}.
+  /// One JSON object: {"jobs": N, "total_millis": ..., "stages": {...},
+  /// "stages_cpu": {...}} — stages_cpu holds only entries that recorded
+  /// CPU attribution, and is omitted when none did.
   [[nodiscard]] std::string to_json(int jobs) const;
 
   /// Runs `fn`, records its wall-clock under `stage`, and forwards its

@@ -122,6 +122,25 @@ AtlasFleet::AtlasFleet(const inet::World& world, const FleetConfig& config,
     out.runs = std::vector<LogRun>{};
   }
 
+  publish_metrics();
+}
+
+AtlasFleet AtlasFleet::restore(CompressedLog log,
+                               std::vector<ProbeTruth> truths,
+                               std::uint64_t records_suppressed,
+                               std::uint64_t allocations,
+                               std::uint64_t gap_bridged_days) {
+  AtlasFleet fleet;
+  fleet.log_ = std::move(log);
+  fleet.truths_ = std::move(truths);
+  fleet.records_suppressed_ = records_suppressed;
+  fleet.allocations_ = allocations;
+  fleet.gap_bridged_days_ = gap_bridged_days;
+  fleet.publish_metrics();
+  return fleet;
+}
+
+void AtlasFleet::publish_metrics() const {
   // End-of-stage metrics publish: one aggregation over the finished merge,
   // nothing in the per-probe hot path.
   auto& registry = net::metrics::Registry::global();

@@ -65,6 +65,20 @@ class AtlasFleet {
              sim::FaultInjector* faults = nullptr,
              net::ThreadPool* pool = nullptr);
 
+  /// Rebuilds a fleet from previously captured products — the compressed
+  /// log, the truths, and the three counters — without re-simulating any
+  /// probe. Publishes the same end-of-stage atlas_ metrics the simulating
+  /// constructor does, so a run restored from cache carries the fleet's
+  /// real numbers in its manifest. The caller is responsible for only
+  /// restoring products that were produced by an identical (world, config,
+  /// fault plan) triple; the scenario cache keys its fleet section on a
+  /// fleet-config fingerprint for exactly that reason.
+  [[nodiscard]] static AtlasFleet restore(CompressedLog log,
+                                          std::vector<ProbeTruth> truths,
+                                          std::uint64_t records_suppressed,
+                                          std::uint64_t allocations,
+                                          std::uint64_t gap_bridged_days);
+
   /// The run-compressed connection log (probe-major).
   [[nodiscard]] const CompressedLog& compressed_log() const { return log_; }
 
@@ -108,6 +122,12 @@ class AtlasFleet {
   }
 
  private:
+  AtlasFleet() = default;  ///< restore() fills the members directly
+
+  /// Aggregates the finished products into the atlas_ metric family; called
+  /// once at the end of construction (simulated or restored).
+  void publish_metrics() const;
+
   /// One probe's entire simulated life: its truth, the runs it produced,
   /// and how many records controller gaps swallowed. Built independently per
   /// probe, merged in probe-index order.

@@ -266,7 +266,35 @@ void EcosystemSimulator::ingest(std::span<const inet::AbuseEvent> events) {
       /*grain=*/1);
 }
 
-EcosystemResult EcosystemSimulator::finish() {
+bool EcosystemSimulator::resume_from(const EcosystemCarry& carry,
+                                     const EcosystemStats& previous,
+                                     std::uint64_t snapshots_taken) {
+  Impl& im = *impl_;
+  if (carry.feeds.size() != im.states.size() ||
+      previous.per_list.size() != im.states.size() ||
+      snapshots_taken > im.snapshot_days.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < im.states.size(); ++i) {
+    if (previous.per_list[i].list != im.catalogue[i].id) return false;
+  }
+  for (std::size_t i = 0; i < im.states.size(); ++i) {
+    FeedState& s = im.states[i];
+    const FeedCarry& cursor = carry.feeds[i];
+    s.rng = net::Rng::from_state(cursor.rng_state);
+    s.live.clear();
+    s.live.reserve(cursor.live.size());
+    for (const auto& [address, expiry] : cursor.live) s.live[address] = expiry;
+    s.out.events_picked_up = cursor.events_picked_up;
+    // Continuing the previous run's health counters means finish()'s merge
+    // sums whole-run totals per feed, exactly like an unbroken run.
+    s.out.health = previous.per_list[i];
+    s.next_snapshot = static_cast<std::size_t>(snapshots_taken);
+  }
+  return true;
+}
+
+EcosystemResult EcosystemSimulator::finish(EcosystemCarry* carry) {
   Impl& im = *impl_;
   net::for_each_index(
       im.pool, im.states.size(),
@@ -275,6 +303,18 @@ EcosystemResult EcosystemSimulator::finish() {
                     im.faults);
       },
       /*grain=*/1);
+  if (carry != nullptr) {
+    carry->feeds.clear();
+    carry->feeds.resize(im.states.size());
+    for (std::size_t i = 0; i < im.states.size(); ++i) {
+      FeedCarry& cursor = carry->feeds[i];
+      const FeedState& s = im.states[i];
+      cursor.rng_state = s.rng.state();
+      cursor.live.assign(s.live.begin(), s.live.end());
+      std::sort(cursor.live.begin(), cursor.live.end());
+      cursor.events_picked_up = s.out.events_picked_up;
+    }
+  }
 
   // Index-ordered merge: identical insertion sequence for every --jobs
   // value, so downstream consumers that iterate the (unordered) store see

@@ -7,9 +7,11 @@
 // daily blocklist dumps over 39 + 44 days.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "blocklist/store.h"
@@ -85,6 +87,25 @@ struct EcosystemResult {
   EcosystemStats stats;
 };
 
+/// Resumable cursor of one feed at the end of a run: the mid-stream RNG
+/// state, the live address -> expiry map (rendered as address-sorted pairs
+/// so the serialized form is canonical), and the feed's pickup counter.
+/// Together with the merged store and the per-list health (both already in
+/// EcosystemResult) this is everything feed evolution reads across events —
+/// restoring it and ingesting the next slice of the SAME abuse stream is
+/// byte-identical to having run the longer stream in one piece.
+struct FeedCarry {
+  std::array<std::uint64_t, 4> rng_state{};
+  std::vector<std::pair<net::Ipv4Address, std::int64_t>> live;
+  std::uint64_t events_picked_up = 0;
+};
+
+/// Per-feed carry for the whole ecosystem, in catalogue (feed-index) order.
+/// The scenario cache persists this as part of its v6 payload.
+struct EcosystemCarry {
+  std::vector<FeedCarry> feeds;
+};
+
 /// Publishes the feeds_ metric family from finished ecosystem stats.
 /// simulate_ecosystem calls it itself; the scenario-cache loader calls it
 /// again when a hit restores the stats instead of re-simulating, so a
@@ -129,8 +150,26 @@ class EcosystemSimulator {
 
   /// Flushes trailing snapshots, merges the per-feed fragments in index
   /// order, publishes the feeds_ metrics, and returns the result. Call at
-  /// most once.
-  [[nodiscard]] EcosystemResult finish();
+  /// most once. When `carry` is non-null it receives each feed's
+  /// end-of-run cursor (captured after the trailing snapshots), ready for
+  /// resume_from() on a later simulator.
+  [[nodiscard]] EcosystemResult finish(EcosystemCarry* carry = nullptr);
+
+  /// Rewinds this (freshly constructed, nothing ingested) simulator to the
+  /// end of a previous run: per-feed RNG/live/pickup cursors from `carry`,
+  /// per-feed health from the previous run's `per_list` stats, and the
+  /// snapshot cursor past the first `snapshots_taken` snapshot days —
+  /// which must be a prefix of this simulator's own snapshot days (the
+  /// extended periods append days, never reorder them). Subsequent
+  /// ingest()/finish() then produce the *tail* of the longer run: a store
+  /// holding only new-era recordings (fold it into the previous store) and
+  /// stats whose per-feed counters continue the previous run's, with
+  /// events_seen counting only the newly ingested events. Returns false
+  /// (and leaves the simulator untouched) if the carry's shape does not
+  /// match the catalogue or the snapshot prefix does not exist.
+  [[nodiscard]] bool resume_from(const EcosystemCarry& carry,
+                                 const EcosystemStats& previous,
+                                 std::uint64_t snapshots_taken);
 
  private:
   struct Impl;

@@ -123,6 +123,7 @@ ShardedCrawlResult run_sharded_crawl(const inet::World& world,
 
   // Index-addressed slots; grain 1 because each shard is minutes of work
   // relative to the claim cost, and balance matters more than claim count.
+  const auto shards_start = Clock::now();
   std::vector<ShardHarvest> harvests(shard_count);
   net::for_each_index(
       pool, shard_count,
@@ -130,6 +131,7 @@ ShardedCrawlResult run_sharded_crawl(const inet::World& world,
         harvests[shard] = run_shard(world, effective, shard);
       },
       /*grain=*/1);
+  const double shards_millis = elapsed_millis(shards_start);
 
   // Harvest in shard-index order; the order only matters for the node_id
   // union's bucket history, but "always index order" is what makes the
@@ -168,6 +170,7 @@ ShardedCrawlResult run_sharded_crawl(const inet::World& world,
     }
   }
   std::sort(result.nated.begin(), result.nated.end());
+  result.shards_millis = shards_millis;
   result.merge_millis = elapsed_millis(merge_start);
   return result;
 }

@@ -75,12 +75,16 @@ struct ShardedCrawlResult {
   /// Summed per-shard injector ledgers; reconciles exactly against the
   /// consumer-side counters in `stats` (see analysis/degradation.h).
   sim::FaultStats fault_stats;
-  // Sub-stage attribution (CPU-milliseconds summed across shards; under a
-  // pool these overlap in wall-clock, so they describe where the work went,
-  // not elapsed time).
-  double build_millis = 0.0;   ///< replica construction + churn scheduling
-  double events_millis = 0.0;  ///< event-queue execution (the crawl proper)
-  double merge_millis = 0.0;   ///< index-ordered harvest merging
+  // Sub-stage attribution. build/events are CPU-milliseconds summed across
+  // shards: under a pool those scopes overlap in wall-clock, so they
+  // describe where the work went, never elapsed time (at jobs=8 their sum
+  // exceeds the stage's wall by design). shards/merge are caller-side
+  // wall-clock and partition the stage: shards_millis + merge_millis is
+  // (within measurement noise) the whole run_sharded_crawl call.
+  double shards_millis = 0.0;  ///< wall: the parallel per-shard region
+  double build_millis = 0.0;   ///< CPU: replica construction + churn
+  double events_millis = 0.0;  ///< CPU: event-queue execution (the crawl)
+  double merge_millis = 0.0;   ///< wall: index-ordered harvest merging
 };
 
 /// Runs the K shard simulations — on `pool` when given, else serially —

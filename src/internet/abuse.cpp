@@ -137,8 +137,17 @@ std::vector<AbuseEvent> generate_abuse(const World& world,
 
 void stream_abuse(const World& world, const AbuseGenConfig& config,
                   std::int64_t chunk_days, const AbuseChunkSink& sink) {
-  const std::int64_t begin = config.window.begin.seconds();
-  const std::int64_t end = config.window.end.seconds();
+  stream_abuse_range(world, config, chunk_days,
+                     config.window.begin.seconds(),
+                     config.window.end.seconds(), sink);
+}
+
+void stream_abuse_range(const World& world, const AbuseGenConfig& config,
+                        std::int64_t chunk_days, std::int64_t keep_begin_s,
+                        std::int64_t keep_end_s, const AbuseChunkSink& sink) {
+  const std::int64_t begin =
+      std::max(keep_begin_s, config.window.begin.seconds());
+  const std::int64_t end = std::min(keep_end_s, config.window.end.seconds());
   const std::int64_t chunk_seconds = chunk_days * 86400;
   std::vector<AbuseEvent> chunk;
   for (std::int64_t at = begin; at < end; at += chunk_seconds) {

@@ -56,4 +56,15 @@ using AbuseChunkSink = std::function<void(std::span<const AbuseEvent>)>;
 void stream_abuse(const World& world, const AbuseGenConfig& config,
                   std::int64_t chunk_days, const AbuseChunkSink& sink);
 
+/// stream_abuse restricted to events with time in [keep_begin_s, keep_end_s).
+/// Every actor still replays its full-window substream, so the events inside
+/// the keep range are byte-identical to the corresponding slice of
+/// stream_abuse over the whole window — streaming [b, m) and then [m, e)
+/// concatenates into exactly the [b, e) stream. This is the primitive the
+/// incremental pipeline uses: the base run keeps [window.begin, N) and a
+/// resume keeps [N, N+K) against the same generation window.
+void stream_abuse_range(const World& world, const AbuseGenConfig& config,
+                        std::int64_t chunk_days, std::int64_t keep_begin_s,
+                        std::int64_t keep_end_s, const AbuseChunkSink& sink);
+
 }  // namespace reuse::inet

@@ -50,6 +50,21 @@ class Rng {
 
   result_type operator()() { return next(); }
 
+  /// The raw xoshiro256** state, for checkpointing a generator mid-stream
+  /// (the incremental scenario cache persists per-feed cursors this way).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+
+  /// Rebuilds a generator from a state() snapshot; the restored generator
+  /// continues the original draw sequence exactly.
+  [[nodiscard]] static Rng from_state(
+      const std::array<std::uint64_t, 4>& state) {
+    Rng rng;
+    rng.state_ = state;
+    return rng;
+  }
+
   /// Derives an independent generator; `salt` distinguishes streams forked
   /// from the same parent (e.g. one stream per simulated host).
   [[nodiscard]] Rng fork(std::uint64_t salt) {

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <sstream>
 #include <system_error>
 #include <unordered_map>
@@ -16,8 +18,10 @@
 namespace reuse::serve {
 namespace {
 
-constexpr std::uint64_t kMagic = 0x524555534c4bULL;  // "REUSLK"
+constexpr std::uint64_t kMagic = kCompiledSnapshotMagic;
 constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint64_t kDeltaMagic = kSnapshotDeltaMagic;
+constexpr std::uint32_t kDeltaFormatVersion = 1;
 
 // Decoder bounds: a corrupt count must fail the load immediately, never
 // drive a multi-billion-element read loop. IPv4 caps everything naturally.
@@ -57,7 +61,78 @@ void write_u32_array(net::BinaryWriter& writer,
   return it != v.end() && *it == key;
 }
 
+/// Rebuilds the /24 bucket index over a sorted entry array — shared by the
+/// full build and the delta apply so both produce identical index bytes.
+void build_bucket_index(const std::vector<std::uint32_t>& addresses,
+                        std::vector<std::uint32_t>& buckets,
+                        std::vector<std::uint32_t>& offsets) {
+  buckets.clear();
+  offsets.clear();
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    const std::uint32_t key = addresses[i] >> 8;
+    if (buckets.empty() || buckets.back() != key) {
+      buckets.push_back(key);
+      offsets.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  offsets.push_back(static_cast<std::uint32_t>(addresses.size()));
+  if (buckets.empty()) offsets.clear();
+}
+
+/// Atomic artifact publish shared by snapshot and delta save(): header +
+/// payload assembled under a pid-unique temporary name, rename()d into
+/// place. A reader racing with this sees either the previous complete file
+/// or the new one.
+[[nodiscard]] bool save_framed(const std::string& path, std::uint64_t magic,
+                               std::uint32_t version,
+                               std::uint64_t header_extra,
+                               const std::string& payload) {
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    net::BinaryWriter writer(os);
+    writer.write(magic);
+    writer.write(version);
+    writer.write(header_extra);
+    writer.write(static_cast<std::uint64_t>(payload.size()));
+    writer.write(net::fnv1a_64(payload));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    std::error_code cleanup_ec;
+    std::filesystem::remove(tmp_path, cleanup_ec);
+    return false;
+  }
+  return true;
+}
+
+[[nodiscard]] std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
 }  // namespace
+
+std::uint64_t file_magic(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return 0;
+  net::BinaryReader reader(is);
+  const std::uint64_t magic = reader.read<std::uint64_t>();
+  return reader.ok() ? magic : 0;
+}
 
 Verdict CompiledSnapshot::verdict(net::Ipv4Address address) const {
   const std::uint32_t value = address.value();
@@ -123,38 +198,8 @@ std::string CompiledSnapshot::fingerprint_hex() const {
 bool CompiledSnapshot::save(const std::string& path) const {
   const std::string payload = payload_bytes();
   if (payload.size() > kMaxPayloadBytes) return false;
-
-  // Atomic publish, same discipline as the scenario cache: assemble under a
-  // pid-unique temporary name, rename() into place. A reader racing with
-  // this save sees either the previous complete artifact or the new one.
-  const std::string tmp_path =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!os) return false;
-    net::BinaryWriter writer(os);
-    writer.write(kMagic);
-    writer.write(kFormatVersion);
-    writer.write(source_fingerprint_);
-    writer.write(static_cast<std::uint64_t>(payload.size()));
-    writer.write(net::fnv1a_64(payload));
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    os.flush();
-    if (!os.good()) {
-      os.close();
-      std::error_code ec;
-      std::filesystem::remove(tmp_path, ec);
-      return false;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, path, ec);
-  if (ec) {
-    std::error_code cleanup_ec;
-    std::filesystem::remove(tmp_path, cleanup_ec);
-    return false;
-  }
-  return true;
+  return save_framed(path, kMagic, kFormatVersion, source_fingerprint_,
+                     payload);
 }
 
 std::optional<CompiledSnapshot> CompiledSnapshot::load(
@@ -400,19 +445,250 @@ CompiledSnapshot SnapshotBuilder::build(net::ThreadPool* pool) const {
       /*grain=*/1024);
 
   // /24 bucket index over the sorted entries.
-  for (std::size_t i = 0; i < snapshot.addresses_.size(); ++i) {
-    const std::uint32_t key = snapshot.addresses_[i] >> 8;
-    if (snapshot.buckets_.empty() || snapshot.buckets_.back() != key) {
-      snapshot.buckets_.push_back(key);
-      snapshot.bucket_offsets_.push_back(static_cast<std::uint32_t>(i));
-    }
-  }
-  snapshot.bucket_offsets_.push_back(
-      static_cast<std::uint32_t>(snapshot.addresses_.size()));
-  if (snapshot.buckets_.empty()) snapshot.bucket_offsets_.clear();
+  build_bucket_index(snapshot.addresses_, snapshot.buckets_,
+                     snapshot.bucket_offsets_);
 
   snapshot.seal();
   return snapshot;
+}
+
+SnapshotDelta SnapshotBuilder::diff(const CompiledSnapshot& base,
+                                    const CompiledSnapshot& next) {
+  SnapshotDelta delta;
+  delta.base_fingerprint_ = base.fingerprint_;
+  delta.target_fingerprint_ = next.fingerprint_;
+  delta.target_source_fingerprint_ = next.source_fingerprint_;
+
+  // Two-pointer walk over the sorted entry arrays: an address only in base
+  // is a removal, only in next an upsert, in both with a different verdict
+  // word a re-worded upsert.
+  std::size_t bi = 0;
+  std::size_t ni = 0;
+  while (bi < base.addresses_.size() || ni < next.addresses_.size()) {
+    if (ni == next.addresses_.size() ||
+        (bi < base.addresses_.size() &&
+         base.addresses_[bi] < next.addresses_[ni])) {
+      delta.removed_.push_back(base.addresses_[bi]);
+      ++bi;
+    } else if (bi == base.addresses_.size() ||
+               next.addresses_[ni] < base.addresses_[bi]) {
+      delta.upserts_.emplace_back(next.addresses_[ni], next.verdicts_[ni]);
+      ++ni;
+    } else {
+      if (base.verdicts_[bi] != next.verdicts_[ni]) {
+        delta.upserts_.emplace_back(next.addresses_[ni], next.verdicts_[ni]);
+      }
+      ++bi;
+      ++ni;
+    }
+  }
+
+  std::set_difference(base.dynamic24_.begin(), base.dynamic24_.end(),
+                      next.dynamic24_.begin(), next.dynamic24_.end(),
+                      std::back_inserter(delta.dynamic24_removed_));
+  std::set_difference(next.dynamic24_.begin(), next.dynamic24_.end(),
+                      base.dynamic24_.begin(), base.dynamic24_.end(),
+                      std::back_inserter(delta.dynamic24_added_));
+
+  delta.top_lists_changed_ = base.top_lists_ != next.top_lists_;
+  if (delta.top_lists_changed_) delta.top_lists_ = next.top_lists_;
+  return delta;
+}
+
+std::string SnapshotDelta::payload_bytes() const {
+  std::ostringstream stream;
+  net::BinaryWriter writer(stream);
+  writer.write(base_fingerprint_);
+  writer.write(target_fingerprint_);
+  writer.write(target_source_fingerprint_);
+  write_u32_array(writer, removed_);
+  writer.write(static_cast<std::uint64_t>(upserts_.size()));
+  for (const auto& [address, verdict] : upserts_) {
+    writer.write(address);
+    writer.write(verdict);
+  }
+  write_u32_array(writer, dynamic24_removed_);
+  write_u32_array(writer, dynamic24_added_);
+  writer.write(static_cast<std::uint8_t>(top_lists_changed_ ? 1 : 0));
+  writer.write(static_cast<std::uint64_t>(top_lists_.size()));
+  for (const blocklist::ListId list : top_lists_) writer.write(list);
+  return stream.str();
+}
+
+bool SnapshotDelta::save(const std::string& path) const {
+  const std::string payload = payload_bytes();
+  if (payload.size() > kMaxPayloadBytes) return false;
+  return save_framed(path, kDeltaMagic, kDeltaFormatVersion,
+                     /*header_extra=*/0, payload);
+}
+
+std::optional<SnapshotDelta> SnapshotDelta::load(const std::string& path,
+                                                 std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<SnapshotDelta> {
+    if (error != nullptr) *error = "delta load failed: " + why;
+    return std::nullopt;
+  };
+
+  std::error_code ec;
+  const std::filesystem::file_status status = std::filesystem::status(path, ec);
+  if (ec || status.type() == std::filesystem::file_type::not_found) {
+    return fail("path does not exist: " + path);
+  }
+  if (status.type() != std::filesystem::file_type::regular) {
+    return fail("not a regular file: " + path);
+  }
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return fail("cannot open for reading: " + path);
+  net::BinaryReader reader(is);
+  const std::uint64_t magic = reader.read<std::uint64_t>();
+  if (!reader.ok()) {
+    return fail("file shorter than the header (mid-write artifact?)");
+  }
+  if (magic != kDeltaMagic) return fail("bad magic: not a snapshot delta");
+  const std::uint32_t version = reader.read<std::uint32_t>();
+  if (reader.ok() && version != kDeltaFormatVersion) {
+    return fail("unsupported delta format version " + std::to_string(version));
+  }
+  (void)reader.read<std::uint64_t>();  // header_extra, reserved
+  const std::uint64_t payload_size = reader.read_size(kMaxPayloadBytes);
+  const std::uint64_t checksum = reader.read<std::uint64_t>();
+  if (!reader.ok()) return fail("truncated header (mid-write artifact?)");
+
+  std::string payload(payload_size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (static_cast<std::uint64_t>(is.gcount()) != payload_size) {
+    return fail("truncated payload: declared " + std::to_string(payload_size) +
+                " bytes, got " + std::to_string(is.gcount()));
+  }
+  if (is.peek() != std::char_traits<char>::eof()) {
+    return fail("trailing bytes after payload: not a product of save()");
+  }
+  if (net::fnv1a_64(payload) != checksum) {
+    return fail("payload checksum mismatch (bit flip or foreign writer)");
+  }
+
+  std::istringstream payload_stream(payload);
+  net::BinaryReader body(payload_stream);
+  SnapshotDelta delta;
+  delta.base_fingerprint_ = body.read<std::uint64_t>();
+  delta.target_fingerprint_ = body.read<std::uint64_t>();
+  delta.target_source_fingerprint_ = body.read<std::uint64_t>();
+  if (!read_u32_array(body, kMaxEntries, delta.removed_)) {
+    return fail("payload arrays inconsistent with their counts");
+  }
+  const std::uint64_t upsert_count = body.read_size(kMaxEntries);
+  if (!body.ok()) return fail("upsert count out of range");
+  delta.upserts_.resize(upsert_count);
+  for (std::uint64_t i = 0; i < upsert_count && body.ok(); ++i) {
+    delta.upserts_[i].first = body.read<std::uint32_t>();
+    delta.upserts_[i].second = body.read<std::uint32_t>();
+  }
+  if (!body.ok() ||
+      !read_u32_array(body, kMaxBuckets, delta.dynamic24_removed_) ||
+      !read_u32_array(body, kMaxBuckets, delta.dynamic24_added_)) {
+    return fail("payload arrays inconsistent with their counts");
+  }
+  delta.top_lists_changed_ = body.read<std::uint8_t>() != 0;
+  const std::uint64_t top_count =
+      body.read_size(static_cast<std::uint64_t>(kMaxTopLists));
+  if (!body.ok()) return fail("top-list count out of range");
+  delta.top_lists_.resize(top_count);
+  for (std::uint64_t i = 0; i < top_count && body.ok(); ++i) {
+    delta.top_lists_[i] = body.read<blocklist::ListId>();
+  }
+  if (!body.ok()) return fail("payload arrays inconsistent with their counts");
+  if (payload_stream.peek() != std::char_traits<char>::eof()) {
+    return fail("payload longer than its arrays");
+  }
+
+  if (!strictly_increasing(delta.removed_) ||
+      !strictly_increasing(delta.dynamic24_removed_) ||
+      !strictly_increasing(delta.dynamic24_added_)) {
+    return fail("structural violation: arrays not strictly increasing");
+  }
+  for (std::size_t i = 1; i < delta.upserts_.size(); ++i) {
+    if (delta.upserts_[i].first <= delta.upserts_[i - 1].first) {
+      return fail("structural violation: upserts not strictly increasing");
+    }
+  }
+  return delta;
+}
+
+std::optional<CompiledSnapshot> SnapshotDelta::apply(
+    const CompiledSnapshot& base, std::string* error) const {
+  const auto fail = [&](const std::string& why) -> std::optional<CompiledSnapshot> {
+    if (error != nullptr) *error = "delta apply failed: " + why;
+    return std::nullopt;
+  };
+  if (base.fingerprint_ != base_fingerprint_) {
+    return fail("base fingerprint mismatch: delta keyed to " +
+                hex16(base_fingerprint_) + ", live snapshot is " +
+                hex16(base.fingerprint_));
+  }
+
+  CompiledSnapshot next;
+  next.source_fingerprint_ = target_source_fingerprint_;
+
+  // Linear three-way merge of the sorted base entries with the sorted
+  // removal and upsert streams. An upsert for an address also in base wins
+  // over the base word; a removal drops the base entry.
+  next.addresses_.reserve(base.addresses_.size() + upserts_.size());
+  next.verdicts_.reserve(base.addresses_.size() + upserts_.size());
+  std::size_t ri = 0;
+  std::size_t ui = 0;
+  auto push_upserts_below = [&](std::uint32_t limit) {
+    while (ui < upserts_.size() && upserts_[ui].first < limit) {
+      next.addresses_.push_back(upserts_[ui].first);
+      next.verdicts_.push_back(upserts_[ui].second);
+      ++ui;
+    }
+  };
+  for (std::size_t i = 0; i < base.addresses_.size(); ++i) {
+    const std::uint32_t address = base.addresses_[i];
+    push_upserts_below(address);
+    while (ri < removed_.size() && removed_[ri] < address) ++ri;
+    if (ri < removed_.size() && removed_[ri] == address) {
+      ++ri;
+      continue;
+    }
+    if (ui < upserts_.size() && upserts_[ui].first == address) {
+      next.addresses_.push_back(address);
+      next.verdicts_.push_back(upserts_[ui].second);
+      ++ui;
+      continue;
+    }
+    next.addresses_.push_back(address);
+    next.verdicts_.push_back(base.verdicts_[i]);
+  }
+  push_upserts_below(std::numeric_limits<std::uint32_t>::max());
+  // The final upsert may target address 0xffffffff itself.
+  if (ui < upserts_.size()) {
+    next.addresses_.push_back(upserts_[ui].first);
+    next.verdicts_.push_back(upserts_[ui].second);
+  }
+
+  std::set_difference(base.dynamic24_.begin(), base.dynamic24_.end(),
+                      dynamic24_removed_.begin(), dynamic24_removed_.end(),
+                      std::back_inserter(next.dynamic24_));
+  std::vector<std::uint32_t> merged;
+  merged.reserve(next.dynamic24_.size() + dynamic24_added_.size());
+  std::merge(next.dynamic24_.begin(), next.dynamic24_.end(),
+             dynamic24_added_.begin(), dynamic24_added_.end(),
+             std::back_inserter(merged));
+  next.dynamic24_ = std::move(merged);
+
+  next.top_lists_ = top_lists_changed_ ? top_lists_ : base.top_lists_;
+
+  build_bucket_index(next.addresses_, next.buckets_, next.bucket_offsets_);
+  next.seal();
+  if (next.fingerprint_ != target_fingerprint_) {
+    // The merge reproduced *something*, but not the snapshot diff() saw —
+    // a stale/foreign delta must never be published.
+    return fail("applied result fingerprint " + hex16(next.fingerprint_) +
+                " does not match delta target " + hex16(target_fingerprint_));
+  }
+  return next;
 }
 
 }  // namespace reuse::serve

@@ -33,6 +33,7 @@
 #include <span>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "blocklist/store.h"
@@ -45,6 +46,18 @@ class ThreadPool;
 }
 
 namespace reuse::serve {
+
+/// On-disk magics of the two serve artifacts. Exposed (with file_magic)
+/// so LookupServer::reload can sniff which loader a file belongs to
+/// without attempting both.
+inline constexpr std::uint64_t kCompiledSnapshotMagic =
+    0x524555534c4bULL;  // "REUSLK"
+inline constexpr std::uint64_t kSnapshotDeltaMagic =
+    0x52455553444cULL;  // "REUSDL"
+
+/// First 8 bytes of `path` as a little-endian word; 0 when the file is
+/// missing, unreadable, or shorter than a magic.
+[[nodiscard]] std::uint64_t file_magic(const std::string& path);
 
 /// Verdict bit assignments inside a compiled snapshot's 32-bit word.
 inline constexpr std::uint32_t kVerdictListed = 1u << 0;
@@ -149,6 +162,7 @@ class CompiledSnapshot {
 
  private:
   friend class SnapshotBuilder;
+  friend class SnapshotDelta;
 
   [[nodiscard]] std::string payload_bytes() const;
   void seal();  ///< recomputes fingerprint_ from the payload
@@ -161,6 +175,81 @@ class CompiledSnapshot {
   std::vector<blocklist::ListId> top_lists_;
   std::uint64_t source_fingerprint_ = 0;
   std::uint64_t fingerprint_ = 0;
+};
+
+/// Delta between two compiled snapshots: the artifact an incremental
+/// pipeline ships to a running `lookupd` instead of a full snapshot.
+///
+/// A delta is keyed by the BASE snapshot's payload fingerprint and records
+/// only what changed: entry removals, entry upserts (new address or changed
+/// verdict word), dynamic-/24 removals/additions, and the (small) top-list
+/// table as a whole. apply() refuses a base whose fingerprint does not
+/// match, rebuilds the target arrays by a linear merge, and then verifies
+/// the rebuilt payload hashes to the recorded TARGET fingerprint — so a
+/// delta can never silently produce a snapshot other than the one diff()
+/// saw, no matter what happened to the file in between.
+///
+/// On-disk framing follows the snapshot discipline (own magic, version,
+/// bounded counts, FNV-1a payload checksum); CompiledSnapshot::load and
+/// SnapshotDelta::load each reject the other's files on magic alone, which
+/// is what lets LookupServer::reload sniff the file kind.
+class SnapshotDelta {
+ public:
+  /// Fingerprint of the snapshot this delta applies on top of.
+  [[nodiscard]] std::uint64_t base_fingerprint() const {
+    return base_fingerprint_;
+  }
+  /// Fingerprint the applied result must hash to.
+  [[nodiscard]] std::uint64_t target_fingerprint() const {
+    return target_fingerprint_;
+  }
+  [[nodiscard]] std::size_t removed_count() const { return removed_.size(); }
+  [[nodiscard]] std::size_t upsert_count() const { return upserts_.size(); }
+  [[nodiscard]] std::size_t dynamic24_removed_count() const {
+    return dynamic24_removed_.size();
+  }
+  [[nodiscard]] std::size_t dynamic24_added_count() const {
+    return dynamic24_added_.size();
+  }
+  /// True when the delta carries no changes (base == target byte-wise).
+  [[nodiscard]] bool empty() const {
+    return removed_.empty() && upserts_.empty() &&
+           dynamic24_removed_.empty() && dynamic24_added_.empty() &&
+           !top_lists_changed_;
+  }
+
+  /// Applies the delta to `base`, producing the target snapshot. Returns
+  /// nullopt (with a distinct diagnostic in `*error`, which may be null)
+  /// when `base`'s fingerprint does not match base_fingerprint(), or when
+  /// the rebuilt payload does not hash to target_fingerprint().
+  [[nodiscard]] std::optional<CompiledSnapshot> apply(
+      const CompiledSnapshot& base, std::string* error = nullptr) const;
+
+  /// Serializes atomically (tmp file + rename), like CompiledSnapshot.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+  /// Loads and validates a delta artifact: magic, version, bounded counts,
+  /// payload checksum, sorted-array invariants. Rejections carry distinct
+  /// diagnostics; a compiled-snapshot file is rejected on magic.
+  [[nodiscard]] static std::optional<SnapshotDelta> load(
+      const std::string& path, std::string* error = nullptr);
+
+ private:
+  friend class SnapshotBuilder;
+
+  [[nodiscard]] std::string payload_bytes() const;
+
+  std::uint64_t base_fingerprint_ = 0;
+  std::uint64_t target_fingerprint_ = 0;
+  std::uint64_t target_source_fingerprint_ = 0;
+  std::vector<std::uint32_t> removed_;  ///< sorted addresses leaving the set
+  /// (address, verdict) for new or re-worded entries, address-sorted.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> upserts_;
+  std::vector<std::uint32_t> dynamic24_removed_;  ///< sorted /24 keys
+  std::vector<std::uint32_t> dynamic24_added_;    ///< sorted /24 keys
+  /// Replacement top-list table, shipped whole (<= kMaxTopLists entries).
+  std::vector<blocklist::ListId> top_lists_;
+  bool top_lists_changed_ = false;
 };
 
 /// Compiles the offline pipeline's products into a CompiledSnapshot.
@@ -200,6 +289,12 @@ class SnapshotBuilder {
   /// (nullptr = serial); every entry writes only its own index-addressed
   /// slot, so the resulting bytes are identical for any pool size.
   [[nodiscard]] CompiledSnapshot build(net::ThreadPool* pool = nullptr) const;
+
+  /// Structural diff of two compiled snapshots, keyed by `base`'s
+  /// fingerprint and sealed with `next`'s: apply(base) == next, bytes and
+  /// all. Both snapshots are left untouched; diff(x, x) is empty().
+  [[nodiscard]] static SnapshotDelta diff(const CompiledSnapshot& base,
+                                          const CompiledSnapshot& next);
 
  private:
   const blocklist::SnapshotStore* store_ = nullptr;

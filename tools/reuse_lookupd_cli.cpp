@@ -314,8 +314,12 @@ int main(int argc, char** argv) {
 
     // Mid-run reload sequence: one deliberately corrupted copy first (the
     // failure must leave the last-good snapshot serving), then the real
-    // artifact. Proves the fallback path on every --serve run.
+    // artifact, then a snapshot *delta* applied onto the live snapshot.
+    // The delta is an identity diff — same verdicts, so the deterministic
+    // workload is undisturbed — but the apply path (fingerprint gate,
+    // merge, re-seal, epoch publish) runs for real under live queries.
     const std::string corrupt_path = snapshot_path + ".corrupt";
+    const std::string delta_path = snapshot_path + ".delta";
     {
       std::ifstream in(snapshot_path, std::ios::binary);
       std::ostringstream bytes;
@@ -326,7 +330,10 @@ int main(int argc, char** argv) {
       out.write(artifact.data(),
                 static_cast<std::streamsize>(artifact.size() / 2));
     }
+    const bool delta_saved =
+        serve::SnapshotBuilder::diff(*snapshot, *snapshot).save(delta_path);
     std::uint64_t reload_attempts_failed = 0;
+    bool delta_applied = false;
     std::thread reloader([&] {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
       std::string why;
@@ -337,6 +344,12 @@ int main(int argc, char** argv) {
       }
       if (!server.reload(snapshot_path, &why)) {
         std::cerr << "error: reload of good artifact failed: " << why << '\n';
+      }
+      if (delta_saved) {
+        delta_applied = server.reload(delta_path, &why);
+        if (!delta_applied) {
+          std::cerr << "error: delta reload failed: " << why << '\n';
+        }
       }
     });
 
@@ -378,6 +391,7 @@ int main(int argc, char** argv) {
     reconciled &= server.reloads() >= 1;
     reconciled &= server.reload_failures() == reload_attempts_failed &&
                   reload_attempts_failed == 1;
+    reconciled &= delta_applied;
 
     std::ostringstream json;
     json.precision(3);
@@ -401,6 +415,8 @@ int main(int argc, char** argv) {
          << "  \"served_reused\": " << stats.served_reused << ",\n"
          << "  \"reloads\": " << server.reloads() << ",\n"
          << "  \"reload_failures\": " << server.reload_failures() << ",\n"
+         << "  \"delta_applied\": " << (delta_applied ? "true" : "false")
+         << ",\n"
          << "  \"wall_seconds\": " << load.wall_seconds << ",\n"
          << "  \"throughput_qps\": " << load.throughput_qps << ",\n"
          << "  \"p50_nanos\": " << load.p50_nanos << ",\n"

@@ -4,8 +4,9 @@
 //
 //   reuse_study [--seed N] [--ases N] [--crawl-days N] [--probes N]
 //               [--jobs N] [--out-dir DIR] [--census]
-//               [--cache [--cache-file PATH]] [--chaos [--chaos-seed N]]
-//               [--metrics-out FILE]
+//               [--cache [--cache-file PATH]] [--resume-days K]
+//               [--chaos [--chaos-seed N]] [--metrics-out FILE]
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -37,6 +38,12 @@ int main(int argc, char** argv) {
                     "reuse the on-disk scenario cache (fingerprint-keyed "
                     "file, honours $REUSE_CACHE_DIR)");
   flags.define("cache-file", "explicit cache file path (implies --cache)");
+  flags.define("resume-days",
+               "evolve the cached base scenario this many extra days through "
+               "the incremental pipeline instead of re-simulating the full "
+               "span (implies --cache; products are byte-identical to a "
+               "fresh extended run)",
+               "0");
   flags.define_bool("chaos",
                     "inject the default fault plan (loss bursts, bootstrap "
                     "and feed outages, corrupted feeds, Atlas gaps) and "
@@ -94,7 +101,28 @@ int main(int argc, char** argv) {
   }
   config.finalize();
 
-  const bool use_cache = flags.get_bool("cache") || flags.has("cache-file");
+  const int resume_days =
+      static_cast<int>(flags.get_int("resume-days").value_or(0));
+  if (resume_days < 0) {
+    std::cerr << "error: --resume-days must be non-negative, got "
+              << resume_days << '\n';
+    return 2;
+  }
+  if (resume_days > 0) {
+    // The resumed products are only byte-identical to a fresh extended run
+    // when base and extended runs resolve to the SAME abuse horizon, so the
+    // base config must declare it up front: end of the last collection
+    // period plus the resume window.
+    std::int64_t last_end_seconds = 0;
+    for (const net::TimeWindow& period : config.ecosystem.periods) {
+      last_end_seconds = std::max(last_end_seconds, period.end.seconds());
+    }
+    config.horizon_days =
+        static_cast<int>(last_end_seconds / 86400) + resume_days;
+  }
+
+  const bool use_cache = flags.get_bool("cache") || flags.has("cache-file") ||
+                         resume_days > 0;
   if (use_cache) {
     // Fail fast on an unusable cache path — silently simulating for minutes
     // and then failing (or quietly not caching) helps nobody.
@@ -109,7 +137,24 @@ int main(int argc, char** argv) {
 
   std::cerr << "simulating (seed " << config.seed << ", "
             << config.world.as_count << " ASes)...\n";
+  analysis::EvolvePath evolve_path = analysis::EvolvePath::kFreshRun;
   const analysis::CachedScenario s = [&] {
+    if (resume_days > 0) {
+      // Ensure the base cache exists (a no-op load when it already does),
+      // then evolve from it — so the first --resume-days invocation costs
+      // base + tail, and every later one just the tail.
+      {
+        const analysis::CachedScenario base =
+            analysis::run_scenario_cached(config, flags.get("cache-file"));
+        std::cerr << (base.cache_hit
+                          ? "loaded base scenario from cache\n"
+                          : "simulated base scenario and wrote cache\n");
+      }
+      analysis::EvolvedScenario evolved = analysis::evolve_scenario_cached(
+          config, resume_days, flags.get("cache-file"));
+      evolve_path = evolved.path;
+      return std::move(evolved.scenario);
+    }
     if (use_cache) {
       return analysis::run_scenario_cached(config, flags.get("cache-file"));
     }
@@ -127,7 +172,13 @@ int main(int argc, char** argv) {
     wrapped.stage_times = std::move(fresh.stage_times);
     return wrapped;
   }();
-  if (use_cache) {
+  if (resume_days > 0) {
+    std::cerr << (evolve_path == analysis::EvolvePath::kResumed
+                      ? "resumed cached base scenario (+" +
+                            std::to_string(resume_days) + " days)\n"
+                      : "no usable base cache; simulated the extended span "
+                        "fresh\n");
+  } else if (use_cache) {
     std::cerr << (s.cache_hit ? "loaded crawl+ecosystem from cache\n"
                               : "simulated fresh and wrote cache\n");
   }
