@@ -75,6 +75,17 @@ std::string run_manifest_json(const RunManifestInfo& info) {
   } else {
     out << ", \"snapshot_fingerprint\": null";
   }
+  if (info.preset.has_value()) {
+    out << ", \"preset\": \"" << net::json_escape(*info.preset) << '"';
+  } else {
+    out << ", \"preset\": null";
+  }
+  if (info.sweep_cell_id.has_value()) {
+    out << ", \"sweep_cell_id\": \"" << net::json_escape(*info.sweep_cell_id)
+        << '"';
+  } else {
+    out << ", \"sweep_cell_id\": null";
+  }
   if (info.stage_times != nullptr) {
     out << ", \"stages\": "
         << info.stage_times->to_json(

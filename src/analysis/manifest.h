@@ -30,6 +30,13 @@ struct RunManifestInfo {
   /// run produced, when it produced one (reuse_lookupd). CI cross-checks
   /// this against the fingerprint BENCH_lookup.json reports.
   std::optional<std::string> snapshot_fingerprint;
+  /// Scenario preset applied to the base config (analysis/presets.h), when
+  /// one was: reuse_study --preset, or the preset of a sweep cell.
+  std::optional<std::string> preset;
+  /// The sweep cell this run executed ("preset/axis=value,..."), for runs
+  /// launched by reuse_sweep; ties a per-cell manifest back to its row in
+  /// sweep_report.json.
+  std::optional<std::string> sweep_cell_id;
 };
 
 /// Renders the manifest as one JSON object (schema_version 1):
@@ -38,6 +45,7 @@ struct RunManifestInfo {
 ///    "jobs" | null, "cache": {"consulted", "hit"} | null,
 ///    "fault_plan": {"seed", "episodes", "by_kind"} | null,
 ///    "snapshot_fingerprint" (16-hex string | null),
+///    "preset" | null, "sweep_cell_id" | null,
 ///    "stages": StageTimer JSON | null, "metrics": registry snapshot}
 /// Touches the cross-cutting families' registration hooks first (cache_,
 /// faults_, pool_), so a run that never consulted the cache or injected a

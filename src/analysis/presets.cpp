@@ -1,0 +1,99 @@
+#include "analysis/presets.h"
+
+namespace reuse::analysis {
+namespace {
+
+// The identity transform: the base config as handed in. Kept as a real
+// registry entry (not a special case) so sweeps always have a cell 0 to
+// normalize against and --preset baseline is a valid spelling.
+void apply_baseline(ScenarioConfig&) {}
+
+// Carrier-grade-NAT-heavy region (the paper's Section 5 worst case: one
+// listed address penalizes up to 78 users). Most eyeball ASes deploy CGN on
+// a large share of their space; classic per-subscriber dynamic pools shrink
+// correspondingly, and the users-per-address tail fattens.
+void apply_cgn_dominant(ScenarioConfig& config) {
+  config.world.cgn_as_fraction = 0.45;
+  config.world.cgn_prefix_share = 0.40;
+  config.world.dynamic_as_fraction = 0.15;
+  config.world.weight_home_nat = 0.38;
+  config.world.weight_static_residential = 0.25;
+  // Fatter subscriber fan-out per public address (lower alpha = heavier
+  // Pareto tail toward the cgn_users_cap).
+  config.world.cgn_users_alpha = 1.5;
+}
+
+// Short-lease consumer-DSL region: most ASes run dynamic pools and the
+// lease-mean range is squeezed toward daily churn, so reuse is dominated by
+// honest DHCP rotation rather than NAT sharing.
+void apply_dhcp_churn(ScenarioConfig& config) {
+  config.world.dynamic_as_fraction = 0.65;
+  config.world.dynamic_prefix_share = 0.45;
+  config.world.cgn_as_fraction = 0.03;
+  config.world.min_mean_lease_seconds = 2.0 * 3600;    // 2 hours
+  config.world.max_mean_lease_seconds = 30.0 * 86400;  // a month
+}
+
+// Enterprise / hosting-centric region: statically assigned space with high
+// occupancy, few dynamic pools, almost no CGN — the regime where blocklists
+// work as intended (a listing names a persistent host).
+void apply_static_enterprise(ScenarioConfig& config) {
+  config.world.dynamic_as_fraction = 0.04;
+  config.world.cgn_as_fraction = 0.01;
+  config.world.weight_static_residential = 0.45;
+  config.world.weight_server = 0.25;
+  config.world.weight_home_nat = 0.12;
+  config.world.static_occupancy = 0.75;
+  config.world.min_mean_lease_seconds = 30.0 * 86400;  // leases look static
+}
+
+// Listing-evasion via rapid re-allocation: infected dynamic subscribers
+// rotate addresses ~12x faster than honest tenants of the same pools
+// (WorldConfig::evasion_lease_factor), and feeds rarely re-observe a listed
+// address because the abuser has already moved on — so listings go stale
+// fast while collateral smears across more of each pool.
+void apply_adversarial_evasion(ScenarioConfig& config) {
+  config.world.evasion_lease_factor = 12.0;
+  config.ecosystem.reobservation_extend_rate = 0.02;
+  config.ecosystem.short_retention_fraction = 0.65;
+}
+
+}  // namespace
+
+const std::vector<ScenarioPreset>& scenario_presets() {
+  static const std::vector<ScenarioPreset> kPresets = {
+      {"baseline", "the base config unchanged (sweep reference cell)",
+       apply_baseline},
+      {"cgn_dominant",
+       "CGN-heavy region: most ASes NAT large shares of their space",
+       apply_cgn_dominant},
+      {"dhcp_churn",
+       "short-lease consumer region: dynamic pools rotating near-daily",
+       apply_dhcp_churn},
+      {"static_enterprise",
+       "statically assigned enterprise space, minimal reuse",
+       apply_static_enterprise},
+      {"adversarial_evasion",
+       "abusers churn leases ~12x faster to outrun listings",
+       apply_adversarial_evasion},
+  };
+  return kPresets;
+}
+
+const ScenarioPreset* parse_preset(const std::string& name) {
+  for (const ScenarioPreset& preset : scenario_presets()) {
+    if (name == preset.name) return &preset;
+  }
+  return nullptr;
+}
+
+std::string preset_names() {
+  std::string out;
+  for (const ScenarioPreset& preset : scenario_presets()) {
+    if (!out.empty()) out += ", ";
+    out += preset.name;
+  }
+  return out;
+}
+
+}  // namespace reuse::analysis

@@ -1,0 +1,40 @@
+// Named scenario presets: ISP-mix and adversarial variants of a base config.
+//
+// Each preset is a deterministic transform over a caller-supplied
+// ScenarioConfig — it rewrites generator knobs, never seeds or scale, so one
+// base config (test/bench/world-scale) fans out into comparable variants
+// whose differences are exactly the ISP mix. The sweep runner (src/sweep)
+// crosses these presets with parameter axes; reuse_study exposes them via
+// --preset. Registry order is fixed and meaningful: sweeps report every cell
+// relative to the first preset (`baseline`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.h"
+
+namespace reuse::analysis {
+
+/// One named configuration transform. `apply` must be deterministic and
+/// depend only on its argument — the preset's config_fingerprint is golden-
+/// tested, so any change to a transform is a visible calibration event.
+struct ScenarioPreset {
+  const char* name;
+  /// One-line description for --list-presets and the sweep report.
+  const char* summary;
+  void (*apply)(ScenarioConfig& config);
+};
+
+/// All presets, in registry order: baseline (identity), cgn_dominant,
+/// dhcp_churn, static_enterprise, adversarial_evasion.
+[[nodiscard]] const std::vector<ScenarioPreset>& scenario_presets();
+
+/// Looks a preset up by exact name; nullptr when unknown. CLIs exit 2 on
+/// nullptr, listing `preset_names()`.
+[[nodiscard]] const ScenarioPreset* parse_preset(const std::string& name);
+
+/// Comma-separated registry names, for error messages and --list-presets.
+[[nodiscard]] std::string preset_names();
+
+}  // namespace reuse::analysis

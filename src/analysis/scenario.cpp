@@ -153,6 +153,10 @@ void write_fingerprint_fields(net::BinaryWriter& w,
   w.write(world.icmp_filtered_as_fraction);
   w.write(world.abuse_events_per_day_user);
   w.write(world.abuse_events_per_day_server);
+  // Appending a field re-keys every cache filename (clean misses, no stale
+  // reads), so the default world's products stay valid without a
+  // kCalibrationVersion bump: factor 1.0 changes no draw.
+  w.write(world.evasion_lease_factor);
 
   w.write(static_cast<std::int64_t>(c.crawl_days));
 

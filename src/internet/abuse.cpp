@@ -104,8 +104,16 @@ void generate_into(const World& world, const AbuseGenConfig& config,
         user_rng.poisson(config.user_events_per_day * active_days);
     if (n == 0) continue;
     if (user.attachment == AttachmentKind::kDynamic) {
-      const LeaseTimeline timeline(world.pool(user.pool_index), user.seed,
-                                   config.window);
+      // Adversarial churn: an evading infected subscriber rotates addresses
+      // `evasion_lease_factor` times faster than the pool's honest tenants.
+      // Factor 1.0 passes no override, so the draws (and the stream) are
+      // byte-identical to a world predating the knob.
+      const DynamicPoolInfo& pool = world.pool(user.pool_index);
+      const double evasion = world.config().evasion_lease_factor;
+      const double override_mean =
+          evasion > 1.0 ? pool.mean_lease_seconds / evasion : 0.0;
+      const LeaseTimeline timeline(pool, user.seed, config.window,
+                                   override_mean);
       for (std::uint64_t i = 0; i < n; ++i) {
         const std::int64_t when = draw_time_in(user_rng, *episode);
         const auto address = timeline.address_at(net::SimTime(when));

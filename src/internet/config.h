@@ -94,6 +94,21 @@ struct WorldConfig {
   // episode is running — abuse is bursty, not continuous) ------------------
   double abuse_events_per_day_user = 3.0;
   double abuse_events_per_day_server = 4.0;
+
+  // --- Adversarial churn ---------------------------------------------------
+  /// Listing-evasion via rapid re-allocation: infected *dynamic* subscribers
+  /// rotate addresses this many times faster than honest subscribers of the
+  /// same pool (their lease mean is divided by the factor). Once a feed
+  /// lists the address the abuse has already moved on, so the listing goes
+  /// stale quickly while the taint smears across more of the pool — the
+  /// adversarial regime the sweep's `adversarial_evasion` preset measures.
+  /// 1.0 (the default) is byte-identical to a world without the knob. The
+  /// simulator has no feedback loop from feed state into lease draws (that
+  /// would break abuse-stream slicing and the incremental cache), so the
+  /// evasion response is modelled in expectation: the adversary churns fast
+  /// for the whole infection episode instead of churning only after each
+  /// listing event.
+  double evasion_lease_factor = 1.0;
 };
 
 /// A smaller world for unit tests: fast to build, still exercises every role.

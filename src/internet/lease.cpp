@@ -13,7 +13,10 @@ net::Ipv4Address draw_pool_address(const DynamicPoolInfo& pool, net::Rng& rng) {
 }
 
 LeaseTimeline::LeaseTimeline(const DynamicPoolInfo& pool,
-                             std::uint64_t user_seed, net::TimeWindow window) {
+                             std::uint64_t user_seed, net::TimeWindow window,
+                             double mean_lease_override) {
+  const double mean_lease_seconds =
+      mean_lease_override > 0.0 ? mean_lease_override : pool.mean_lease_seconds;
   net::Rng rng(user_seed ^ 0x1ea5e11fe11fULL);
   // The subscriber's home segment: most grants come from one /24.
   const net::Ipv4Prefix home =
@@ -28,7 +31,7 @@ LeaseTimeline::LeaseTimeline(const DynamicPoolInfo& pool,
   net::Ipv4Address current = draw();
   while (t < window.end) {
     const auto lease = net::Duration(std::max<std::int64_t>(
-        60, static_cast<std::int64_t>(rng.exponential(pool.mean_lease_seconds))));
+        60, static_cast<std::int64_t>(rng.exponential(mean_lease_seconds))));
     net::SimTime end = t + lease;
     if (end > window.end) end = window.end;
     segments_.push_back(LeaseSegment{t, end, current});

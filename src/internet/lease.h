@@ -29,9 +29,12 @@ class LeaseTimeline {
   /// Simulates the history: segment lengths are exponential around the
   /// pool's mean lease, each expiry reassigns a fresh address from the pool
   /// (never the one just released — pools hand addresses back out to other
-  /// subscribers first).
+  /// subscribers first). `mean_lease_override` (seconds) replaces the
+  /// pool's mean when > 0 — the adversarial-evasion path hands infected
+  /// subscribers a tightened mean; 0 keeps the pool's and draws the exact
+  /// same RNG sequence as before the parameter existed.
   LeaseTimeline(const DynamicPoolInfo& pool, std::uint64_t user_seed,
-                net::TimeWindow window);
+                net::TimeWindow window, double mean_lease_override = 0.0);
 
   [[nodiscard]] const std::vector<LeaseSegment>& segments() const {
     return segments_;

@@ -7,11 +7,19 @@ namespace reuse::net {
 
 void FlagParser::define(const std::string& name, const std::string& help,
                         const std::string& default_value) {
-  flags_[name] = Flag{help, default_value, /*boolean=*/false, false, {}};
+  flags_[name] = Flag{help, default_value, /*boolean=*/false, /*multi=*/false,
+                      false, {}, {}};
 }
 
 void FlagParser::define_bool(const std::string& name, const std::string& help) {
-  flags_[name] = Flag{help, "false", /*boolean=*/true, false, {}};
+  flags_[name] = Flag{help, "false", /*boolean=*/true, /*multi=*/false,
+                      false, {}, {}};
+}
+
+void FlagParser::define_multi(const std::string& name,
+                              const std::string& help) {
+  flags_[name] = Flag{help, "", /*boolean=*/false, /*multi=*/true,
+                      false, {}, {}};
 }
 
 bool FlagParser::parse(int argc, const char* const* argv) {
@@ -49,6 +57,7 @@ bool FlagParser::parse(int argc, const char* const* argv) {
     }
     flag.set = true;
     flag.value = std::move(value);
+    if (flag.multi) flag.values.push_back(flag.value);
   }
   return true;
 }
@@ -62,6 +71,12 @@ std::string FlagParser::get(const std::string& name) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return {};
   return it->second.set ? it->second.value : it->second.default_value;
+}
+
+std::vector<std::string> FlagParser::get_multi(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return {};
+  return it->second.values;
 }
 
 std::optional<std::int64_t> FlagParser::get_int(const std::string& name) const {

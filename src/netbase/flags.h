@@ -19,6 +19,10 @@ class FlagParser {
   void define(const std::string& name, const std::string& help,
               const std::string& default_value = "");
   void define_bool(const std::string& name, const std::string& help);
+  /// Registers a repeatable flag: every occurrence appends its value, in
+  /// command-line order (`--axis a=1 --axis b=2`). get() returns the last
+  /// occurrence; get_multi() returns them all.
+  void define_multi(const std::string& name, const std::string& help);
 
   /// Parses argv. Returns false (and fills error()) on unknown flags or a
   /// missing value.
@@ -31,6 +35,8 @@ class FlagParser {
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name) const;
+  /// All values of a repeatable flag, in the order given; empty when unset.
+  [[nodiscard]] std::vector<std::string> get_multi(const std::string& name) const;
   [[nodiscard]] std::optional<std::int64_t> get_int(const std::string& name) const;
   [[nodiscard]] std::optional<double> get_double(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
@@ -44,8 +50,10 @@ class FlagParser {
     std::string help;
     std::string default_value;
     bool boolean = false;
+    bool multi = false;
     bool set = false;
     std::string value;
+    std::vector<std::string> values;  ///< every occurrence, multi flags only
   };
 
   std::map<std::string, Flag> flags_;

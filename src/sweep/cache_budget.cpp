@@ -1,0 +1,69 @@
+#include "sweep/cache_budget.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <unordered_set>
+
+namespace reuse::sweep {
+
+namespace fs = std::filesystem;
+
+CacheBudgetReport enforce_cache_budget(
+    const std::string& dir, std::int64_t budget_bytes,
+    const std::vector<std::string>& active_paths) {
+  CacheBudgetReport report;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return report;
+
+  // Normalize the active set to absolute lexical paths so relative and
+  // absolute spellings of the same file compare equal.
+  std::unordered_set<std::string> active;
+  active.reserve(active_paths.size());
+  for (const std::string& path : active_paths) {
+    active.insert(fs::absolute(path, ec).lexically_normal().string());
+  }
+
+  struct Entry {
+    fs::path path;
+    std::int64_t bytes = 0;
+    fs::file_time_type mtime;
+    bool is_active = false;
+  };
+  std::vector<Entry> entries;
+  for (const fs::directory_entry& item : fs::directory_iterator(dir, ec)) {
+    if (!item.is_regular_file(ec)) continue;
+    if (item.path().extension() != ".cache") continue;
+    Entry entry;
+    entry.path = item.path();
+    entry.bytes = static_cast<std::int64_t>(item.file_size(ec));
+    entry.mtime = item.last_write_time(ec);
+    entry.is_active = active.count(
+                          fs::absolute(entry.path, ec).lexically_normal()
+                              .string()) > 0;
+    report.dir_bytes_before += entry.bytes;
+    ++report.files_scanned;
+    if (entry.is_active) ++report.files_protected;
+    entries.push_back(std::move(entry));
+  }
+  report.dir_bytes_after = report.dir_bytes_before;
+  if (budget_bytes <= 0) return report;
+  report.enforced = true;
+
+  // Oldest first; equal mtimes (coarse filesystems) break by path so the
+  // eviction order — and every test asserting on it — is deterministic.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.string() < b.path.string();
+  });
+  for (const Entry& entry : entries) {
+    if (report.dir_bytes_after <= budget_bytes) break;
+    if (entry.is_active) continue;
+    if (!fs::remove(entry.path, ec) || ec) continue;
+    report.dir_bytes_after -= entry.bytes;
+    report.bytes_evicted += entry.bytes;
+    ++report.files_evicted;
+  }
+  return report;
+}
+
+}  // namespace reuse::sweep

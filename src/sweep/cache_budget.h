@@ -1,0 +1,39 @@
+// Cache-directory housekeeping: byte accounting and LRU eviction.
+//
+// Sweeps multiply cache files (one per cell), so the cache dir needs a
+// budget: scan the `*.cache` files, report the byte total, and — when a
+// budget is set — evict oldest-modification-time first until the directory
+// fits, never touching the files the running sweep itself produced or will
+// read (the active set). Eviction order is deterministic: mtime ascending,
+// ties broken by path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reuse::sweep {
+
+struct CacheBudgetReport {
+  std::int64_t dir_bytes_before = 0;  ///< `*.cache` bytes found by the scan
+  std::int64_t dir_bytes_after = 0;   ///< bytes remaining after eviction
+  std::size_t files_scanned = 0;
+  std::size_t files_evicted = 0;
+  std::int64_t bytes_evicted = 0;
+  /// Active-set files present in the directory (never eviction candidates).
+  std::size_t files_protected = 0;
+  /// False when budget_bytes <= 0 (accounting-only scan, nothing evicted).
+  bool enforced = false;
+};
+
+/// Scans `dir` (non-recursive) for `*.cache` files and, when
+/// `budget_bytes > 0`, deletes the oldest non-active files until the total
+/// is within budget. `active_paths` are the running sweep's own cell
+/// caches — they are never evicted even when the active set alone exceeds
+/// the budget (the sweep must stay resumable). A missing directory yields
+/// an all-zero report.
+[[nodiscard]] CacheBudgetReport enforce_cache_budget(
+    const std::string& dir, std::int64_t budget_bytes,
+    const std::vector<std::string>& active_paths);
+
+}  // namespace reuse::sweep

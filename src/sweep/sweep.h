@@ -1,0 +1,145 @@
+// Comparative scenario sweeps: presets × parameter axes, cached cells.
+//
+// A sweep expands a base scenario configuration across named presets
+// (analysis/presets.h) and numeric parameter axes (`days=60,120`,
+// `cgn_share=0.2,0.5`) into a deterministic list of cells, runs every cell
+// through the scenario cache — resuming cached shorter-horizon bases when
+// only the `days` axis differs — and joins the per-cell headline impact
+// metrics into one comparative report. Cells are fault-isolated: one
+// failing cell marks itself failed and the sweep carries on. The cell list
+// order, every cell's config fingerprint, and the whole deterministic
+// report are byte-identical for every `--jobs` value.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/presets.h"
+#include "analysis/scenario.h"
+
+namespace reuse::sweep {
+
+/// One parameter axis: a knob name from the axis table plus the values the
+/// sweep crosses it over. Raw spellings are kept for cell ids and the
+/// report; `numbers` is the parsed form the appliers consume.
+struct SweepAxis {
+  std::string name;
+  std::vector<std::string> raw_values;
+  std::vector<double> numbers;
+};
+
+/// Parses `days=60,120` against the axis table (days, seed, ases, probes,
+/// crawl_days, cgn_share, dyn_share, evasion). Returns nullopt and fills
+/// `error` on an unknown axis name, empty/duplicate values, or a value
+/// outside the axis's domain.
+[[nodiscard]] std::optional<SweepAxis> parse_axis(const std::string& text,
+                                                  std::string* error);
+
+/// Comma-separated names the axis table accepts, for error messages.
+[[nodiscard]] std::string axis_names();
+
+struct SweepConfig {
+  /// Base scenario every cell derives from (finalized internally).
+  analysis::ScenarioConfig base;
+  /// Presets to cross, in report order; the FIRST is the baseline cell
+  /// every ratio in the report is computed against.
+  std::vector<const analysis::ScenarioPreset*> presets;
+  /// Axes, crossed row-major in the given order (last axis fastest).
+  std::vector<SweepAxis> axes;
+  /// Directory holding the per-cell cache files (created if missing).
+  std::string cache_dir = ".";
+  /// Concurrent chains (0 = hardware threads). Cells WITHIN a chain run
+  /// serially — later days resume earlier ones — and each cell runs its
+  /// scenario stages serially, so `jobs` bounds total concurrency.
+  int jobs = 1;
+  /// Write a per-cell run manifest (manifest.h JSON with preset +
+  /// sweep_cell_id) under `manifest_dir` when non-empty.
+  std::string manifest_dir;
+  /// Cache-budget enforcement after the sweep: 0 = unlimited.
+  std::int64_t cache_budget_bytes = 0;
+  /// Test hook: the cell at this expansion index throws mid-run (-1 = off).
+  int inject_fail_cell = -1;
+};
+
+/// One (preset, axis-values) assignment in expansion order.
+struct SweepCell {
+  std::string id;  ///< "preset/axis1=v1,axis2=v2" (axes in config order)
+  std::string preset;
+  std::vector<std::pair<std::string, std::string>> axis_values;
+  analysis::ScenarioConfig config;  ///< finalized; jobs forced to 1
+  /// Cells sharing (preset, every non-days axis value) form a chain keyed
+  /// by this string; within a chain, days ascend and later cells resume
+  /// earlier ones from the cache.
+  std::string chain_key;
+  int days = 0;  ///< days-axis value (0 = no days axis: base periods)
+};
+
+/// Deterministic expansion: preset-major (registry order as configured),
+/// then axes row-major. Every cell's config carries `horizon_days` =
+/// its chain's maximum days, so chain resumes are byte-identical to fresh
+/// runs (see DESIGN § incremental pipeline).
+[[nodiscard]] std::vector<SweepCell> expand_cells(const SweepConfig& config);
+
+/// How a finished cell obtained its products.
+enum class CellPath {
+  kFresh,     ///< full simulation (cache written for next time)
+  kCacheHit,  ///< own cache file restored
+  kResumed,   ///< evolved from an earlier cell of the chain
+};
+
+/// One cell's outcome: identity, headline Section 5 metrics, and cache
+/// attribution. Every field except `wall_millis` is deterministic.
+struct CellResult {
+  std::string id;
+  std::string preset;
+  std::vector<std::pair<std::string, std::string>> axis_values;
+  std::uint64_t config_fingerprint = 0;
+  bool failed = false;
+  std::string error;
+
+  // Headline metrics (zero when failed).
+  std::uint64_t blocklisted_addresses = 0;
+  std::uint64_t reused_addresses = 0;  ///< unjustly blocked (NATed ∪ dynamic)
+  std::uint64_t nated_blocklisted = 0;
+  std::uint64_t dynamic_blocklisted = 0;
+  std::uint64_t total_listings = 0;
+  std::uint64_t nat_users_lower_bound = 0;  ///< Fig 8 concurrent-user sum
+  double listing_days_p50 = 0.0;
+  double listing_days_p90 = 0.0;
+
+  CellPath path = CellPath::kFresh;
+  std::int64_t wall_millis = 0;  ///< NOT part of the report fingerprint
+};
+
+struct SweepReport {
+  std::vector<CellResult> cells;  ///< expansion order
+  std::size_t cells_failed = 0;
+  std::size_t cache_hits = 0;
+  std::size_t resumed = 0;
+  std::size_t fresh = 0;
+  /// FNV-1a over the deterministic cell fields only (ids, fingerprints,
+  /// metrics) — identical across --jobs and across cold/warm runs.
+  std::uint64_t report_fingerprint = 0;
+  /// Cache-dir byte accounting (filled when budget enforcement ran).
+  std::int64_t cache_dir_bytes = 0;
+  std::int64_t cache_bytes_evicted = 0;
+  std::size_t cache_files_evicted = 0;
+};
+
+/// Runs every cell. Chains execute concurrently on a `config.jobs` pool;
+/// results land in expansion order regardless of completion order. Never
+/// throws for a failing cell.
+[[nodiscard]] SweepReport run_sweep(const SweepConfig& config);
+
+/// The deterministic comparative table (GitHub markdown): one row per cell
+/// with its headline metrics and the reused-addresses ratio against the
+/// baseline cell (cells[0]). Byte-identical across --jobs; CI diffs it.
+[[nodiscard]] std::string render_report_markdown(const SweepReport& report);
+
+/// The full report as JSON: everything in SweepReport including wall times
+/// and cache accounting, plus `report_fingerprint` as 16 hex digits.
+[[nodiscard]] std::string render_report_json(const SweepReport& report);
+
+}  // namespace reuse::sweep

@@ -104,6 +104,39 @@ TEST(FlagParser, NegativeNumbersParse) {
   EXPECT_EQ(parser.get_int("n"), -5);
 }
 
+TEST(FlagParser, MultiFlagCollectsEveryOccurrenceInOrder) {
+  FlagParser parser;
+  parser.define_multi("axis", "repeatable");
+  parser.define("other", "scalar");
+  const auto argv = argv_of(
+      {"--axis=days=60,120", "--other=x", "--axis", "cgn_share=0.2"});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get_multi("axis"),
+            (std::vector<std::string>{"days=60,120", "cgn_share=0.2"}));
+  // get() on a multi flag keeps the scalar convention: last occurrence.
+  EXPECT_EQ(parser.get("axis"), "cgn_share=0.2");
+  EXPECT_TRUE(parser.has("axis"));
+}
+
+TEST(FlagParser, MultiFlagUnsetIsEmpty) {
+  FlagParser parser;
+  parser.define_multi("axis", "repeatable");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(parser.get_multi("axis").empty());
+  EXPECT_TRUE(parser.get_multi("never-defined").empty());
+  EXPECT_FALSE(parser.has("axis"));
+}
+
+TEST(FlagParser, ScalarFlagsDoNotAccumulate) {
+  FlagParser parser;
+  parser.define("alpha", "scalar");
+  const auto argv = argv_of({"--alpha=1", "--alpha=2"});
+  ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(parser.get("alpha"), "2");
+  EXPECT_TRUE(parser.get_multi("alpha").empty());
+}
+
 TEST(ParseJobs, AcceptsNonNegativeIntegersOnly) {
   EXPECT_EQ(parse_jobs("0"), 0);  // 0 = all hardware threads
   EXPECT_EQ(parse_jobs("1"), 1);

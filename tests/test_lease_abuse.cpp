@@ -180,5 +180,64 @@ TEST_F(AbuseTest, RatesScaleWithConfig) {
   EXPECT_LT(sparse.size(), events().size() / 10);
 }
 
+TEST(LeaseTimeline, MeanOverrideShortensSegments) {
+  const double mean = 10 * 86400.0;
+  const auto pool = make_pool(mean);
+  const net::TimeWindow window{net::SimTime(0), net::SimTime(200 * 86400)};
+  const LeaseTimeline honest(pool, 31, window);
+  const LeaseTimeline evading(pool, 31, window, mean / 12.0);
+  EXPECT_GT(evading.segments().size(), honest.segments().size() * 4);
+  // Explicitly passing 0 (no override) must draw the identical timeline —
+  // this is what keeps evasion_lease_factor == 1.0 byte-identical.
+  const LeaseTimeline defaulted(pool, 31, window, 0.0);
+  ASSERT_EQ(defaulted.segments().size(), honest.segments().size());
+  for (std::size_t i = 0; i < honest.segments().size(); ++i) {
+    EXPECT_EQ(defaulted.segments()[i].address, honest.segments()[i].address);
+  }
+}
+
+TEST(AbuseEvasion, FactorOneIsByteIdenticalToDefault) {
+  WorldConfig base_config = test_world_config(5);
+  base_config.evasion_lease_factor = 1.0;  // explicit, same as default
+  const World world(base_config);
+  AbuseGenConfig config;
+  config.window = {net::SimTime(0), net::SimTime(20 * 86400)};
+  config.seed = 17;
+  const auto baseline = generate_abuse(World(test_world_config(5)), config);
+  const auto explicit_one = generate_abuse(world, config);
+  ASSERT_EQ(baseline.size(), explicit_one.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i].source, explicit_one[i].source);
+    EXPECT_EQ(baseline[i].time_seconds, explicit_one[i].time_seconds);
+  }
+}
+
+TEST(AbuseEvasion, EvadersSmearAcrossMoreAddresses) {
+  WorldConfig evading_config = test_world_config(5);
+  evading_config.evasion_lease_factor = 12.0;
+  const World honest_world(test_world_config(5));
+  const World evading_world(evading_config);
+  AbuseGenConfig config;
+  config.window = {net::SimTime(0), net::SimTime(20 * 86400)};
+  config.seed = 17;
+  const auto count_distinct_sources = [&](const World& world) {
+    std::unordered_map<UserId, std::unordered_set<net::Ipv4Address>> sources;
+    for (const AbuseEvent& event : generate_abuse(world, config)) {
+      if (event.actor != 0 &&
+          world.user(event.actor).attachment == AttachmentKind::kDynamic) {
+        sources[event.actor].insert(event.source);
+      }
+    }
+    std::size_t total = 0;
+    for (const auto& [actor, addresses] : sources) total += addresses.size();
+    return total;
+  };
+  // The evasion factor only touches infected dynamic users' lease draws,
+  // so the same actors emit at the same times from MORE distinct
+  // addresses: the taint smears wider while every listing grows staler.
+  EXPECT_GT(count_distinct_sources(evading_world),
+            count_distinct_sources(honest_world));
+}
+
 }  // namespace
 }  // namespace reuse::inet

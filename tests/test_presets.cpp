@@ -1,0 +1,90 @@
+#include "analysis/presets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/scenario.h"
+
+namespace reuse::analysis {
+namespace {
+
+TEST(Presets, RegistryOrderAndLookup) {
+  const auto& presets = scenario_presets();
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_STREQ(presets[0].name, "baseline");
+  EXPECT_STREQ(presets[1].name, "cgn_dominant");
+  EXPECT_STREQ(presets[2].name, "dhcp_churn");
+  EXPECT_STREQ(presets[3].name, "static_enterprise");
+  EXPECT_STREQ(presets[4].name, "adversarial_evasion");
+  for (const ScenarioPreset& preset : presets) {
+    EXPECT_EQ(parse_preset(preset.name), &preset);
+    EXPECT_NE(preset.summary[0], '\0');
+  }
+  EXPECT_EQ(parse_preset("nosuch"), nullptr);
+  EXPECT_EQ(parse_preset(""), nullptr);
+  EXPECT_EQ(parse_preset("Baseline"), nullptr) << "lookup is case-sensitive";
+  EXPECT_NE(preset_names().find("adversarial_evasion"), std::string::npos);
+}
+
+TEST(Presets, BaselineIsIdentity) {
+  const ScenarioConfig base = test_scenario_config(7);
+  ScenarioConfig applied = base;
+  parse_preset("baseline")->apply(applied);
+  EXPECT_EQ(config_fingerprint(applied), config_fingerprint(base));
+}
+
+TEST(Presets, TransformsAreDeterministic) {
+  for (const ScenarioPreset& preset : scenario_presets()) {
+    ScenarioConfig a = test_scenario_config(7);
+    ScenarioConfig b = test_scenario_config(7);
+    preset.apply(a);
+    preset.apply(b);
+    EXPECT_EQ(config_fingerprint(a), config_fingerprint(b)) << preset.name;
+  }
+}
+
+TEST(Presets, FingerprintsArePairwiseDistinct) {
+  std::set<std::uint64_t> fingerprints;
+  for (const ScenarioPreset& preset : scenario_presets()) {
+    ScenarioConfig config = test_scenario_config(7);
+    preset.apply(config);
+    EXPECT_TRUE(fingerprints.insert(config_fingerprint(config)).second)
+        << preset.name << " collides with an earlier preset";
+  }
+}
+
+// Golden fingerprints over test_scenario_config(7). These pin the preset
+// transforms AND the config-fingerprint schema: if this test fails, either
+// a preset's knobs changed or a fingerprinted field was added/removed —
+// both are calibration events. Re-derive the constants from the failure
+// output, update them here, and bump kCalibrationVersion if any DEFAULT
+// product changed (a preset-only recalibration does not need the bump:
+// preset caches are fingerprint-keyed and simply miss).
+TEST(Presets, GoldenFingerprints) {
+  const struct {
+    const char* name;
+    std::uint64_t fingerprint;
+  } kGolden[] = {
+      {"baseline", 0xc926298fc183e99cULL},
+      {"cgn_dominant", 0x9ddcdcead6a94eb4ULL},
+      {"dhcp_churn", 0xa0077ccabf637ab0ULL},
+      {"static_enterprise", 0x35a73afaf0a40338ULL},
+      {"adversarial_evasion", 0xc57ac1f968eba2c6ULL},
+  };
+  for (const auto& golden : kGolden) {
+    const ScenarioPreset* preset = parse_preset(golden.name);
+    ASSERT_NE(preset, nullptr) << golden.name;
+    ScenarioConfig config = test_scenario_config(7);
+    preset->apply(config);
+    const std::uint64_t actual = config_fingerprint(config);
+    EXPECT_EQ(actual, golden.fingerprint)
+        << golden.name << " drifted: actual 0x" << std::hex << actual
+        << " — a preset transform or the fingerprint schema changed; "
+           "update this golden (and bump kCalibrationVersion if default "
+           "products moved)";
+  }
+}
+
+}  // namespace
+}  // namespace reuse::analysis

@@ -3,6 +3,7 @@
 // prefix list, and a machine-readable summary.
 //
 //   reuse_study [--seed N] [--ases N] [--crawl-days N] [--probes N]
+//               [--preset NAME | --list-presets]
 //               [--jobs N] [--out-dir DIR] [--census]
 //               [--cache [--cache-file PATH]] [--resume-days K]
 //               [--chaos [--chaos-seed N]] [--metrics-out FILE]
@@ -15,6 +16,7 @@
 #include "analysis/greylist.h"
 #include "analysis/manifest.h"
 #include "analysis/impact.h"
+#include "analysis/presets.h"
 #include "analysis/scenario.h"
 #include "blocklist/parse.h"
 #include "netbase/flags.h"
@@ -33,6 +35,10 @@ int main(int argc, char** argv) {
                "threads); results are identical for every value",
                "1");
   flags.define("out-dir", "directory for exported artifacts", ".");
+  flags.define("preset",
+               "scenario preset applied on top of the flags (see "
+               "--list-presets)");
+  flags.define_bool("list-presets", "list the preset registry and exit");
   flags.define_bool("census", "also run the ICMP census baseline");
   flags.define_bool("cache",
                     "reuse the on-disk scenario cache (fingerprint-keyed "
@@ -65,6 +71,13 @@ int main(int argc, char** argv) {
     if (!flags.error().empty()) std::cerr << "\nerror: " << flags.error() << '\n';
     return flags.get_bool("help") ? 0 : 2;
   }
+  if (flags.get_bool("list-presets")) {
+    for (const analysis::ScenarioPreset& preset :
+         analysis::scenario_presets()) {
+      std::cout << preset.name << " — " << preset.summary << '\n';
+    }
+    return 0;
+  }
 
   analysis::ScenarioConfig config;
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed").value_or(7));
@@ -75,6 +88,18 @@ int main(int argc, char** argv) {
   config.fleet.probe_count =
       static_cast<std::size_t>(flags.get_int("probes").value_or(2000));
   config.run_census = flags.get_bool("census");
+  const analysis::ScenarioPreset* preset = nullptr;
+  if (flags.has("preset")) {
+    preset = analysis::parse_preset(flags.get("preset"));
+    if (preset == nullptr) {
+      std::cerr << "error: unknown preset \"" << flags.get("preset")
+                << "\" (valid: " << analysis::preset_names() << ")\n";
+      return 2;
+    }
+    // Applied after the scale flags so the preset's mix knobs win over the
+    // defaults but --ases/--probes keep controlling the scale.
+    preset->apply(config);
+  }
   const std::optional<int> jobs = net::parse_jobs(flags.get("jobs"));
   if (!jobs) {
     std::cerr << "error: --jobs must be a non-negative integer (0 = all "
@@ -259,6 +284,7 @@ int main(int argc, char** argv) {
     manifest.config = &s.config;
     manifest.stage_times = &s.stage_times;
     if (use_cache) manifest.cache_hit = s.cache_hit;
+    if (preset != nullptr) manifest.preset = preset->name;
     if (const auto error = analysis::write_run_manifest(
             flags.get("metrics-out"), manifest, *metrics_format)) {
       std::cerr << "error: " << *error << '\n';
